@@ -1,0 +1,314 @@
+// Benchmarks regenerating the paper's evaluation artifacts (§7), one per
+// table and figure, plus the DESIGN.md ablations. Quality-oriented
+// benchmarks use the People domain (the smallest, 49 sources, and the one
+// exercising every mechanism); scaling benchmarks use Car prefixes.
+//
+// Run with: go test -bench=. -benchmem
+package udi_test
+
+import (
+	"testing"
+
+	"udi/internal/core"
+	"udi/internal/datagen"
+	"udi/internal/eval"
+	"udi/internal/experiments"
+	"udi/internal/feedback"
+	"udi/internal/pmapping"
+	"udi/internal/sqlparse"
+	"udi/internal/strutil"
+)
+
+// sharedRun lazily builds the People domain run reused across benchmarks.
+var sharedRun *experiments.DomainRun
+
+func peopleRun(b *testing.B) *experiments.DomainRun {
+	b.Helper()
+	if sharedRun == nil {
+		r, err := experiments.Load(datagen.People(103))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.UDI(); err != nil {
+			b.Fatal(err)
+		}
+		sharedRun = r
+	}
+	return sharedRun
+}
+
+// BenchmarkTable1CorpusGen measures synthetic corpus generation (the
+// substitute for the paper's web crawl behind Table 1).
+func BenchmarkTable1CorpusGen(b *testing.B) {
+	spec := datagen.People(103)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := datagen.Generate(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2UDISetupAndQuery measures the full Table 2 pipeline:
+// automatic setup plus the 10 evaluation queries scored against the golden
+// standard.
+func BenchmarkTable2UDISetupAndQuery(b *testing.B) {
+	r := peopleRun(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := core.Setup(r.Corpus.Corpus, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Score(sys, core.UDI); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4Baselines measures one query under every competing
+// approach of Figure 4.
+func BenchmarkFig4Baselines(b *testing.B) {
+	r := peopleRun(b)
+	sys, err := r.UDI()
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := sqlparse.MustParse(r.Spec.Queries[0])
+	approaches := []core.Approach{core.UDI, core.KeywordNaive, core.KeywordStruct,
+		core.KeywordStrict, core.SourceOnly, core.TopMapping}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range approaches {
+			if _, err := sys.Run(a, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig5MediatedVariants measures setting up the deterministic
+// mediated-schema variants of Figure 5.
+func BenchmarkFig5MediatedVariants(b *testing.B) {
+	r := peopleRun(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SetupSingleMed(r.Corpus.Corpus, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.SetupUnionAll(r.Corpus.Corpus, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6RPCurve measures ranked answering plus R-P curve
+// computation (Figure 6).
+func BenchmarkFig6RPCurve(b *testing.B) {
+	r := peopleRun(b)
+	sys, err := r.UDI()
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := sqlparse.MustParse(r.Spec.Queries[0])
+	g, err := r.Golden(r.Spec.Queries[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	levels := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := sys.QueryParsed(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eval.RPCurve(rs.Ranked, g.DistinctTuples(), levels)
+	}
+}
+
+// BenchmarkTable3SchemaQuality measures the clustering-quality scoring of
+// Table 3.
+func BenchmarkTable3SchemaQuality(b *testing.B) {
+	r := peopleRun(b)
+	sys, err := r.UDI()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.PMedClusteringPRF(sys.Med.PMed, r.Corpus.GoldenClusters)
+	}
+}
+
+// BenchmarkFig7SetupScaling measures full automatic setup on a 200-source
+// Car prefix (the Figure 7 workload at one sweep point).
+func BenchmarkFig7SetupScaling(b *testing.B) {
+	spec := datagen.Car(102)
+	corpus, err := datagen.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub := corpus.Corpus.Prefix(200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Setup(sub, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3BibSchema measures p-med-schema generation on a Bib prefix
+// (the Figure 3 artifact).
+func BenchmarkFig3BibSchema(b *testing.B) {
+	spec := datagen.Bib(105)
+	spec.NumSources = 150
+	corpus, err := datagen.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Setup(corpus.Corpus, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryAnswering measures per-query latency over the People
+// corpus (§7.6 reports ≤ 2 s per query on 817 sources).
+func BenchmarkQueryAnswering(b *testing.B) {
+	r := peopleRun(b)
+	sys, err := r.UDI()
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]*sqlparse.Query, len(r.Spec.Queries))
+	for i, qs := range r.Spec.Queries {
+		queries[i] = sqlparse.MustParse(qs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.QueryParsed(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSimilarity measures setup with an alternative matcher
+// (DESIGN.md A1).
+func BenchmarkAblationSimilarity(b *testing.B) {
+	r := peopleRun(b)
+	cfg := core.Config{}
+	cfg.Mediate.Sim = func(x, y string) float64 {
+		return strutil.LevenshteinSim(strutil.Normalize(x), strutil.Normalize(y))
+	}
+	cfg.PMap.Sim = cfg.Mediate.Sim
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Setup(r.Corpus.Corpus, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMaxent measures setup under the uniform probability
+// assignment (DESIGN.md A2).
+func BenchmarkAblationMaxent(b *testing.B) {
+	r := peopleRun(b)
+	cfg := core.Config{}
+	cfg.PMap.Assignment = pmapping.AssignUniform
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Setup(r.Corpus.Corpus, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPayAsYouGo measures one uncertainty-ranked feedback step
+// (candidate selection + oracle + conditioning + re-consolidation).
+func BenchmarkPayAsYouGo(b *testing.B) {
+	r := peopleRun(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys, err := core.Setup(r.Corpus.Corpus, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess := feedback.NewSession(sys, &feedback.GoldenOracle{Corpus: r.Corpus})
+		b.StartTimer()
+		if _, _, err := sess.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryParallelism contrasts serial and parallel query answering
+// over the Car corpus (an ablation for the concurrent engine).
+func BenchmarkQueryParallelism(b *testing.B) {
+	spec := datagen.Car(102)
+	spec.NumSources = 400
+	r, err := experiments.Load(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := sqlparse.MustParse(spec.Queries[0])
+	for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS default
+		name := "serial"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			sys, err := core.Setup(r.Corpus.Corpus, core.Config{Parallelism: maxInt(workers, 1)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// The engine's parallelism mirrors the config through core; we
+			// exercise the end-to-end query path.
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.QueryParsed(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BenchmarkByTupleRanking measures the by-tuple recombination extension.
+func BenchmarkByTupleRanking(b *testing.B) {
+	r := peopleRun(b)
+	sys, err := r.UDI()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs, err := sys.QueryParsed(sqlparse.MustParse(r.Spec.Queries[0]))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs.ByTupleRanking()
+	}
+}

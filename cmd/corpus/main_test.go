@@ -1,0 +1,28 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestExportAndSummarize(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "tables")
+	if err := run("People", 8, dir, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", 0, "", dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 0, "", ""); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if err := run("Atlantis", 0, t.TempDir(), ""); err == nil {
+		t.Error("unknown domain accepted")
+	}
+	if err := run("", 0, "", "/nonexistent-dir-xyz"); err == nil {
+		t.Error("missing summarize dir accepted")
+	}
+}

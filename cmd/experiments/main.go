@@ -1,0 +1,253 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (§7) over the synthetic corpora.
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp table2 -domains People,Bib
+//	experiments -exp fig7
+//
+// Experiments: table1, table2, table3, fig3, fig4, fig5, fig6, fig7,
+// ablate-sim, ablate-maxent, ablate-params, ablate-agg, ablate-instance, paygo, qtime, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"udi/internal/datagen"
+	"udi/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1|table2|table3|fig3|fig4|fig5|fig6|fig7|ablate-sim|ablate-maxent|ablate-params|ablate-agg|ablate-instance|paygo|qtime|all)")
+	domains := flag.String("domains", "", "comma-separated domain subset (default: all five)")
+	scale := flag.Float64("scale", 1.0, "scale factor on the number of sources per domain (for quick runs)")
+	flag.Parse()
+
+	if err := run(*exp, *domains, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, domainFilter string, scale float64) error {
+	specs := datagen.AllDomains()
+	if domainFilter != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(domainFilter, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var kept []*datagen.Domain
+		for _, s := range specs {
+			if want[s.Name] {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == 0 {
+			return fmt.Errorf("no domain matches %q", domainFilter)
+		}
+		specs = kept
+	}
+	if scale != 1.0 {
+		for _, s := range specs {
+			n := int(float64(s.NumSources) * scale)
+			if n < 10 {
+				n = 10
+			}
+			s.NumSources = n
+		}
+	}
+
+	runs := make([]*experiments.DomainRun, 0, len(specs))
+	byName := map[string]*experiments.DomainRun{}
+	for _, s := range specs {
+		fmt.Fprintf(os.Stderr, "generating %s (%d sources)...\n", s.Name, s.NumSources)
+		r, err := experiments.Load(s)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, r)
+		byName[s.Name] = r
+	}
+
+	want := func(name string) bool { return exp == "all" || exp == name }
+	ran := false
+
+	if want("table1") {
+		fmt.Println(experiments.Table1(runs))
+		ran = true
+	}
+	if want("table2") {
+		_, out, err := experiments.Table2(runs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		ran = true
+	}
+	if want("fig3") {
+		bib := byName["Bib"]
+		if bib == nil {
+			return fmt.Errorf("fig3 needs the Bib domain")
+		}
+		out, err := experiments.Fig3(bib)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		ran = true
+	}
+	if want("fig4") {
+		_, out, err := experiments.Fig4(runs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		ran = true
+	}
+	if want("fig5") {
+		_, out, err := experiments.Fig5(runs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		ran = true
+	}
+	if want("fig6") {
+		movie := byName["Movie"]
+		if movie == nil {
+			return fmt.Errorf("fig6 needs the Movie domain")
+		}
+		_, out, err := experiments.Fig6(movie)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		// Extension: the People domain has the most ambiguity and
+		// separates the curves most clearly.
+		if people := byName["People"]; people != nil {
+			_, out, err := experiments.Fig6(people)
+			if err != nil {
+				return err
+			}
+			fmt.Println(out)
+		}
+		ran = true
+	}
+	if want("table3") {
+		_, out, err := experiments.Table3(runs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		ran = true
+	}
+	if want("fig7") {
+		car := byName["Car"]
+		if car == nil {
+			return fmt.Errorf("fig7 needs the Car domain")
+		}
+		n := len(car.Corpus.Corpus.Sources)
+		var steps []int
+		for s := 100; s < n; s += 100 {
+			steps = append(steps, s)
+		}
+		steps = append(steps, n)
+		_, out, err := experiments.Fig7(car, steps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		ran = true
+	}
+	if want("ablate-sim") {
+		people := byName["People"]
+		if people == nil {
+			return fmt.Errorf("ablate-sim needs the People domain")
+		}
+		_, out, err := experiments.AblateSimilarity(people)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		ran = true
+	}
+	if want("ablate-maxent") {
+		people := byName["People"]
+		if people == nil {
+			return fmt.Errorf("ablate-maxent needs the People domain")
+		}
+		_, out, err := experiments.AblateAssignment(people)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		ran = true
+	}
+	if want("ablate-params") {
+		people := byName["People"]
+		if people == nil {
+			return fmt.Errorf("ablate-params needs the People domain")
+		}
+		_, out, err := experiments.AblateParameters(people)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		ran = true
+	}
+	if want("ablate-agg") {
+		people := byName["People"]
+		if people == nil {
+			return fmt.Errorf("ablate-agg needs the People domain")
+		}
+		_, out, err := experiments.AblateAggregation(people)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		ran = true
+	}
+	if want("ablate-instance") {
+		people := byName["People"]
+		if people == nil {
+			return fmt.Errorf("ablate-instance needs the People domain")
+		}
+		_, out, err := experiments.AblateInstanceMatcher(people)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		ran = true
+	}
+	if want("paygo") {
+		people := byName["People"]
+		if people == nil {
+			return fmt.Errorf("paygo needs the People domain")
+		}
+		_, out, err := experiments.PayAsYouGo(people, []int{10, 25, 50, 100, 200, 400})
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		ran = true
+	}
+	if want("qtime") {
+		for _, r := range runs {
+			ms, err := experiments.QueryTimes(r)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: avg query time %.1f ms over %d sources\n",
+				r.Spec.Name, ms, len(r.Corpus.Corpus.Sources))
+		}
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

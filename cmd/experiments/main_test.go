@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+// The experiment driver runs each artifact over scaled-down corpora; the
+// heavy full-scale runs are exercised by `go run ./cmd/experiments` and
+// the benchmarks.
+func TestRunSingleExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver is slow")
+	}
+	cases := []struct {
+		exp     string
+		domains string
+	}{
+		{"table1", "People"},
+		{"table3", "People"},
+		{"fig3", "Bib"},
+		{"fig6", "Movie"},
+	}
+	for _, c := range cases {
+		if err := run(c.exp, c.domains, 0.15); err != nil {
+			t.Errorf("exp %s: %v", c.exp, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nonsense", "People", 0.15); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run("table1", "Atlantis", 1); err == nil {
+		t.Error("unknown domain accepted")
+	}
+	if err := run("fig3", "People", 0.15); err == nil {
+		t.Error("fig3 without Bib accepted")
+	}
+	if err := run("fig6", "People", 0.15); err == nil {
+		t.Error("fig6 without Movie accepted")
+	}
+	if err := run("fig7", "People", 0.15); err == nil {
+		t.Error("fig7 without Car accepted")
+	}
+	if err := run("paygo", "Movie", 0.15); err == nil {
+		t.Error("paygo without People accepted")
+	}
+}

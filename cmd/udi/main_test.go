@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"udi/internal/csvio"
+	"udi/internal/datagen"
+)
+
+func TestRunUnknownDomain(t *testing.T) {
+	if err := run("Nope", "", 0, "", "UDI", 5, false, "", "", false, "", false, 0, ""); err == nil {
+		t.Error("unknown domain accepted")
+	}
+}
+
+func TestRunQueryAndSchema(t *testing.T) {
+	err := run("People", "", 12, "SELECT name FROM People", "UDI", 3, true, "", "", true, "", false, 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadQuery(t *testing.T) {
+	if err := run("People", "", 12, "garbage", "UDI", 3, false, "", "", false, "", false, 0, ""); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+func TestRunBadApproach(t *testing.T) {
+	if err := run("People", "", 12, "SELECT name FROM t", "Bogus", 3, false, "", "", false, "", false, 0, ""); err == nil {
+		t.Error("bad approach accepted")
+	}
+}
+
+func TestRunSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "sys.udi.gz")
+	if err := run("People", "", 12, "", "UDI", 3, false, snap, "", false, "", false, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "", 0, "SELECT name FROM People", "UDI", 3, false, "", snap, false, "", false, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "", 0, "", "UDI", 3, false, "", filepath.Join(dir, "missing.gz"), false, "", false, 0, ""); err == nil {
+		t.Error("missing snapshot accepted")
+	}
+}
+
+func TestRunCSVData(t *testing.T) {
+	dir := t.TempDir()
+	spec := datagen.People(103)
+	spec.NumSources = 10
+	c := datagen.MustGenerate(spec)
+	if err := csvio.WriteCorpus(c.Corpus, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("csv", dir, 0, "SELECT name FROM t", "UDI", 3, false, "", "", false, "", false, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("csv", filepath.Join(dir, "nope"), 0, "", "UDI", 3, false, "", "", false, "", false, 0, ""); err == nil {
+		t.Error("missing CSV directory accepted")
+	}
+}
+
+func TestRunDOTExport(t *testing.T) {
+	dot := filepath.Join(t.TempDir(), "graph.dot")
+	if err := run("People", "", 12, "", "UDI", 3, false, "", "", false, dot, false, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty DOT file")
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.md")
+	if err := run("People", "", 12, "", "UDI", 3, false, "", "", false, "", false, 0, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty report")
+	}
+}

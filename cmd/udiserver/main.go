@@ -1,0 +1,97 @@
+// Command udiserver serves a configured integration system over HTTP.
+//
+// Usage:
+//
+//	udiserver -domain People -addr :8080
+//	udiserver -load car.udi.gz -addr 127.0.0.1:9000
+//	udiserver -data ./my-tables
+//
+// Endpoints:
+//
+//	GET  /healthz   liveness and source count
+//	GET  /schema    probabilistic + consolidated mediated schemas
+//	POST /query     {"query": "SELECT ...", "approach": "UDI", "top": 10,
+//	                 "semantics": "by-table"|"by-tuple"}
+//	POST /explain   {"query": "...", "values": [...]} — answer provenance
+//	POST /feedback  {"source": "...", "attr": "...", "med_name": "...",
+//	                 "confirmed": true} — pay-as-you-go improvement
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"udi/internal/core"
+	"udi/internal/csvio"
+	"udi/internal/datagen"
+	"udi/internal/httpapi"
+	"udi/internal/persist"
+	"udi/internal/schema"
+)
+
+func main() {
+	domain := flag.String("domain", "People", "synthetic domain to serve (Movie|Car|People|Course|Bib)")
+	data := flag.String("data", "", "serve a directory of CSV files instead of a synthetic domain")
+	load := flag.String("load", "", "serve a system snapshot instead of setting up")
+	sources := flag.Int("sources", 0, "limit the number of sources (0 = full domain)")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+
+	if err := run(*domain, *data, *load, *sources, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "udiserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(domain, data, load string, sources int, addr string) error {
+	sys, err := buildSystem(domain, data, load, sources)
+	if err != nil {
+		return err
+	}
+	server := &http.Server{
+		Addr:              addr,
+		Handler:           httpapi.NewServer(sys).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "serving %d sources on http://%s\n", len(sys.Corpus.Sources), addr)
+	return server.ListenAndServe()
+}
+
+func buildSystem(domain, data, load string, sources int) (*core.System, error) {
+	switch {
+	case load != "":
+		fmt.Fprintf(os.Stderr, "restoring snapshot %s...\n", load)
+		return persist.LoadFile(load, core.Config{})
+	case data != "":
+		fmt.Fprintf(os.Stderr, "loading CSV tables from %s...\n", data)
+		corpus, err := csvio.LoadCorpus(domain, data)
+		if err != nil {
+			return nil, err
+		}
+		return setupLimited(corpus, sources)
+	default:
+		spec := datagen.DomainByName(domain)
+		if spec == nil {
+			return nil, fmt.Errorf("unknown domain %q", domain)
+		}
+		if sources > 0 {
+			spec.NumSources = sources
+		}
+		fmt.Fprintf(os.Stderr, "generating %s (%d sources) and setting up...\n", spec.Name, spec.NumSources)
+		c, err := datagen.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		return core.Setup(c.Corpus, core.Config{})
+	}
+}
+
+func setupLimited(corpus *schema.Corpus, sources int) (*core.System, error) {
+	if sources > 0 && sources < len(corpus.Sources) {
+		corpus = corpus.Prefix(sources)
+	}
+	return core.Setup(corpus, core.Config{})
+}

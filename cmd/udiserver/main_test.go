@@ -1,0 +1,68 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"udi/internal/core"
+	"udi/internal/csvio"
+	"udi/internal/datagen"
+	"udi/internal/persist"
+)
+
+func TestBuildSystemDomain(t *testing.T) {
+	sys, err := buildSystem("People", "", "", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Corpus.Sources) != 12 {
+		t.Errorf("sources = %d", len(sys.Corpus.Sources))
+	}
+	if _, err := buildSystem("Atlantis", "", "", 0); err == nil {
+		t.Error("unknown domain accepted")
+	}
+}
+
+func TestBuildSystemData(t *testing.T) {
+	dir := t.TempDir()
+	spec := datagen.People(103)
+	spec.NumSources = 10
+	c := datagen.MustGenerate(spec)
+	if err := csvio.WriteCorpus(c.Corpus, dir); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := buildSystem("csv", dir, "", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Corpus.Sources) != 5 {
+		t.Errorf("sources = %d", len(sys.Corpus.Sources))
+	}
+	if _, err := buildSystem("csv", filepath.Join(dir, "missing"), "", 0); err == nil {
+		t.Error("missing data dir accepted")
+	}
+}
+
+func TestBuildSystemSnapshot(t *testing.T) {
+	spec := datagen.People(103)
+	spec.NumSources = 10
+	c := datagen.MustGenerate(spec)
+	sys, err := core.Setup(c.Corpus, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s.udi.gz")
+	if err := persist.SaveFile(path, sys); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := buildSystem("", "", path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.Corpus.Sources) != 10 {
+		t.Errorf("sources = %d", len(restored.Corpus.Sources))
+	}
+	if _, err := buildSystem("", "", filepath.Join(t.TempDir(), "none.gz"), 0); err == nil {
+		t.Error("missing snapshot accepted")
+	}
+}

@@ -1,0 +1,73 @@
+// Payg demonstrates the pay-as-you-go improvement loop the paper motivates
+// (§1: "mappings are improved over time as deemed necessary"; §9 leaves the
+// mechanism to future work). The system is set up fully automatically,
+// then repeatedly asks an oracle (standing in for the administrator) about
+// its most uncertain correspondences — including columns the automatic
+// matcher left unmapped, surfaced by value overlap — and conditions its
+// probabilistic mappings on each answer. Query quality is re-measured as
+// feedback accumulates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"udi/internal/core"
+	"udi/internal/datagen"
+	"udi/internal/eval"
+	"udi/internal/feedback"
+	"udi/internal/sqlparse"
+)
+
+func main() {
+	spec := datagen.People(103)
+	corpus, err := datagen.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.Setup(corpus.Corpus, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	score := func() eval.PRF {
+		var scores []eval.PRF
+		for _, qs := range spec.Queries {
+			q := sqlparse.MustParse(qs)
+			g, err := corpus.GoldenAnswers(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rs, err := sys.QueryParsed(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			scores = append(scores, eval.InstancePRF(rs.Instances, g, true))
+		}
+		return eval.Mean(scores)
+	}
+
+	sess := feedback.NewSession(sys, &feedback.GoldenOracle{Corpus: corpus})
+
+	s := score()
+	fmt.Printf("%-10s P=%.3f R=%.3f F=%.3f\n", "0 answers", s.Precision, s.Recall, s.F)
+
+	// Show what the system wants to ask first.
+	fmt.Println("\nmost uncertain correspondences:")
+	for i, c := range sess.Candidates(5) {
+		fmt.Printf("%d. %s: does column %q map to mediated attribute %s?  (current belief %.2f)\n",
+			i+1, c.Source, c.SrcAttr,
+			sys.Med.PMed.Schemas[c.SchemaIdx].Attrs[c.MedIdx], c.Marginal)
+		_ = i
+	}
+	fmt.Println()
+
+	for _, checkpoint := range []int{10, 25, 50, 100} {
+		if _, err := sess.Run(checkpoint - sess.Applied); err != nil {
+			log.Fatal(err)
+		}
+		s := score()
+		fmt.Printf("%-10s P=%.3f R=%.3f F=%.3f\n",
+			fmt.Sprintf("%d answers", sess.Applied), s.Precision, s.Recall, s.F)
+	}
+}

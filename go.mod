@@ -1,0 +1,3 @@
+module udi
+
+go 1.22

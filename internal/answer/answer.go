@@ -1,0 +1,494 @@
+// Package answer implements probabilistic query answering under by-table
+// semantics (paper §2–3, Definition 3.3):
+//
+//   - per source and per possible mediated schema, the query is rewritten
+//     under every possible mapping and each answer tuple accumulates the
+//     probabilities of the mappings that produce it;
+//   - across possible mediated schemas, tuple probabilities are weighted by
+//     the schema probabilities and summed;
+//   - across sources, probabilities combine by independent disjunction
+//     p = 1 − Π(1 − p_i).
+//
+// The engine produces both per-occurrence instances (one per matching
+// source row, used by the precision/recall evaluation which keeps
+// duplicates, §7.1) and a ranked deduplicated answer list (used for the
+// R-P curves of §7.4, where duplicates are eliminated and probabilities
+// combined).
+package answer
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"udi/internal/consolidate"
+	"udi/internal/pmapping"
+	"udi/internal/schema"
+	"udi/internal/sqlparse"
+	"udi/internal/storage"
+)
+
+// Instance is one answer occurrence: the values a particular source row
+// contributes under at least one mapping, with its accumulated by-table
+// probability for that (row, values) pair.
+type Instance struct {
+	Source string
+	Row    int
+	Values []string
+	Prob   float64
+}
+
+// Answer is a deduplicated answer tuple with its cross-source combined
+// probability.
+type Answer struct {
+	Values []string
+	Prob   float64
+}
+
+// SourceTupleProbs carries one source's by-table tuple probabilities:
+// for each distinct tuple (keyed by its joined values) the total
+// probability of the mappings under which the source produces it.
+type SourceTupleProbs struct {
+	Source string
+	Probs  map[string]float64
+}
+
+// TupleKey joins tuple values into the key used by SourceTupleProbs.
+func TupleKey(values []string) string { return tupleKey(values) }
+
+// ResultSet bundles the views of a query result.
+type ResultSet struct {
+	Instances []Instance // per-occurrence, duplicates preserved
+	Ranked    []Answer   // deduplicated, sorted by descending probability
+	// PerSource lists each contributing source's tuple probabilities, in
+	// source order; the Ranked probabilities are their independent
+	// disjunction. Extensions with different independence assumptions
+	// (e.g. multi-table sites) recombine from here.
+	PerSource []SourceTupleProbs
+}
+
+// ByTupleRanking recomputes the ranked answers under by-tuple semantics
+// (Dong et al.'s alternative to the by-table semantics the paper adopts,
+// §3): instead of one mapping applying to a whole source table, every
+// tuple draws its mapping independently, so a tuple appearing in several
+// rows combines by disjunction across rows as well as across sources:
+// p(t) = 1 − Π_{(source,row)} (1 − p_{row,t}).
+//
+// By-tuple probabilities dominate by-table ones (more independent chances
+// to produce the tuple) and coincide when every tuple occurs in at most
+// one row per source.
+func (rs *ResultSet) ByTupleRanking() []Answer {
+	probs := make(map[string]float64)
+	var order []string
+	for _, inst := range rs.Instances {
+		tk := tupleKey(inst.Values)
+		if _, ok := probs[tk]; !ok {
+			probs[tk] = 1
+			order = append(order, tk)
+		}
+		p := inst.Prob
+		if p > 1 {
+			p = 1
+		}
+		probs[tk] *= 1 - p
+	}
+	out := make([]Answer, 0, len(order))
+	for _, tk := range order {
+		values := strings.Split(tk, "\x1f")
+		if tk == "" {
+			values = []string{}
+		}
+		out = append(out, Answer{Values: values, Prob: 1 - probs[tk]})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return tupleKey(out[i].Values) < tupleKey(out[j].Values)
+	})
+	return out
+}
+
+// Engine answers queries over a corpus.
+type Engine struct {
+	corpus *schema.Corpus
+	tables map[string]*storage.Table
+	// Parallelism bounds the worker goroutines scanning sources during
+	// query answering (sources are independent; results merge in source
+	// order, so answers are deterministic). Defaults to GOMAXPROCS.
+	Parallelism int
+}
+
+// NewEngine builds table wrappers for every source.
+func NewEngine(c *schema.Corpus) *Engine {
+	e := &Engine{
+		corpus:      c,
+		tables:      make(map[string]*storage.Table, len(c.Sources)),
+		Parallelism: runtime.GOMAXPROCS(0),
+	}
+	for _, s := range c.Sources {
+		e.tables[s.Name] = storage.NewTable(s)
+	}
+	return e
+}
+
+// runPerSource evaluates work for every source — in parallel when
+// Parallelism allows — into per-source accumulators, then merges them in
+// source order so results are identical to a serial run.
+func (e *Engine) runPerSource(work func(src *schema.Source, acc *accumulator) error) (*ResultSet, error) {
+	n := len(e.corpus.Sources)
+	accs := make([]*accumulator, n)
+	workers := e.Parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, src := range e.corpus.Sources {
+			acc := newAccumulator(0)
+			if err := work(src, acc); err != nil {
+				return nil, err
+			}
+			acc.finishSource()
+			accs[i] = acc
+		}
+	} else {
+		var (
+			wg       sync.WaitGroup
+			sem      = make(chan struct{}, workers)
+			mu       sync.Mutex
+			firstErr error
+		)
+		for i := range e.corpus.Sources {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				acc := newAccumulator(0)
+				if err := work(e.corpus.Sources[i], acc); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				acc.finishSource()
+				accs[i] = acc
+			}(i)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+	merged := newAccumulator(0)
+	for _, acc := range accs {
+		if acc != nil {
+			merged.merge(acc)
+		}
+	}
+	return merged.results(), nil
+}
+
+// Corpus returns the engine's corpus.
+func (e *Engine) Corpus() *schema.Corpus { return e.corpus }
+
+// PMedInput carries a p-med-schema and, for every source, one p-mapping per
+// possible mediated schema.
+type PMedInput struct {
+	PMed *schema.PMedSchema
+	// Maps[sourceName][l] is the p-mapping between the source and
+	// PMed.Schemas[l].
+	Maps map[string][]*pmapping.PMapping
+}
+
+// AnswerPMed answers q over the probabilistic mediated schema per
+// Definition 3.3. Query attributes are source-attribute names; each is
+// replaced by the mediated attribute (cluster) containing it. A possible
+// schema that does not mediate some query attribute contributes nothing; a
+// mapping that leaves some query attribute unmapped contributes nothing.
+func (e *Engine) AnswerPMed(in PMedInput, q *sqlparse.Query) (*ResultSet, error) {
+	// Resolve each schema's query clusters once, shared across sources.
+	type schemaPlan struct {
+		medIdxs map[string]int
+		idxList []int
+	}
+	plans := make([]*schemaPlan, in.PMed.Len())
+	for l, med := range in.PMed.Schemas {
+		if medIdxs, ok := queryMedIdxs(q, med); ok {
+			pl := &schemaPlan{medIdxs: medIdxs}
+			for _, j := range medIdxs {
+				pl.idxList = append(pl.idxList, j)
+			}
+			plans[l] = pl
+		}
+	}
+	return e.runPerSource(func(src *schema.Source, acc *accumulator) error {
+		pms := in.Maps[src.Name]
+		if len(pms) != in.PMed.Len() {
+			return fmt.Errorf("answer: source %q has %d p-mappings for %d schemas",
+				src.Name, len(pms), in.PMed.Len())
+		}
+		for l := range in.PMed.Schemas {
+			pl := plans[l]
+			if pl == nil {
+				continue // some query attribute is not mediated by this schema
+			}
+			weight := in.PMed.Probs[l]
+			for _, asgn := range pms[l].AssignmentsFor(pl.idxList) {
+				if asgn.Prob == 0 {
+					continue
+				}
+				if err := e.scanAssignment(acc, src.Name, q, pl.medIdxs, asgn.MedToSrc, weight*asgn.Prob); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// AnswerConsolidated answers q over the consolidated mediated schema T and
+// the consolidated one-to-many p-mappings (§6). By Theorem 6.2 the result
+// equals AnswerPMed on the originating p-med-schema.
+func (e *Engine) AnswerConsolidated(target *schema.MediatedSchema, maps map[string]*consolidate.PMapping, q *sqlparse.Query) (*ResultSet, error) {
+	medIdxs, ok := queryMedIdxs(q, target)
+	if !ok {
+		return newAccumulator(0).results(), nil // query attribute not mediated
+	}
+	return e.runPerSource(func(src *schema.Source, acc *accumulator) error {
+		cpm := maps[src.Name]
+		if cpm == nil {
+			return fmt.Errorf("answer: no consolidated p-mapping for source %q", src.Name)
+		}
+		for _, m := range cpm.Mappings {
+			if m.Prob == 0 {
+				continue
+			}
+			if err := e.scanAssignment(acc, src.Name, q, medIdxs, m.MedToSrc(), m.Prob); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// DeterministicMaps carries, per source, a single mapping from mediated
+// attribute index to source attribute (used by the TopMapping baseline).
+type DeterministicMaps map[string]map[int]string
+
+// AnswerTopMapping answers q using only the given deterministic mapping
+// per source over schema target (§7.3's TopMapping baseline). Matching
+// answers get probability 1.
+func (e *Engine) AnswerTopMapping(target *schema.MediatedSchema, maps DeterministicMaps, q *sqlparse.Query) (*ResultSet, error) {
+	medIdxs, ok := queryMedIdxs(q, target)
+	if !ok {
+		return newAccumulator(0).results(), nil
+	}
+	return e.runPerSource(func(src *schema.Source, acc *accumulator) error {
+		if m := maps[src.Name]; m != nil {
+			return e.scanAssignment(acc, src.Name, q, medIdxs, m, 1)
+		}
+		return nil
+	})
+}
+
+// AnswerSource implements the Source baseline (§7.3): the query is posed
+// directly on every source whose schema literally contains all query
+// attributes; answers are certain (probability 1) and combined by union.
+func (e *Engine) AnswerSource(q *sqlparse.Query) *ResultSet {
+	rs, _ := e.runPerSource(func(src *schema.Source, acc *accumulator) error {
+		for _, a := range q.Attrs() {
+			if !src.HasAttr(a) {
+				return nil
+			}
+		}
+		idxs, rows, err := e.tables[src.Name].SelectIdx(q.Select, q.Where)
+		if err != nil {
+			return nil // attribute presence was checked; defensive
+		}
+		acc.addAssignment(src.Name, idxs, rows, 1)
+		return nil
+	})
+	return rs
+}
+
+// scanAssignment rewrites q under one (mediated→source) assignment, scans
+// the source table and accumulates weight for each matching row. An
+// assignment that leaves any query attribute unmapped contributes nothing
+// (by-table semantics over one-to-one mappings).
+func (e *Engine) scanAssignment(acc *accumulator, source string, q *sqlparse.Query, medIdxs map[string]int, medToSrc map[int]string, weight float64) error {
+	project := make([]string, len(q.Select))
+	for i, a := range q.Select {
+		srcAttr, ok := medToSrc[medIdxs[a]]
+		if !ok {
+			return nil
+		}
+		project[i] = srcAttr
+	}
+	preds := make([]storage.Pred, len(q.Where))
+	for i, p := range q.Where {
+		srcAttr, ok := medToSrc[medIdxs[p.Attr]]
+		if !ok {
+			return nil
+		}
+		preds[i] = storage.Pred{Attr: srcAttr, Op: p.Op, Literal: p.Literal}
+	}
+	idxs, rows, err := e.tables[source].SelectIdx(project, preds)
+	if err != nil {
+		return fmt.Errorf("answer: %w", err)
+	}
+	acc.addAssignment(source, idxs, rows, weight)
+	return nil
+}
+
+// queryMedIdxs resolves every query attribute to the index of its cluster
+// in med; ok is false if any attribute is not mediated.
+func queryMedIdxs(q *sqlparse.Query, med *schema.MediatedSchema) (map[string]int, bool) {
+	out := make(map[string]int)
+	for _, a := range q.Attrs() {
+		found := false
+		for j, cluster := range med.Attrs {
+			if cluster.Contains(a) {
+				out[a] = j
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// accumulator gathers per-row instance probabilities and per-source tuple
+// probabilities, then combines sources by disjunction.
+type accumulator struct {
+	instances map[string]*Instance // key: source|row|values
+	instOrder []string
+
+	// curTupleProb accumulates the current source's per-tuple by-table
+	// probability: within one assignment a tuple counts once (set
+	// semantics), across assignments its weights sum.
+	curSource    string
+	curTupleProb map[string]float64
+	tupleProbs   []SourceTupleProbs // one entry per finished source
+	tupleOrder   []string
+	tupleSeen    map[string]bool
+}
+
+func newAccumulator(_ int) *accumulator {
+	return &accumulator{
+		instances:    make(map[string]*Instance),
+		curTupleProb: make(map[string]float64),
+		tupleSeen:    make(map[string]bool),
+	}
+}
+
+// merge folds a finished per-source accumulator into the receiver.
+// Instance keys are disjoint across sources (they embed the source name),
+// so instances concatenate; per-source tuple-probability maps append for
+// the cross-source disjunction; tuple order dedupes globally.
+func (a *accumulator) merge(b *accumulator) {
+	for _, ik := range b.instOrder {
+		a.instances[ik] = b.instances[ik]
+		a.instOrder = append(a.instOrder, ik)
+	}
+	a.tupleProbs = append(a.tupleProbs, b.tupleProbs...)
+	for _, tk := range b.tupleOrder {
+		if !a.tupleSeen[tk] {
+			a.tupleSeen[tk] = true
+			a.tupleOrder = append(a.tupleOrder, tk)
+		}
+	}
+}
+
+func tupleKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// addAssignment records the result of scanning one source under one
+// mapping assignment carrying the given probability weight: every matching
+// (row, values) occurrence accumulates the weight, and each distinct tuple
+// accumulates it once (by-table set semantics).
+func (a *accumulator) addAssignment(source string, rowIdxs []int, rows [][]string, weight float64) {
+	a.curSource = source
+	seen := make(map[string]bool, len(rows))
+	for i, r := range rowIdxs {
+		values := rows[i]
+		tk := tupleKey(values)
+		ik := fmt.Sprintf("%s\x1e%d\x1e%s", source, r, tk)
+		if inst, ok := a.instances[ik]; ok {
+			inst.Prob += weight
+		} else {
+			v := make([]string, len(values))
+			copy(v, values)
+			a.instances[ik] = &Instance{Source: source, Row: r, Values: v, Prob: weight}
+			a.instOrder = append(a.instOrder, ik)
+		}
+		if !seen[tk] {
+			seen[tk] = true
+			a.curTupleProb[tk] += weight
+			if !a.tupleSeen[tk] {
+				a.tupleSeen[tk] = true
+				a.tupleOrder = append(a.tupleOrder, tk)
+			}
+		}
+	}
+}
+
+// finishSource closes the per-source tuple accumulation so that
+// cross-source combination can apply the disjunction.
+func (a *accumulator) finishSource() {
+	if len(a.curTupleProb) == 0 {
+		return
+	}
+	a.tupleProbs = append(a.tupleProbs, SourceTupleProbs{Source: a.curSource, Probs: a.curTupleProb})
+	a.curTupleProb = make(map[string]float64)
+	a.curSource = ""
+}
+
+func (a *accumulator) results() *ResultSet {
+	a.finishSource()
+	rs := &ResultSet{}
+	for _, ik := range a.instOrder {
+		rs.Instances = append(rs.Instances, *a.instances[ik])
+	}
+	// Combine across sources: p = 1 − Π(1 − p_s), clamping per-source
+	// probabilities to [0,1] (within a source the same tuple may occur in
+	// several rows; by-table set semantics caps its probability at 1).
+	rs.PerSource = a.tupleProbs
+	for _, tk := range a.tupleOrder {
+		q := 1.0
+		for _, m := range a.tupleProbs {
+			p := m.Probs[tk]
+			if p > 1 {
+				p = 1
+			}
+			q *= 1 - p
+		}
+		values := strings.Split(tk, "\x1f")
+		if tk == "" {
+			values = []string{}
+		}
+		rs.Ranked = append(rs.Ranked, Answer{Values: values, Prob: 1 - q})
+	}
+	sort.SliceStable(rs.Ranked, func(i, j int) bool {
+		if rs.Ranked[i].Prob != rs.Ranked[j].Prob {
+			return rs.Ranked[i].Prob > rs.Ranked[j].Prob
+		}
+		return tupleKey(rs.Ranked[i].Values) < tupleKey(rs.Ranked[j].Values)
+	})
+	sort.SliceStable(rs.Instances, func(i, j int) bool {
+		if rs.Instances[i].Source != rs.Instances[j].Source {
+			return rs.Instances[i].Source < rs.Instances[j].Source
+		}
+		if rs.Instances[i].Row != rs.Instances[j].Row {
+			return rs.Instances[i].Row < rs.Instances[j].Row
+		}
+		return tupleKey(rs.Instances[i].Values) < tupleKey(rs.Instances[j].Values)
+	})
+	return rs
+}

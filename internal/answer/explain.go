@@ -1,0 +1,130 @@
+package answer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"udi/internal/sqlparse"
+	"udi/internal/storage"
+)
+
+// Contribution explains one way an answer tuple was derived: a source, a
+// possible mediated schema, and a concrete mapping assignment under which
+// the rewritten query produced the tuple, together with the probability
+// mass that path carries (schema probability × mapping probability).
+type Contribution struct {
+	Source    string
+	SchemaIdx int
+	// MedToSrc is the mediated→source attribute assignment used.
+	MedToSrc map[int]string
+	// Rows lists the matching row indices in the source.
+	Rows []int
+	// Mass is Pr(M_l) × Pr(assignment): the amount this path adds to the
+	// tuple's per-source probability.
+	Mass float64
+}
+
+// Explain recomputes the derivation of one answer tuple under the
+// p-med-schema semantics, returning every contributing (source, schema,
+// mapping) path sorted by descending mass. It is the provenance view a
+// pay-as-you-go administrator uses to see *why* the system returned an
+// answer before deciding what feedback to give.
+func (e *Engine) Explain(in PMedInput, q *sqlparse.Query, values []string) ([]Contribution, error) {
+	want := tupleKey(values)
+	var out []Contribution
+	for _, src := range e.corpus.Sources {
+		pms := in.Maps[src.Name]
+		if len(pms) != in.PMed.Len() {
+			return nil, fmt.Errorf("answer: source %q has %d p-mappings for %d schemas",
+				src.Name, len(pms), in.PMed.Len())
+		}
+		for l, med := range in.PMed.Schemas {
+			medIdxs, ok := queryMedIdxs(q, med)
+			if !ok {
+				continue
+			}
+			idxList := make([]int, 0, len(medIdxs))
+			for _, j := range medIdxs {
+				idxList = append(idxList, j)
+			}
+			for _, asgn := range pms[l].AssignmentsFor(idxList) {
+				if asgn.Prob == 0 {
+					continue
+				}
+				rows, ok, err := e.rowsProducing(src.Name, q, medIdxs, asgn.MedToSrc, want)
+				if err != nil {
+					return nil, err
+				}
+				if !ok || len(rows) == 0 {
+					continue
+				}
+				out = append(out, Contribution{
+					Source:    src.Name,
+					SchemaIdx: l,
+					MedToSrc:  asgn.MedToSrc,
+					Rows:      rows,
+					Mass:      in.PMed.Probs[l] * asgn.Prob,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mass != out[j].Mass {
+			return out[i].Mass > out[j].Mass
+		}
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
+		return out[i].SchemaIdx < out[j].SchemaIdx
+	})
+	return out, nil
+}
+
+// rowsProducing rewrites q under the assignment and returns the rows whose
+// projection equals the wanted tuple. ok is false when the assignment
+// leaves a query attribute unmapped.
+func (e *Engine) rowsProducing(source string, q *sqlparse.Query, medIdxs map[string]int, medToSrc map[int]string, want string) ([]int, bool, error) {
+	project := make([]string, len(q.Select))
+	for i, a := range q.Select {
+		srcAttr, ok := medToSrc[medIdxs[a]]
+		if !ok {
+			return nil, false, nil
+		}
+		project[i] = srcAttr
+	}
+	preds := make([]storage.Pred, 0, len(q.Where))
+	for _, p := range q.Where {
+		srcAttr, ok := medToSrc[medIdxs[p.Attr]]
+		if !ok {
+			return nil, false, nil
+		}
+		preds = append(preds, storage.Pred{Attr: srcAttr, Op: p.Op, Literal: p.Literal})
+	}
+	idxs, rows, err := e.tables[source].SelectIdx(project, preds)
+	if err != nil {
+		return nil, false, fmt.Errorf("answer: %w", err)
+	}
+	var match []int
+	for i, r := range idxs {
+		if tupleKey(rows[i]) == want {
+			match = append(match, r)
+		}
+	}
+	return match, true, nil
+}
+
+// String renders a contribution compactly.
+func (c Contribution) String() string {
+	pairs := make([]string, 0, len(c.MedToSrc))
+	idxs := make([]int, 0, len(c.MedToSrc))
+	for j := range c.MedToSrc {
+		idxs = append(idxs, j)
+	}
+	sort.Ints(idxs)
+	for _, j := range idxs {
+		pairs = append(pairs, fmt.Sprintf("A%d←%s", j, c.MedToSrc[j]))
+	}
+	return fmt.Sprintf("%s schema=%d mass=%.4f rows=%v [%s]",
+		c.Source, c.SchemaIdx, c.Mass, c.Rows, strings.Join(pairs, " "))
+}

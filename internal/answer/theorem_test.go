@@ -1,0 +1,162 @@
+package answer
+
+import (
+	"math"
+	"testing"
+
+	"udi/internal/pmapping"
+	"udi/internal/schema"
+	"udi/internal/sqlparse"
+)
+
+// Theorem 3.5's construction (paper appendix): source S(a1, a2) with one
+// tuple (x1, x2); p-med-schema M = {M1, M2} where M1 keeps a1 and a2 in
+// singleton clusters (P = 0.7) and M2 merges them (P = 0.3); both
+// p-mappings are deterministic. The appendix argues no single mediated
+// schema T with a one-to-one p-mapping reproduces all three probe queries;
+// this test verifies the concrete probabilities those arguments rest on.
+func theorem35Fixture() (*schema.Corpus, PMedInput) {
+	s := schema.MustNewSource("S", []string{"a1", "a2"}, [][]string{{"x1", "x2"}})
+	corpus, _ := schema.NewCorpus("t35", []*schema.Source{s})
+
+	m1 := schema.MustNewMediatedSchema([]schema.MediatedAttr{
+		schema.NewMediatedAttr("a1"), schema.NewMediatedAttr("a2"),
+	})
+	m2 := schema.MustNewMediatedSchema([]schema.MediatedAttr{
+		schema.NewMediatedAttr("a1", "a2"),
+	})
+	pmed, err := schema.NewPMedSchema([]*schema.MediatedSchema{m1, m2}, []float64{0.7, 0.3})
+	if err != nil {
+		panic(err)
+	}
+
+	// pM1: A1 ← a1, A2 ← a2 with probability 1.
+	pm1 := &pmapping.PMapping{
+		SourceName: "S",
+		Med:        m1,
+		Groups: []pmapping.Group{
+			{
+				Corrs:    []pmapping.Corr{{SrcAttr: "a1", MedIdx: 0, Weight: 1}},
+				Mappings: [][]int{{0}},
+				Probs:    []float64{1},
+			},
+			{
+				Corrs:    []pmapping.Corr{{SrcAttr: "a2", MedIdx: 1, Weight: 1}},
+				Mappings: [][]int{{0}},
+				Probs:    []float64{1},
+			},
+		},
+	}
+	// pM2: the merged attribute A3 ← a1 with probability 1 (one-to-one:
+	// only one source attribute can map to it).
+	pm2 := &pmapping.PMapping{
+		SourceName: "S",
+		Med:        m2,
+		Groups: []pmapping.Group{
+			{
+				Corrs:    []pmapping.Corr{{SrcAttr: "a1", MedIdx: 0, Weight: 1}},
+				Mappings: [][]int{{0}},
+				Probs:    []float64{1},
+			},
+		},
+	}
+	in := PMedInput{
+		PMed: pmed,
+		Maps: map[string][]*pmapping.PMapping{"S": {pm1, pm2}},
+	}
+	return corpus, in
+}
+
+func TestTheorem35ProbeQueries(t *testing.T) {
+	corpus, in := theorem35Fixture()
+	e := NewEngine(corpus)
+
+	// Q1: SELECT a1, a2 — under M1 both attributes map separately, giving
+	// (x1, x2) with probability 0.7; under M2 both resolve to the merged
+	// cluster (mapped to a1), giving (x1, x1) with 0.3. The appendix's
+	// point is that (x1, x2) occurs in Q1 over M while a T that merges the
+	// attributes can never produce it.
+	rs, err := e.AnswerPMed(in, sqlparse.MustParse("SELECT a1, a2 FROM S"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := map[string]float64{}
+	for _, a := range rs.Ranked {
+		q1[a.Values[0]+","+a.Values[1]] = a.Prob
+	}
+	if math.Abs(q1["x1,x2"]-0.7) > 1e-9 {
+		t.Errorf("Q1 P(x1,x2) = %f, want 0.7", q1["x1,x2"])
+	}
+	if math.Abs(q1["x1,x1"]-0.3) > 1e-9 {
+		t.Errorf("Q1 P(x1,x1) = %f, want 0.3", q1["x1,x1"])
+	}
+
+	// Q2: SELECT a1 — both schemas map a1 (M2 through the merged cluster),
+	// so (x1) has probability 0.7 + 0.3 = 1, as the appendix requires.
+	rs, err = e.AnswerPMed(in, sqlparse.MustParse("SELECT a1 FROM S"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Ranked) != 1 || rs.Ranked[0].Values[0] != "x1" {
+		t.Fatalf("Q2 answers = %v", rs.Ranked)
+	}
+	if math.Abs(rs.Ranked[0].Prob-1.0) > 1e-9 {
+		t.Errorf("Q2 probability = %f, want 1.0", rs.Ranked[0].Prob)
+	}
+
+	// Q3: SELECT a2 — M1 returns (x2) with 0.7; under M2, a2 falls in the
+	// merged cluster mapped to a1, so (x1) appears with probability 0.3:
+	// the answer the appendix shows no single schema T can reproduce
+	// together with Q2's.
+	rs, err = e.AnswerPMed(in, sqlparse.MustParse("SELECT a2 FROM S"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := map[string]float64{}
+	for _, a := range rs.Ranked {
+		probs[a.Values[0]] = a.Prob
+	}
+	if math.Abs(probs["x2"]-0.7) > 1e-9 {
+		t.Errorf("Q3 P(x2) = %f, want 0.7", probs["x2"])
+	}
+	if math.Abs(probs["x1"]-0.3) > 1e-9 {
+		t.Errorf("Q3 P(x1) = %f, want 0.3", probs["x1"])
+	}
+
+	// The contradiction the proof derives: a single T must separate a1 and
+	// a2 (else Q1 fails), and a one-to-one p-mapping then routes a1's
+	// answers through one cluster only — it cannot give Q2's (x1) with
+	// probability 1 AND Q3's (x1) with probability 0.3. Verify the
+	// candidate T the proof considers (singleton clusters, identity
+	// mapping) indeed misses Q3's (x1).
+	tSchema := schema.MustNewMediatedSchema([]schema.MediatedAttr{
+		schema.NewMediatedAttr("a1"), schema.NewMediatedAttr("a2"),
+	})
+	identity := &pmapping.PMapping{
+		SourceName: "S",
+		Med:        tSchema,
+		Groups: []pmapping.Group{
+			{
+				Corrs:    []pmapping.Corr{{SrcAttr: "a1", MedIdx: 0, Weight: 1}},
+				Mappings: [][]int{{0}},
+				Probs:    []float64{1},
+			},
+			{
+				Corrs:    []pmapping.Corr{{SrcAttr: "a2", MedIdx: 1, Weight: 1}},
+				Mappings: [][]int{{0}},
+				Probs:    []float64{1},
+			},
+		},
+	}
+	tPMed, _ := schema.NewPMedSchema([]*schema.MediatedSchema{tSchema}, []float64{1})
+	tIn := PMedInput{PMed: tPMed, Maps: map[string][]*pmapping.PMapping{"S": {identity}}}
+	rs, err = e.AnswerPMed(tIn, sqlparse.MustParse("SELECT a2 FROM S"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range rs.Ranked {
+		if a.Values[0] == "x1" {
+			t.Errorf("deterministic T unexpectedly produced (x1) for Q3")
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package consolidate implements §6 of the paper: collapsing a
+// probabilistic mediated schema into a single deterministic mediated schema
+// (Algorithm 3 — the coarsest refinement of the possible schemas) and
+// consolidating the per-schema p-mappings into a single p-mapping of
+// one-to-many mappings whose query answers are equivalent (Theorem 6.2).
+package consolidate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"udi/internal/pmapping"
+	"udi/internal/schema"
+)
+
+// Schema implements Algorithm 3. Two attributes share a cluster in the
+// result T iff they share a cluster in every M_i of the p-med-schema.
+// Attributes absent from some M_i are treated as singletons there (the
+// pipeline always feeds schemas over the same attribute set, so this is
+// only a safeguard).
+func Schema(pmed *schema.PMedSchema) (*schema.MediatedSchema, error) {
+	if pmed.Len() == 0 {
+		return nil, fmt.Errorf("consolidate: empty p-med-schema")
+	}
+	// Signature of an attribute: the tuple of cluster identities across
+	// all M_i. Equal signatures <=> always clustered together.
+	names := map[string]bool{}
+	for _, m := range pmed.Schemas {
+		for _, n := range m.Names() {
+			names[n] = true
+		}
+	}
+	sig := make(map[string]string, len(names))
+	for n := range names {
+		parts := make([]string, 0, pmed.Len())
+		for _, m := range pmed.Schemas {
+			c := m.ClusterOf(n)
+			if c == nil {
+				parts = append(parts, "\x00"+n) // singleton placeholder
+				continue
+			}
+			parts = append(parts, c.Key())
+		}
+		sig[n] = strings.Join(parts, "\x1d")
+	}
+	groups := map[string][]string{}
+	for n, s := range sig {
+		groups[s] = append(groups[s], n)
+	}
+	clusters := make([]schema.MediatedAttr, 0, len(groups))
+	for _, g := range groups {
+		clusters = append(clusters, schema.NewMediatedAttr(g...))
+	}
+	return schema.NewMediatedSchema(clusters)
+}
+
+// OneToMany is a single one-to-many schema mapping into the consolidated
+// schema T: a source attribute maps to a set of T attributes (step 1 of
+// the consolidation replaces (a, A) by every (a, B) with B ⊆ A).
+type OneToMany struct {
+	// SrcToMed maps a source attribute to the sorted indices of the T
+	// attributes it corresponds to.
+	SrcToMed map[string][]int
+	Prob     float64
+}
+
+// key canonicalizes the mapping for step-3 merging.
+func (m OneToMany) key() string {
+	attrs := make([]string, 0, len(m.SrcToMed))
+	for a := range m.SrcToMed {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	var b strings.Builder
+	for _, a := range attrs {
+		b.WriteString(a)
+		b.WriteByte('=')
+		for _, j := range m.SrcToMed[a] {
+			fmt.Fprintf(&b, "%d,", j)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// MedToSrc inverts the mapping: each T attribute index corresponds to at
+// most one source attribute (a T cluster refines exactly one M_i cluster,
+// which maps one-to-one), so the inversion is well defined.
+func (m OneToMany) MedToSrc() map[int]string {
+	out := make(map[int]string)
+	for a, idxs := range m.SrcToMed {
+		for _, j := range idxs {
+			out[j] = a
+		}
+	}
+	return out
+}
+
+// PMapping is the consolidated probabilistic mapping between one source and
+// the consolidated schema T.
+type PMapping struct {
+	SourceName string
+	Target     *schema.MediatedSchema
+	Mappings   []OneToMany
+}
+
+// ConsolidateMappings implements the three-step consolidation of §6 for
+// one source: pms[i] is the p-mapping between the source and pmed.Schemas[i].
+//
+//  1. Rewrite each possible mapping of pms[i] into T-space: a correspondence
+//     to mediated attribute A becomes correspondences to every T attribute
+//     B ⊆ A.
+//  2. Scale each mapping's probability by Pr(M_i).
+//  3. Merge identical mappings, summing probabilities.
+//
+// maxMappings bounds the materialized product distribution per schema
+// (p-mappings factor into groups; consolidation needs explicit mappings).
+func ConsolidateMappings(pmed *schema.PMedSchema, target *schema.MediatedSchema, pms []*pmapping.PMapping, maxMappings int64) (*PMapping, error) {
+	if len(pms) != pmed.Len() {
+		return nil, fmt.Errorf("consolidate: %d p-mappings for %d schemas", len(pms), pmed.Len())
+	}
+	// Precompute, per schema M_i, the refinement: med index in M_i -> T
+	// indices contained in it.
+	refine := make([]map[int][]int, pmed.Len())
+	for i, m := range pmed.Schemas {
+		r := make(map[int][]int)
+		for ti, tAttr := range target.Attrs {
+			// Find the M_i cluster containing this T cluster (all its
+			// names are together in every M_i by construction).
+			c := m.ClusterOf(tAttr[0])
+			if c == nil {
+				continue
+			}
+			for mi, mAttr := range m.Attrs {
+				if mAttr.Key() == c.Key() {
+					r[mi] = append(r[mi], ti)
+					break
+				}
+			}
+		}
+		for mi := range r {
+			sort.Ints(r[mi])
+		}
+		refine[i] = r
+	}
+
+	merged := map[string]*OneToMany{}
+	var order []string
+	srcName := ""
+	for i, pm := range pms {
+		if pm == nil {
+			return nil, fmt.Errorf("consolidate: nil p-mapping for schema %d", i)
+		}
+		srcName = pm.SourceName
+		full, err := pm.FullMappings(maxMappings)
+		if err != nil {
+			return nil, fmt.Errorf("consolidate: source %q schema %d: %w", pm.SourceName, i, err)
+		}
+		for _, fm := range full {
+			// Step 1: rewrite into T-space. fm.MedToSrc maps M_i index ->
+			// source attribute.
+			otm := OneToMany{SrcToMed: map[string][]int{}, Prob: fm.Prob * pmed.Probs[i]}
+			for mi, src := range fm.MedToSrc {
+				otm.SrcToMed[src] = append(otm.SrcToMed[src], refine[i][mi]...)
+			}
+			for a := range otm.SrcToMed {
+				sort.Ints(otm.SrcToMed[a])
+			}
+			if otm.Prob == 0 {
+				continue
+			}
+			// Step 3: merge identical mappings.
+			k := otm.key()
+			if ex, ok := merged[k]; ok {
+				ex.Prob += otm.Prob
+				continue
+			}
+			merged[k] = &otm
+			order = append(order, k)
+		}
+	}
+	sort.Strings(order)
+	out := &PMapping{SourceName: srcName, Target: target}
+	for _, k := range order {
+		out.Mappings = append(out.Mappings, *merged[k])
+	}
+	return out, nil
+}
+
+// TotalProb returns the probability mass of the consolidated p-mapping;
+// §6 notes it must sum to 1.
+func (pm *PMapping) TotalProb() float64 {
+	s := 0.0
+	for _, m := range pm.Mappings {
+		s += m.Prob
+	}
+	return s
+}

@@ -1,0 +1,322 @@
+package consolidate
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"udi/internal/pmapping"
+	"udi/internal/schema"
+)
+
+func medSchema(clusters ...[]string) *schema.MediatedSchema {
+	var attrs []schema.MediatedAttr
+	for _, c := range clusters {
+		attrs = append(attrs, schema.NewMediatedAttr(c...))
+	}
+	return schema.MustNewMediatedSchema(attrs)
+}
+
+// Example 6.1 from the paper: M1 = {a1,a2,a3}, {a4}, {a5,a6};
+// M2 = {a2,a3,a4}, {a1,a5,a6}. T must be {a1}, {a2,a3}, {a4}, {a5,a6}.
+func TestSchemaPaperExample(t *testing.T) {
+	m1 := medSchema([]string{"a1", "a2", "a3"}, []string{"a4"}, []string{"a5", "a6"})
+	m2 := medSchema([]string{"a2", "a3", "a4"}, []string{"a1", "a5", "a6"})
+	pmed, err := schema.NewPMedSchema([]*schema.MediatedSchema{m1, m2}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := Schema(pmed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := medSchema([]string{"a1"}, []string{"a2", "a3"}, []string{"a4"}, []string{"a5", "a6"})
+	if !target.Equal(want) {
+		t.Errorf("T = %s, want %s", target, want)
+	}
+}
+
+func TestSchemaSingleInput(t *testing.T) {
+	m1 := medSchema([]string{"a", "b"}, []string{"c"})
+	pmed, _ := schema.NewPMedSchema([]*schema.MediatedSchema{m1}, []float64{1})
+	target, err := Schema(pmed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !target.Equal(m1) {
+		t.Errorf("consolidating one schema must be identity: %s", target)
+	}
+}
+
+func TestSchemaEmpty(t *testing.T) {
+	if _, err := Schema(&schema.PMedSchema{}); err == nil {
+		t.Error("empty p-med-schema accepted")
+	}
+}
+
+// Coarsest-refinement property on the paper's example: attributes are
+// together in T iff together in every M_i.
+func TestSchemaCoarsestRefinement(t *testing.T) {
+	m1 := medSchema([]string{"a", "b", "c"}, []string{"d"})
+	m2 := medSchema([]string{"a", "b"}, []string{"c", "d"})
+	pmed, _ := schema.NewPMedSchema([]*schema.MediatedSchema{m1, m2}, []float64{0.6, 0.4})
+	target, err := Schema(pmed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"a", "b", "c", "d"}
+	for _, x := range names {
+		for _, y := range names {
+			togetherAll := true
+			for _, m := range pmed.Schemas {
+				if !m.ClusterOf(x).Contains(y) {
+					togetherAll = false
+					break
+				}
+			}
+			gotTogether := target.ClusterOf(x).Contains(y)
+			if gotTogether != togetherAll {
+				t.Errorf("attrs %s,%s: together in T = %v, in all M_i = %v", x, y, gotTogether, togetherAll)
+			}
+		}
+	}
+}
+
+func tableSim(table map[[2]string]float64) func(a, b string) float64 {
+	return func(a, b string) float64 {
+		if w, ok := table[[2]string{a, b}]; ok {
+			return w
+		}
+		if w, ok := table[[2]string{b, a}]; ok {
+			return w
+		}
+		if a == b {
+			return 1
+		}
+		return 0
+	}
+}
+
+// Build a small two-schema p-med-schema with p-mappings and consolidate.
+func buildFixture(t *testing.T) (*schema.PMedSchema, *schema.MediatedSchema, []*pmapping.PMapping, *schema.Source) {
+	t.Helper()
+	src := schema.MustNewSource("s", []string{"phone"}, nil)
+	// M1 groups phone with hPhone; M2 groups phone with oPhone.
+	m1 := medSchema([]string{"phone", "hPhone"}, []string{"oPhone"}, []string{"name"})
+	m2 := medSchema([]string{"phone", "oPhone"}, []string{"hPhone"}, []string{"name"})
+	pmed, err := schema.NewPMedSchema([]*schema.MediatedSchema{m1, m2}, []float64{0.6, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := tableSim(map[[2]string]float64{
+		{"phone", "hPhone"}: 0.45,
+		{"phone", "oPhone"}: 0.45,
+	})
+	cfg := pmapping.Config{Sim: sim, CorrThreshold: 0.4}
+	var pms []*pmapping.PMapping
+	for _, m := range pmed.Schemas {
+		pm, err := pmapping.Build(src, m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pms = append(pms, pm)
+	}
+	target, err := Schema(pmed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pmed, target, pms, src
+}
+
+func TestConsolidateMappings(t *testing.T) {
+	pmed, target, pms, _ := buildFixture(t)
+	cpm, err := ConsolidateMappings(pmed, target, pms, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cpm.TotalProb()-1) > 1e-8 {
+		t.Errorf("consolidated mass = %f, want 1", cpm.TotalProb())
+	}
+	// T separates phone, hPhone, oPhone (they are clustered differently in
+	// M1 vs M2). A mapping from M1 sending phone to {phone,hPhone} must
+	// become a one-to-many mapping to both singleton T attrs.
+	phoneIdx, hIdx := -1, -1
+	for i, a := range target.Attrs {
+		if a.Contains("phone") && len(a) == 1 {
+			phoneIdx = i
+		}
+		if a.Contains("hPhone") {
+			hIdx = i
+		}
+	}
+	if phoneIdx < 0 || hIdx < 0 {
+		t.Fatalf("unexpected target %s", target)
+	}
+	foundOneToMany := false
+	for _, m := range cpm.Mappings {
+		if idxs, ok := m.SrcToMed["phone"]; ok && len(idxs) == 2 {
+			foundOneToMany = true
+			want := []int{min(phoneIdx, hIdx), max(phoneIdx, hIdx)}
+			// Could map to {phone,hPhone} (from M1) or {phone,oPhone}
+			// (from M2); both are one-to-many pairs containing phoneIdx.
+			if idxs[0] != want[0] && !containsInt(idxs, phoneIdx) {
+				t.Errorf("unexpected one-to-many target %v", idxs)
+			}
+		}
+	}
+	if !foundOneToMany {
+		t.Error("no one-to-many mapping produced; §6 step 1 not applied")
+	}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestConsolidateMergesIdentical(t *testing.T) {
+	pmed, target, pms, _ := buildFixture(t)
+	cpm, err := ConsolidateMappings(pmed, target, pms, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The empty mapping arises from both M1 and M2; step 3 must merge it
+	// into one entry.
+	empties := 0
+	for _, m := range cpm.Mappings {
+		if len(m.SrcToMed) == 0 {
+			empties++
+		}
+	}
+	if empties > 1 {
+		t.Errorf("empty mapping appears %d times; merging failed", empties)
+	}
+	seen := map[string]bool{}
+	for _, m := range cpm.Mappings {
+		k := m.key()
+		if seen[k] {
+			t.Errorf("duplicate mapping %v", m.SrcToMed)
+		}
+		seen[k] = true
+	}
+}
+
+func TestMedToSrcInversion(t *testing.T) {
+	m := OneToMany{SrcToMed: map[string][]int{"a": {0, 2}, "b": {1}}}
+	inv := m.MedToSrc()
+	want := map[int]string{0: "a", 2: "a", 1: "b"}
+	if !reflect.DeepEqual(inv, want) {
+		t.Errorf("MedToSrc = %v", inv)
+	}
+}
+
+func TestConsolidateMappingsErrors(t *testing.T) {
+	pmed, target, pms, _ := buildFixture(t)
+	if _, err := ConsolidateMappings(pmed, target, pms[:1], 10000); err == nil {
+		t.Error("mismatched p-mapping count accepted")
+	}
+	if _, err := ConsolidateMappings(pmed, target, []*pmapping.PMapping{nil, nil}, 10000); err == nil {
+		t.Error("nil p-mappings accepted")
+	}
+	if _, err := ConsolidateMappings(pmed, target, pms, 1); err == nil {
+		t.Error("exceeding maxMappings not reported")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Property: Schema produces the coarsest refinement of random
+// p-med-schemas — two attributes share a T cluster iff they share a
+// cluster in every M_i.
+func TestSchemaRandomCoarsestRefinement(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		names := make([]string, n)
+		for i := range names {
+			names[i] = string(rune('a' + i))
+		}
+		nSchemas := 1 + rng.Intn(4)
+		var schemas []*schema.MediatedSchema
+		seen := map[string]bool{}
+		for attempts := 0; len(schemas) < nSchemas && attempts < 100; attempts++ {
+			k := 1 + rng.Intn(n)
+			buckets := make([][]string, k)
+			for i, name := range names {
+				b := i % k
+				if i >= k {
+					b = rng.Intn(k)
+				}
+				buckets[b] = append(buckets[b], name)
+			}
+			var attrs []schema.MediatedAttr
+			for _, b := range buckets {
+				if len(b) > 0 {
+					attrs = append(attrs, schema.NewMediatedAttr(b...))
+				}
+			}
+			m := schema.MustNewMediatedSchema(attrs)
+			if seen[m.Key()] {
+				continue // duplicate clustering; try another draw
+			}
+			seen[m.Key()] = true
+			schemas = append(schemas, m)
+		}
+		if len(schemas) == 0 {
+			return true // degenerate draw; nothing to check
+		}
+		probs := make([]float64, len(schemas))
+		for i := range probs {
+			probs[i] = 1 / float64(len(schemas))
+		}
+		// Fix rounding to sum exactly 1.
+		probs[len(probs)-1] = 1
+		for _, p := range probs[:len(probs)-1] {
+			probs[len(probs)-1] -= p
+		}
+		pmed, err := schema.NewPMedSchema(schemas, probs)
+		if err != nil {
+			return false
+		}
+		target, err := Schema(pmed)
+		if err != nil {
+			return false
+		}
+		for _, x := range names {
+			for _, y := range names {
+				all := true
+				for _, m := range schemas {
+					if !m.ClusterOf(x).Contains(y) {
+						all = false
+						break
+					}
+				}
+				if target.ClusterOf(x).Contains(y) != all {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,36 @@
+package consolidate_test
+
+import (
+	"fmt"
+
+	"udi/internal/consolidate"
+	"udi/internal/schema"
+)
+
+// Example 6.1 of the paper: consolidating M1 = ({a1,a2,a3}, {a4}, {a5,a6})
+// and M2 = ({a2,a3,a4}, {a1,a5,a6}) yields the coarsest refinement
+// T = ({a1}, {a2,a3}, {a4}, {a5,a6}).
+func ExampleSchema() {
+	m1 := schema.MustNewMediatedSchema([]schema.MediatedAttr{
+		schema.NewMediatedAttr("a1", "a2", "a3"),
+		schema.NewMediatedAttr("a4"),
+		schema.NewMediatedAttr("a5", "a6"),
+	})
+	m2 := schema.MustNewMediatedSchema([]schema.MediatedAttr{
+		schema.NewMediatedAttr("a2", "a3", "a4"),
+		schema.NewMediatedAttr("a1", "a5", "a6"),
+	})
+	pmed, err := schema.NewPMedSchema([]*schema.MediatedSchema{m1, m2}, []float64{0.5, 0.5})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	target, err := consolidate.Schema(pmed)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(target)
+	// Output:
+	// ({a1}, {a2, a3}, {a4}, {a5, a6})
+}

@@ -1,0 +1,441 @@
+// Package core assembles the complete UDI system of the paper: fully
+// automatic setup (attribute matching → probabilistic mediated schema →
+// probabilistic schema mappings → consolidation, Figure 2) and
+// probabilistic query answering, plus every competing approach evaluated
+// in §7.3–7.4 (Keyword variants, Source, TopMapping, SingleMed, UnionAll).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"udi/internal/answer"
+	"udi/internal/consolidate"
+	"udi/internal/keyword"
+	"udi/internal/mediate"
+	"udi/internal/pmapping"
+	"udi/internal/schema"
+	"udi/internal/sqlparse"
+	"udi/internal/storage"
+)
+
+// Config carries all setup parameters (§7.1 defaults apply to zero
+// fields).
+type Config struct {
+	Mediate mediate.Config
+	PMap    pmapping.Config
+	// ConsolidateLimit bounds the explicit mappings materialized per
+	// source during consolidation (default 100000). Sources exceeding it
+	// keep only the factored per-schema p-mappings; query answering over
+	// the p-med-schema is unaffected (Theorem 6.2 guarantees equal
+	// answers either way).
+	ConsolidateLimit int64
+	// Parallelism bounds the worker goroutines used for the per-source
+	// setup phases (p-mapping construction and consolidation). Default:
+	// GOMAXPROCS. Set to 1 for fully serial setup (the paper's §7.6
+	// timings are single-threaded).
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ConsolidateLimit == 0 {
+		c.ConsolidateLimit = 100000
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	// Align the p-mapping similarity with the mediated-schema similarity
+	// unless explicitly overridden.
+	if c.PMap.Sim == nil {
+		c.PMap.Sim = c.Mediate.Sim
+	}
+	return c
+}
+
+// Timings records the four setup phases reported in Figure 7.
+type Timings struct {
+	Import        time.Duration // importing source schemas (table + index build)
+	MedSchema     time.Duration // creating the p-med-schema
+	PMappings     time.Duration // creating p-mappings per source per schema
+	Consolidation time.Duration // consolidating schema and mappings
+}
+
+// Total sums the phases.
+func (t Timings) Total() time.Duration {
+	return t.Import + t.MedSchema + t.PMappings + t.Consolidation
+}
+
+// System is a configured data integration system over one corpus.
+type System struct {
+	Corpus *schema.Corpus
+	Cfg    Config
+
+	// Med holds the p-med-schema (for the SingleMed/UnionAll variants it
+	// contains exactly one schema with probability 1).
+	Med *mediate.Result
+	// Maps[source][l] is the p-mapping between a source and Med's l-th
+	// schema.
+	Maps map[string][]*pmapping.PMapping
+
+	// Target is the consolidated mediated schema (§6).
+	Target *schema.MediatedSchema
+	// ConsMaps holds the consolidated one-to-many p-mappings; a source is
+	// absent when materialization exceeded Cfg.ConsolidateLimit.
+	ConsMaps map[string]*consolidate.PMapping
+
+	Timings Timings
+
+	engine  *answer.Engine
+	kwIndex *storage.KeywordIndex
+	kw      *keyword.Engine
+}
+
+// Setup runs the full automatic configuration of Figure 2 over the corpus.
+func Setup(c *schema.Corpus, cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	s := &System{Corpus: c, Cfg: cfg}
+
+	start := time.Now()
+	s.engine = answer.NewEngine(c)
+	s.engine.Parallelism = cfg.Parallelism
+	s.kwIndex = storage.BuildKeywordIndex(c)
+	s.kw = keyword.NewEngine(s.kwIndex)
+	s.Timings.Import = time.Since(start)
+
+	start = time.Now()
+	med, err := mediate.Generate(c, cfg.Mediate)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s.Med = med
+	s.Timings.MedSchema = time.Since(start)
+
+	if err := s.buildMappings(); err != nil {
+		return nil, err
+	}
+	if err := s.consolidate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SetupSingleMed configures the §7.4 SingleMed variant: the single
+// deterministic mediated schema of §4.1 with probability 1.
+func SetupSingleMed(c *schema.Corpus, cfg Config) (*System, error) {
+	m, err := mediate.SingleSchema(c, cfg.Mediate)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return setupDeterministic(c, cfg, m)
+}
+
+// SetupUnionAll configures the §7.4 UnionAll variant: one singleton
+// cluster per frequent source attribute.
+func SetupUnionAll(c *schema.Corpus, cfg Config) (*System, error) {
+	m, err := mediate.UnionAll(c, cfg.Mediate)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return setupDeterministic(c, cfg, m)
+}
+
+func setupDeterministic(c *schema.Corpus, cfg Config, m *schema.MediatedSchema) (*System, error) {
+	cfg = cfg.withDefaults()
+	pmed, err := schema.NewPMedSchema([]*schema.MediatedSchema{m}, []float64{1})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s := &System{Corpus: c, Cfg: cfg, Med: &mediate.Result{PMed: pmed}}
+
+	start := time.Now()
+	s.engine = answer.NewEngine(c)
+	s.engine.Parallelism = cfg.Parallelism
+	s.kwIndex = storage.BuildKeywordIndex(c)
+	s.kw = keyword.NewEngine(s.kwIndex)
+	s.Timings.Import = time.Since(start)
+
+	if err := s.buildMappings(); err != nil {
+		return nil, err
+	}
+	if err := s.consolidate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// forEachSource runs fn over every source using up to Parallelism workers,
+// collecting the first error. Results are applied through the apply
+// callback, which runs in the caller's goroutine.
+func (s *System) forEachSource(fn func(src *schema.Source) (any, error), apply func(src *schema.Source, result any)) error {
+	workers := s.Cfg.Parallelism
+	if workers > len(s.Corpus.Sources) {
+		workers = len(s.Corpus.Sources)
+	}
+	if workers <= 1 {
+		for _, src := range s.Corpus.Sources {
+			res, err := fn(src)
+			if err != nil {
+				return err
+			}
+			apply(src, res)
+		}
+		return nil
+	}
+	type outcome struct {
+		idx int
+		res any
+		err error
+	}
+	jobs := make(chan int)
+	results := make(chan outcome, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				res, err := fn(s.Corpus.Sources[idx])
+				results <- outcome{idx, res, err}
+			}
+		}()
+	}
+	go func() {
+		for i := range s.Corpus.Sources {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+	var firstErr error
+	for o := range results {
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		if firstErr == nil {
+			apply(s.Corpus.Sources[o.idx], o.res)
+		}
+	}
+	return firstErr
+}
+
+func (s *System) buildMappings() error {
+	start := time.Now()
+	s.Maps = make(map[string][]*pmapping.PMapping, len(s.Corpus.Sources))
+	err := s.forEachSource(
+		func(src *schema.Source) (any, error) {
+			pms := make([]*pmapping.PMapping, 0, s.Med.PMed.Len())
+			for _, m := range s.Med.PMed.Schemas {
+				pm, err := pmapping.Build(src, m, s.Cfg.PMap)
+				if err != nil {
+					return nil, fmt.Errorf("core: p-mapping for %q: %w", src.Name, err)
+				}
+				pms = append(pms, pm)
+			}
+			return pms, nil
+		},
+		func(src *schema.Source, res any) {
+			s.Maps[src.Name] = res.([]*pmapping.PMapping)
+		})
+	s.Timings.PMappings = time.Since(start)
+	return err
+}
+
+func (s *System) consolidate() error {
+	start := time.Now()
+	target, err := consolidate.Schema(s.Med.PMed)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	s.Target = target
+	s.ConsMaps = make(map[string]*consolidate.PMapping, len(s.Corpus.Sources))
+	err = s.forEachSource(
+		func(src *schema.Source) (any, error) {
+			cpm, err := consolidate.ConsolidateMappings(s.Med.PMed, target, s.Maps[src.Name], s.Cfg.ConsolidateLimit)
+			if err != nil {
+				// Materialization too large for this source: skip it.
+				// Query answering uses the p-med-schema path, which is
+				// equivalent (Theorem 6.2).
+				return (*consolidate.PMapping)(nil), nil
+			}
+			return cpm, nil
+		},
+		func(src *schema.Source, res any) {
+			if cpm := res.(*consolidate.PMapping); cpm != nil {
+				s.ConsMaps[src.Name] = cpm
+			}
+		})
+	s.Timings.Consolidation = time.Since(start)
+	return err
+}
+
+// Restore rebuilds a ready-to-query System from previously computed setup
+// artifacts (used by the persistence layer): it reconstructs the query
+// engine and keyword index but does not re-run matching, enumeration or
+// entropy maximization.
+func Restore(c *schema.Corpus, cfg Config, med *mediate.Result,
+	maps map[string][]*pmapping.PMapping, target *schema.MediatedSchema,
+	consMaps map[string]*consolidate.PMapping) (*System, error) {
+	if med == nil || med.PMed == nil {
+		return nil, fmt.Errorf("core: restore needs a p-med-schema")
+	}
+	for _, src := range c.Sources {
+		if len(maps[src.Name]) != med.PMed.Len() {
+			return nil, fmt.Errorf("core: restore: source %q has %d p-mappings for %d schemas",
+				src.Name, len(maps[src.Name]), med.PMed.Len())
+		}
+	}
+	s := &System{
+		Corpus:   c,
+		Cfg:      cfg.withDefaults(),
+		Med:      med,
+		Maps:     maps,
+		Target:   target,
+		ConsMaps: consMaps,
+	}
+	s.engine = answer.NewEngine(c)
+	s.engine.Parallelism = s.Cfg.Parallelism
+	s.kwIndex = storage.BuildKeywordIndex(c)
+	s.kw = keyword.NewEngine(s.kwIndex)
+	if s.ConsMaps == nil {
+		s.ConsMaps = map[string]*consolidate.PMapping{}
+	}
+	return s, nil
+}
+
+// Approach names one of the paper's query-answering systems.
+type Approach string
+
+const (
+	UDI           Approach = "UDI"
+	Consolidated  Approach = "UDI-Consolidated"
+	SourceOnly    Approach = "Source"
+	TopMapping    Approach = "TopMapping"
+	KeywordNaive  Approach = "KeywordNaive"
+	KeywordStruct Approach = "KeywordStruct"
+	KeywordStrict Approach = "KeywordStrict"
+)
+
+// Query parses and answers q with the UDI semantics (Definition 3.3 over
+// the p-med-schema; answers ranked by probability).
+func (s *System) Query(q string) (*answer.ResultSet, error) {
+	parsed, err := sqlparse.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return s.QueryParsed(parsed)
+}
+
+// QueryParsed answers an already-parsed query with UDI semantics.
+func (s *System) QueryParsed(q *sqlparse.Query) (*answer.ResultSet, error) {
+	return s.engine.AnswerPMed(answer.PMedInput{PMed: s.Med.PMed, Maps: s.Maps}, q)
+}
+
+// QueryConsolidated answers over the consolidated schema and p-mappings.
+// It requires every source to have a materialized consolidated p-mapping.
+func (s *System) QueryConsolidated(q *sqlparse.Query) (*answer.ResultSet, error) {
+	if len(s.ConsMaps) != len(s.Corpus.Sources) {
+		return nil, fmt.Errorf("core: %d of %d sources lack consolidated p-mappings",
+			len(s.Corpus.Sources)-len(s.ConsMaps), len(s.Corpus.Sources))
+	}
+	return s.engine.AnswerConsolidated(s.Target, s.ConsMaps, q)
+}
+
+// QuerySource runs the Source baseline (§7.3).
+func (s *System) QuerySource(q *sqlparse.Query) *answer.ResultSet {
+	return s.engine.AnswerSource(q)
+}
+
+// QueryTopMapping runs the TopMapping baseline (§7.3): the consolidated
+// mediated schema with only the highest-probability mapping per source.
+func (s *System) QueryTopMapping(q *sqlparse.Query) (*answer.ResultSet, error) {
+	maps := make(answer.DeterministicMaps, len(s.Corpus.Sources))
+	for _, src := range s.Corpus.Sources {
+		if cpm, ok := s.ConsMaps[src.Name]; ok {
+			best := -1
+			for i, m := range cpm.Mappings {
+				if best < 0 || m.Prob > cpm.Mappings[best].Prob {
+					best = i
+				}
+			}
+			if best >= 0 {
+				maps[src.Name] = cpm.Mappings[best].MedToSrc()
+			}
+			continue
+		}
+		// Fallback for sources whose consolidation was skipped: the top
+		// mapping of the most probable schema, rewritten into T-space by
+		// cluster containment.
+		top, _ := s.Maps[src.Name][0].TopMapping()
+		rewritten := make(map[int]string)
+		for mi, srcAttr := range top {
+			cluster := s.Med.PMed.Schemas[0].Attrs[mi]
+			for ti, tAttr := range s.Target.Attrs {
+				if cluster.Contains(tAttr[0]) {
+					rewritten[ti] = srcAttr
+				}
+			}
+		}
+		maps[src.Name] = rewritten
+	}
+	return s.engine.AnswerTopMapping(s.Target, maps, q)
+}
+
+// QueryKeyword runs one of the keyword baselines (§7.3).
+func (s *System) QueryKeyword(q *sqlparse.Query, v keyword.Variant) []answer.Instance {
+	return s.kw.Answer(q, v)
+}
+
+// Run dispatches an approach by name; keyword approaches return instance
+// lists wrapped in a ResultSet without ranking.
+func (s *System) Run(a Approach, q *sqlparse.Query) (*answer.ResultSet, error) {
+	switch a {
+	case UDI:
+		return s.QueryParsed(q)
+	case Consolidated:
+		return s.QueryConsolidated(q)
+	case SourceOnly:
+		return s.QuerySource(q), nil
+	case TopMapping:
+		return s.QueryTopMapping(q)
+	case KeywordNaive, KeywordStruct, KeywordStrict:
+		v := keyword.Naive
+		if a == KeywordStruct {
+			v = keyword.Struct
+		} else if a == KeywordStrict {
+			v = keyword.Strict
+		}
+		return &answer.ResultSet{Instances: s.QueryKeyword(q, v)}, nil
+	}
+	return nil, fmt.Errorf("core: unknown approach %q", a)
+}
+
+// ExplainAnswer returns the provenance of one answer tuple under the UDI
+// semantics: every (source, schema, mapping) path that produced it, with
+// its probability mass (see answer.Contribution).
+func (s *System) ExplainAnswer(q *sqlparse.Query, values []string) ([]answer.Contribution, error) {
+	return s.engine.Explain(answer.PMedInput{PMed: s.Med.PMed, Maps: s.Maps}, q, values)
+}
+
+// RepresentativeName returns the most frequent source attribute of the
+// cluster containing name in the consolidated schema, the name the system
+// would expose to users (§3). Returns name itself if unclustered.
+func (s *System) RepresentativeName(name string) string {
+	cluster := s.Target.ClusterOf(name)
+	if cluster == nil {
+		return name
+	}
+	freq := s.Corpus.AttrFrequency()
+	best := cluster[0]
+	for _, a := range cluster[1:] {
+		if freq[a] > freq[best] {
+			best = a
+		}
+	}
+	return best
+}

@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"fmt"
+
+	"udi/internal/core"
+	"udi/internal/schema"
+)
+
+// Setting up a complete self-configuring integration system over three
+// heterogeneous sources and answering a query posed over the exposed
+// mediated schema.
+func ExampleSetup() {
+	sources := []*schema.Source{
+		schema.MustNewSource("s1", []string{"title", "year"},
+			[][]string{{"The Silent River", "1997"}}),
+		schema.MustNewSource("s2", []string{"titles", "years"},
+			[][]string{{"The Lost Empire", "2004"}}),
+		schema.MustNewSource("s3", []string{"title", "year"},
+			[][]string{{"The Golden Garden", "1988"}}),
+	}
+	corpus, err := schema.NewCorpus("movies", sources)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sys, err := core.Setup(corpus, core.Config{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(sys.Target)
+	rs, err := sys.Query("SELECT title FROM Movies WHERE year > 1990")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, a := range rs.Ranked {
+		fmt.Printf("%.2f %s\n", a.Prob, a.Values[0])
+	}
+	// Output:
+	// ({title, titles}, {year, years})
+	// 1.00 The Lost Empire
+	// 1.00 The Silent River
+}

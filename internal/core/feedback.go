@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"udi/internal/consolidate"
+)
+
+// ApplyFeedbackAt incorporates user feedback on a single correspondence of
+// one possible mediated schema: source attribute srcAttr of the named
+// source does (confirmed) or does not (rejected) correspond to mediated
+// attribute medIdx of schema schemaIdx. The affected p-mapping is
+// conditioned (see pmapping.Condition) and the source's consolidated
+// p-mapping is rebuilt. This is the pay-as-you-go improvement loop the
+// paper leaves as future work (§9).
+func (s *System) ApplyFeedbackAt(source string, schemaIdx int, srcAttr string, medIdx int, confirmed bool) error {
+	pms, ok := s.Maps[source]
+	if !ok {
+		return fmt.Errorf("core: unknown source %q", source)
+	}
+	if schemaIdx < 0 || schemaIdx >= len(pms) {
+		return fmt.Errorf("core: schema index %d out of range [0,%d)", schemaIdx, len(pms))
+	}
+	if medIdx < 0 || medIdx >= len(s.Med.PMed.Schemas[schemaIdx].Attrs) {
+		return fmt.Errorf("core: mediated attribute %d out of range", medIdx)
+	}
+	if err := pms[schemaIdx].Condition(srcAttr, medIdx, confirmed, s.Cfg.PMap); err != nil {
+		return err
+	}
+	return s.reconsolidateSource(source)
+}
+
+// ApplyFeedback is the name-based convenience: the mediated attribute is
+// identified by any member name, and the feedback applies to every
+// possible schema whose clustering contains that name.
+func (s *System) ApplyFeedback(source, srcAttr, medName string, confirmed bool) error {
+	pms, ok := s.Maps[source]
+	if !ok {
+		return fmt.Errorf("core: unknown source %q", source)
+	}
+	applied := false
+	for l, m := range s.Med.PMed.Schemas {
+		cluster := m.ClusterOf(medName)
+		if cluster == nil {
+			continue
+		}
+		medIdx := -1
+		for j, a := range m.Attrs {
+			if a.Key() == cluster.Key() {
+				medIdx = j
+				break
+			}
+		}
+		if err := pms[l].Condition(srcAttr, medIdx, confirmed, s.Cfg.PMap); err != nil {
+			return err
+		}
+		applied = true
+	}
+	if !applied {
+		return fmt.Errorf("core: no mediated attribute contains %q", medName)
+	}
+	return s.reconsolidateSource(source)
+}
+
+func (s *System) reconsolidateSource(source string) error {
+	cpm, err := consolidate.ConsolidateMappings(s.Med.PMed, s.Target, s.Maps[source], s.Cfg.ConsolidateLimit)
+	if err != nil {
+		// Too large to materialize: drop the consolidated form; the
+		// p-med-schema query path remains correct.
+		delete(s.ConsMaps, source)
+		return nil
+	}
+	s.ConsMaps[source] = cpm
+	return nil
+}

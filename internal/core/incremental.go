@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"udi/internal/answer"
+	"udi/internal/consolidate"
+	"udi/internal/keyword"
+	"udi/internal/mediate"
+	"udi/internal/pmapping"
+	"udi/internal/schema"
+	"udi/internal/storage"
+)
+
+// AddSource grows the system with a new data source, the arrival pattern
+// the pay-as-you-go vision assumes (§1: the system starts small and
+// improves over time). When the enlarged corpus yields the same set of
+// possible mediated schemas, only the new source's p-mappings are built
+// and the schema probabilities are refreshed (Algorithm 2 counts the new
+// source's consistency; the mappings of existing sources do not depend on
+// the probabilities, so they are reused verbatim). When the clustering
+// itself changes — the new source shifted attribute frequencies or
+// introduced new frequent attributes — the system is rebuilt from scratch,
+// which is what correctness requires.
+//
+// It returns true when the fast path applied.
+func (s *System) AddSource(src *schema.Source) (bool, error) {
+	newSources := make([]*schema.Source, 0, len(s.Corpus.Sources)+1)
+	newSources = append(newSources, s.Corpus.Sources...)
+	newSources = append(newSources, src)
+	corpus, err := schema.NewCorpus(s.Corpus.Domain, newSources)
+	if err != nil {
+		return false, fmt.Errorf("core: %w", err)
+	}
+
+	start := time.Now()
+	med, err := mediate.Generate(corpus, s.Cfg.Mediate)
+	if err != nil {
+		return false, fmt.Errorf("core: %w", err)
+	}
+	if !sameSchemaSet(s.Med.PMed, med.PMed) {
+		// Clustering changed: full rebuild.
+		rebuilt, err := Setup(corpus, s.Cfg)
+		if err != nil {
+			return false, err
+		}
+		*s = *rebuilt
+		return false, nil
+	}
+
+	// Fast path: clusterings unchanged. Keep the existing schema order
+	// (Maps are indexed by it) and refresh the probabilities with the new
+	// source counted.
+	probs := mediate.AssignProbabilities(s.Med.PMed.Schemas, corpus)
+	pmed, err := schema.NewPMedSchema(s.Med.PMed.Schemas, probs)
+	if err != nil {
+		// A schema's probability dropped to zero with the new counts; the
+		// schema set effectively changed, so rebuild.
+		rebuilt, serr := Setup(corpus, s.Cfg)
+		if serr != nil {
+			return false, serr
+		}
+		*s = *rebuilt
+		return false, nil
+	}
+	s.Med = &mediate.Result{PMed: pmed, Graph: med.Graph, FrequentAttrs: med.FrequentAttrs}
+	s.Timings.MedSchema += time.Since(start)
+
+	s.Corpus = corpus
+	start = time.Now()
+	s.engine = answer.NewEngine(corpus)
+	s.engine.Parallelism = s.Cfg.Parallelism
+	s.kwIndex = storage.BuildKeywordIndex(corpus)
+	s.kw = keyword.NewEngine(s.kwIndex)
+	s.Timings.Import += time.Since(start)
+
+	start = time.Now()
+	pms := make([]*pmapping.PMapping, 0, pmed.Len())
+	for _, m := range pmed.Schemas {
+		pm, err := pmapping.Build(src, m, s.Cfg.PMap)
+		if err != nil {
+			return false, fmt.Errorf("core: p-mapping for %q: %w", src.Name, err)
+		}
+		pms = append(pms, pm)
+	}
+	s.Maps[src.Name] = pms
+	s.Timings.PMappings += time.Since(start)
+
+	start = time.Now()
+	cpm, err := consolidate.ConsolidateMappings(pmed, s.Target, pms, s.Cfg.ConsolidateLimit)
+	if err == nil {
+		s.ConsMaps[src.Name] = cpm
+	}
+	s.Timings.Consolidation += time.Since(start)
+	return true, nil
+}
+
+// RemoveSource drops a source from the system. Like AddSource, it keeps
+// the existing clustering when the shrunken corpus reproduces it and only
+// refreshes probabilities; otherwise it rebuilds.
+func (s *System) RemoveSource(name string) (bool, error) {
+	idx := -1
+	for i, src := range s.Corpus.Sources {
+		if src.Name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false, fmt.Errorf("core: unknown source %q", name)
+	}
+	newSources := make([]*schema.Source, 0, len(s.Corpus.Sources)-1)
+	newSources = append(newSources, s.Corpus.Sources[:idx]...)
+	newSources = append(newSources, s.Corpus.Sources[idx+1:]...)
+	if len(newSources) == 0 {
+		return false, fmt.Errorf("core: cannot remove the last source")
+	}
+	corpus, err := schema.NewCorpus(s.Corpus.Domain, newSources)
+	if err != nil {
+		return false, fmt.Errorf("core: %w", err)
+	}
+
+	med, err := mediate.Generate(corpus, s.Cfg.Mediate)
+	if err != nil {
+		// The shrunken corpus may no longer have frequent attributes.
+		return false, fmt.Errorf("core: %w", err)
+	}
+	if !sameSchemaSet(s.Med.PMed, med.PMed) {
+		rebuilt, err := Setup(corpus, s.Cfg)
+		if err != nil {
+			return false, err
+		}
+		*s = *rebuilt
+		return false, nil
+	}
+	probs := mediate.AssignProbabilities(s.Med.PMed.Schemas, corpus)
+	pmed, err := schema.NewPMedSchema(s.Med.PMed.Schemas, probs)
+	if err != nil {
+		rebuilt, serr := Setup(corpus, s.Cfg)
+		if serr != nil {
+			return false, serr
+		}
+		*s = *rebuilt
+		return false, nil
+	}
+	s.Med = &mediate.Result{PMed: pmed, Graph: med.Graph, FrequentAttrs: med.FrequentAttrs}
+	s.Corpus = corpus
+	delete(s.Maps, name)
+	delete(s.ConsMaps, name)
+	s.engine = answer.NewEngine(corpus)
+	s.engine.Parallelism = s.Cfg.Parallelism
+	s.kwIndex = storage.BuildKeywordIndex(corpus)
+	s.kw = keyword.NewEngine(s.kwIndex)
+	return true, nil
+}
+
+// sameSchemaSet reports whether two p-med-schemas contain the same
+// clusterings (probabilities ignored).
+func sameSchemaSet(a, b *schema.PMedSchema) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	keys := make(map[string]bool, a.Len())
+	for _, m := range a.Schemas {
+		keys[m.Key()] = true
+	}
+	for _, m := range b.Schemas {
+		if !keys[m.Key()] {
+			return false
+		}
+	}
+	return true
+}

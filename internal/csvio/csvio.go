@@ -1,0 +1,133 @@
+// Package csvio loads and stores corpora as directories of CSV files, one
+// file per data source with a header row of attribute names. This is the
+// bridge between the integration system and user-supplied data: point the
+// CLI at a directory of CSVs scraped from anywhere and UDI self-configures
+// over them, exactly as the paper's system did over web-extracted tables.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"udi/internal/schema"
+)
+
+// LoadCorpus reads every *.csv file in dir as one source; the file name
+// (without extension) becomes the source name, the first row the
+// attribute names. Ragged rows are padded or truncated to the header
+// width, matching how web tables are cleaned in practice.
+func LoadCorpus(domain, dir string) (*schema.Corpus, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(strings.ToLower(e.Name()), ".csv") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("csvio: no .csv files in %s", dir)
+	}
+	sort.Strings(names)
+	var sources []*schema.Source
+	for _, name := range names {
+		src, err := LoadSource(strings.TrimSuffix(name, filepath.Ext(name)), filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		sources = append(sources, src)
+	}
+	return schema.NewCorpus(domain, sources)
+}
+
+// LoadSource reads one CSV file as a source.
+func LoadSource(name, path string) (*schema.Source, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1 // tolerate ragged web tables
+	records, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %s: %w", path, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("csvio: %s: empty file", path)
+	}
+	header := records[0]
+	attrs := make([]string, 0, len(header))
+	seen := map[string]bool{}
+	for i, h := range header {
+		h = strings.TrimSpace(h)
+		if h == "" {
+			h = fmt.Sprintf("col%d", i+1)
+		}
+		// Deduplicate repeated headers the way spreadsheet importers do.
+		base, n := h, 2
+		for seen[h] {
+			h = fmt.Sprintf("%s_%d", base, n)
+			n++
+		}
+		seen[h] = true
+		attrs = append(attrs, h)
+	}
+	rows := make([][]string, 0, len(records)-1)
+	for _, rec := range records[1:] {
+		row := make([]string, len(attrs))
+		for i := range row {
+			if i < len(rec) {
+				row[i] = strings.TrimSpace(rec[i])
+			}
+		}
+		rows = append(rows, row)
+	}
+	return schema.NewSource(name, attrs, rows)
+}
+
+// WriteCorpus stores every source of the corpus as dir/<source>.csv,
+// creating dir if needed.
+func WriteCorpus(c *schema.Corpus, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("csvio: %w", err)
+	}
+	for _, src := range c.Sources {
+		if err := WriteSource(src, filepath.Join(dir, src.Name+".csv")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSource stores one source as a CSV file with a header row.
+func WriteSource(src *schema.Source, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("csvio: %w", err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(src.Attrs); err != nil {
+		f.Close()
+		return fmt.Errorf("csvio: %w", err)
+	}
+	for _, row := range src.Rows {
+		if err := w.Write(row); err != nil {
+			f.Close()
+			return fmt.Errorf("csvio: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return fmt.Errorf("csvio: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,104 @@
+package csvio
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"udi/internal/datagen"
+	"udi/internal/schema"
+)
+
+func TestRoundTrip(t *testing.T) {
+	spec := datagen.People(103)
+	spec.NumSources = 8
+	c := datagen.MustGenerate(spec)
+	dir := t.TempDir()
+	if err := WriteCorpus(c.Corpus, dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCorpus("People", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Sources) != len(c.Corpus.Sources) {
+		t.Fatalf("sources %d vs %d", len(loaded.Sources), len(c.Corpus.Sources))
+	}
+	for i, src := range c.Corpus.Sources {
+		got := loaded.Sources[i]
+		if got.Name != src.Name {
+			t.Fatalf("source %d name %q vs %q", i, got.Name, src.Name)
+		}
+		if !reflect.DeepEqual(got.Attrs, src.Attrs) {
+			t.Errorf("%s attrs %v vs %v", src.Name, got.Attrs, src.Attrs)
+		}
+		if !reflect.DeepEqual(got.Rows, src.Rows) {
+			t.Errorf("%s rows differ", src.Name)
+		}
+	}
+}
+
+func TestLoadSourceRaggedAndDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "web.csv")
+	content := "name,phone,name,\nAlice,123,dup\nBob,456,dup2,extra,evenmore\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := LoadSource("web", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"name", "phone", "name_2", "col4"}
+	if !reflect.DeepEqual(src.Attrs, want) {
+		t.Errorf("attrs = %v, want %v", src.Attrs, want)
+	}
+	if len(src.Rows) != 2 {
+		t.Fatalf("rows = %v", src.Rows)
+	}
+	// Short rows padded, long rows truncated.
+	if !reflect.DeepEqual(src.Rows[0], []string{"Alice", "123", "dup", ""}) {
+		t.Errorf("row 0 = %v", src.Rows[0])
+	}
+	if !reflect.DeepEqual(src.Rows[1], []string{"Bob", "456", "dup2", "extra"}) {
+		t.Errorf("row 1 = %v", src.Rows[1])
+	}
+}
+
+func TestLoadCorpusErrors(t *testing.T) {
+	if _, err := LoadCorpus("d", "/nonexistent-dir-xyz"); err == nil {
+		t.Error("missing directory accepted")
+	}
+	empty := t.TempDir()
+	if _, err := LoadCorpus("d", empty); err == nil {
+		t.Error("empty directory accepted")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "empty.csv"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCorpus("d", dir); err == nil {
+		t.Error("empty CSV accepted")
+	}
+}
+
+func TestLoadCorpusSkipsNonCSV(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644)
+	os.WriteFile(filepath.Join(dir, "a.csv"), []byte("x\n1\n"), 0o644)
+	c, err := LoadCorpus("d", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Sources) != 1 || c.Sources[0].Name != "a" {
+		t.Errorf("sources = %v", c.Sources)
+	}
+}
+
+func TestWriteSourceError(t *testing.T) {
+	src := schema.MustNewSource("s", []string{"a"}, nil)
+	if err := WriteSource(src, "/nonexistent-dir-xyz/out.csv"); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

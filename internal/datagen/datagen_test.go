@@ -1,0 +1,552 @@
+package datagen
+
+import (
+	"reflect"
+	"testing"
+
+	"udi/internal/schema"
+	"udi/internal/sqlparse"
+	"udi/internal/storage"
+	"udi/internal/strutil"
+	"udi/internal/wgraph"
+)
+
+// expected band structure per domain: groups that must be certain-connected
+// (the clusters the mediated schema should find), pairs that must share an
+// uncertain edge (direct similarity in [0.83, 0.87)), pairs that must be in
+// the lower uncertain half [0.83, 0.85) (excluded by SingleMed — the
+// recall-gap pairs), and names that must stay disconnected from a given
+// representative even using uncertain edges.
+type bandSpec struct {
+	certainGroups [][]string
+	uncertain     [][2]string
+	uncertainLow  [][2]string
+	disconnected  [][2]string
+}
+
+func vocabulary(d *Domain) []string {
+	seen := map[string]bool{}
+	var names []string
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for _, c := range d.Concepts {
+		for _, v := range c.Variants {
+			add(v.Name)
+		}
+		for _, v := range c.Far {
+			add(v.Name)
+		}
+	}
+	for _, f := range d.Families {
+		for _, v := range f.Generic {
+			add(v.Name)
+		}
+	}
+	return names
+}
+
+func checkBands(t *testing.T, d *Domain, spec bandSpec) {
+	t.Helper()
+	names := vocabulary(d)
+	g := wgraph.Build(names, strutil.AttrSim, 0.85, 0.02)
+
+	certainComp := map[string]string{}
+	for _, comp := range g.CertainComponents() {
+		for _, n := range comp {
+			certainComp[n] = comp[0]
+		}
+	}
+	for _, group := range spec.certainGroups {
+		for _, n := range group[1:] {
+			if certainComp[n] != certainComp[group[0]] {
+				t.Errorf("%s: %q and %q not certain-connected", d.Name, group[0], n)
+			}
+		}
+	}
+	// Distinct certain groups must not merge.
+	for i := range spec.certainGroups {
+		for j := i + 1; j < len(spec.certainGroups); j++ {
+			a, b := spec.certainGroups[i][0], spec.certainGroups[j][0]
+			if certainComp[a] == certainComp[b] {
+				t.Errorf("%s: groups of %q and %q merged by certain edges", d.Name, a, b)
+			}
+		}
+	}
+	for _, p := range spec.uncertain {
+		s := strutil.AttrSim(p[0], p[1])
+		if s < 0.83 || s >= 0.87 {
+			t.Errorf("%s: sim(%q,%q) = %.4f, want uncertain band [0.83,0.87)", d.Name, p[0], p[1], s)
+		}
+	}
+	for _, p := range spec.uncertainLow {
+		s := strutil.AttrSim(p[0], p[1])
+		if s < 0.83 || s >= 0.85 {
+			t.Errorf("%s: sim(%q,%q) = %.4f, want lower uncertain band [0.83,0.85)", d.Name, p[0], p[1], s)
+		}
+	}
+	fullComp := map[string]string{}
+	for _, comp := range g.Components() {
+		for _, n := range comp {
+			fullComp[n] = comp[0]
+		}
+	}
+	for _, p := range spec.disconnected {
+		if fullComp[p[0]] == fullComp[p[1]] {
+			t.Errorf("%s: %q and %q connected (even via uncertain edges)", d.Name, p[0], p[1])
+		}
+	}
+}
+
+func TestVocabularyBandsPeople(t *testing.T) {
+	checkBands(t, People(1), bandSpec{
+		certainGroups: [][]string{
+			{"name", "names", "nam"},
+			{"phone", "phone-no"},
+			{"hm-phone", "hm.phone"},
+			{"o-phone", "oPhone"},
+			{"address", "address."},
+			{"addr-hm", "addr.hm"},
+			{"o-adres", "o.adres"},
+			{"job", "jobs"},
+			{"company", "compny", "comp."},
+			{"email", "e-mail"},
+		},
+		uncertainLow: [][2]string{
+			{"phone", "hm-phone"},
+			{"phone", "o-phone"},
+			{"address", "addr-hm"},
+			{"address", "o-adres"},
+		},
+		disconnected: [][2]string{
+			{"fullname", "name"},
+			{"position", "job"},
+			{"employer", "company"},
+			{"phone", "address"},
+		},
+	})
+	// The home and office clusters must not share a DIRECT edge: their
+	// only connection is through the generic node's uncertain edges, so
+	// omitting those separates them.
+	for _, p := range [][2]string{{"hm-phone", "o-phone"}, {"hm-phone", "oPhone"}, {"addr-hm", "o-adres"}, {"hm.phone", "oPhone"}} {
+		if s := strutil.AttrSim(p[0], p[1]); s >= 0.83 {
+			t.Errorf("sim(%q,%q) = %.4f, want < 0.83", p[0], p[1], s)
+		}
+	}
+}
+
+func TestVocabularyBandsMovie(t *testing.T) {
+	checkBands(t, Movie(1), bandSpec{
+		certainGroups: [][]string{
+			{"title", "titles", "titel"},
+			{"year", "years"},
+			{"genre", "genres"},
+			{"director", "directed by"},
+			{"rating", "ratings"},
+			{"runtime", "run-time"},
+		},
+		uncertain:    [][2]string{{"year", "yeer"}},
+		uncertainLow: [][2]string{{"director", "dictor"}},
+		disconnected: [][2]string{
+			{"name", "title"}, {"movie title", "title"}, {"released", "year"}, {"rated", "rating"},
+			{"title", "year"}, {"genre", "director"},
+		},
+	})
+}
+
+func TestVocabularyBandsCar(t *testing.T) {
+	checkBands(t, Car(1), bandSpec{
+		certainGroups: [][]string{
+			{"make", "maker"},
+			{"model", "models"},
+			{"year", "years"},
+			{"price", "prices", "price($)"},
+			{"mileage", "milage", "miles"},
+			{"color", "colour"},
+		},
+		uncertainLow: [][2]string{{"price", "prix"}},
+		disconnected: [][2]string{
+			{"manufacturer", "make"}, {"yr", "year"}, {"cost", "price"},
+			{"make", "model"}, {"price", "mileage"},
+		},
+	})
+}
+
+func TestVocabularyBandsCourse(t *testing.T) {
+	checkBands(t, Course(1), bandSpec{
+		certainGroups: [][]string{
+			{"course", "courses", "course name"},
+			{"instructor", "instructors", "instr"},
+			{"subject", "subjects"},
+			{"dept", "dept."},
+			{"room", "rooms"},
+			{"time", "times"},
+			{"credits", "credit", "credit hrs"},
+		},
+		uncertain:    [][2]string{{"dept", "department"}},
+		uncertainLow: [][2]string{{"course", "crurse"}},
+		disconnected: [][2]string{
+			{"class", "course"}, {"teacher", "instructor"}, {"lecturer", "instructor"},
+			{"course", "instructor"}, {"subject", "room"},
+		},
+	})
+}
+
+func TestVocabularyBandsBib(t *testing.T) {
+	checkBands(t, Bib(1), bandSpec{
+		certainGroups: [][]string{
+			{"author", "authors", "author(s)"},
+			{"title", "titles"},
+			{"year", "years"},
+			{"journal", "journal name", "journl"},
+			{"conference", "conf"},
+			{"volume", "vol", "vol."},
+			{"pages", "pages/rec. no", "pags"},
+			{"issue", "issues"},
+			{"issn", "eissn"},
+			{"publisher", "pblisher"},
+			{"organism"},
+			{"link to pubmed"},
+		},
+		uncertainLow: [][2]string{
+			{"issn", "issue"}, // the Figure 3 uncertain edge
+			{"publisher", "pub."},
+		},
+		disconnected: [][2]string{
+			{"author", "title"}, {"organism", "journal"},
+		},
+	})
+	// issue and eissn must not share a DIRECT edge; their only connection
+	// runs through the uncertain issn↔issue edge.
+	if s := strutil.AttrSim("issue", "eissn"); s >= 0.83 {
+		t.Errorf("sim(issue,eissn) = %.4f, want < 0.83", s)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(People(42))
+	b := MustGenerate(People(42))
+	if len(a.Corpus.Sources) != len(b.Corpus.Sources) {
+		t.Fatal("source counts differ")
+	}
+	for i := range a.Corpus.Sources {
+		sa, sb := a.Corpus.Sources[i], b.Corpus.Sources[i]
+		if sa.Name != sb.Name || !reflect.DeepEqual(sa.Attrs, sb.Attrs) || !reflect.DeepEqual(sa.Rows, sb.Rows) {
+			t.Fatalf("source %d differs between identical seeds", i)
+		}
+	}
+	c := MustGenerate(People(43))
+	same := true
+	for i := range a.Corpus.Sources {
+		if !reflect.DeepEqual(a.Corpus.Sources[i].Attrs, c.Corpus.Sources[i].Attrs) ||
+			!reflect.DeepEqual(a.Corpus.Sources[i].Rows, c.Corpus.Sources[i].Rows) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	for _, d := range AllDomains() {
+		c := MustGenerate(d)
+		if got := len(c.Corpus.Sources); got != d.NumSources {
+			t.Errorf("%s: %d sources, want %d", d.Name, got, d.NumSources)
+		}
+		for _, s := range c.Corpus.Sources {
+			if len(s.Rows) < d.MinRows || len(s.Rows) > d.MaxRows {
+				t.Errorf("%s: source %s has %d rows, want [%d,%d]", d.Name, s.Name, len(s.Rows), d.MinRows, d.MaxRows)
+			}
+			for _, a := range s.Attrs {
+				if c.AttrConcept[s.Name][a] == "" {
+					t.Errorf("%s: attribute %q of %s has no golden concept", d.Name, a, s.Name)
+				}
+			}
+		}
+	}
+}
+
+// Every name the queries rely on must survive the θ = 0.10 frequency
+// filter, and far variants must fall below it.
+func TestFrequentVariants(t *testing.T) {
+	keyNames := map[string][]string{
+		"People": {"name", "phone", "address", "hm-phone", "o-phone", "addr-hm", "o-adres", "job", "company", "email"},
+		"Movie":  {"title", "year", "genre", "director", "rating", "dictor"},
+		"Car":    {"make", "model", "year", "price", "mileage", "color", "prix"},
+		"Course": {"course", "instructor", "subject", "dept", "crurse"},
+		"Bib":    {"author", "title", "year", "journal", "issue", "issn", "publisher", "pub."},
+	}
+	farNames := map[string][]string{
+		"People": {"fullname", "position", "employer"},
+		"Movie":  {"released", "rated"},
+		"Car":    {"cost", "yr"},
+		"Course": {"class", "teacher"},
+		"Bib":    nil,
+	}
+	for _, d := range AllDomains() {
+		c := MustGenerate(d)
+		freq := c.Corpus.AttrFrequency()
+		for _, n := range keyNames[d.Name] {
+			if freq[n] < 0.10 {
+				t.Errorf("%s: frequency(%q) = %.3f < 0.10", d.Name, n, freq[n])
+			}
+		}
+		for _, n := range farNames[d.Name] {
+			if freq[n] >= 0.10 {
+				t.Errorf("%s: far variant %q frequency %.3f >= 0.10", d.Name, n, freq[n])
+			}
+		}
+	}
+}
+
+func TestGoldenAnswersUnambiguous(t *testing.T) {
+	c := MustGenerate(Car(7))
+	q := sqlparse.MustParse("SELECT make, model FROM Car WHERE price < 15000")
+	g, err := c.GoldenAnswers(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Entries) == 0 {
+		t.Fatal("no golden answers for a broad query")
+	}
+	// Verify each entry against the raw data via the golden column map.
+	for _, e := range g.Entries[:min(50, len(g.Entries))] {
+		src := findSource(c, e.Key.Source)
+		concepts := c.AttrConcept[src.Name]
+		makeCol, modelCol, priceCol := "", "", ""
+		for attr, key := range concepts {
+			switch key {
+			case "make":
+				makeCol = attr
+			case "model":
+				modelCol = attr
+			case "price":
+				priceCol = attr
+			}
+		}
+		row := src.Rows[e.Key.Row]
+		if row[src.AttrIndex(makeCol)] != e.Values[0] || row[src.AttrIndex(modelCol)] != e.Values[1] {
+			t.Errorf("golden values %v do not match row", e.Values)
+		}
+		price := row[src.AttrIndex(priceCol)]
+		if storage.CompareValues(price, "15000") >= 0 {
+			t.Errorf("golden row violates predicate: price=%q", price)
+		}
+	}
+}
+
+func TestGoldenAnswersAmbiguous(t *testing.T) {
+	c := MustGenerate(People(7))
+	q := sqlparse.MustParse("SELECT name, phone FROM People")
+	g, err := c.GoldenAnswers(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A specific source (both home and office phone) contributes two
+	// entries per row; a generic source contributes one.
+	perKey := map[string]int{}
+	for _, e := range g.Entries {
+		perKey[e.Key.Source+":"+itoa(e.Key.Row)]++
+	}
+	twos, ones := 0, 0
+	for _, n := range perKey {
+		switch n {
+		case 2:
+			twos++
+		case 1:
+			ones++
+		}
+	}
+	if twos == 0 {
+		t.Error("no row has two acceptable projections; ambiguity not modelled")
+	}
+	if ones == 0 {
+		t.Error("no row has a single projection; generic sources missing")
+	}
+}
+
+func TestGoldenUnknownAttr(t *testing.T) {
+	c := MustGenerate(Car(7))
+	if _, err := c.GoldenAnswers(sqlparse.MustParse("SELECT zzz FROM Car")); err == nil {
+		t.Error("unknown attribute accepted in golden computation")
+	}
+}
+
+func TestConceptOfName(t *testing.T) {
+	c := MustGenerate(People(7))
+	if k, err := c.ConceptOfName("phone", "home"); err != nil || k != "home-phone" {
+		t.Errorf("ConceptOfName(phone,home) = %q, %v", k, err)
+	}
+	if k, err := c.ConceptOfName("phone", "office"); err != nil || k != "office-phone" {
+		t.Errorf("ConceptOfName(phone,office) = %q, %v", k, err)
+	}
+	if k, err := c.ConceptOfName("hm-phone", "office"); err != nil || k != "home-phone" {
+		t.Errorf("specific name must ignore profile: %q, %v", k, err)
+	}
+	if _, err := c.ConceptOfName("nope", "home"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestQueriesParse(t *testing.T) {
+	for _, d := range AllDomains() {
+		if len(d.Queries) != 10 {
+			t.Errorf("%s: %d queries, want 10", d.Name, len(d.Queries))
+		}
+		c := MustGenerate(d)
+		for _, qs := range d.Queries {
+			q, err := sqlparse.Parse(qs)
+			if err != nil {
+				t.Errorf("%s: query %q does not parse: %v", d.Name, qs, err)
+				continue
+			}
+			if _, err := c.GoldenAnswers(q); err != nil {
+				t.Errorf("%s: golden answers for %q: %v", d.Name, qs, err)
+			}
+		}
+	}
+}
+
+func TestRepresentative(t *testing.T) {
+	d := Car(1)
+	if r := d.Representative("price"); r != "price" {
+		t.Errorf("Representative(price) = %q", r)
+	}
+	if r := d.Representative("make"); r != "make" {
+		t.Errorf("Representative(make) = %q", r)
+	}
+}
+
+func TestNameCollisionRejected(t *testing.T) {
+	d := &Domain{
+		Name: "bad", NumSources: 1, Entities: 1, MinRows: 1, MaxRows: 1,
+		Concepts: []Concept{
+			{Key: "a", Variants: []Variant{{"x", 1}}, Core: true, Value: func(int) string { return "v" }},
+			{Key: "b", Variants: []Variant{{"x", 1}}, Core: true, Value: func(int) string { return "v" }},
+		},
+	}
+	if _, err := Generate(d); err == nil {
+		t.Error("colliding variant names accepted")
+	}
+}
+
+func findSource(c *Corpus, name string) *schema.Source {
+	for _, s := range c.Corpus.Sources {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	s := ""
+	for n > 0 {
+		s = string(rune('0'+n%10)) + s
+		n /= 10
+	}
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Values are deterministic per entity, so the same entity appearing in two
+// sources carries the same values — the overlap golden answers rely on.
+// Car's price generator is injective over the entity universe, so a price
+// value identifies the entity and its mileage must agree everywhere.
+func TestValueDeterminismAcrossSources(t *testing.T) {
+	c := MustGenerate(Car(7))
+	priceToMileage := map[string]string{}
+	observations := 0
+	for _, src := range c.Corpus.Sources {
+		concepts := c.AttrConcept[src.Name]
+		priceCol, mileageCol := -1, -1
+		for i, a := range src.Attrs {
+			switch concepts[a] {
+			case "price":
+				priceCol = i
+			case "mileage":
+				mileageCol = i
+			}
+		}
+		if priceCol < 0 || mileageCol < 0 {
+			continue
+		}
+		for _, row := range src.Rows {
+			price, mileage := row[priceCol], row[mileageCol]
+			if price == "" || mileage == "" {
+				continue
+			}
+			if prev, ok := priceToMileage[price]; ok {
+				observations++
+				if prev != mileage {
+					t.Fatalf("entity with price %q has mileages %q and %q", price, prev, mileage)
+				}
+			}
+			priceToMileage[price] = mileage
+		}
+	}
+	if observations == 0 {
+		t.Fatal("no overlapping entity observations across sources")
+	}
+}
+
+// Profile-bound sources must be internally consistent: a home-profile
+// source's generic phone and address columns both carry home concepts.
+func TestProfileCorrelation(t *testing.T) {
+	c := MustGenerate(People(7))
+	for _, src := range c.Corpus.Sources {
+		concepts := c.AttrConcept[src.Name]
+		phoneConcept, addrConcept := "", ""
+		for attr, key := range concepts {
+			if c.GenericRole[attr] == "phone" {
+				phoneConcept = key
+			}
+			if c.GenericRole[attr] == "address" {
+				addrConcept = key
+			}
+		}
+		if phoneConcept == "" || addrConcept == "" {
+			continue // not a profile-bound source (or family not included)
+		}
+		phoneIsHome := phoneConcept == "home-phone"
+		addrIsHome := addrConcept == "home-address"
+		if phoneIsHome != addrIsHome {
+			t.Errorf("source %s mixes profiles: phone=%s address=%s",
+				src.Name, phoneConcept, addrConcept)
+		}
+	}
+}
+
+// MissingFrac produces empty cells at roughly the configured rate.
+func TestMissingValues(t *testing.T) {
+	c := MustGenerate(Car(7))
+	cells, empty := 0, 0
+	for _, src := range c.Corpus.Sources {
+		for _, row := range src.Rows {
+			for _, v := range row {
+				cells++
+				if v == "" {
+					empty++
+				}
+			}
+		}
+	}
+	rate := float64(empty) / float64(cells)
+	if rate < 0.005 || rate > 0.04 {
+		t.Errorf("missing-cell rate %.4f outside [0.005, 0.04]", rate)
+	}
+}

@@ -1,0 +1,509 @@
+package datagen
+
+import "fmt"
+
+// The attribute vocabularies below were tuned against strutil.AttrSim so
+// that name pairs land in the intended similarity bands for the paper's
+// §7.1 thresholds (τ = 0.85, ε = 0.02):
+//
+//	certain   ≥ 0.87   same-concept variants
+//	uncertain [0.83, 0.87)  ambiguous generics / distant variants
+//	          (kept below 0.85 so the §4.1 deterministic schema and the
+//	          correspondence threshold exclude them — the source of UDI's
+//	          recall advantage over SingleMed)
+//	no edge   < 0.83   cross-concept pairs and far variants
+//
+// TestVocabularyBands asserts every load-bearing pair.
+
+// value pools shared across domains.
+var (
+	firstNames = []string{"Alice", "Bob", "Carol", "David", "Erin", "Frank", "Grace", "Henry", "Irene", "Jack", "Karen", "Louis", "Mona", "Ned", "Olga", "Paul", "Quinn", "Rosa", "Sam", "Tina"}
+	lastNames  = []string{"Smith", "Jones", "Chen", "Garcia", "Müller", "Okafor", "Patel", "Kim", "Rossi", "Novak", "Silva", "Dubois", "Yamada", "Olsen", "Kowalski"}
+	streets    = []string{"A Ave.", "B Ave.", "Main St.", "Oak Dr.", "Pine Rd.", "Lake Blvd.", "Hill Ct.", "Park Ln."}
+	cities     = []string{"Springfield", "Rivertown", "Lakewood", "Hillview", "Brookfield", "Marston", "Eastport", "Weston"}
+)
+
+func personName(e int) string {
+	return pick(firstNames, e) + " " + pick(lastNames, e/len(firstNames)+e)
+}
+
+// People reproduces Example 2.1: profile-bound sources use generic
+// phone/address names for either home or office contacts; specific sources
+// carry both concepts under specific names.
+func People(seed int64) *Domain {
+	return &Domain{
+		Name:        "People",
+		Keywords:    "name, one of job and title, and one of organization, company and employer",
+		NumSources:  49,
+		Profiles:    []string{"home", "office"},
+		GenericFrac: 0.5,
+		FarFrac:     0.07,
+		MissingFrac: 0.015,
+		Entities:    300,
+		MinRows:     20,
+		MaxRows:     120,
+		Seed:        seed,
+		Families: []Family{
+			{
+				Role:      "phone",
+				Generic:   []Variant{{"phone", 0.7}, {"phone-no", 0.3}},
+				ByProfile: map[string]string{"home": "home-phone", "office": "office-phone"},
+			},
+			{
+				Role:      "address",
+				Generic:   []Variant{{"address", 0.75}, {"address.", 0.25}},
+				ByProfile: map[string]string{"home": "home-address", "office": "office-address"},
+			},
+		},
+		Concepts: []Concept{
+			{
+				Key:      "person-name",
+				Variants: []Variant{{"name", 0.6}, {"names", 0.25}, {"nam", 0.15}},
+				Far:      []Variant{{"fullname", 1}},
+				Core:     true,
+				Value:    personName,
+			},
+			{
+				Key:      "home-phone",
+				Variants: []Variant{{"hm-phone", 0.7}, {"hm.phone", 0.3}},
+				Freq:     0.85,
+				Value: func(e int) string {
+					return fmt.Sprintf("555-%04d", (e*37+11)%10000)
+				},
+			},
+			{
+				Key:      "office-phone",
+				Variants: []Variant{{"o-phone", 0.6}, {"oPhone", 0.4}},
+				Freq:     0.85,
+				Value: func(e int) string {
+					return fmt.Sprintf("777-%04d", (e*53+29)%10000)
+				},
+			},
+			{
+				Key:      "home-address",
+				Variants: []Variant{{"addr-hm", 0.7}, {"addr.hm", 0.3}},
+				Freq:     0.8,
+				Value: func(e int) string {
+					return fmt.Sprintf("%d %s, %s", 100+e%899, pick(streets, e), pick(cities, e/3))
+				},
+			},
+			{
+				Key:      "office-address",
+				Variants: []Variant{{"o-adres", 0.7}, {"o.adres", 0.3}},
+				Freq:     0.8,
+				Value: func(e int) string {
+					return fmt.Sprintf("%d %s, %s", 100+(e*7)%899, pick(streets, e+3), pick(cities, e/2+1))
+				},
+			},
+			{
+				Key:      "job",
+				Variants: []Variant{{"job", 0.7}, {"jobs", 0.3}},
+				Far:      []Variant{{"position", 1}},
+				Freq:     0.7,
+				Value: func(e int) string {
+					return pick([]string{"Engineer", "Teacher", "Doctor", "Analyst", "Designer", "Manager", "Nurse", "Chef", "Writer", "Pilot"}, e)
+				},
+			},
+			{
+				Key:      "company",
+				Variants: []Variant{{"company", 0.6}, {"compny", 0.2}, {"comp.", 0.2}},
+				Far:      []Variant{{"employer", 0.5}, {"organization", 0.5}},
+				Freq:     0.65,
+				Value: func(e int) string {
+					return pick([]string{"Acme Corp", "Globex", "Initech", "Umbra Ltd", "Vandelay", "Hooli", "Soylent", "Stark Labs", "Wayne Co", "Tyrell"}, e/2)
+				},
+			},
+			{
+				Key:      "email",
+				Variants: []Variant{{"email", 0.6}, {"e-mail", 0.4}},
+				Freq:     0.55,
+				Value: func(e int) string {
+					return fmt.Sprintf("%s%d@example.com", pick(firstNames, e), e%97)
+				},
+			},
+		},
+		Queries: []string{
+			"SELECT name, phone, address FROM People",
+			"SELECT name, phone FROM People",
+			"SELECT phone FROM People WHERE name = 'Alice Smith'",
+			"SELECT name, address FROM People WHERE job = 'Engineer'",
+			"SELECT name, job FROM People",
+			"SELECT name FROM People WHERE company = 'Acme Corp'",
+			"SELECT name, email FROM People WHERE job != 'Teacher'",
+			"SELECT name, company FROM People WHERE name LIKE 'A%'",
+			"SELECT address FROM People WHERE name LIKE '%Chen'",
+			"SELECT name, phone, address FROM People WHERE job = 'Doctor'",
+		},
+	}
+}
+
+// Movie has a distant director variant ("dictor", uncertain band) plus far
+// variants that bound recall.
+func Movie(seed int64) *Domain {
+	genres := []string{"Drama", "Comedy", "Action", "Thriller", "Horror", "Romance", "Sci-Fi", "Documentary", "Animation", "Crime"}
+	adjectives := []string{"Silent", "Lost", "Golden", "Midnight", "Broken", "Hidden", "Last", "First", "Crimson", "Distant"}
+	nouns := []string{"River", "Empire", "Garden", "Voyage", "Letter", "Summer", "Mirror", "Harbor", "Signal", "Forest"}
+	return &Domain{
+		Name:        "Movie",
+		Keywords:    "movie and year",
+		NumSources:  161,
+		FarFrac:     0.07,
+		MissingFrac: 0.015,
+		Entities:    500,
+		MinRows:     20,
+		MaxRows:     150,
+		Seed:        seed,
+		Concepts: []Concept{
+			{
+				Key:      "title",
+				Variants: []Variant{{"title", 0.55}, {"titles", 0.2}, {"titel", 0.25}},
+				Far:      []Variant{{"name", 0.5}, {"movie title", 0.5}},
+				Core:     true,
+				Value: func(e int) string {
+					return "The " + pick(adjectives, e) + " " + pick(nouns, e/7)
+				},
+			},
+			{
+				Key:      "year",
+				Variants: []Variant{{"year", 0.6}, {"years", 0.25}, {"yeer", 0.15}},
+				Far:      []Variant{{"released", 1}},
+				Freq:     0.9,
+				Value:    func(e int) string { return fmt.Sprintf("%d", 1950+(e*13)%70) },
+			},
+			{
+				Key:      "genre",
+				Variants: []Variant{{"genre", 0.7}, {"genres", 0.3}},
+				Freq:     0.75,
+				Value:    func(e int) string { return pick(genres, e) },
+			},
+			{
+				Key:      "director",
+				Variants: []Variant{{"director", 0.55}, {"directed by", 0.2}, {"dictor", 0.25}},
+				Freq:     0.7,
+				Value:    func(e int) string { return pick(firstNames, e*3) + " " + pick(lastNames, e) },
+			},
+			{
+				Key:      "rating",
+				Variants: []Variant{{"rating", 0.7}, {"ratings", 0.3}},
+				Far:      []Variant{{"rated", 1}},
+				Freq:     0.6,
+				Value:    func(e int) string { return fmt.Sprintf("%.1f", 1.0+float64((e*17)%90)/10) },
+			},
+			{
+				Key:      "runtime",
+				Variants: []Variant{{"runtime", 0.75}, {"run-time", 0.25}},
+				Freq:     0.45,
+				Value:    func(e int) string { return fmt.Sprintf("%d", 70+(e*7)%110) },
+			},
+		},
+		Queries: []string{
+			"SELECT title, year FROM Movie",
+			"SELECT title FROM Movie WHERE year >= 2000",
+			"SELECT title, director FROM Movie WHERE genre = 'Drama'",
+			"SELECT title, rating FROM Movie WHERE rating > 8",
+			"SELECT title, year, genre FROM Movie WHERE year < 1970",
+			"SELECT director FROM Movie WHERE title LIKE 'The Silent%'",
+			"SELECT title FROM Movie WHERE genre != 'Comedy' AND year > 1990",
+			"SELECT title, genre, rating FROM Movie WHERE rating >= 5 AND rating <= 7",
+			"SELECT title, runtime FROM Movie WHERE runtime > 120",
+			"SELECT title, director, year FROM Movie WHERE director LIKE '%Chen'",
+		},
+	}
+}
+
+// Car is the largest domain (817 sources, used for the Figure 7 scaling
+// sweep) with a distant price variant ("prix", uncertain band).
+func Car(seed int64) *Domain {
+	makes := []string{"Toyora", "Hondar", "Fordo", "Chevy", "Nissun", "Subaro", "Mazdra", "Volvor", "Kiaro", "Jeepo", "Audix", "Bimmer"}
+	models := []string{"Falcon", "Comet", "Vista", "Ridge", "Metro", "Pulse", "Strada", "Nomad", "Orbit", "Drift", "Apex", "Haven"}
+	colors := []string{"red", "blue", "black", "white", "silver", "green", "gray", "yellow", "orange", "brown"}
+	return &Domain{
+		Name:        "Car",
+		Keywords:    "make and model",
+		NumSources:  817,
+		FarFrac:     0.06,
+		MissingFrac: 0.015,
+		Entities:    800,
+		MinRows:     20,
+		MaxRows:     120,
+		Seed:        seed,
+		Concepts: []Concept{
+			{
+				Key:      "make",
+				Variants: []Variant{{"make", 0.65}, {"maker", 0.35}},
+				Far:      []Variant{{"manufacturer", 1}},
+				Core:     true,
+				Value:    func(e int) string { return pick(makes, e) },
+			},
+			{
+				Key:      "model",
+				Variants: []Variant{{"model", 0.7}, {"models", 0.3}},
+				Core:     true,
+				Value:    func(e int) string { return pick(models, e/3) },
+			},
+			{
+				Key:      "year",
+				Variants: []Variant{{"year", 0.7}, {"years", 0.3}},
+				Far:      []Variant{{"yr", 1}},
+				Freq:     0.85,
+				Value:    func(e int) string { return fmt.Sprintf("%d", 1992+(e*11)%32) },
+			},
+			{
+				Key:      "price",
+				Variants: []Variant{{"price", 0.5}, {"prices", 0.15}, {"price($)", 0.15}, {"prix", 0.2}},
+				Far:      []Variant{{"cost", 1}},
+				Freq:     0.9,
+				Value:    func(e int) string { return fmt.Sprintf("%d", 2000+(e*379)%78000) },
+			},
+			{
+				Key:      "mileage",
+				Variants: []Variant{{"mileage", 0.55}, {"milage", 0.25}, {"miles", 0.2}},
+				Freq:     0.7,
+				Value:    func(e int) string { return fmt.Sprintf("%d", (e*997)%180000) },
+			},
+			{
+				Key:      "color",
+				Variants: []Variant{{"color", 0.7}, {"colour", 0.3}},
+				Freq:     0.55,
+				Value:    func(e int) string { return pick(colors, e) },
+			},
+		},
+		Queries: []string{
+			"SELECT make, model FROM Car",
+			"SELECT make, model, price FROM Car WHERE price < 15000",
+			"SELECT model, year FROM Car WHERE make = 'Toyora'",
+			"SELECT make, model FROM Car WHERE year >= 2015 AND price <= 30000",
+			"SELECT make, price FROM Car WHERE mileage < 40000",
+			"SELECT make, model, color FROM Car WHERE color = 'red'",
+			"SELECT price FROM Car WHERE make = 'Fordo' AND model = 'Comet'",
+			"SELECT make, model, year, price FROM Car WHERE year > 2020",
+			"SELECT make FROM Car WHERE model LIKE 'S%'",
+			"SELECT make, mileage FROM Car WHERE mileage > 150000",
+		},
+	}
+}
+
+// Course has a distant course variant ("crurse") and an uncertain-high
+// dept/department pair that both UDI and SingleMed merge.
+func Course(seed int64) *Domain {
+	subjects := []string{"Biology", "Chemistry", "Physics", "History", "Algebra", "Statistics", "Economics", "Philosophy", "Databases", "Networks", "Compilers", "Genetics", "Ecology", "Linguistics"}
+	depts := []string{"BIO", "CHEM", "PHYS", "HIST", "MATH", "STAT", "ECON", "PHIL", "CS", "EE"}
+	return &Domain{
+		Name:        "Course",
+		Keywords:    "one of course and class, one of instructor, teacher and lecturer, and one of subject, department and title",
+		NumSources:  647,
+		FarFrac:     0.07,
+		MissingFrac: 0.015,
+		Entities:    700,
+		MinRows:     20,
+		MaxRows:     120,
+		Seed:        seed,
+		Concepts: []Concept{
+			{
+				Key:      "course",
+				Variants: []Variant{{"course", 0.5}, {"courses", 0.15}, {"course name", 0.15}, {"crurse", 0.2}},
+				Far:      []Variant{{"class", 1}},
+				Core:     true,
+				Value: func(e int) string {
+					level := []string{"Intro to", "Advanced", "Topics in", "Foundations of"}
+					return pick(level, e/5) + " " + pick(subjects, e)
+				},
+			},
+			{
+				Key:      "instructor",
+				Variants: []Variant{{"instructor", 0.6}, {"instructors", 0.2}, {"instr", 0.2}},
+				Far:      []Variant{{"teacher", 0.5}, {"lecturer", 0.5}},
+				Freq:     0.85,
+				Value:    func(e int) string { return pick(firstNames, e*5) + " " + pick(lastNames, e*2) },
+			},
+			{
+				Key:      "subject",
+				Variants: []Variant{{"subject", 0.7}, {"subjects", 0.3}},
+				Freq:     0.7,
+				Value:    func(e int) string { return pick(subjects, e) },
+			},
+			{
+				Key:      "dept",
+				Variants: []Variant{{"dept", 0.5}, {"department", 0.3}, {"dept.", 0.2}},
+				Freq:     0.6,
+				Value:    func(e int) string { return pick(depts, e) },
+			},
+			{
+				Key:      "room",
+				Variants: []Variant{{"room", 0.7}, {"rooms", 0.3}},
+				Freq:     0.5,
+				Value:    func(e int) string { return fmt.Sprintf("B-%d", 100+(e*3)%40) },
+			},
+			{
+				Key:      "time",
+				Variants: []Variant{{"time", 0.7}, {"times", 0.3}},
+				Freq:     0.5,
+				Value: func(e int) string {
+					days := []string{"MWF", "TTh", "MW", "F"}
+					return fmt.Sprintf("%s %d:00", pick(days, e), 8+(e*3)%10)
+				},
+			},
+			{
+				Key:      "credits",
+				Variants: []Variant{{"credits", 0.6}, {"credit", 0.25}, {"credit hrs", 0.15}},
+				Freq:     0.55,
+				Value:    func(e int) string { return fmt.Sprintf("%d", 1+(e*7)%5) },
+			},
+		},
+		Queries: []string{
+			"SELECT course, instructor FROM Course",
+			"SELECT course FROM Course WHERE subject = 'Databases'",
+			"SELECT course, subject, dept FROM Course WHERE dept = 'CS'",
+			"SELECT instructor FROM Course WHERE course LIKE 'Intro%'",
+			"SELECT course, credits FROM Course WHERE credits >= 4",
+			"SELECT course, instructor, time FROM Course WHERE time LIKE 'MWF%'",
+			"SELECT course, room FROM Course WHERE room = 'B-100'",
+			"SELECT course, subject FROM Course WHERE subject != 'History' AND credits > 2",
+			"SELECT instructor, dept FROM Course WHERE subject = 'Physics'",
+			"SELECT course, instructor FROM Course WHERE instructor LIKE '%Kim'",
+		},
+	}
+}
+
+// Bib reproduces the Figure 3 scenario: issn and eissn cluster certainly
+// (same serial-id concept), and the uncertain issue↔issn edge yields two
+// possible mediated schemas whose probabilities are driven by the many
+// sources containing both attributes. The publisher concept has a distant
+// "pub." variant in the uncertain band.
+func Bib(seed int64) *Domain {
+	journals := []string{"Nature", "Science", "Cell", "PNAS", "JACS", "Blood", "Lancet", "Neuron", "Genetics", "BioEssays"}
+	confs := []string{"SIGMOD", "VLDB", "ICDE", "KDD", "WWW", "SOSP", "OSDI", "NSDI"}
+	organisms := []string{"E. coli", "S. cerevisiae", "D. melanogaster", "C. elegans", "M. musculus", "H. sapiens", "A. thaliana", "D. rerio"}
+	topics := []string{"Integration", "Clustering", "Replication", "Signaling", "Folding", "Inference", "Annotation", "Alignment", "Expression", "Indexing"}
+	things := []string{"Proteins", "Schemas", "Genomes", "Networks", "Pathways", "Queries", "Membranes", "Streams", "Enzymes", "Graphs"}
+	return &Domain{
+		Name:        "Bib",
+		Keywords:    "author, title, year, and one of journal and conference",
+		NumSources:  649,
+		FarFrac:     0.06,
+		MissingFrac: 0.015,
+		Entities:    900,
+		MinRows:     20,
+		MaxRows:     120,
+		Seed:        seed,
+		Concepts: []Concept{
+			{
+				Key:      "author",
+				Variants: []Variant{{"author", 0.5}, {"authors", 0.25}, {"author(s)", 0.25}},
+				Core:     true,
+				Value: func(e int) string {
+					return string(pick(firstNames, e*7)[0]) + ". " + pick(lastNames, e)
+				},
+			},
+			{
+				Key:      "title",
+				Variants: []Variant{{"title", 0.7}, {"titles", 0.3}},
+				Core:     true,
+				Value: func(e int) string {
+					return "On the " + pick(topics, e) + " of " + pick(things, e/11)
+				},
+			},
+			{
+				Key:      "year",
+				Variants: []Variant{{"year", 0.75}, {"years", 0.25}},
+				Freq:     0.9,
+				Value:    func(e int) string { return fmt.Sprintf("%d", 1980+(e*7)%45) },
+			},
+			{
+				Key:      "journal",
+				Variants: []Variant{{"journal", 0.6}, {"journal name", 0.2}, {"journl", 0.2}},
+				Freq:     0.7,
+				Value:    func(e int) string { return pick(journals, e) },
+			},
+			{
+				Key:      "conference",
+				Variants: []Variant{{"conference", 0.7}, {"conf", 0.3}},
+				Freq:     0.35,
+				Value:    func(e int) string { return pick(confs, e) },
+			},
+			{
+				Key:      "volume",
+				Variants: []Variant{{"volume", 0.5}, {"vol", 0.3}, {"vol.", 0.2}},
+				Freq:     0.6,
+				Value:    func(e int) string { return fmt.Sprintf("%d", 1+(e*3)%40) },
+			},
+			{
+				Key:      "pages",
+				Variants: []Variant{{"pages", 0.6}, {"pages/rec. no", 0.2}, {"pags", 0.2}},
+				Freq:     0.6,
+				Value: func(e int) string {
+					start := 1 + (e*37)%990
+					return fmt.Sprintf("%d-%d", start, start+4+(e%17))
+				},
+			},
+			{
+				Key:      "issue",
+				Variants: []Variant{{"issue", 0.7}, {"issues", 0.3}},
+				Freq:     0.55,
+				Value:    func(e int) string { return fmt.Sprintf("%d", 1+(e*5)%12) },
+			},
+			{
+				Key:      "serial-id",
+				Variants: []Variant{{"issn", 0.6}, {"eissn", 0.4}},
+				Freq:     0.5,
+				Value: func(e int) string {
+					return fmt.Sprintf("%04d-%04d", 1000+(e*13)%9000, 1000+(e*29)%9000)
+				},
+			},
+			{
+				Key:      "publisher",
+				Variants: []Variant{{"publisher", 0.5}, {"pblisher", 0.25}, {"pub.", 0.25}},
+				Freq:     0.45,
+				Value: func(e int) string {
+					return pick([]string{"Elsvier", "Springler", "Wiley & Co", "ACM Press", "IEEE Press", "Oxford U.P.", "CUP", "PLOS"}, e)
+				},
+			},
+			{
+				Key:      "organism",
+				Variants: []Variant{{"organism", 1}},
+				Freq:     0.3,
+				Value:    func(e int) string { return pick(organisms, e) },
+			},
+			{
+				Key:      "pubmed",
+				Variants: []Variant{{"link to pubmed", 1}},
+				Freq:     0.25,
+				Value:    func(e int) string { return fmt.Sprintf("PMID%07d", 1000000+e*173) },
+			},
+		},
+		Queries: []string{
+			"SELECT author, title FROM Bib",
+			"SELECT title, year FROM Bib WHERE year >= 2010",
+			"SELECT author, title, journal FROM Bib WHERE journal = 'Nature'",
+			"SELECT title FROM Bib WHERE author LIKE '%Chen'",
+			"SELECT title, volume, pages FROM Bib WHERE volume > 30",
+			"SELECT author, title, year FROM Bib WHERE year < 1990",
+			"SELECT title, issue FROM Bib WHERE issue = 6",
+			"SELECT title, issn FROM Bib WHERE year > 2000",
+			"SELECT title, publisher FROM Bib WHERE publisher = 'ACM Press'",
+			"SELECT author, title, conference FROM Bib WHERE conference = 'SIGMOD'",
+		},
+	}
+}
+
+// AllDomains returns the five evaluation domains with their default seeds.
+// Table 1 of the paper lists the same source counts.
+func AllDomains() []*Domain {
+	return []*Domain{
+		Movie(101),
+		Car(102),
+		People(103),
+		Course(104),
+		Bib(105),
+	}
+}
+
+// DomainByName returns the named domain or nil.
+func DomainByName(name string) *Domain {
+	for _, d := range AllDomains() {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package datagen
+
+import (
+	"fmt"
+
+	"udi/internal/eval"
+	"udi/internal/sqlparse"
+	"udi/internal/storage"
+)
+
+// GoldenAnswers computes the golden standard for a query: the answers a
+// manually integrated system (perfect mediated schema and mappings, §7.2)
+// would return. For every source and every profile interpretation, each
+// query attribute name is resolved to the concept it denotes — generic
+// names resolve through the profile — and then to the source column
+// carrying that concept; if every attribute resolves, the query is
+// evaluated on the source and the matching rows become golden entries.
+//
+// A source row can contribute several entries when the query contains
+// ambiguous attributes (both the home and office projections are correct,
+// per Example 2.1's discussion).
+func (c *Corpus) GoldenAnswers(q *sqlparse.Query) (*eval.Golden, error) {
+	profiles := c.Domain.Profiles
+	if len(profiles) == 0 {
+		profiles = []string{""}
+	}
+	g := &eval.Golden{}
+	for _, src := range c.Corpus.Sources {
+		attrConcept := c.AttrConcept[src.Name]
+		// conceptCol inverts attrConcept (one column per concept by
+		// construction).
+		conceptCol := make(map[string]string, len(attrConcept))
+		for attr, key := range attrConcept {
+			conceptCol[key] = attr
+		}
+		table := storage.NewTable(src)
+		for _, profile := range profiles {
+			project, preds, ok, err := c.resolveQuery(q, profile, conceptCol)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			idxs, rows, err := table.SelectIdx(project, preds)
+			if err != nil {
+				return nil, fmt.Errorf("datagen: golden evaluation on %q: %w", src.Name, err)
+			}
+			for i, r := range idxs {
+				g.Add(eval.Key{Source: src.Name, Row: r}, rows[i])
+			}
+		}
+	}
+	return g, nil
+}
+
+// resolveQuery maps every query attribute to a concrete column of a source
+// under the given profile interpretation; ok is false when the source
+// lacks a needed concept.
+func (c *Corpus) resolveQuery(q *sqlparse.Query, profile string, conceptCol map[string]string) (project []string, preds []storage.Pred, ok bool, err error) {
+	resolve := func(name string) (string, bool, error) {
+		key, kerr := c.ConceptOfName(name, profile)
+		if kerr != nil {
+			return "", false, kerr
+		}
+		col, has := conceptCol[key]
+		return col, has, nil
+	}
+	project = make([]string, len(q.Select))
+	for i, a := range q.Select {
+		col, has, rerr := resolve(a)
+		if rerr != nil {
+			return nil, nil, false, rerr
+		}
+		if !has {
+			return nil, nil, false, nil
+		}
+		project[i] = col
+	}
+	preds = make([]storage.Pred, len(q.Where))
+	for i, p := range q.Where {
+		col, has, rerr := resolve(p.Attr)
+		if rerr != nil {
+			return nil, nil, false, rerr
+		}
+		if !has {
+			return nil, nil, false, nil
+		}
+		preds[i] = storage.Pred{Attr: col, Op: p.Op, Literal: p.Literal}
+	}
+	return project, preds, true, nil
+}
+
+// ConceptOfName returns the concept key an attribute name denotes under a
+// profile. Unambiguous names ignore the profile.
+func (c *Corpus) ConceptOfName(name, profile string) (string, error) {
+	if key, ok := c.NameConcept[name]; ok {
+		return key, nil
+	}
+	role, ok := c.GenericRole[name]
+	if !ok {
+		return "", fmt.Errorf("datagen: unknown attribute name %q", name)
+	}
+	for _, f := range c.Domain.Families {
+		if f.Role == role {
+			key, ok := f.ByProfile[profile]
+			if !ok {
+				return "", fmt.Errorf("datagen: family %q has no profile %q", role, profile)
+			}
+			return key, nil
+		}
+	}
+	return "", fmt.Errorf("datagen: no family for role %q", role)
+}

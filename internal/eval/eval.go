@@ -1,0 +1,346 @@
+// Package eval computes the paper's performance measures (§7.1): query
+// precision / recall / F-measure against a golden standard (duplicates are
+// NOT removed before measuring, to be fair to approaches that cannot
+// rank), recall-precision curves over ranked deduplicated answers (§7.4,
+// Figure 6), and pairwise clustering precision/recall for mediated-schema
+// quality (§7.5, Table 3).
+package eval
+
+import (
+	"sort"
+	"strings"
+
+	"udi/internal/answer"
+	"udi/internal/schema"
+)
+
+// Key identifies one answer occurrence: a row of a source.
+type Key struct {
+	Source string
+	Row    int
+}
+
+// Entry is one golden answer occurrence: a source row together with one
+// acceptable projection of it. A row may have several entries when the
+// query contains ambiguous attributes — e.g. a source with both home and
+// office phones has two correct projections for a query on "phone"
+// (Example 2.1 counts both interpretations as correct).
+type Entry struct {
+	Key    Key
+	Values []string
+}
+
+// Golden is the golden standard for one query.
+type Golden struct {
+	Entries []Entry
+}
+
+// NewGolden builds a Golden from a (key → single projection) map; the
+// common unambiguous case.
+func NewGolden(rows map[Key][]string) *Golden {
+	g := &Golden{}
+	for k, v := range rows {
+		g.Entries = append(g.Entries, Entry{Key: k, Values: v})
+	}
+	return g
+}
+
+// Add appends an entry, skipping exact duplicates.
+func (g *Golden) Add(k Key, values []string) {
+	tk := tupleKey(values)
+	for _, e := range g.Entries {
+		if e.Key == k && tupleKey(e.Values) == tk {
+			return
+		}
+	}
+	v := make([]string, len(values))
+	copy(v, values)
+	g.Entries = append(g.Entries, Entry{Key: k, Values: v})
+}
+
+// DistinctTuples returns the set of distinct correct value tuples, used by
+// the R-P curve where duplicates are eliminated.
+func (g *Golden) DistinctTuples() map[string]bool {
+	out := make(map[string]bool, len(g.Entries))
+	for _, e := range g.Entries {
+		out[tupleKey(e.Values)] = true
+	}
+	return out
+}
+
+// keys returns the set of golden occurrence keys.
+func (g *Golden) keys() map[Key]bool {
+	out := make(map[Key]bool, len(g.Entries))
+	for _, e := range g.Entries {
+		out[e.Key] = true
+	}
+	return out
+}
+
+func tupleKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// PRF bundles precision, recall and F-measure.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F         float64
+}
+
+func prf(p, r float64) PRF {
+	f := 0.0
+	if p+r > 0 {
+		f = 2 * p * r / (p + r)
+	}
+	return PRF{Precision: p, Recall: r, F: f}
+}
+
+// InstancePRF scores per-occurrence answers against the golden standard.
+// An instance is correct when its (source, row) is a golden occurrence
+// and — if requireValues — its projected values equal one of the
+// acceptable golden projections for that row. Keyword baselines return
+// whole rows, so they are scored with requireValues=false (row identity
+// suffices); mapping-based systems are scored with requireValues=true.
+//
+// Precision counts over all returned instances (duplicates kept, §7.1);
+// recall counts golden entries covered by at least one correct instance.
+func InstancePRF(instances []answer.Instance, g *Golden, requireValues bool) PRF {
+	if len(instances) == 0 {
+		if len(g.Entries) == 0 {
+			return prf(1, 1)
+		}
+		return prf(0, 0)
+	}
+	goldenKeys := g.keys()
+	// entryIndex maps (key, values) to entry positions for coverage.
+	type ekey struct {
+		k  Key
+		tk string
+	}
+	entryIdx := make(map[ekey][]int, len(g.Entries))
+	keyEntries := make(map[Key][]int)
+	for i, e := range g.Entries {
+		ek := ekey{e.Key, tupleKey(e.Values)}
+		entryIdx[ek] = append(entryIdx[ek], i)
+		keyEntries[e.Key] = append(keyEntries[e.Key], i)
+	}
+	correct := 0
+	covered := make(map[int]bool)
+	for _, inst := range instances {
+		k := Key{inst.Source, inst.Row}
+		if !goldenKeys[k] {
+			continue
+		}
+		if requireValues {
+			hits := entryIdx[ekey{k, tupleKey(inst.Values)}]
+			if len(hits) == 0 {
+				continue
+			}
+			correct++
+			for _, i := range hits {
+				covered[i] = true
+			}
+			continue
+		}
+		correct++
+		for _, i := range keyEntries[k] {
+			covered[i] = true
+		}
+	}
+	p := float64(correct) / float64(len(instances))
+	r := 1.0
+	if len(g.Entries) > 0 {
+		r = float64(len(covered)) / float64(len(g.Entries))
+	}
+	return prf(p, r)
+}
+
+// RankedPRF scores a deduplicated ranked answer list against the distinct
+// golden tuples (used when comparing ranking-capable systems end to end).
+func RankedPRF(ranked []answer.Answer, goldenTuples map[string]bool) PRF {
+	if len(ranked) == 0 {
+		if len(goldenTuples) == 0 {
+			return prf(1, 1)
+		}
+		return prf(0, 0)
+	}
+	correct := 0
+	seen := make(map[string]bool)
+	for _, a := range ranked {
+		k := tupleKey(a.Values)
+		if goldenTuples[k] {
+			correct++
+			seen[k] = true
+		}
+	}
+	p := float64(correct) / float64(len(ranked))
+	r := 1.0
+	if len(goldenTuples) > 0 {
+		r = float64(len(seen)) / float64(len(goldenTuples))
+	}
+	return prf(p, r)
+}
+
+// RPPoint is one point of a recall-precision curve.
+type RPPoint struct {
+	Recall    float64
+	Precision float64
+}
+
+// RPCurve computes precision at the given recall levels from a ranked
+// answer list (probabilities descending; duplicates already combined):
+// for each target recall r, take the smallest K whose top-K answers reach
+// recall r among the distinct golden tuples, and report the precision of
+// those K answers. Unreachable recall levels report precision 0.
+func RPCurve(ranked []answer.Answer, goldenTuples map[string]bool, levels []float64) []RPPoint {
+	total := len(goldenTuples)
+	out := make([]RPPoint, 0, len(levels))
+	if total == 0 {
+		for _, r := range levels {
+			out = append(out, RPPoint{Recall: r, Precision: 0})
+		}
+		return out
+	}
+	// Prefix statistics.
+	correctAt := make([]int, len(ranked)+1) // distinct golden tuples found in top-K
+	matchedAt := make([]int, len(ranked)+1) // answers in top-K that are golden
+	seen := make(map[string]bool)
+	for i, a := range ranked {
+		k := tupleKey(a.Values)
+		correctAt[i+1] = correctAt[i]
+		matchedAt[i+1] = matchedAt[i]
+		if goldenTuples[k] {
+			matchedAt[i+1]++
+			if !seen[k] {
+				seen[k] = true
+				correctAt[i+1]++
+			}
+		}
+	}
+	for _, r := range levels {
+		need := int(r*float64(total) + 1e-9)
+		if need < 1 {
+			need = 1
+		}
+		k := sort.Search(len(ranked)+1, func(k int) bool { return correctAt[k] >= need })
+		if k > len(ranked) {
+			out = append(out, RPPoint{Recall: r, Precision: 0})
+			continue
+		}
+		if k == 0 {
+			k = 1
+		}
+		out = append(out, RPPoint{Recall: r, Precision: float64(matchedAt[k]) / float64(k)})
+	}
+	return out
+}
+
+// AveragePrecision integrates the R-P curve at the standard 10 recall
+// levels (0.1 … 1.0), a single ranking-quality number: systems that rank
+// correct answers higher score closer to 1 even when their answer sets
+// (and hence precision/recall) are identical.
+func AveragePrecision(ranked []answer.Answer, goldenTuples map[string]bool) float64 {
+	levels := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	pts := RPCurve(ranked, goldenTuples, levels)
+	sum := 0.0
+	for _, p := range pts {
+		sum += p.Precision
+	}
+	return sum / float64(len(pts))
+}
+
+// ClusteringPRF computes pairwise clustering precision/recall of a
+// mediated schema against a golden concept labelling of attribute names
+// (§7.5): precision is the fraction of same-cluster attribute pairs whose
+// golden concepts agree; recall is the fraction of same-concept pairs the
+// schema puts together. Attributes without a golden concept are ignored.
+func ClusteringPRF(m *schema.MediatedSchema, goldenConcept map[string]string) PRF {
+	names := make([]string, 0)
+	for _, n := range m.Names() {
+		if goldenConcept[n] != "" {
+			names = append(names, n)
+		}
+	}
+	togetherCorrect, together, same := 0, 0, 0
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			a, b := names[i], names[j]
+			inSame := m.ClusterOf(a).Contains(b)
+			conceptSame := goldenConcept[a] == goldenConcept[b]
+			if inSame {
+				together++
+				if conceptSame {
+					togetherCorrect++
+				}
+			}
+			if conceptSame {
+				same++
+			}
+		}
+	}
+	p, r := 0.0, 0.0
+	if together > 0 {
+		p = float64(togetherCorrect) / float64(together)
+	} else if same == 0 {
+		p = 1 // nothing clustered, nothing should be: vacuously precise
+	}
+	if same > 0 {
+		r = float64(togetherCorrect) / float64(same)
+	} else {
+		r = 1
+	}
+	return prf(p, r)
+}
+
+// PMedClusteringPRF scores a probabilistic mediated schema: per-schema
+// measures weighted by the schema probabilities (§7.5).
+func PMedClusteringPRF(pmed *schema.PMedSchema, goldenConcept map[string]string) PRF {
+	var p, r float64
+	for i, m := range pmed.Schemas {
+		s := ClusteringPRF(m, goldenConcept)
+		p += pmed.Probs[i] * s.Precision
+		r += pmed.Probs[i] * s.Recall
+	}
+	return prf(p, r)
+}
+
+// Mean averages a list of PRFs (used for the 10-query-per-domain reports).
+func Mean(scores []PRF) PRF {
+	if len(scores) == 0 {
+		return PRF{}
+	}
+	var p, r, f float64
+	for _, s := range scores {
+		p += s.Precision
+		r += s.Recall
+		f += s.F
+	}
+	n := float64(len(scores))
+	return PRF{Precision: p / n, Recall: r / n, F: f / n}
+}
+
+// TopKPrecision returns the precision of the top-k ranked answers against
+// the distinct golden tuples (the paper's ranking goal: "rank correct
+// answers higher ... high Top-k precision", §3). k larger than the list
+// uses the whole list; an empty list scores 0 unless the golden set is
+// empty too.
+func TopKPrecision(ranked []answer.Answer, goldenTuples map[string]bool, k int) float64 {
+	if len(ranked) == 0 {
+		if len(goldenTuples) == 0 {
+			return 1
+		}
+		return 0
+	}
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	if k <= 0 {
+		return 0
+	}
+	correct := 0
+	for _, a := range ranked[:k] {
+		if goldenTuples[tupleKey(a.Values)] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(k)
+}

@@ -1,0 +1,247 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"udi/internal/answer"
+	"udi/internal/schema"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func golden(rows map[Key][]string) *Golden { return NewGolden(rows) }
+
+func TestInstancePRFBasic(t *testing.T) {
+	g := golden(map[Key][]string{
+		{"s1", 0}: {"Alice"},
+		{"s1", 1}: {"Bob"},
+		{"s2", 0}: {"Carol"},
+	})
+	instances := []answer.Instance{
+		{Source: "s1", Row: 0, Values: []string{"Alice"}, Prob: 1}, // correct
+		{Source: "s1", Row: 1, Values: []string{"WRONG"}, Prob: 1}, // wrong values
+		{Source: "s3", Row: 5, Values: []string{"Eve"}, Prob: 1},   // wrong row
+	}
+	s := InstancePRF(instances, g, true)
+	if !almostEq(s.Precision, 1.0/3) || !almostEq(s.Recall, 1.0/3) {
+		t.Errorf("PRF = %+v", s)
+	}
+	// Without value checking, the s1 row 1 instance becomes correct.
+	s = InstancePRF(instances, g, false)
+	if !almostEq(s.Precision, 2.0/3) || !almostEq(s.Recall, 2.0/3) {
+		t.Errorf("row-identity PRF = %+v", s)
+	}
+}
+
+func TestInstancePRFDuplicatesKept(t *testing.T) {
+	g := golden(map[Key][]string{{"s1", 0}: {"A"}})
+	instances := []answer.Instance{
+		{Source: "s1", Row: 0, Values: []string{"A"}},
+		{Source: "s1", Row: 0, Values: []string{"A"}},
+		{Source: "s1", Row: 0, Values: []string{"B"}},
+	}
+	s := InstancePRF(instances, g, true)
+	// Precision counts all three returned instances; the duplicate correct
+	// ones both count.
+	if !almostEq(s.Precision, 2.0/3) || !almostEq(s.Recall, 1) {
+		t.Errorf("PRF = %+v", s)
+	}
+}
+
+func TestInstancePRFEmpty(t *testing.T) {
+	s := InstancePRF(nil, golden(map[Key][]string{{"s", 0}: {"x"}}), true)
+	if s.Precision != 0 || s.Recall != 0 || s.F != 0 {
+		t.Errorf("empty result PRF = %+v", s)
+	}
+	s = InstancePRF(nil, golden(nil), true)
+	if s.Precision != 1 || s.Recall != 1 {
+		t.Errorf("empty/empty PRF = %+v", s)
+	}
+	s = InstancePRF([]answer.Instance{{Source: "s", Row: 0, Values: []string{"x"}}}, golden(nil), true)
+	if s.Precision != 0 || s.Recall != 1 {
+		t.Errorf("spurious-answer PRF = %+v", s)
+	}
+}
+
+func TestFMeasure(t *testing.T) {
+	s := prf(1, 0.5)
+	if !almostEq(s.F, 2*1*0.5/1.5) {
+		t.Errorf("F = %f", s.F)
+	}
+	if prf(0, 0).F != 0 {
+		t.Error("F(0,0) != 0")
+	}
+}
+
+func TestRankedPRF(t *testing.T) {
+	goldenTuples := map[string]bool{"A": true, "B": true}
+	ranked := []answer.Answer{
+		{Values: []string{"A"}, Prob: 0.9},
+		{Values: []string{"X"}, Prob: 0.5},
+	}
+	s := RankedPRF(ranked, goldenTuples)
+	if !almostEq(s.Precision, 0.5) || !almostEq(s.Recall, 0.5) {
+		t.Errorf("RankedPRF = %+v", s)
+	}
+}
+
+func TestRPCurve(t *testing.T) {
+	goldenTuples := map[string]bool{"A": true, "B": true, "C": true, "D": true}
+	ranked := []answer.Answer{
+		{Values: []string{"A"}, Prob: 0.9},
+		{Values: []string{"X"}, Prob: 0.8},
+		{Values: []string{"B"}, Prob: 0.7},
+		{Values: []string{"C"}, Prob: 0.6},
+		{Values: []string{"Y"}, Prob: 0.5},
+		{Values: []string{"D"}, Prob: 0.4},
+	}
+	pts := RPCurve(ranked, goldenTuples, []float64{0.25, 0.5, 0.75, 1.0})
+	// recall 0.25 -> need 1 correct -> K=1 -> precision 1.
+	if !almostEq(pts[0].Precision, 1) {
+		t.Errorf("P@R=0.25 = %f", pts[0].Precision)
+	}
+	// recall 0.5 -> need 2 -> K=3 (A,X,B) -> precision 2/3.
+	if !almostEq(pts[1].Precision, 2.0/3) {
+		t.Errorf("P@R=0.5 = %f", pts[1].Precision)
+	}
+	// recall 0.75 -> need 3 -> K=4 -> precision 3/4.
+	if !almostEq(pts[2].Precision, 0.75) {
+		t.Errorf("P@R=0.75 = %f", pts[2].Precision)
+	}
+	// recall 1.0 -> need 4 -> K=6 -> precision 4/6.
+	if !almostEq(pts[3].Precision, 4.0/6) {
+		t.Errorf("P@R=1.0 = %f", pts[3].Precision)
+	}
+}
+
+func TestRPCurveUnreachable(t *testing.T) {
+	goldenTuples := map[string]bool{"A": true, "B": true}
+	ranked := []answer.Answer{{Values: []string{"A"}, Prob: 0.9}}
+	pts := RPCurve(ranked, goldenTuples, []float64{1.0})
+	if pts[0].Precision != 0 {
+		t.Errorf("unreachable recall precision = %f", pts[0].Precision)
+	}
+	// Empty golden: all levels precision 0 by convention.
+	pts = RPCurve(ranked, map[string]bool{}, []float64{0.5})
+	if pts[0].Precision != 0 {
+		t.Errorf("empty-golden precision = %f", pts[0].Precision)
+	}
+}
+
+func medSchema(clusters ...[]string) *schema.MediatedSchema {
+	var attrs []schema.MediatedAttr
+	for _, c := range clusters {
+		attrs = append(attrs, schema.NewMediatedAttr(c...))
+	}
+	return schema.MustNewMediatedSchema(attrs)
+}
+
+func TestClusteringPRF(t *testing.T) {
+	concepts := map[string]string{
+		"author": "author", "authors": "author", "writer": "author",
+		"title": "title", "name": "title",
+	}
+	// Perfect clustering.
+	m := medSchema([]string{"author", "authors", "writer"}, []string{"title", "name"})
+	s := ClusteringPRF(m, concepts)
+	if s.Precision != 1 || s.Recall != 1 {
+		t.Errorf("perfect clustering PRF = %+v", s)
+	}
+	// Under-clustered: writer separated. Same-cluster pairs: (author,
+	// authors), (title,name) both correct -> precision 1. Golden same
+	// pairs: 3 author pairs + 1 title pair = 4; found 2 -> recall 0.5.
+	m = medSchema([]string{"author", "authors"}, []string{"writer"}, []string{"title", "name"})
+	s = ClusteringPRF(m, concepts)
+	if s.Precision != 1 || !almostEq(s.Recall, 0.5) {
+		t.Errorf("under-clustered PRF = %+v", s)
+	}
+	// Over-clustered: author group absorbs title.
+	m = medSchema([]string{"author", "authors", "writer", "title", "name"})
+	s = ClusteringPRF(m, concepts)
+	// together pairs = C(5,2)=10, correct = 3+1 = 4 -> precision 0.4; recall 1.
+	if !almostEq(s.Precision, 0.4) || s.Recall != 1 {
+		t.Errorf("over-clustered PRF = %+v", s)
+	}
+}
+
+func TestClusteringPRFIgnoresUnlabelled(t *testing.T) {
+	concepts := map[string]string{"a": "x", "b": "x"}
+	m := medSchema([]string{"a", "b", "mystery"})
+	s := ClusteringPRF(m, concepts)
+	if s.Precision != 1 || s.Recall != 1 {
+		t.Errorf("unlabelled attr not ignored: %+v", s)
+	}
+}
+
+func TestClusteringPRFAllSingletons(t *testing.T) {
+	concepts := map[string]string{"a": "x", "b": "y"}
+	m := medSchema([]string{"a"}, []string{"b"})
+	s := ClusteringPRF(m, concepts)
+	// Nothing clustered and nothing should be: vacuous precision and recall.
+	if s.Precision != 1 || s.Recall != 1 {
+		t.Errorf("all-singleton PRF = %+v", s)
+	}
+}
+
+func TestPMedClusteringPRF(t *testing.T) {
+	concepts := map[string]string{"a": "x", "b": "x", "c": "y"}
+	good := medSchema([]string{"a", "b"}, []string{"c"})
+	bad := medSchema([]string{"a", "b", "c"})
+	pmed, _ := schema.NewPMedSchema([]*schema.MediatedSchema{good, bad}, []float64{0.7, 0.3})
+	s := PMedClusteringPRF(pmed, concepts)
+	// good: P=1, R=1. bad: together pairs 3, correct 1 -> P=1/3, R=1.
+	wantP := 0.7*1 + 0.3*(1.0/3)
+	if !almostEq(s.Precision, wantP) || !almostEq(s.Recall, 1) {
+		t.Errorf("PMed PRF = %+v, want P=%f", s, wantP)
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([]PRF{{1, 1, 1}, {0, 0, 0}})
+	if !almostEq(m.Precision, 0.5) || !almostEq(m.Recall, 0.5) || !almostEq(m.F, 0.5) {
+		t.Errorf("Mean = %+v", m)
+	}
+	if z := Mean(nil); z.Precision != 0 || z.Recall != 0 {
+		t.Errorf("Mean(nil) = %+v", z)
+	}
+}
+
+func TestGoldenDistinctTuples(t *testing.T) {
+	g := golden(map[Key][]string{
+		{"s1", 0}: {"A"},
+		{"s2", 3}: {"A"},
+		{"s1", 1}: {"B"},
+	})
+	d := g.DistinctTuples()
+	if len(d) != 2 || !d["A"] || !d["B"] {
+		t.Errorf("DistinctTuples = %v", d)
+	}
+}
+
+func TestTopKPrecision(t *testing.T) {
+	goldenTuples := map[string]bool{"A": true, "B": true}
+	ranked := []answer.Answer{
+		{Values: []string{"A"}, Prob: 0.9},
+		{Values: []string{"X"}, Prob: 0.8},
+		{Values: []string{"B"}, Prob: 0.7},
+	}
+	if p := TopKPrecision(ranked, goldenTuples, 1); !almostEq(p, 1) {
+		t.Errorf("P@1 = %f", p)
+	}
+	if p := TopKPrecision(ranked, goldenTuples, 2); !almostEq(p, 0.5) {
+		t.Errorf("P@2 = %f", p)
+	}
+	if p := TopKPrecision(ranked, goldenTuples, 10); !almostEq(p, 2.0/3) {
+		t.Errorf("P@10 (clamped) = %f", p)
+	}
+	if p := TopKPrecision(nil, goldenTuples, 5); p != 0 {
+		t.Errorf("empty ranked = %f", p)
+	}
+	if p := TopKPrecision(nil, map[string]bool{}, 5); p != 1 {
+		t.Errorf("empty/empty = %f", p)
+	}
+	if p := TopKPrecision(ranked, goldenTuples, 0); p != 0 {
+		t.Errorf("k=0 = %f", p)
+	}
+}

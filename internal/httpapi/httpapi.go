@@ -1,0 +1,253 @@
+// Package httpapi exposes a configured integration system over HTTP: query
+// answering (with by-table or by-tuple ranking), mediated-schema
+// inspection, answer provenance, and the pay-as-you-go feedback endpoint.
+// It turns the library into the service a dataspace deployment would
+// actually run: set up once (or restore a snapshot), then serve.
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"udi/internal/core"
+	"udi/internal/feedback"
+	"udi/internal/sqlparse"
+)
+
+// Server wraps a system with the HTTP handlers. Feedback mutates the
+// p-mappings, so queries and feedback are serialized by an RW lock.
+type Server struct {
+	mu  sync.RWMutex
+	sys *core.System
+}
+
+// NewServer wraps a configured system.
+func NewServer(sys *core.System) *Server { return &Server{sys: sys} }
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /schema", s.handleSchema)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /explain", s.handleExplain)
+	mux.HandleFunc("POST /feedback", s.handleFeedback)
+	mux.HandleFunc("GET /candidates", s.handleCandidates)
+	return mux
+}
+
+type candidateJSON struct {
+	Source      string   `json:"source"`
+	SrcAttr     string   `json:"attr"`
+	Cluster     []string `json:"cluster"`
+	MedName     string   `json:"med_name"` // a member name usable in POST /feedback
+	Marginal    float64  `json:"marginal"`
+	Uncertainty float64  `json:"uncertainty"`
+}
+
+// handleCandidates lists the correspondences the system would most like a
+// human to confirm or reject, ranked by expected information gain — the
+// question queue of the pay-as-you-go loop. Answer one with POST
+// /feedback using the returned med_name.
+func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
+	limit := 10
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &limit); err != nil || limit <= 0 {
+			writeError(w, http.StatusBadRequest, errors.New("limit must be a positive integer"))
+			return
+		}
+	}
+	s.mu.RLock()
+	sess := feedback.NewSession(s.sys, nil)
+	cands := sess.Candidates(limit)
+	out := make([]candidateJSON, 0, len(cands))
+	for _, c := range cands {
+		cluster := s.sys.Med.PMed.Schemas[c.SchemaIdx].Attrs[c.MedIdx]
+		out = append(out, candidateJSON{
+			Source:      c.Source,
+			SrcAttr:     c.SrcAttr,
+			Cluster:     []string(cluster),
+			MedName:     cluster[0],
+			Marginal:    c.Marginal,
+			Uncertainty: c.Uncertainty,
+		})
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"candidates": out})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	n := len(s.sys.Corpus.Sources)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sources": n})
+}
+
+type schemaResponse struct {
+	Schemas []schemaJSON `json:"schemas"`
+	Target  [][]string   `json:"consolidated"`
+}
+
+type schemaJSON struct {
+	Prob     float64    `json:"prob"`
+	Clusters [][]string `json:"clusters"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	resp := schemaResponse{}
+	for i, m := range s.sys.Med.PMed.Schemas {
+		sj := schemaJSON{Prob: s.sys.Med.PMed.Probs[i]}
+		for _, a := range m.Attrs {
+			sj.Clusters = append(sj.Clusters, []string(a))
+		}
+		resp.Schemas = append(resp.Schemas, sj)
+	}
+	if s.sys.Target != nil {
+		for _, a := range s.sys.Target.Attrs {
+			resp.Target = append(resp.Target, []string(a))
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type queryRequest struct {
+	Query string `json:"query"`
+	// Approach selects the answering system; default UDI.
+	Approach string `json:"approach,omitempty"`
+	// Semantics is "by-table" (default) or "by-tuple".
+	Semantics string `json:"semantics,omitempty"`
+	// Top bounds the returned answers (0 = all).
+	Top int `json:"top,omitempty"`
+}
+
+type answerJSON struct {
+	Values []string `json:"values"`
+	Prob   float64  `json:"prob"`
+}
+
+type queryResponse struct {
+	Answers     []answerJSON `json:"answers"`
+	Distinct    int          `json:"distinct"`
+	Occurrences int          `json:"occurrences"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	q, err := sqlparse.Parse(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	approach := core.Approach(req.Approach)
+	if req.Approach == "" {
+		approach = core.UDI
+	}
+	s.mu.RLock()
+	rs, err := s.sys.Run(approach, q)
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ranked := rs.Ranked
+	switch req.Semantics {
+	case "", "by-table":
+	case "by-tuple":
+		ranked = rs.ByTupleRanking()
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("semantics must be by-table or by-tuple"))
+		return
+	}
+	resp := queryResponse{Distinct: len(ranked), Occurrences: len(rs.Instances)}
+	for i, a := range ranked {
+		if req.Top > 0 && i >= req.Top {
+			break
+		}
+		resp.Answers = append(resp.Answers, answerJSON{Values: a.Values, Prob: a.Prob})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type explainRequest struct {
+	Query  string   `json:"query"`
+	Values []string `json:"values"`
+}
+
+type contributionJSON struct {
+	Source    string         `json:"source"`
+	SchemaIdx int            `json:"schema"`
+	MedToSrc  map[int]string `json:"mapping"`
+	Rows      []int          `json:"rows"`
+	Mass      float64        `json:"mass"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	q, err := sqlparse.Parse(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.RLock()
+	contribs, err := s.sys.ExplainAnswer(q, req.Values)
+	s.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]contributionJSON, 0, len(contribs))
+	for _, c := range contribs {
+		out = append(out, contributionJSON(c))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"contributions": out})
+}
+
+type feedbackRequest struct {
+	Source    string `json:"source"`
+	SrcAttr   string `json:"attr"`
+	MedName   string `json:"med_name"`
+	Confirmed bool   `json:"confirmed"`
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req feedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	s.mu.Lock()
+	err := s.sys.ApplyFeedback(req.Source, req.SrcAttr, req.MedName, req.Confirmed)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "applied"})
+}

@@ -1,0 +1,235 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"udi/internal/core"
+	"udi/internal/datagen"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	spec := datagen.People(103)
+	spec.NumSources = 20
+	c := datagen.MustGenerate(spec)
+	sys, err := core.Setup(c.Corpus, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(sys).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["status"] != "ok" || out["sources"].(float64) != 20 {
+		t.Errorf("health = %v", out)
+	}
+}
+
+func TestSchemaEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out schemaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Schemas) < 2 || len(out.Target) == 0 {
+		t.Errorf("schema response = %+v", out)
+	}
+	total := 0.0
+	for _, s := range out.Schemas {
+		total += s.Prob
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("schema probs sum to %f", total)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, out := postJSON(t, srv.URL+"/query", queryRequest{
+		Query: "SELECT name, phone FROM People", Top: 5,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	answers := out["answers"].([]any)
+	if len(answers) != 5 {
+		t.Fatalf("answers = %v", answers)
+	}
+	first := answers[0].(map[string]any)
+	if p := first["prob"].(float64); p <= 0 || p > 1 {
+		t.Errorf("prob = %f", p)
+	}
+	if out["distinct"].(float64) < 5 {
+		t.Errorf("distinct = %v", out["distinct"])
+	}
+}
+
+func TestQueryByTuple(t *testing.T) {
+	srv := testServer(t)
+	resp, out := postJSON(t, srv.URL+"/query", queryRequest{
+		Query: "SELECT job FROM People", Semantics: "by-tuple", Top: 3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	if len(out["answers"].([]any)) == 0 {
+		t.Error("no answers under by-tuple semantics")
+	}
+	resp, _ = postJSON(t, srv.URL+"/query", queryRequest{
+		Query: "SELECT job FROM People", Semantics: "nonsense",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad semantics accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	srv := testServer(t)
+	resp, _ := postJSON(t, srv.URL+"/query", queryRequest{Query: "not sql"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad query accepted: %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/query", queryRequest{Query: "SELECT name FROM t", Approach: "Nope"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad approach accepted: %d", resp.StatusCode)
+	}
+	r, err := http.Post(srv.URL+"/query", "application/json", strings.NewReader("{garbage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body accepted: %d", r.StatusCode)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	srv := testServer(t)
+	_, out := postJSON(t, srv.URL+"/query", queryRequest{
+		Query: "SELECT name FROM People", Top: 1,
+	})
+	first := out["answers"].([]any)[0].(map[string]any)
+	var values []string
+	for _, v := range first["values"].([]any) {
+		values = append(values, v.(string))
+	}
+	resp, out := postJSON(t, srv.URL+"/explain", explainRequest{
+		Query: "SELECT name FROM People", Values: values,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	if len(out["contributions"].([]any)) == 0 {
+		t.Error("no contributions for a returned answer")
+	}
+}
+
+func TestFeedbackEndpoint(t *testing.T) {
+	srv := testServer(t)
+	// Find a generic source to give feedback about via the schema.
+	resp, out := postJSON(t, srv.URL+"/feedback", feedbackRequest{
+		Source: "People-000", SrcAttr: "phone", MedName: "phone", Confirmed: true,
+	})
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unexpected status %d: %v", resp.StatusCode, out)
+	}
+	// Unknown source must 400.
+	resp, _ = postJSON(t, srv.URL+"/feedback", feedbackRequest{
+		Source: "nope", SrcAttr: "a", MedName: "name", Confirmed: true,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown source accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestMethodRouting(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed && resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /query returned %d", resp.StatusCode)
+	}
+}
+
+func TestCandidatesEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/candidates?limit=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out map[string][]candidateJSON
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	cands := out["candidates"]
+	if len(cands) == 0 || len(cands) > 5 {
+		t.Fatalf("candidates = %v", cands)
+	}
+	// The returned med_name must be answerable via POST /feedback.
+	c := cands[0]
+	resp2, body := postJSON(t, srv.URL+"/feedback", feedbackRequest{
+		Source: c.Source, SrcAttr: c.SrcAttr, MedName: c.MedName, Confirmed: true,
+	})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("feedback on candidate rejected: %d %v", resp2.StatusCode, body)
+	}
+	// Bad limit must 400.
+	resp3, err := http.Get(srv.URL + "/candidates?limit=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad limit accepted: %d", resp3.StatusCode)
+	}
+}

@@ -1,0 +1,74 @@
+package matching
+
+import (
+	"math"
+	"testing"
+
+	"udi/internal/schema"
+	"udi/internal/strutil"
+)
+
+func corpus() *schema.Corpus {
+	c, _ := schema.NewCorpus("d", []*schema.Source{
+		schema.MustNewSource("s1", []string{"name", "year"}, [][]string{
+			{"Alice", "1990"}, {"Bob", "2001"}, {"Carol", "1990"},
+		}),
+		schema.MustNewSource("s2", []string{"fullname", "yr"}, [][]string{
+			{"Alice", "1990"}, {"Bob", "1995"},
+		}),
+		schema.MustNewSource("s3", []string{"price"}, [][]string{
+			{"10000"}, {"25000"},
+		}),
+	})
+	return c
+}
+
+func TestInstanceSimOverlap(t *testing.T) {
+	is := NewInstanceSim(corpus())
+	// fullname's values {Alice, Bob} ⊂ name's {Alice, Bob, Carol}:
+	// Jaccard 2/3.
+	if got := is.Sim("name", "fullname"); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("Sim(name, fullname) = %f, want 2/3", got)
+	}
+	// year {1990, 2001} vs yr {1990, 1995}: intersection 1, union 3.
+	if got := is.Sim("year", "yr"); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("Sim(year, yr) = %f, want 1/3", got)
+	}
+	// Disjoint populations.
+	if got := is.Sim("name", "price"); got != 0 {
+		t.Errorf("Sim(name, price) = %f", got)
+	}
+	// Identity and unknown names.
+	if is.Sim("name", "name") != 1 {
+		t.Error("identity != 1")
+	}
+	if is.Sim("name", "ghost") != 0 {
+		t.Error("unknown attribute overlap != 0")
+	}
+	// Symmetry via cache.
+	if is.Sim("fullname", "name") != is.Sim("name", "fullname") {
+		t.Error("not symmetric")
+	}
+}
+
+func TestHybridRecoversNameDissimilarPairs(t *testing.T) {
+	is := NewInstanceSim(corpus())
+	hybrid := Hybrid(strutil.AttrSim, is, 1.0)
+	// Name similarity alone misses fullname↔name entirely...
+	if s := strutil.AttrSim("name", "fullname"); s >= 0.5 {
+		t.Fatalf("premise broken: AttrSim = %f", s)
+	}
+	// ...the hybrid recovers it through the value overlap.
+	if s := hybrid("name", "fullname"); s < 0.6 {
+		t.Errorf("hybrid = %f, want >= 0.6", s)
+	}
+	// Name-confident pairs are untouched.
+	if s := hybrid("name", "names"); s < strutil.AttrSim("name", "names") {
+		t.Errorf("hybrid eroded name similarity: %f", s)
+	}
+	// Scaling dampens the instance signal.
+	weak := Hybrid(strutil.AttrSim, is, 0.5)
+	if s := weak("name", "fullname"); math.Abs(s-1.0/3) > 1e-9 {
+		t.Errorf("weighted hybrid = %f, want 1/3", s)
+	}
+}

@@ -1,0 +1,31 @@
+package maxent_test
+
+import (
+	"fmt"
+
+	"udi/internal/maxent"
+)
+
+// The paper's §5.2 worked example: a source (A, B) and mediated schema
+// (A', B') with correspondence weights p(A→A') = 0.6 and p(B→B') = 0.5.
+// The four candidate one-to-one mappings are {both}, {A only}, {B only}
+// and {} — the maximum-entropy distribution is the independent product.
+func ExampleSolve() {
+	probs, err := maxent.Solve(maxent.Problem{
+		NumOutcomes: 4,
+		Features:    [][]int{{0, 1}, {0}, {1}, {}},
+		Targets:     []float64{0.6, 0.5},
+	}, maxent.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i, p := range probs {
+		fmt.Printf("m%d: %.2f\n", i+1, p)
+	}
+	// Output:
+	// m1: 0.30
+	// m2: 0.30
+	// m3: 0.20
+	// m4: 0.20
+}

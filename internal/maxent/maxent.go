@@ -1,0 +1,326 @@
+// Package maxent solves the entropy-maximization program of the paper's
+// §5.2 (OPT): given discrete outcomes (candidate schema mappings) and
+// linear marginal constraints (each weighted correspondence (i,j) must
+// receive total probability p_{i,j} over the mappings containing it), find
+// the probability distribution with maximum entropy.
+//
+// It replaces the Knitro solver used by the authors. The optimum of OPT has
+// Gibbs form p_k ∝ Π_{c∈m_k} μ_c, and iterative proportional fitting —
+// cyclic exact I-projections onto each constraint's feasible set — converges
+// to it (Csiszár 1975). Each constraint partitions outcomes into
+// {contains c, does not}, so the exact projection step is a two-block
+// rescale that preserves Σp = 1.
+package maxent
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Problem describes one OPT instance.
+type Problem struct {
+	// NumOutcomes is the number of candidate mappings l.
+	NumOutcomes int
+	// Features[k] lists the constraint indices whose correspondence is
+	// contained in outcome k. Indices must be in [0, len(Targets)).
+	Features [][]int
+	// Targets[c] is the required total probability of constraint c
+	// (the normalized weighted correspondence p'_{i,j}).
+	Targets []float64
+}
+
+// Options tunes the solver.
+type Options struct {
+	// MaxSweeps bounds the number of full passes over the constraints.
+	// Zero means the default (20000).
+	MaxSweeps int
+	// Tol is the convergence tolerance on max |E_c - t_c|. Zero means the
+	// default (1e-9).
+	Tol float64
+}
+
+// ErrInfeasible is wrapped by Solve when no distribution can satisfy the
+// constraints (e.g. a constraint's outcome set is empty but its target is
+// positive, or targets conflict).
+var ErrInfeasible = errors.New("maxent: constraints are infeasible")
+
+// Validate checks structural sanity of the problem.
+func (p *Problem) Validate() error {
+	if p.NumOutcomes <= 0 {
+		return fmt.Errorf("maxent: need at least one outcome")
+	}
+	if len(p.Features) != p.NumOutcomes {
+		return fmt.Errorf("maxent: Features has %d rows, want %d", len(p.Features), p.NumOutcomes)
+	}
+	for k, fs := range p.Features {
+		seen := make(map[int]bool, len(fs))
+		for _, c := range fs {
+			if c < 0 || c >= len(p.Targets) {
+				return fmt.Errorf("maxent: outcome %d references constraint %d out of range", k, c)
+			}
+			if seen[c] {
+				return fmt.Errorf("maxent: outcome %d repeats constraint %d", k, c)
+			}
+			seen[c] = true
+		}
+	}
+	for c, t := range p.Targets {
+		// Tolerate floating-point drift just past the bounds; Solve clamps.
+		if t < -1e-9 || t > 1+1e-9 {
+			return fmt.Errorf("maxent: target %d = %g out of [0,1]", c, t)
+		}
+	}
+	return nil
+}
+
+// Solve returns the maximum-entropy distribution satisfying the problem's
+// constraints, within opts.Tol. The returned slice has length NumOutcomes
+// and sums to 1.
+func Solve(p Problem, opts Options) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	// Clamp targets that drifted past [0,1] by floating-point noise
+	// (Validate already bounded the drift). Work on a copy: the caller's
+	// slice must not be mutated.
+	targets := make([]float64, len(p.Targets))
+	copy(targets, p.Targets)
+	for c, t := range targets {
+		if t < 0 {
+			targets[c] = 0
+		} else if t > 1 {
+			targets[c] = 1
+		}
+	}
+	p.Targets = targets
+	maxSweeps := opts.MaxSweeps
+	if maxSweeps <= 0 {
+		maxSweeps = 20000
+	}
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-9
+	}
+
+	// members[c] lists the outcomes containing constraint c.
+	members := make([][]int, len(p.Targets))
+	for k, fs := range p.Features {
+		for _, c := range fs {
+			members[c] = append(members[c], k)
+		}
+	}
+	for c, t := range p.Targets {
+		if len(members[c]) == 0 && t > tol {
+			return nil, fmt.Errorf("%w: constraint %d has target %g but no supporting outcome", ErrInfeasible, c, t)
+		}
+		if len(members[c]) == p.NumOutcomes && math.Abs(t-1) > tol && p.NumOutcomes > 0 {
+			// Every outcome contains c, so its total is forced to 1.
+			return nil, fmt.Errorf("%w: constraint %d appears in every outcome but target is %g", ErrInfeasible, c, t)
+		}
+	}
+
+	// Fast path: when every outcome carries at most one constraint, the
+	// constraints partition the outcomes and the maxent solution is closed
+	// form — each constraint's target splits uniformly over its outcomes,
+	// and the left-over mass splits uniformly over the free outcomes. This
+	// covers the common "star" groups (one attribute matched against
+	// several alternatives) exactly, including boundary optima that IPF
+	// approaches only sublinearly.
+	if probs, ok, err := solveDisjoint(p, members, tol); ok {
+		return probs, err
+	}
+
+	// Start uniform; zero out outcomes containing a zero-target constraint
+	// (their probability must be exactly 0 in any feasible solution).
+	probs := make([]float64, p.NumOutcomes)
+	alive := p.NumOutcomes
+	zeroed := make([]bool, p.NumOutcomes)
+	for c, t := range p.Targets {
+		if t <= tol {
+			for _, k := range members[c] {
+				if !zeroed[k] {
+					zeroed[k] = true
+					alive--
+				}
+			}
+		}
+	}
+	if alive == 0 {
+		return nil, fmt.Errorf("%w: every outcome is excluded by a zero target", ErrInfeasible)
+	}
+	for k := range probs {
+		if !zeroed[k] {
+			probs[k] = 1 / float64(alive)
+		}
+	}
+
+	lastStallCheck := math.Inf(1)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		worst := 0.0
+		for c, t := range p.Targets {
+			if t <= tol {
+				continue // handled by zeroing
+			}
+			e := 0.0
+			for _, k := range members[c] {
+				e += probs[k]
+			}
+			if d := math.Abs(e - t); d > worst {
+				worst = d
+			}
+			if e <= 0 {
+				return nil, fmt.Errorf("%w: constraint %d lost all support during fitting", ErrInfeasible, c)
+			}
+			// Exact I-projection onto {Σ_{k∋c} p_k = t}: rescale the two
+			// blocks. The complement block may be empty only when t = 1.
+			comp := 1 - e
+			if comp < 0 {
+				comp = 0
+			}
+			inScale := t / e
+			outScale := 0.0
+			if comp > 0 {
+				outScale = (1 - t) / comp
+			} else if math.Abs(t-1) > tol {
+				return nil, fmt.Errorf("%w: constraint %d saturates the distribution but target is %g", ErrInfeasible, c, t)
+			}
+			inSet := make(map[int]bool, len(members[c]))
+			for _, k := range members[c] {
+				inSet[k] = true
+			}
+			for k := range probs {
+				if zeroed[k] {
+					continue
+				}
+				if inSet[k] {
+					probs[k] *= inScale
+				} else {
+					probs[k] *= outScale
+				}
+			}
+		}
+		if worst < tol {
+			return normalize(probs), nil
+		}
+		// Boundary optima (some p_k → 0) slow IPF to a 1/k crawl: when the
+		// residual stops halving, outcomes whose mass is on the order of
+		// the residual are vanishing — zero them and continue on the face.
+		if sweep%500 == 499 {
+			if worst > lastStallCheck/2 {
+				changed := false
+				for k := range probs {
+					if !zeroed[k] && probs[k] > 0 && probs[k] < 2*worst {
+						zeroed[k] = true
+						probs[k] = 0
+						changed = true
+					}
+				}
+				if changed {
+					probs = normalize(probs)
+				}
+			}
+			lastStallCheck = worst
+		}
+	}
+	// Converged-enough check: accept a loose tolerance before failing.
+	if residual(p, probs, members) < 1e-6 {
+		return normalize(probs), nil
+	}
+	return nil, fmt.Errorf("%w: IPF did not converge (residual %g)", ErrInfeasible, residual(p, probs, members))
+}
+
+// solveDisjoint handles problems where no outcome carries more than one
+// constraint. Returns ok=false when the structure does not apply.
+func solveDisjoint(p Problem, members [][]int, tol float64) ([]float64, bool, error) {
+	for _, fs := range p.Features {
+		if len(fs) > 1 {
+			return nil, false, nil
+		}
+	}
+	probs := make([]float64, p.NumOutcomes)
+	used := 0.0
+	constrained := make([]bool, p.NumOutcomes)
+	for c, t := range p.Targets {
+		for _, k := range members[c] {
+			probs[k] = t / float64(len(members[c]))
+			constrained[k] = true
+		}
+		used += t
+	}
+	free := 0
+	for k := range probs {
+		if !constrained[k] {
+			free++
+		}
+	}
+	rest := 1 - used
+	switch {
+	case rest < -1e-9:
+		return nil, true, fmt.Errorf("%w: disjoint targets sum to %g > 1", ErrInfeasible, used)
+	case free == 0 && rest > tol && rest > 1e-9:
+		return nil, true, fmt.Errorf("%w: no free outcome to absorb residual mass %g", ErrInfeasible, rest)
+	case rest < 0:
+		rest = 0
+	}
+	if free > 0 {
+		share := rest / float64(free)
+		for k := range probs {
+			if !constrained[k] {
+				probs[k] = share
+			}
+		}
+	}
+	return normalize(probs), true, nil
+}
+
+func residual(p Problem, probs []float64, members [][]int) float64 {
+	worst := 0.0
+	for c, t := range p.Targets {
+		e := 0.0
+		for _, k := range members[c] {
+			e += probs[k]
+		}
+		if d := math.Abs(e - t); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func normalize(probs []float64) []float64 {
+	sum := 0.0
+	for _, v := range probs {
+		sum += v
+	}
+	if sum <= 0 {
+		return probs
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	return probs
+}
+
+// Entropy returns -Σ p log p (natural log), treating 0 log 0 as 0.
+func Entropy(probs []float64) float64 {
+	h := 0.0
+	for _, v := range probs {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}
+
+// Residual reports the worst constraint violation of a candidate
+// distribution; used to verify Definition 5.1 consistency in tests.
+func Residual(p Problem, probs []float64) float64 {
+	members := make([][]int, len(p.Targets))
+	for k, fs := range p.Features {
+		for _, c := range fs {
+			members[c] = append(members[c], k)
+		}
+	}
+	return residual(p, probs, members)
+}

@@ -1,0 +1,187 @@
+// Package mediate generates mediated schemas from a corpus of source
+// schemas (paper §4): the single deterministic schema of §4.1, the
+// probabilistic mediated schema of §4.2 (Algorithm 1 enumerates clusterings
+// over uncertain-edge subsets, Algorithm 2 assigns consistency-based
+// probabilities), and the UnionAll baseline of §7.4.
+package mediate
+
+import (
+	"fmt"
+	"sort"
+
+	"udi/internal/schema"
+	"udi/internal/strutil"
+	"udi/internal/wgraph"
+)
+
+// Config carries the thresholds of §7.1.
+type Config struct {
+	// Theta is the attribute frequency threshold (default 0.10): attributes
+	// appearing in fewer than Theta of the sources are not mediated.
+	Theta float64
+	// Tau is the edge-weight threshold (default 0.85).
+	Tau float64
+	// Eps is the error bar around Tau for uncertain edges (default 0.02).
+	Eps float64
+	// Sim is the pairwise attribute-name similarity (default
+	// strutil.AttrSim, a Jaro-Winkler hybrid).
+	Sim strutil.Func
+	// MaxUncertain caps the uncertain edges kept for the 2^u enumeration
+	// (default 12).
+	MaxUncertain int
+}
+
+// withDefaults fills zero fields with the paper's §7.1 values.
+func (c Config) withDefaults() Config {
+	if c.Theta == 0 {
+		c.Theta = 0.10
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.85
+	}
+	if c.Eps == 0 {
+		c.Eps = 0.02
+	}
+	if c.Sim == nil {
+		c.Sim = strutil.AttrSim
+	}
+	if c.MaxUncertain == 0 {
+		c.MaxUncertain = 12
+	}
+	return c
+}
+
+// Result is the output of p-med-schema generation, retaining the attribute
+// graph for inspection (Figure 3 renders it) and downstream reuse.
+type Result struct {
+	PMed          *schema.PMedSchema
+	Graph         *wgraph.Graph
+	FrequentAttrs []string
+}
+
+// Generate runs Algorithms 1 and 2: build the certain/uncertain attribute
+// graph over frequent attributes, prune and cap uncertain edges, enumerate
+// the distinct clusterings, and weight each by the fraction of sources
+// consistent with it (Definition 4.1). Schemas are ordered by descending
+// probability.
+func Generate(c *schema.Corpus, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	attrs := c.FrequentAttrs(cfg.Theta)
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("mediate: no attribute reaches frequency %g in corpus %q", cfg.Theta, c.Domain)
+	}
+	g := wgraph.Build(attrs, cfg.Sim, cfg.Tau, cfg.Eps)
+	g.PruneUncertain().CapUncertain(cfg.MaxUncertain, cfg.Tau)
+
+	parts, _, err := g.EnumeratePartitions()
+	if err != nil {
+		return nil, fmt.Errorf("mediate: %w", err)
+	}
+	schemas := make([]*schema.MediatedSchema, 0, len(parts))
+	for _, p := range parts {
+		m, err := partitionToSchema(p)
+		if err != nil {
+			return nil, err
+		}
+		schemas = append(schemas, m)
+	}
+
+	probs := AssignProbabilities(schemas, c)
+	// Definition 3.1 requires probabilities in (0,1]: schemas consistent
+	// with no source get probability 0 under Algorithm 2 and are dropped.
+	kept := schemas[:0]
+	keptProbs := probs[:0]
+	for i, p := range probs {
+		if p > 0 {
+			kept = append(kept, schemas[i])
+			keptProbs = append(keptProbs, p)
+		}
+	}
+	schemas, probs = kept, keptProbs
+	order := make([]int, len(schemas))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if probs[order[a]] != probs[order[b]] {
+			return probs[order[a]] > probs[order[b]]
+		}
+		return schemas[order[a]].Key() < schemas[order[b]].Key()
+	})
+	sortedSchemas := make([]*schema.MediatedSchema, len(order))
+	sortedProbs := make([]float64, len(order))
+	for i, idx := range order {
+		sortedSchemas[i] = schemas[idx]
+		sortedProbs[i] = probs[idx]
+	}
+
+	pmed, err := schema.NewPMedSchema(sortedSchemas, sortedProbs)
+	if err != nil {
+		return nil, fmt.Errorf("mediate: %w", err)
+	}
+	return &Result{PMed: pmed, Graph: g, FrequentAttrs: attrs}, nil
+}
+
+// AssignProbabilities implements Algorithm 2: Pr(M_i) = c_i / Σ c_j where
+// c_i counts the sources consistent with M_i. If no source is consistent
+// with any schema the distribution falls back to uniform (the paper leaves
+// this degenerate case unspecified; uniform is the maximum-entropy choice).
+func AssignProbabilities(schemas []*schema.MediatedSchema, c *schema.Corpus) []float64 {
+	counts := make([]float64, len(schemas))
+	total := 0.0
+	for i, m := range schemas {
+		for _, s := range c.Sources {
+			if m.ConsistentWith(s) {
+				counts[i]++
+			}
+		}
+		total += counts[i]
+	}
+	probs := make([]float64, len(schemas))
+	if total == 0 {
+		for i := range probs {
+			probs[i] = 1 / float64(len(schemas))
+		}
+		return probs
+	}
+	for i := range probs {
+		probs[i] = counts[i] / total
+	}
+	return probs
+}
+
+// SingleSchema implements §4.1: the deterministic mediated schema whose
+// clusters are the connected components of the graph with every edge of
+// weight at least Tau (no error bar). This is the SingleMed baseline.
+func SingleSchema(c *schema.Corpus, cfg Config) (*schema.MediatedSchema, error) {
+	cfg = cfg.withDefaults()
+	attrs := c.FrequentAttrs(cfg.Theta)
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("mediate: no attribute reaches frequency %g in corpus %q", cfg.Theta, c.Domain)
+	}
+	g := wgraph.Build(attrs, cfg.Sim, cfg.Tau, 0)
+	return partitionToSchema(g.Components())
+}
+
+// UnionAll implements the §7.4 baseline: a deterministic mediated schema
+// with one singleton cluster per frequent source attribute (no grouping).
+func UnionAll(c *schema.Corpus, cfg Config) (*schema.MediatedSchema, error) {
+	cfg = cfg.withDefaults()
+	attrs := c.FrequentAttrs(cfg.Theta)
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("mediate: no attribute reaches frequency %g in corpus %q", cfg.Theta, c.Domain)
+	}
+	clusters := make([]schema.MediatedAttr, len(attrs))
+	for i, a := range attrs {
+		clusters[i] = schema.NewMediatedAttr(a)
+	}
+	return schema.NewMediatedSchema(clusters)
+}
+
+func partitionToSchema(p wgraph.Partition) (*schema.MediatedSchema, error) {
+	clusters := make([]schema.MediatedAttr, len(p))
+	for i, c := range p {
+		clusters[i] = schema.NewMediatedAttr(c...)
+	}
+	return schema.NewMediatedSchema(clusters)
+}

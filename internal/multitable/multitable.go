@@ -1,0 +1,138 @@
+// Package multitable extends the system toward multi-table sources, the
+// first item of the paper's future work (§9: "we plan to extend our
+// techniques to dealing with multiple-table sources"). A Site is a source
+// holding several tables; Flatten turns a set of sites into the
+// single-table corpus the pipeline consumes (each table becomes a source
+// named "site/table"), and CombineBySite recombines query answers under a
+// site-aware independence assumption: tables of one site share provenance,
+// so their evidence for the same answer must not compound the way
+// independent sources' evidence does (§2 assumes independence *between*
+// sources and explicitly scopes out derived sources).
+package multitable
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"udi/internal/answer"
+	"udi/internal/schema"
+)
+
+// Site is one multi-table data source.
+type Site struct {
+	Name   string
+	Tables []*schema.Source
+}
+
+// Separator joins site and table names in flattened source names. It is a
+// rune that cannot appear in generated names.
+const Separator = "/"
+
+// Flatten converts sites into a single-table corpus for the standard
+// pipeline. Each table becomes a source named "<site>/<table>"; the
+// returned map recovers the owning site of every flattened source.
+func Flatten(domain string, sites []*Site) (*schema.Corpus, map[string]string, error) {
+	var sources []*schema.Source
+	siteOf := make(map[string]string)
+	seenSite := make(map[string]bool)
+	for _, site := range sites {
+		if site.Name == "" {
+			return nil, nil, fmt.Errorf("multitable: site with empty name")
+		}
+		if strings.Contains(site.Name, Separator) {
+			return nil, nil, fmt.Errorf("multitable: site name %q contains %q", site.Name, Separator)
+		}
+		if seenSite[site.Name] {
+			return nil, nil, fmt.Errorf("multitable: duplicate site %q", site.Name)
+		}
+		seenSite[site.Name] = true
+		if len(site.Tables) == 0 {
+			return nil, nil, fmt.Errorf("multitable: site %q has no tables", site.Name)
+		}
+		seenTable := make(map[string]bool)
+		for _, tbl := range site.Tables {
+			if seenTable[tbl.Name] {
+				return nil, nil, fmt.Errorf("multitable: site %q has duplicate table %q", site.Name, tbl.Name)
+			}
+			seenTable[tbl.Name] = true
+			name := site.Name + Separator + tbl.Name
+			src, err := schema.NewSource(name, tbl.Attrs, tbl.Rows)
+			if err != nil {
+				return nil, nil, fmt.Errorf("multitable: %w", err)
+			}
+			sources = append(sources, src)
+			siteOf[name] = site.Name
+		}
+	}
+	corpus, err := schema.NewCorpus(domain, sources)
+	if err != nil {
+		return nil, nil, err
+	}
+	return corpus, siteOf, nil
+}
+
+// SiteOfSource extracts the site name from a flattened source name,
+// falling back to the whole name for sources that were never part of a
+// site.
+func SiteOfSource(source string) string {
+	if i := strings.Index(source, Separator); i >= 0 {
+		return source[:i]
+	}
+	return source
+}
+
+// CombineBySite recombines a result set's per-source tuple probabilities
+// under the site-aware model: within one site the tables are treated as
+// fully dependent (the site asserts the answer with the strongest of its
+// tables' probabilities — a conservative choice that never double-counts
+// shared provenance), and across sites the usual independent disjunction
+// applies. siteOf maps flattened source names to sites; absent sources
+// count as their own site.
+func CombineBySite(rs *answer.ResultSet, siteOf map[string]string) []answer.Answer {
+	site := func(source string) string {
+		if s, ok := siteOf[source]; ok {
+			return s
+		}
+		return SiteOfSource(source)
+	}
+	// siteProb[tupleKey][site] = max per-table probability.
+	siteProb := make(map[string]map[string]float64)
+	var order []string
+	for _, sp := range rs.PerSource {
+		s := site(sp.Source)
+		for tk, p := range sp.Probs {
+			if p > 1 {
+				p = 1
+			}
+			m, ok := siteProb[tk]
+			if !ok {
+				m = make(map[string]float64)
+				siteProb[tk] = m
+				order = append(order, tk)
+			}
+			if p > m[s] {
+				m[s] = p
+			}
+		}
+	}
+	out := make([]answer.Answer, 0, len(order))
+	for _, tk := range order {
+		q := 1.0
+		for _, p := range siteProb[tk] {
+			q *= 1 - p
+		}
+		values := strings.Split(tk, "\x1f")
+		if tk == "" {
+			values = []string{}
+		}
+		out = append(out, answer.Answer{Values: values, Prob: 1 - q})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return answer.TupleKey(out[i].Values) < answer.TupleKey(out[j].Values)
+	})
+	return out
+}

@@ -1,0 +1,145 @@
+package multitable
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"udi/internal/answer"
+	"udi/internal/core"
+	"udi/internal/schema"
+	"udi/internal/sqlparse"
+)
+
+func site(name string, tables ...*schema.Source) *Site {
+	return &Site{Name: name, Tables: tables}
+}
+
+func table(name string, attrs []string, rows [][]string) *schema.Source {
+	return schema.MustNewSource(name, attrs, rows)
+}
+
+func TestFlatten(t *testing.T) {
+	sites := []*Site{
+		site("acme",
+			table("staff", []string{"name", "phone"}, [][]string{{"Alice", "111"}}),
+			table("board", []string{"name", "phone"}, [][]string{{"Bob", "222"}})),
+		site("globex",
+			table("people", []string{"names", "phone-no"}, [][]string{{"Carol", "333"}})),
+	}
+	corpus, siteOf, err := Flatten("people", sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Sources) != 3 {
+		t.Fatalf("sources = %d", len(corpus.Sources))
+	}
+	if corpus.Sources[0].Name != "acme/staff" || siteOf["acme/staff"] != "acme" {
+		t.Errorf("flattened name/site wrong: %q %q", corpus.Sources[0].Name, siteOf["acme/staff"])
+	}
+	if SiteOfSource("acme/staff") != "acme" || SiteOfSource("plain") != "plain" {
+		t.Error("SiteOfSource wrong")
+	}
+}
+
+func TestFlattenErrors(t *testing.T) {
+	tbl := table("t", []string{"a"}, nil)
+	cases := [][]*Site{
+		{site("", tbl)},
+		{site("a/b", tbl)},
+		{site("x", tbl), site("x", tbl)},
+		{site("x")},
+		{site("x", tbl, tbl)},
+	}
+	for i, sites := range cases {
+		if _, _, err := Flatten("d", sites); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// Two tables of one site asserting the same answer must not compound,
+// while two independent sites must.
+func TestCombineBySite(t *testing.T) {
+	rs := &answer.ResultSet{
+		PerSource: []answer.SourceTupleProbs{
+			{Source: "acme/staff", Probs: map[string]float64{"Alice": 0.6}},
+			{Source: "acme/board", Probs: map[string]float64{"Alice": 0.5}},
+			{Source: "globex/people", Probs: map[string]float64{"Alice": 0.5, "Carol": 0.8}},
+		},
+	}
+	combined := CombineBySite(rs, map[string]string{
+		"acme/staff": "acme", "acme/board": "acme", "globex/people": "globex",
+	})
+	probs := map[string]float64{}
+	for _, a := range combined {
+		probs[strings.Join(a.Values, "|")] = a.Prob
+	}
+	// acme contributes max(0.6, 0.5) = 0.6; globex 0.5; independent
+	// disjunction across sites: 1 - 0.4*0.5 = 0.8.
+	if math.Abs(probs["Alice"]-0.8) > 1e-9 {
+		t.Errorf("Alice = %f, want 0.8", probs["Alice"])
+	}
+	if math.Abs(probs["Carol"]-0.8) > 1e-9 {
+		t.Errorf("Carol = %f, want 0.8", probs["Carol"])
+	}
+	// Fully independent treatment would have given Alice
+	// 1 - 0.4*0.5*0.5 = 0.9 — the site model is strictly more conservative.
+	if probs["Alice"] >= 0.9 {
+		t.Errorf("site dependence not applied: %f", probs["Alice"])
+	}
+}
+
+func TestCombineBySiteFallback(t *testing.T) {
+	rs := &answer.ResultSet{
+		PerSource: []answer.SourceTupleProbs{
+			{Source: "lonely", Probs: map[string]float64{"X": 0.7}},
+			{Source: "solo/t", Probs: map[string]float64{"X": 0.5}},
+		},
+	}
+	combined := CombineBySite(rs, nil) // no map: infer from names
+	if len(combined) != 1 {
+		t.Fatalf("combined = %v", combined)
+	}
+	want := 1 - 0.3*0.5
+	if math.Abs(combined[0].Prob-want) > 1e-9 {
+		t.Errorf("prob = %f, want %f", combined[0].Prob, want)
+	}
+}
+
+// End to end: flatten sites, run the full pipeline, recombine by site, and
+// check the site-aware probability is bounded by the independent one.
+func TestEndToEndSites(t *testing.T) {
+	sites := []*Site{
+		site("a",
+			table("t1", []string{"name", "phone"}, [][]string{{"Alice", "111"}, {"Bob", "222"}}),
+			table("t2", []string{"name", "phone-no"}, [][]string{{"Alice", "111"}})),
+		site("b",
+			table("t1", []string{"names", "phone"}, [][]string{{"Alice", "111"}})),
+	}
+	corpus, siteOf, err := Flatten("people", sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.Setup(corpus, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sys.QueryParsed(sqlparse.MustParse("SELECT name, phone FROM People"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	independent := map[string]float64{}
+	for _, a := range rs.Ranked {
+		independent[strings.Join(a.Values, "|")] = a.Prob
+	}
+	for _, a := range CombineBySite(rs, siteOf) {
+		k := strings.Join(a.Values, "|")
+		if a.Prob > independent[k]+1e-9 {
+			t.Errorf("site-aware prob %f exceeds independent %f for %s", a.Prob, independent[k], k)
+		}
+		if a.Prob <= 0 || a.Prob > 1 {
+			t.Errorf("prob %f out of range", a.Prob)
+		}
+	}
+}

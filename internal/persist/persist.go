@@ -1,0 +1,282 @@
+// Package persist serializes a fully configured integration system — the
+// corpus, the probabilistic mediated schema, every p-mapping and the
+// consolidated artifacts — to a versioned JSON snapshot, and restores it
+// into a ready-to-query core.System without re-running attribute matching
+// or entropy maximization. A pay-as-you-go deployment sets up once,
+// snapshots, and serves queries from the snapshot thereafter.
+package persist
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"udi/internal/consolidate"
+	"udi/internal/core"
+	"udi/internal/mediate"
+	"udi/internal/pmapping"
+	"udi/internal/schema"
+)
+
+// FormatVersion identifies the snapshot layout; Load rejects snapshots
+// written by an incompatible version.
+const FormatVersion = 1
+
+type snapshot struct {
+	Version int          `json:"version"`
+	Domain  string       `json:"domain"`
+	Sources []sourceDTO  `json:"sources"`
+	PMed    pmedDTO      `json:"p_med_schema"`
+	Maps    []sourceMaps `json:"p_mappings"`
+	Target  [][]string   `json:"consolidated_schema"`
+	Cons    []consDTO    `json:"consolidated_mappings"`
+}
+
+type sourceDTO struct {
+	Name  string     `json:"name"`
+	Attrs []string   `json:"attrs"`
+	Rows  [][]string `json:"rows"`
+}
+
+type pmedDTO struct {
+	Schemas [][][]string `json:"schemas"` // schema -> cluster -> names
+	Probs   []float64    `json:"probs"`
+}
+
+type sourceMaps struct {
+	Source string    `json:"source"`
+	PerMed []pmapDTO `json:"per_schema"`
+}
+
+type pmapDTO struct {
+	Groups  []groupDTO `json:"groups"`
+	Dropped int        `json:"dropped_corrs,omitempty"`
+}
+
+type groupDTO struct {
+	Corrs    []corrDTO `json:"corrs"`
+	Mappings [][]int   `json:"mappings"`
+	Probs    []float64 `json:"probs"`
+}
+
+type corrDTO struct {
+	SrcAttr string  `json:"src"`
+	MedIdx  int     `json:"med"`
+	Weight  float64 `json:"w"`
+}
+
+type consDTO struct {
+	Source   string         `json:"source"`
+	Mappings []oneToManyDTO `json:"mappings"`
+}
+
+type oneToManyDTO struct {
+	SrcToMed map[string][]int `json:"src_to_med"`
+	Prob     float64          `json:"prob"`
+}
+
+// Save writes a gzip-compressed JSON snapshot of the system.
+func Save(w io.Writer, sys *core.System) error {
+	snap := snapshot{
+		Version: FormatVersion,
+		Domain:  sys.Corpus.Domain,
+	}
+	for _, s := range sys.Corpus.Sources {
+		snap.Sources = append(snap.Sources, sourceDTO{Name: s.Name, Attrs: s.Attrs, Rows: s.Rows})
+	}
+	for i, m := range sys.Med.PMed.Schemas {
+		var clusters [][]string
+		for _, a := range m.Attrs {
+			clusters = append(clusters, []string(a))
+		}
+		snap.PMed.Schemas = append(snap.PMed.Schemas, clusters)
+		snap.PMed.Probs = append(snap.PMed.Probs, sys.Med.PMed.Probs[i])
+	}
+	for _, s := range sys.Corpus.Sources {
+		sm := sourceMaps{Source: s.Name}
+		for _, pm := range sys.Maps[s.Name] {
+			dto := pmapDTO{Dropped: pm.DroppedCorrs}
+			for _, g := range pm.Groups {
+				gd := groupDTO{Mappings: g.Mappings, Probs: g.Probs}
+				for _, c := range g.Corrs {
+					gd.Corrs = append(gd.Corrs, corrDTO{c.SrcAttr, c.MedIdx, c.Weight})
+				}
+				dto.Groups = append(dto.Groups, gd)
+			}
+			sm.PerMed = append(sm.PerMed, dto)
+		}
+		snap.Maps = append(snap.Maps, sm)
+	}
+	if sys.Target != nil {
+		for _, a := range sys.Target.Attrs {
+			snap.Target = append(snap.Target, []string(a))
+		}
+	}
+	for _, s := range sys.Corpus.Sources {
+		cpm, ok := sys.ConsMaps[s.Name]
+		if !ok {
+			continue
+		}
+		cd := consDTO{Source: s.Name}
+		for _, m := range cpm.Mappings {
+			cd.Mappings = append(cd.Mappings, oneToManyDTO{SrcToMed: m.SrcToMed, Prob: m.Prob})
+		}
+		snap.Cons = append(snap.Cons, cd)
+	}
+
+	gz := gzip.NewWriter(w)
+	enc := json.NewEncoder(gz)
+	if err := enc.Encode(&snap); err != nil {
+		gz.Close()
+		return fmt.Errorf("persist: encode: %w", err)
+	}
+	return gz.Close()
+}
+
+// Load reads a snapshot and restores a ready-to-query system.
+func Load(r io.Reader, cfg core.Config) (*core.System, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	defer gz.Close()
+	var snap snapshot
+	if err := json.NewDecoder(gz).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("persist: decode: %w", err)
+	}
+	if snap.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: snapshot version %d, want %d", snap.Version, FormatVersion)
+	}
+
+	var sources []*schema.Source
+	for _, s := range snap.Sources {
+		src, err := schema.NewSource(s.Name, s.Attrs, s.Rows)
+		if err != nil {
+			return nil, fmt.Errorf("persist: %w", err)
+		}
+		sources = append(sources, src)
+	}
+	corpus, err := schema.NewCorpus(snap.Domain, sources)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+
+	var schemas []*schema.MediatedSchema
+	for _, clusters := range snap.PMed.Schemas {
+		var attrs []schema.MediatedAttr
+		for _, c := range clusters {
+			attrs = append(attrs, schema.NewMediatedAttr(c...))
+		}
+		m, err := schema.NewMediatedSchema(attrs)
+		if err != nil {
+			return nil, fmt.Errorf("persist: %w", err)
+		}
+		schemas = append(schemas, m)
+	}
+	pmed, err := schema.NewPMedSchema(schemas, snap.PMed.Probs)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+
+	maps := make(map[string][]*pmapping.PMapping, len(snap.Maps))
+	for _, sm := range snap.Maps {
+		if len(sm.PerMed) != pmed.Len() {
+			return nil, fmt.Errorf("persist: source %q has %d p-mappings for %d schemas",
+				sm.Source, len(sm.PerMed), pmed.Len())
+		}
+		var pms []*pmapping.PMapping
+		for l, dto := range sm.PerMed {
+			pm := &pmapping.PMapping{
+				SourceName:   sm.Source,
+				Med:          schemas[l],
+				DroppedCorrs: dto.Dropped,
+			}
+			for _, gd := range dto.Groups {
+				g := pmapping.Group{Mappings: gd.Mappings, Probs: gd.Probs}
+				for _, c := range gd.Corrs {
+					g.Corrs = append(g.Corrs, pmapping.Corr{SrcAttr: c.SrcAttr, MedIdx: c.MedIdx, Weight: c.Weight})
+				}
+				if err := validateGroup(g); err != nil {
+					return nil, fmt.Errorf("persist: source %q schema %d: %w", sm.Source, l, err)
+				}
+				pm.Groups = append(pm.Groups, g)
+			}
+			pms = append(pms, pm)
+		}
+		maps[sm.Source] = pms
+	}
+
+	var target *schema.MediatedSchema
+	if len(snap.Target) > 0 {
+		var attrs []schema.MediatedAttr
+		for _, c := range snap.Target {
+			attrs = append(attrs, schema.NewMediatedAttr(c...))
+		}
+		target, err = schema.NewMediatedSchema(attrs)
+		if err != nil {
+			return nil, fmt.Errorf("persist: %w", err)
+		}
+	}
+
+	consMaps := make(map[string]*consolidate.PMapping, len(snap.Cons))
+	for _, cd := range snap.Cons {
+		cpm := &consolidate.PMapping{SourceName: cd.Source, Target: target}
+		for _, m := range cd.Mappings {
+			cpm.Mappings = append(cpm.Mappings, consolidate.OneToMany{SrcToMed: m.SrcToMed, Prob: m.Prob})
+		}
+		consMaps[cd.Source] = cpm
+	}
+
+	return core.Restore(corpus, cfg, &mediate.Result{PMed: pmed}, maps, target, consMaps)
+}
+
+// validateGroup checks structural sanity of a deserialized group so a
+// corrupted snapshot fails fast instead of panicking at query time.
+func validateGroup(g pmapping.Group) error {
+	if len(g.Mappings) != len(g.Probs) {
+		return fmt.Errorf("group has %d mappings but %d probabilities", len(g.Mappings), len(g.Probs))
+	}
+	sum := 0.0
+	for _, p := range g.Probs {
+		if p < 0 || p > 1+1e-9 {
+			return fmt.Errorf("probability %g out of range", p)
+		}
+		sum += p
+	}
+	if sum < 1-1e-6 || sum > 1+1e-6 {
+		return fmt.Errorf("group probabilities sum to %g", sum)
+	}
+	for _, m := range g.Mappings {
+		for _, ci := range m {
+			if ci < 0 || ci >= len(g.Corrs) {
+				return fmt.Errorf("mapping references correspondence %d of %d", ci, len(g.Corrs))
+			}
+		}
+	}
+	return nil
+}
+
+// SaveFile snapshots the system to path.
+func SaveFile(path string, sys *core.System) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := Save(f, sys); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile restores a system from a snapshot file.
+func LoadFile(path string, cfg core.Config) (*core.System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	return Load(f, cfg)
+}

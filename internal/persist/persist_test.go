@@ -1,0 +1,199 @@
+package persist
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"udi/internal/core"
+	"udi/internal/datagen"
+	"udi/internal/sqlparse"
+)
+
+func buildSystem(t *testing.T) (*datagen.Corpus, *core.System) {
+	t.Helper()
+	spec := datagen.People(103)
+	spec.NumSources = 25
+	c := datagen.MustGenerate(spec)
+	sys, err := core.Setup(c.Corpus, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, sys
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, sys := buildSystem(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The restored system must answer every domain query identically.
+	for _, qs := range c.Domain.Queries {
+		q := sqlparse.MustParse(qs)
+		orig, err := sys.QueryParsed(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := restored.QueryParsed(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(orig.Ranked) != len(got.Ranked) {
+			t.Fatalf("%q: %d vs %d answers after restore", qs, len(orig.Ranked), len(got.Ranked))
+		}
+		om := map[string]float64{}
+		for _, a := range orig.Ranked {
+			om[strings.Join(a.Values, "\x1f")] = a.Prob
+		}
+		for _, a := range got.Ranked {
+			if p, ok := om[strings.Join(a.Values, "\x1f")]; !ok || math.Abs(p-a.Prob) > 1e-9 {
+				t.Errorf("%q: answer %v prob %f vs %f", qs, a.Values, a.Prob, p)
+			}
+		}
+	}
+
+	// Consolidated artifacts survive too.
+	if !restored.Target.Equal(sys.Target) {
+		t.Errorf("target schema changed: %s vs %s", restored.Target, sys.Target)
+	}
+	if len(restored.ConsMaps) != len(sys.ConsMaps) {
+		t.Errorf("consolidated maps %d vs %d", len(restored.ConsMaps), len(sys.ConsMaps))
+	}
+	q := sqlparse.MustParse(c.Domain.Queries[0])
+	if _, err := restored.QueryConsolidated(q); err != nil {
+		t.Errorf("consolidated querying after restore: %v", err)
+	}
+	if _, err := restored.QueryTopMapping(q); err != nil {
+		t.Errorf("top-mapping querying after restore: %v", err)
+	}
+	// Keyword index is rebuilt on load.
+	if rs, _ := restored.Run(core.KeywordNaive, q); rs == nil {
+		t.Error("keyword answering after restore failed")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	_, sys := buildSystem(t)
+	path := filepath.Join(t.TempDir(), "system.udi.gz")
+	if err := SaveFile(path, sys); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFile(path, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.Corpus.Sources) != len(sys.Corpus.Sources) {
+		t.Errorf("sources %d vs %d", len(restored.Corpus.Sources), len(sys.Corpus.Sources))
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not gzip"), core.Config{}); err == nil {
+		t.Error("non-gzip input accepted")
+	}
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	gz.Write([]byte("not json"))
+	gz.Close()
+	if _, err := Load(&buf, core.Config{}); err == nil {
+		t.Error("non-JSON input accepted")
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	gz.Write([]byte(`{"version": 999}`))
+	gz.Close()
+	if _, err := Load(&buf, core.Config{}); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("wrong version accepted: %v", err)
+	}
+}
+
+func TestLoadRejectsCorruptGroup(t *testing.T) {
+	_, sys := buildSystem(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	// Decompress, corrupt a probability, recompress.
+	gz, err := gzip.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw bytes.Buffer
+	if _, err := raw.ReadFrom(gz); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := strings.Replace(raw.String(), `"probs":[`, `"probs":[42,`, 1)
+	if corrupted == raw.String() {
+		t.Skip("no probs array found to corrupt")
+	}
+	var out bytes.Buffer
+	w := gzip.NewWriter(&out)
+	w.Write([]byte(corrupted))
+	w.Close()
+	if _, err := Load(&out, core.Config{}); err == nil {
+		t.Error("corrupted snapshot accepted")
+	}
+}
+
+func BenchmarkSaveLoad(b *testing.B) {
+	spec := datagen.People(103)
+	spec.NumSources = 25
+	c := datagen.MustGenerate(spec)
+	sys, err := core.Setup(c.Corpus, core.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Save(&buf, sys); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Load(&buf, core.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type failingWriter struct{ n int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.n += len(p)
+	if f.n > 256 {
+		return 0, errWriteFailed
+	}
+	return len(p), nil
+}
+
+var errWriteFailed = errors.New("disk full")
+
+func TestSaveWriteError(t *testing.T) {
+	_, sys := buildSystem(t)
+	if err := Save(&failingWriter{}, sys); err == nil {
+		t.Error("write failure not propagated")
+	}
+}
+
+func TestSaveFileBadPath(t *testing.T) {
+	_, sys := buildSystem(t)
+	if err := SaveFile("/nonexistent-dir-xyz/s.gz", sys); err == nil {
+		t.Error("unwritable path accepted")
+	}
+	if _, err := LoadFile("/nonexistent-dir-xyz/s.gz", core.Config{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

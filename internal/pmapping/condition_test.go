@@ -1,0 +1,109 @@
+package pmapping
+
+import (
+	"math"
+	"testing"
+
+	"udi/internal/schema"
+)
+
+func conditionFixture(t *testing.T) *PMapping {
+	t.Helper()
+	src := schema.MustNewSource("s", []string{"phone"}, nil)
+	m := schema.MustNewMediatedSchema([]schema.MediatedAttr{
+		schema.NewMediatedAttr("hPhone"),
+		schema.NewMediatedAttr("oPhone"),
+	})
+	sim := func(a, b string) float64 {
+		switch {
+		case a == b:
+			return 1
+		case (a == "phone" && b == "hPhone") || (a == "hPhone" && b == "phone"):
+			return 0.5
+		case (a == "phone" && b == "oPhone") || (a == "oPhone" && b == "phone"):
+			return 0.4
+		}
+		return 0
+	}
+	pm, err := Build(src, m, Config{Sim: sim, CorrThreshold: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pm
+}
+
+func TestConditionConfirm(t *testing.T) {
+	pm := conditionFixture(t)
+	if err := pm.Condition("phone", 0, true, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if p := pm.MarginalProb("phone", 0); math.Abs(p-1) > 1e-9 {
+		t.Errorf("confirmed marginal = %f", p)
+	}
+	// The conflicting correspondence to medIdx 1 is gone.
+	if p := pm.MarginalProb("phone", 1); p != 0 {
+		t.Errorf("conflicting marginal = %f", p)
+	}
+}
+
+func TestConditionReject(t *testing.T) {
+	pm := conditionFixture(t)
+	if err := pm.Condition("phone", 0, false, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if p := pm.MarginalProb("phone", 0); p != 0 {
+		t.Errorf("rejected marginal = %f", p)
+	}
+	// The alternative correspondence survives with its original weight.
+	if p := pm.MarginalProb("phone", 1); math.Abs(p-0.4) > 1e-6 {
+		t.Errorf("surviving marginal = %f, want 0.4", p)
+	}
+}
+
+func TestConditionInjectMissing(t *testing.T) {
+	pm := conditionFixture(t)
+	// medIdx 1 confirmation injects... it exists; use a fresh mapping with
+	// no correspondence at all to medIdx 1 by rejecting both first.
+	if err := pm.Condition("phone", 0, false, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Condition("phone", 1, false, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing left; confirming now must inject the correspondence.
+	if err := pm.Condition("phone", 1, true, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if p := pm.MarginalProb("phone", 1); math.Abs(p-1) > 1e-9 {
+		t.Errorf("injected marginal = %f", p)
+	}
+}
+
+func TestConditionRejectUnknownIsNoop(t *testing.T) {
+	pm := conditionFixture(t)
+	before := pm.Entropy()
+	if err := pm.Condition("ghost", 0, false, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pm.Entropy()-before) > 1e-12 {
+		t.Error("rejecting an unknown correspondence changed the p-mapping")
+	}
+}
+
+func TestEntropyDropsUnderConditioning(t *testing.T) {
+	pm := conditionFixture(t)
+	before := pm.Entropy()
+	if err := pm.Condition("phone", 0, true, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if pm.Entropy() >= before {
+		t.Errorf("entropy did not drop: %f -> %f", before, pm.Entropy())
+	}
+}
+
+func TestMarginalProbUnknown(t *testing.T) {
+	pm := conditionFixture(t)
+	if p := pm.MarginalProb("ghost", 3); p != 0 {
+		t.Errorf("unknown marginal = %f", p)
+	}
+}

@@ -1,0 +1,558 @@
+// Package pmapping constructs probabilistic schema mappings between a
+// source schema and a mediated schema (paper §5):
+//
+//  1. weighted correspondences p_{i,j} = Σ_{a∈A_j} s(a_i, a), thresholded
+//     (§5.1);
+//  2. normalization by M′ = max of row/column sums so a consistent
+//     p-mapping exists (Theorem 5.2);
+//  3. decomposition of the bipartite correspondence graph into independent
+//     groups ("group p-mappings" of Dong et al., cited in §5.2 to localize
+//     the uncertainty);
+//  4. per group, enumeration of every one-to-one (partial) mapping over the
+//     group's correspondences and maximum-entropy probability assignment
+//     (the OPT program of §5.2, solved by internal/maxent).
+//
+// The full p-mapping is the product distribution across groups; callers
+// marginalize onto the mediated attributes a query touches rather than
+// materializing the exponential product.
+package pmapping
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"udi/internal/maxent"
+	"udi/internal/schema"
+	"udi/internal/strutil"
+)
+
+// Config tunes p-mapping construction.
+type Config struct {
+	// Sim is the pairwise attribute-name similarity (default
+	// strutil.AttrSim).
+	Sim strutil.Func
+	// CorrThreshold zeroes raw correspondence weights below it (default
+	// 0.85, per §7.1, chosen high to keep the maxent search small and the
+	// retained correspondences mostly correct — §7.2 discusses both
+	// effects).
+	CorrThreshold float64
+	// MaxMappingsPerGroup bounds the matchings enumerated inside one
+	// group; when a group exceeds it, its lowest-weight correspondence is
+	// dropped and enumeration retried (default 4096).
+	MaxMappingsPerGroup int
+	// Maxent tunes the entropy solver.
+	Maxent maxent.Options
+	// Assignment selects how probabilities are assigned to the enumerated
+	// mappings: AssignMaxEnt (default, the paper's §5.2 OPT program) or
+	// AssignUniform (ablation: uniform over mappings, ignoring the
+	// correspondence weights).
+	Assignment AssignStrategy
+	// Aggregate selects how the qualifying pairwise similarities combine
+	// into a cluster correspondence weight. The paper uses the sum
+	// (footnote 1: "the sum of pairwise similarities looks at the cluster
+	// as a whole") and mentions avg and max as alternatives; AggMax keeps
+	// identity matches at weight 1 instead of letting near-duplicate
+	// cluster members inflate the weight and drag every other
+	// correspondence down through the M' normalization.
+	Aggregate Aggregate
+}
+
+// Aggregate selects the cluster-weight aggregation of §5.1.
+type Aggregate int
+
+const (
+	// AggSum sums qualifying pairwise similarities (the paper's choice).
+	AggSum Aggregate = iota
+	// AggMax takes the maximum qualifying similarity (footnote 1
+	// alternative).
+	AggMax
+	// AggAvg averages the qualifying similarities (footnote 1
+	// alternative).
+	AggAvg
+)
+
+// AssignStrategy selects the probability-assignment strategy.
+type AssignStrategy int
+
+const (
+	// AssignMaxEnt solves the maximum-entropy program of §5.2.
+	AssignMaxEnt AssignStrategy = iota
+	// AssignUniform distributes probability uniformly over the enumerated
+	// mappings; an ablation baseline that discards correspondence weights.
+	AssignUniform
+)
+
+func (c Config) withDefaults() Config {
+	if c.Sim == nil {
+		c.Sim = strutil.AttrSim
+	}
+	if c.CorrThreshold == 0 {
+		c.CorrThreshold = 0.85
+	}
+	if c.MaxMappingsPerGroup == 0 {
+		c.MaxMappingsPerGroup = 4096
+	}
+	return c
+}
+
+// Corr is one weighted correspondence between a source attribute and a
+// mediated attribute (identified by its index in the mediated schema).
+type Corr struct {
+	SrcAttr string
+	MedIdx  int
+	Weight  float64 // normalized weight p'_{i,j}
+}
+
+func (c Corr) String() string {
+	return fmt.Sprintf("(%s → A%d, %.3f)", c.SrcAttr, c.MedIdx, c.Weight)
+}
+
+// Group is an independent component of the correspondence graph together
+// with its enumerated one-to-one mappings and their maxent probabilities.
+type Group struct {
+	Corrs []Corr
+	// Mappings[k] lists indices into Corrs forming the k-th one-to-one
+	// mapping (possibly empty: the mapping that maps nothing).
+	Mappings [][]int
+	Probs    []float64
+}
+
+// PMapping is a probabilistic one-to-one schema mapping between a source
+// and a mediated schema, factored into independent groups.
+type PMapping struct {
+	SourceName string
+	Med        *schema.MediatedSchema
+	Groups     []Group
+	// DroppedCorrs counts correspondences discarded to keep group
+	// enumeration within bounds; nonzero values indicate the p-mapping is
+	// an approximation.
+	DroppedCorrs int
+}
+
+// Build constructs the p-mapping between src and med per §5.
+func Build(src *schema.Source, med *schema.MediatedSchema, cfg Config) (*PMapping, error) {
+	cfg = cfg.withDefaults()
+
+	corrs := WeightedCorrespondencesAgg(src, med, cfg.Sim, cfg.CorrThreshold, cfg.Aggregate)
+	corrs = Normalize(corrs)
+
+	pm := &PMapping{SourceName: src.Name, Med: med}
+	for _, groupCorrs := range splitGroups(corrs) {
+		g, dropped, err := solveGroup(groupCorrs, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("pmapping: source %q: %w", src.Name, err)
+		}
+		pm.DroppedCorrs += dropped
+		pm.Groups = append(pm.Groups, g)
+	}
+	return pm, nil
+}
+
+// WeightedCorrespondences computes the thresholded raw weights of §5.1:
+// p_{i,j} = Σ_{a∈A_j} s(a_i, a), where only pairwise similarities at or
+// above the threshold contribute, and correspondences with no qualifying
+// pair are dropped entirely. The paper applies a high threshold (0.85) "to
+// reduce the number of correspondences considered in the entropy
+// maximization" and attributes a recall loss to it (§7.2); thresholding
+// the individual similarities — rather than the cluster sum — is what
+// produces that behaviour: a source attribute reaches a cluster only if it
+// is strongly similar to at least one member, not through many weak
+// affinities.
+func WeightedCorrespondences(src *schema.Source, med *schema.MediatedSchema, sim strutil.Func, threshold float64) []Corr {
+	return WeightedCorrespondencesAgg(src, med, sim, threshold, AggSum)
+}
+
+// WeightedCorrespondencesAgg is WeightedCorrespondences with an explicit
+// cluster-weight aggregation (see Aggregate).
+func WeightedCorrespondencesAgg(src *schema.Source, med *schema.MediatedSchema, sim strutil.Func, threshold float64, agg Aggregate) []Corr {
+	var out []Corr
+	for _, ai := range src.Attrs {
+		for j, Aj := range med.Attrs {
+			w, n := 0.0, 0
+			for _, a := range Aj {
+				s := sim(ai, a)
+				if s < threshold {
+					continue
+				}
+				n++
+				switch agg {
+				case AggMax:
+					if s > w {
+						w = s
+					}
+				default:
+					w += s
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			if agg == AggAvg {
+				w /= float64(n)
+			}
+			out = append(out, Corr{SrcAttr: ai, MedIdx: j, Weight: w})
+		}
+	}
+	return out
+}
+
+// Normalize divides every weight by M′ = max(1, max row sum, max column
+// sum) per Theorem 5.2, guaranteeing a consistent p-mapping exists. (The
+// theorem's statement divides by M′ unconditionally; when every sum is
+// already ≤ 1 that would inflate weights, so we clamp M′ at 1 — the
+// conditions of the theorem hold either way.)
+func Normalize(corrs []Corr) []Corr {
+	rowSums := make(map[string]float64)
+	colSums := make(map[int]float64)
+	for _, c := range corrs {
+		rowSums[c.SrcAttr] += c.Weight
+		colSums[c.MedIdx] += c.Weight
+	}
+	mprime := 1.0
+	for _, s := range rowSums {
+		mprime = math.Max(mprime, s)
+	}
+	for _, s := range colSums {
+		mprime = math.Max(mprime, s)
+	}
+	out := make([]Corr, len(corrs))
+	for i, c := range corrs {
+		c.Weight /= mprime
+		out[i] = c
+	}
+	return out
+}
+
+// splitGroups partitions the correspondences into connected components of
+// the bipartite graph whose vertices are source attributes and mediated
+// attributes. Groups are returned in deterministic order.
+func splitGroups(corrs []Corr) [][]Corr {
+	parent := make(map[string]string)
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == "" || parent[x] == x {
+			parent[x] = x
+			return x
+		}
+		r := find(parent[x])
+		parent[x] = r
+		return r
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	srcKey := func(a string) string { return "s\x00" + a }
+	medKey := func(j int) string { return fmt.Sprintf("m\x00%d", j) }
+	for _, c := range corrs {
+		union(srcKey(c.SrcAttr), medKey(c.MedIdx))
+	}
+	byRoot := make(map[string][]Corr)
+	var roots []string
+	for _, c := range corrs {
+		r := find(srcKey(c.SrcAttr))
+		if _, ok := byRoot[r]; !ok {
+			roots = append(roots, r)
+		}
+		byRoot[r] = append(byRoot[r], c)
+	}
+	// Deterministic order: sort groups by their smallest correspondence.
+	sort.Slice(roots, func(i, j int) bool {
+		a, b := byRoot[roots[i]][0], byRoot[roots[j]][0]
+		if a.SrcAttr != b.SrcAttr {
+			return a.SrcAttr < b.SrcAttr
+		}
+		return a.MedIdx < b.MedIdx
+	})
+	out := make([][]Corr, 0, len(roots))
+	for _, r := range roots {
+		g := byRoot[r]
+		sort.Slice(g, func(i, j int) bool {
+			if g[i].SrcAttr != g[j].SrcAttr {
+				return g[i].SrcAttr < g[j].SrcAttr
+			}
+			return g[i].MedIdx < g[j].MedIdx
+		})
+		out = append(out, g)
+	}
+	return out
+}
+
+// solveGroup enumerates one-to-one mappings over the group's
+// correspondences and fits the maxent distribution. If enumeration exceeds
+// the cap, the lowest-weight correspondence is dropped and the group is
+// re-enumerated; dropped counts how many were discarded.
+func solveGroup(corrs []Corr, cfg Config) (Group, int, error) {
+	dropped := 0
+	for {
+		mappings := enumerateMatchings(corrs, cfg.MaxMappingsPerGroup)
+		if mappings == nil {
+			if len(corrs) == 0 {
+				return Group{}, dropped, fmt.Errorf("cannot reduce group below zero correspondences")
+			}
+			// Drop the lowest-weight correspondence (deterministic
+			// tie-break on attr/index) and retry.
+			low := 0
+			for i := 1; i < len(corrs); i++ {
+				if corrs[i].Weight < corrs[low].Weight {
+					low = i
+				}
+			}
+			corrs = append(append([]Corr{}, corrs[:low]...), corrs[low+1:]...)
+			dropped++
+			continue
+		}
+		if cfg.Assignment == AssignUniform {
+			probs := make([]float64, len(mappings))
+			for i := range probs {
+				probs[i] = 1 / float64(len(mappings))
+			}
+			return Group{Corrs: corrs, Mappings: mappings, Probs: probs}, dropped, nil
+		}
+		targets := make([]float64, len(corrs))
+		for i, c := range corrs {
+			targets[i] = c.Weight
+		}
+		probs, err := maxent.Solve(maxent.Problem{
+			NumOutcomes: len(mappings),
+			Features:    mappings,
+			Targets:     targets,
+		}, cfg.Maxent)
+		if err != nil {
+			return Group{}, dropped, err
+		}
+		return Group{Corrs: corrs, Mappings: mappings, Probs: probs}, dropped, nil
+	}
+}
+
+// enumerateMatchings lists every subset of correspondence indices forming a
+// one-to-one mapping (no source attribute or mediated attribute repeated),
+// including the empty mapping. Returns nil if the count would exceed cap.
+func enumerateMatchings(corrs []Corr, cap int) [][]int {
+	var out [][]int
+	var cur []int
+	usedSrc := make(map[string]bool)
+	usedMed := make(map[int]bool)
+	overflow := false
+	var rec func(start int)
+	rec = func(start int) {
+		if overflow {
+			return
+		}
+		m := make([]int, len(cur))
+		copy(m, cur)
+		out = append(out, m)
+		if len(out) > cap {
+			overflow = true
+			return
+		}
+		for i := start; i < len(corrs); i++ {
+			c := corrs[i]
+			if usedSrc[c.SrcAttr] || usedMed[c.MedIdx] {
+				continue
+			}
+			usedSrc[c.SrcAttr], usedMed[c.MedIdx] = true, true
+			cur = append(cur, i)
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+			usedSrc[c.SrcAttr], usedMed[c.MedIdx] = false, false
+		}
+	}
+	rec(0)
+	if overflow {
+		return nil
+	}
+	return out
+}
+
+// Assignment is one joint one-to-one mapping restricted to a set of
+// mediated attributes: MedToSrc maps a mediated-attribute index to the
+// source attribute it corresponds to (absent = unmapped under this
+// mapping), with the marginal probability of that restriction.
+type Assignment struct {
+	MedToSrc map[int]string
+	Prob     float64
+}
+
+// AssignmentsFor returns the marginal distribution of mappings restricted
+// to the given mediated-attribute indices. Groups not touching any of the
+// indices marginalize out; within a touching group, mappings with the same
+// restriction merge. The result is the exact by-table marginal used for
+// query rewriting.
+func (pm *PMapping) AssignmentsFor(medIdxs []int) []Assignment {
+	want := make(map[int]bool, len(medIdxs))
+	for _, j := range medIdxs {
+		want[j] = true
+	}
+	result := []Assignment{{MedToSrc: map[int]string{}, Prob: 1}}
+	for _, g := range pm.Groups {
+		touches := false
+		for _, c := range g.Corrs {
+			if want[c.MedIdx] {
+				touches = true
+				break
+			}
+		}
+		if !touches {
+			continue
+		}
+		// Project the group's mappings onto the wanted indices and merge
+		// identical projections.
+		type proj struct {
+			key  string
+			asgn map[int]string
+			prob float64
+		}
+		merged := map[string]*proj{}
+		var order []string
+		for k, mapping := range g.Mappings {
+			asgn := make(map[int]string)
+			for _, ci := range mapping {
+				c := g.Corrs[ci]
+				if want[c.MedIdx] {
+					asgn[c.MedIdx] = c.SrcAttr
+				}
+			}
+			key := projKey(asgn)
+			if p, ok := merged[key]; ok {
+				p.prob += g.Probs[k]
+				continue
+			}
+			merged[key] = &proj{key: key, asgn: asgn, prob: g.Probs[k]}
+			order = append(order, key)
+		}
+		// Cross-product with the accumulated assignments.
+		next := make([]Assignment, 0, len(result)*len(order))
+		for _, r := range result {
+			for _, key := range order {
+				p := merged[key]
+				if p.prob == 0 {
+					continue
+				}
+				combined := make(map[int]string, len(r.MedToSrc)+len(p.asgn))
+				for k, v := range r.MedToSrc {
+					combined[k] = v
+				}
+				for k, v := range p.asgn {
+					combined[k] = v
+				}
+				next = append(next, Assignment{MedToSrc: combined, Prob: r.Prob * p.prob})
+			}
+		}
+		result = next
+	}
+	return result
+}
+
+func projKey(asgn map[int]string) string {
+	idxs := make([]int, 0, len(asgn))
+	for j := range asgn {
+		idxs = append(idxs, j)
+	}
+	sort.Ints(idxs)
+	s := ""
+	for _, j := range idxs {
+		s += fmt.Sprintf("%d=%s\x1f", j, asgn[j])
+	}
+	return s
+}
+
+// TopMapping returns the highest-probability full mapping (the product of
+// each group's most probable mapping — groups are independent, so the
+// joint argmax factors) as a mediated-index → source-attribute assignment,
+// with its probability. Ties break toward the earlier enumerated mapping.
+func (pm *PMapping) TopMapping() (map[int]string, float64) {
+	out := make(map[int]string)
+	p := 1.0
+	for _, g := range pm.Groups {
+		best := 0
+		for k := range g.Mappings {
+			if g.Probs[k] > g.Probs[best] {
+				best = k
+			}
+		}
+		for _, ci := range g.Mappings[best] {
+			c := g.Corrs[ci]
+			out[c.MedIdx] = c.SrcAttr
+		}
+		p *= g.Probs[best]
+	}
+	return out, p
+}
+
+// NumFullMappings returns the number of full mappings in the product
+// distribution, saturating at math.MaxInt64.
+func (pm *PMapping) NumFullMappings() int64 {
+	n := int64(1)
+	for _, g := range pm.Groups {
+		c := int64(len(g.Mappings))
+		if c == 0 {
+			continue
+		}
+		if n > math.MaxInt64/c {
+			return math.MaxInt64
+		}
+		n *= c
+	}
+	return n
+}
+
+// FullMapping is one explicit one-to-one mapping with its probability.
+type FullMapping struct {
+	MedToSrc map[int]string
+	Prob     float64
+}
+
+// FullMappings materializes the product distribution across groups. It
+// returns an error if the count exceeds limit; use AssignmentsFor for
+// query answering instead.
+func (pm *PMapping) FullMappings(limit int64) ([]FullMapping, error) {
+	if n := pm.NumFullMappings(); n > limit {
+		return nil, fmt.Errorf("pmapping: %d full mappings exceed limit %d", n, limit)
+	}
+	result := []FullMapping{{MedToSrc: map[int]string{}, Prob: 1}}
+	for _, g := range pm.Groups {
+		next := make([]FullMapping, 0, len(result)*len(g.Mappings))
+		for _, r := range result {
+			for k, mapping := range g.Mappings {
+				combined := make(map[int]string, len(r.MedToSrc)+len(mapping))
+				for kk, v := range r.MedToSrc {
+					combined[kk] = v
+				}
+				for _, ci := range mapping {
+					c := g.Corrs[ci]
+					combined[c.MedIdx] = c.SrcAttr
+				}
+				next = append(next, FullMapping{MedToSrc: combined, Prob: r.Prob * g.Probs[k]})
+			}
+		}
+		result = next
+	}
+	return result, nil
+}
+
+// ConsistencyResidual reports the worst violation of Definition 5.1 over
+// all groups: for each correspondence, |Σ_{m∋(i,j)} Pr(m) − p_{i,j}|.
+func (pm *PMapping) ConsistencyResidual() float64 {
+	worst := 0.0
+	for _, g := range pm.Groups {
+		for ci, c := range g.Corrs {
+			total := 0.0
+			for k, mapping := range g.Mappings {
+				for _, idx := range mapping {
+					if idx == ci {
+						total += g.Probs[k]
+						break
+					}
+				}
+			}
+			if d := math.Abs(total - c.Weight); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

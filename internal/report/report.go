@@ -1,0 +1,167 @@
+// Package report renders a human-readable health report of a configured
+// integration system: corpus statistics, the probabilistic mediated schema
+// and its entropy, per-source mapping confidence, and the most uncertain
+// correspondences — the dashboard an administrator reads before deciding
+// where to spend pay-as-you-go feedback effort.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"text/tabwriter"
+
+	"udi/internal/core"
+	"udi/internal/feedback"
+)
+
+// Options controls report size.
+type Options struct {
+	// TopQuestions bounds the uncertainty section (default 10).
+	TopQuestions int
+	// WorstSources bounds the per-source confidence section (default 10).
+	WorstSources int
+}
+
+func (o Options) withDefaults() Options {
+	if o.TopQuestions == 0 {
+		o.TopQuestions = 10
+	}
+	if o.WorstSources == 0 {
+		o.WorstSources = 10
+	}
+	return o
+}
+
+// Write renders the report as markdown.
+func Write(w io.Writer, sys *core.System, opts Options) error {
+	opts = opts.withDefaults()
+	if err := writeCorpus(w, sys); err != nil {
+		return err
+	}
+	if err := writeSchemas(w, sys); err != nil {
+		return err
+	}
+	if err := writeSourceConfidence(w, sys, opts.WorstSources); err != nil {
+		return err
+	}
+	return writeQuestions(w, sys, opts.TopQuestions)
+}
+
+func writeCorpus(w io.Writer, sys *core.System) error {
+	rows, cells := 0, 0
+	for _, s := range sys.Corpus.Sources {
+		rows += len(s.Rows)
+		cells += len(s.Rows) * len(s.Attrs)
+	}
+	attrs := sys.Corpus.AllAttrs()
+	_, err := fmt.Fprintf(w, "# Integration system report: %s\n\n"+
+		"- sources: %d\n- rows: %d\n- cells: %d\n- distinct attribute names: %d\n"+
+		"- setup: %v (import %v, p-med-schema %v, p-mappings %v, consolidation %v)\n\n",
+		sys.Corpus.Domain, len(sys.Corpus.Sources), rows, cells, len(attrs),
+		sys.Timings.Total().Round(1e6), sys.Timings.Import.Round(1e6),
+		sys.Timings.MedSchema.Round(1e6), sys.Timings.PMappings.Round(1e6),
+		sys.Timings.Consolidation.Round(1e6))
+	return err
+}
+
+func writeSchemas(w io.Writer, sys *core.System) error {
+	pmed := sys.Med.PMed
+	h := 0.0
+	for _, p := range pmed.Probs {
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "## Mediated schema\n\n"+
+		"- possible schemas: %d (entropy %.3f nats)\n- consolidated clusters: %d\n\n",
+		pmed.Len(), h, len(sys.Target.Attrs)); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "P\tschema")
+	for i, m := range pmed.Schemas {
+		if i >= 5 {
+			fmt.Fprintf(tw, "…\t%d more schemas\n", pmed.Len()-5)
+			break
+		}
+		fmt.Fprintf(tw, "%.3f\t%s\n", pmed.Probs[i], m)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// sourceConfidence summarizes one source's mapping certainty: the total
+// entropy of its p-mappings across possible schemas (0 = fully decided)
+// and the number of unmapped attributes under the most probable schema.
+type sourceConfidence struct {
+	name     string
+	entropy  float64
+	unmapped int
+}
+
+func writeSourceConfidence(w io.Writer, sys *core.System, limit int) error {
+	confs := make([]sourceConfidence, 0, len(sys.Corpus.Sources))
+	for _, src := range sys.Corpus.Sources {
+		c := sourceConfidence{name: src.Name}
+		mapped := map[string]bool{}
+		for _, pm := range sys.Maps[src.Name] {
+			c.entropy += pm.Entropy()
+		}
+		if pms := sys.Maps[src.Name]; len(pms) > 0 {
+			for _, g := range pms[0].Groups {
+				for _, corr := range g.Corrs {
+					mapped[corr.SrcAttr] = true
+				}
+			}
+		}
+		for _, a := range src.Attrs {
+			if !mapped[a] {
+				c.unmapped++
+			}
+		}
+		confs = append(confs, c)
+	}
+	sort.Slice(confs, func(i, j int) bool {
+		if confs[i].entropy != confs[j].entropy {
+			return confs[i].entropy > confs[j].entropy
+		}
+		return confs[i].name < confs[j].name
+	})
+	if _, err := fmt.Fprintf(w, "## Least confident sources\n\n"); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "source\tmapping entropy\tunmapped attrs")
+	for i, c := range confs {
+		if i >= limit {
+			break
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%d\n", c.name, c.entropy, c.unmapped)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func writeQuestions(w io.Writer, sys *core.System, limit int) error {
+	sess := feedback.NewSession(sys, nil)
+	cands := sess.Candidates(limit)
+	if _, err := fmt.Fprintf(w, "## Feedback queue (top %d questions)\n\n", len(cands)); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "source\tcolumn\tmediated attribute\tbelief\tgain")
+	for _, c := range cands {
+		cluster := sys.Med.PMed.Schemas[c.SchemaIdx].Attrs[c.MedIdx]
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.2f\t%.3f\n",
+			c.Source, c.SrcAttr, cluster, c.Marginal, c.Uncertainty)
+	}
+	return tw.Flush()
+}

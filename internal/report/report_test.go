@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"udi/internal/core"
+	"udi/internal/datagen"
+)
+
+func TestWrite(t *testing.T) {
+	spec := datagen.People(103)
+	spec.NumSources = 15
+	c := datagen.MustGenerate(spec)
+	sys, err := core.Setup(c.Corpus, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Write(&b, sys, Options{TopQuestions: 5, WorstSources: 3}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{
+		"# Integration system report: People",
+		"sources: 15",
+		"## Mediated schema",
+		"possible schemas:",
+		"## Least confident sources",
+		"mapping entropy",
+		"## Feedback queue",
+		"belief",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q:\n%s", frag, out)
+		}
+	}
+	// The worst-sources table is bounded.
+	lines := strings.Split(out, "\n")
+	inWorst := false
+	count := 0
+	for _, l := range lines {
+		switch {
+		case strings.HasPrefix(l, "## Least confident"):
+			inWorst = true
+		case inWorst && strings.HasPrefix(l, "## "):
+			inWorst = false
+		case inWorst && strings.HasPrefix(l, "People-"):
+			count++
+		}
+	}
+	if count > 3 {
+		t.Errorf("worst-sources section has %d rows, want <= 3", count)
+	}
+}
+
+func TestWriteDefaults(t *testing.T) {
+	spec := datagen.People(103)
+	spec.NumSources = 12
+	c := datagen.MustGenerate(spec)
+	sys, err := core.Setup(c.Corpus, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Write(&b, sys, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.String()) == 0 {
+		t.Error("empty report")
+	}
+}

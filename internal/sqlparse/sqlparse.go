@@ -1,0 +1,323 @@
+// Package sqlparse parses the select-project query dialect of the paper's
+// evaluation (§7.1): SELECT <attrs> FROM <table> [WHERE p1 AND p2 ...],
+// where each predicate is attribute op literal with op in
+// {=, !=, <>, <, <=, >, >=, LIKE}. Joins are not supported — the paper's
+// mediated schema is a single table.
+//
+// Attribute names may be bare identifiers (including '-', '.', '/', '(',
+// ')' runes common in web-table headers such as "pages/rec. no" or
+// "author(s)") or quoted with backticks or double quotes. Literals are
+// single-quoted strings or bare numbers.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"udi/internal/storage"
+)
+
+// Query is a parsed select-project query.
+type Query struct {
+	Select []string       // projection attributes, in order
+	From   string         // table name (informational; UDI has one table)
+	Where  []storage.Pred // conjunctive predicates
+}
+
+// String renders the query back to SQL-ish text.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	b.WriteString(strings.Join(q.Select, ", "))
+	b.WriteString(" FROM ")
+	b.WriteString(q.From)
+	if len(q.Where) > 0 {
+		b.WriteString(" WHERE ")
+		parts := make([]string, len(q.Where))
+		for i, p := range q.Where {
+			parts[i] = fmt.Sprintf("%s %s '%s'", p.Attr, p.Op, p.Literal)
+		}
+		b.WriteString(strings.Join(parts, " AND "))
+	}
+	return b.String()
+}
+
+// Attrs returns every attribute referenced by the query (SELECT then
+// WHERE), deduplicated in first-appearance order.
+func (q *Query) Attrs() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(a string) {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	for _, a := range q.Select {
+		add(a)
+	}
+	for _, p := range q.Where {
+		add(p.Attr)
+	}
+	return out
+}
+
+type tokenKind int
+
+const (
+	tokIdent tokenKind = iota
+	tokString
+	tokNumber
+	tokSymbol
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	in  string
+	pos int
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.in) && isSpace(l.in[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.in) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.in[l.pos]
+	switch {
+	case c == '\'':
+		return l.lexQuoted('\'', tokString)
+	case c == '"':
+		return l.lexQuoted('"', tokIdent)
+	case c == '`':
+		return l.lexQuoted('`', tokIdent)
+	case c == ',':
+		l.pos++
+		return token{tokSymbol, ",", start}, nil
+	case c == '=':
+		l.pos++
+		return token{tokSymbol, "=", start}, nil
+	case c == '!':
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokSymbol, "!=", start}, nil
+		}
+		return token{}, fmt.Errorf("sqlparse: unexpected '!' at %d", start)
+	case c == '<':
+		if l.pos+1 < len(l.in) {
+			switch l.in[l.pos+1] {
+			case '=':
+				l.pos += 2
+				return token{tokSymbol, "<=", start}, nil
+			case '>':
+				l.pos += 2
+				return token{tokSymbol, "!=", start}, nil
+			}
+		}
+		l.pos++
+		return token{tokSymbol, "<", start}, nil
+	case c == '>':
+		if l.pos+1 < len(l.in) && l.in[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokSymbol, ">=", start}, nil
+		}
+		l.pos++
+		return token{tokSymbol, ">", start}, nil
+	case isDigit(c) || (c == '-' && l.pos+1 < len(l.in) && isDigit(l.in[l.pos+1])):
+		l.pos++
+		for l.pos < len(l.in) && (isDigit(l.in[l.pos]) || l.in[l.pos] == '.') {
+			l.pos++
+		}
+		return token{tokNumber, l.in[start:l.pos], start}, nil
+	case isIdentRune(c):
+		l.pos++
+		for l.pos < len(l.in) && isIdentRune(l.in[l.pos]) {
+			l.pos++
+		}
+		return token{tokIdent, l.in[start:l.pos], start}, nil
+	}
+	return token{}, fmt.Errorf("sqlparse: unexpected character %q at %d", c, start)
+}
+
+func (l *lexer) lexQuoted(quote byte, kind tokenKind) (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		if c == quote {
+			// Doubled quote escapes itself, SQL-style.
+			if l.pos+1 < len(l.in) && l.in[l.pos+1] == quote {
+				b.WriteByte(quote)
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind, b.String(), start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, fmt.Errorf("sqlparse: unterminated quote starting at %d", start)
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// isIdentRune admits the punctuation that appears inside web-table column
+// headers. It excludes comma, quotes, comparison runes and whitespace.
+func isIdentRune(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', isDigit(c):
+		return true
+	case c == '_', c == '-', c == '.', c == '/', c == '(', c == ')', c == '#':
+		return true
+	}
+	return false
+}
+
+type parser struct {
+	lex  *lexer
+	tok  token
+	err  error
+	full string
+}
+
+func (p *parser) advance() {
+	if p.err != nil {
+		return
+	}
+	p.tok, p.err = p.lex.next()
+}
+
+func (p *parser) expectKeyword(kw string) {
+	if p.err != nil {
+		return
+	}
+	if p.tok.kind != tokIdent || !strings.EqualFold(p.tok.text, kw) {
+		p.err = fmt.Errorf("sqlparse: expected %s at position %d in %q", kw, p.tok.pos, p.full)
+		return
+	}
+	p.advance()
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.err == nil && p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+// Parse parses a query string.
+func Parse(input string) (*Query, error) {
+	p := &parser{lex: &lexer{in: input}, full: input}
+	p.advance()
+	p.expectKeyword("SELECT")
+
+	q := &Query{}
+	for {
+		if p.err != nil {
+			return nil, p.err
+		}
+		if p.tok.kind != tokIdent {
+			return nil, fmt.Errorf("sqlparse: expected attribute at position %d in %q", p.tok.pos, input)
+		}
+		q.Select = append(q.Select, p.tok.text)
+		p.advance()
+		if p.err == nil && p.tok.kind == tokSymbol && p.tok.text == "," {
+			p.advance()
+			continue
+		}
+		break
+	}
+
+	p.expectKeyword("FROM")
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.tok.kind != tokIdent {
+		return nil, fmt.Errorf("sqlparse: expected table name at position %d in %q", p.tok.pos, input)
+	}
+	q.From = p.tok.text
+	p.advance()
+	if p.err != nil {
+		return nil, p.err
+	}
+
+	if p.tok.kind == tokEOF {
+		return q, nil
+	}
+	p.expectKeyword("WHERE")
+	for {
+		pred, err := p.parsePred()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = append(q.Where, pred)
+		if p.isKeyword("AND") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("sqlparse: trailing input at position %d in %q", p.tok.pos, input)
+	}
+	return q, nil
+}
+
+func (p *parser) parsePred() (storage.Pred, error) {
+	if p.err != nil {
+		return storage.Pred{}, p.err
+	}
+	if p.tok.kind != tokIdent {
+		return storage.Pred{}, fmt.Errorf("sqlparse: expected attribute at position %d in %q", p.tok.pos, p.full)
+	}
+	attr := p.tok.text
+	p.advance()
+	if p.err != nil {
+		return storage.Pred{}, p.err
+	}
+
+	var op storage.Op
+	switch {
+	case p.tok.kind == tokSymbol:
+		var err error
+		op, err = storage.ParseOp(p.tok.text)
+		if err != nil {
+			return storage.Pred{}, fmt.Errorf("sqlparse: bad operator %q at position %d", p.tok.text, p.tok.pos)
+		}
+	case p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, "LIKE"):
+		op = storage.OpLike
+	default:
+		return storage.Pred{}, fmt.Errorf("sqlparse: expected operator at position %d in %q", p.tok.pos, p.full)
+	}
+	p.advance()
+	if p.err != nil {
+		return storage.Pred{}, p.err
+	}
+
+	if p.tok.kind != tokString && p.tok.kind != tokNumber {
+		return storage.Pred{}, fmt.Errorf("sqlparse: expected literal at position %d in %q", p.tok.pos, p.full)
+	}
+	lit := p.tok.text
+	p.advance()
+	return storage.Pred{Attr: attr, Op: op, Literal: lit}, p.err
+}
+
+// MustParse panics on error; for tests and examples.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

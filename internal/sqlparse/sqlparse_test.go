@@ -1,0 +1,188 @@
+package sqlparse
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"udi/internal/storage"
+)
+
+func TestParseBasic(t *testing.T) {
+	q, err := Parse("SELECT name, phone FROM People")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q.Select, []string{"name", "phone"}) {
+		t.Errorf("Select = %v", q.Select)
+	}
+	if q.From != "People" || len(q.Where) != 0 {
+		t.Errorf("From=%q Where=%v", q.From, q.Where)
+	}
+}
+
+func TestParseWhere(t *testing.T) {
+	q, err := Parse("SELECT title FROM Movie WHERE year >= 1990 AND title LIKE '%star%' AND genre != 'Drama'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []storage.Pred{
+		{Attr: "year", Op: storage.OpGe, Literal: "1990"},
+		{Attr: "title", Op: storage.OpLike, Literal: "%star%"},
+		{Attr: "genre", Op: storage.OpNe, Literal: "Drama"},
+	}
+	if !reflect.DeepEqual(q.Where, want) {
+		t.Errorf("Where = %v, want %v", q.Where, want)
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	ops := map[string]storage.Op{
+		"=": storage.OpEq, "!=": storage.OpNe, "<>": storage.OpNe,
+		"<": storage.OpLt, "<=": storage.OpLe, ">": storage.OpGt, ">=": storage.OpGe,
+	}
+	for tok, want := range ops {
+		q, err := Parse("SELECT a FROM t WHERE x " + tok + " 5")
+		if err != nil {
+			t.Fatalf("op %q: %v", tok, err)
+		}
+		if q.Where[0].Op != want {
+			t.Errorf("op %q parsed as %v", tok, q.Where[0].Op)
+		}
+	}
+}
+
+func TestParseQuotedIdentifiersAndOddHeaders(t *testing.T) {
+	q, err := Parse("SELECT `link to pubmed`, pages/rec.no, author(s) FROM Bib WHERE \"journal name\" = 'Nature'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"link to pubmed", "pages/rec.no", "author(s)"}
+	if !reflect.DeepEqual(q.Select, want) {
+		t.Errorf("Select = %v, want %v", q.Select, want)
+	}
+	if q.Where[0].Attr != "journal name" {
+		t.Errorf("quoted where attr = %q", q.Where[0].Attr)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	q, err := Parse("SELECT a FROM t WHERE x = 'O''Brien'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].Literal != "O'Brien" {
+		t.Errorf("escaped literal = %q", q.Where[0].Literal)
+	}
+}
+
+func TestParseNegativeNumber(t *testing.T) {
+	q, err := Parse("SELECT a FROM t WHERE x > -3.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].Literal != "-3.5" {
+		t.Errorf("literal = %q", q.Where[0].Literal)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("select a from t where b like 'x%'"); err != nil {
+		t.Errorf("lowercase keywords rejected: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE x",
+		"SELECT a FROM t WHERE x =",
+		"SELECT a FROM t WHERE x = 'unterminated",
+		"SELECT a FROM t WHERE x ! 5",
+		"SELECT a FROM t garbage",
+		"SELECT a, FROM t",
+		"FROM t SELECT a",
+		"SELECT a FROM t WHERE x = 1 AND",
+		"SELECT a FROM t WHERE x ~ 1",
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := MustParse("SELECT a, b FROM t WHERE x = 'v' AND y >= 2")
+	s := q.String()
+	for _, frag := range []string{"SELECT a, b", "FROM t", "x = 'v'", "y >= '2'"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestQueryAttrs(t *testing.T) {
+	q := MustParse("SELECT a, b FROM t WHERE b = '1' AND c > 2")
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(q.Attrs(), want) {
+		t.Errorf("Attrs = %v, want %v", q.Attrs(), want)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	in := "SELECT name, phone FROM People WHERE city = 'Springfield' AND age >= 30"
+	q1 := MustParse(in)
+	q2 := MustParse(q1.String())
+	if !reflect.DeepEqual(q1, q2) {
+		t.Errorf("round trip mismatch: %v vs %v", q1, q2)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("not sql")
+}
+
+// Property: Parse never panics and either returns a query or an error on
+// arbitrary input.
+func TestParseNeverPanics(t *testing.T) {
+	prop := func(input string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		q, err := Parse(input)
+		return (q == nil) != (err == nil)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Adversarial fragments assembled from SQL tokens.
+	frags := []string{"SELECT", "FROM", "WHERE", "AND", "LIKE", ",", "=", "<", "'", "`", "a", "1", " "}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		var b strings.Builder
+		for j := 0; j < rng.Intn(12); j++ {
+			b.WriteString(frags[rng.Intn(len(frags))])
+			b.WriteByte(' ')
+		}
+		in := b.String()
+		q, err := Parse(in)
+		if (q == nil) == (err == nil) {
+			t.Fatalf("Parse(%q) returned q=%v err=%v", in, q, err)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"sort"
+
+	"udi/internal/schema"
+	"udi/internal/strutil"
+)
+
+// RowRef identifies one row of one source.
+type RowRef struct {
+	Source string
+	Row    int
+}
+
+// KeywordIndex is an inverted index from lower-cased tokens to the rows
+// whose values contain them, plus a record of which tokens appear as
+// attribute names in which sources. It backs the keyword-search baselines
+// of §7.3 (the substitute for MySQL's fulltext engine).
+type KeywordIndex struct {
+	valuePostings map[string][]RowRef         // token -> rows whose cells contain it
+	attrTokens    map[string]map[string]bool  // token -> sources where it names an attribute
+	sources       map[string]*schema.Source   // source name -> source
+	rowTokens     map[string]map[int][]string // source -> row -> its token set (for AND queries)
+}
+
+// BuildKeywordIndex indexes every cell value and attribute name of the
+// corpus. Tokens are produced by strutil.Tokens (normalized, split on
+// separators).
+func BuildKeywordIndex(c *schema.Corpus) *KeywordIndex {
+	ix := &KeywordIndex{
+		valuePostings: make(map[string][]RowRef),
+		attrTokens:    make(map[string]map[string]bool),
+		sources:       make(map[string]*schema.Source),
+		rowTokens:     make(map[string]map[int][]string),
+	}
+	for _, s := range c.Sources {
+		ix.sources[s.Name] = s
+		ix.rowTokens[s.Name] = make(map[int][]string)
+		for _, a := range s.Attrs {
+			for _, tok := range strutil.Tokens(a) {
+				m := ix.attrTokens[tok]
+				if m == nil {
+					m = make(map[string]bool)
+					ix.attrTokens[tok] = m
+				}
+				m[s.Name] = true
+			}
+		}
+		for r, row := range s.Rows {
+			seen := make(map[string]bool)
+			for _, cell := range row {
+				for _, tok := range strutil.Tokens(cell) {
+					if !seen[tok] {
+						seen[tok] = true
+						ix.valuePostings[tok] = append(ix.valuePostings[tok], RowRef{s.Name, r})
+					}
+				}
+			}
+			toks := make([]string, 0, len(seen))
+			for tok := range seen {
+				toks = append(toks, tok)
+			}
+			sort.Strings(toks)
+			ix.rowTokens[s.Name][r] = toks
+		}
+	}
+	return ix
+}
+
+// IsAttrToken reports whether token appears (as a normalized token) in some
+// attribute name of source. The KeywordStruct/KeywordStrict baselines use
+// this to classify query keywords as structure terms vs value terms.
+func (ix *KeywordIndex) IsAttrToken(token, source string) bool {
+	return ix.attrTokens[strutil.Normalize(token)][source]
+}
+
+// IsAttrTokenAnywhere reports whether token names an attribute in any
+// source.
+func (ix *KeywordIndex) IsAttrTokenAnywhere(token string) bool {
+	return len(ix.attrTokens[strutil.Normalize(token)]) > 0
+}
+
+// RowsWithAny returns the rows containing at least one of the tokens
+// (value-term OR semantics). Tokens are normalized; multi-token inputs are
+// split.
+func (ix *KeywordIndex) RowsWithAny(terms []string) []RowRef {
+	seen := make(map[RowRef]bool)
+	var out []RowRef
+	for _, term := range terms {
+		for _, tok := range strutil.Tokens(term) {
+			for _, ref := range ix.valuePostings[tok] {
+				if !seen[ref] {
+					seen[ref] = true
+					out = append(out, ref)
+				}
+			}
+		}
+	}
+	sortRefs(out)
+	return out
+}
+
+// RowsWithAll returns the rows containing every one of the tokens
+// (value-term AND semantics, used by KeywordStrict). An empty term list
+// yields no rows.
+func (ix *KeywordIndex) RowsWithAll(terms []string) []RowRef {
+	var toks []string
+	for _, term := range terms {
+		toks = append(toks, strutil.Tokens(term)...)
+	}
+	if len(toks) == 0 {
+		return nil
+	}
+	counts := make(map[RowRef]int)
+	for _, tok := range dedupe(toks) {
+		for _, ref := range ix.valuePostings[tok] {
+			counts[ref]++
+		}
+	}
+	need := len(dedupe(toks))
+	var out []RowRef
+	for ref, n := range counts {
+		if n == need {
+			out = append(out, ref)
+		}
+	}
+	sortRefs(out)
+	return out
+}
+
+// Row returns the raw row for a RowRef, or nil if the reference is stale.
+func (ix *KeywordIndex) Row(ref RowRef) []string {
+	s := ix.sources[ref.Source]
+	if s == nil || ref.Row < 0 || ref.Row >= len(s.Rows) {
+		return nil
+	}
+	return s.Rows[ref.Row]
+}
+
+// SourceOf returns the source for a RowRef, or nil.
+func (ix *KeywordIndex) SourceOf(ref RowRef) *schema.Source { return ix.sources[ref.Source] }
+
+func dedupe(toks []string) []string {
+	seen := make(map[string]bool, len(toks))
+	var out []string
+	for _, t := range toks {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func sortRefs(refs []RowRef) {
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Source != refs[j].Source {
+			return refs[i].Source < refs[j].Source
+		}
+		return refs[i].Row < refs[j].Row
+	})
+}

@@ -1,0 +1,204 @@
+package storage
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"udi/internal/schema"
+)
+
+// Op is a comparison operator usable in a WHERE predicate. The set matches
+// the paper's query workload (§7.1): =, !=, <, <=, >, >=, LIKE.
+type Op int
+
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpLike
+)
+
+var opNames = [...]string{"=", "!=", "<", "<=", ">", ">=", "LIKE"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// ParseOp converts an operator token to an Op. It accepts "<>" as an alias
+// for "!=".
+func ParseOp(tok string) (Op, error) {
+	switch tok {
+	case "=", "==":
+		return OpEq, nil
+	case "!=", "<>":
+		return OpNe, nil
+	case "<":
+		return OpLt, nil
+	case "<=":
+		return OpLe, nil
+	case ">":
+		return OpGt, nil
+	case ">=":
+		return OpGe, nil
+	case "LIKE", "like", "Like":
+		return OpLike, nil
+	}
+	return 0, fmt.Errorf("storage: unknown operator %q", tok)
+}
+
+// Eval applies the operator to a cell value and a literal.
+func (o Op) Eval(cell, literal string) bool {
+	switch o {
+	case OpEq:
+		return EqualValues(cell, literal)
+	case OpNe:
+		return !EqualValues(cell, literal)
+	case OpLt:
+		return CompareValues(cell, literal) < 0
+	case OpLe:
+		return CompareValues(cell, literal) <= 0
+	case OpGt:
+		return CompareValues(cell, literal) > 0
+	case OpGe:
+		return CompareValues(cell, literal) >= 0
+	case OpLike:
+		return Like(cell, literal)
+	}
+	return false
+}
+
+// Pred is one WHERE predicate: attr op literal.
+type Pred struct {
+	Attr    string
+	Op      Op
+	Literal string
+}
+
+func (p Pred) String() string {
+	return fmt.Sprintf("%s %s %q", p.Attr, p.Op, p.Literal)
+}
+
+// Table wraps a source instance for scanning. Tables are immutable once
+// built, matching the paper's setting where source data is loaded once at
+// setup time. Equality lookups build per-column hash indexes lazily.
+type Table struct {
+	Source *schema.Source
+
+	mu      sync.Mutex
+	indexes map[int]map[string][]int // column -> canonical value -> row indices
+}
+
+// NewTable builds a Table over a source.
+func NewTable(s *schema.Source) *Table { return &Table{Source: s} }
+
+// canonicalValue folds a cell into the equality class CompareValues uses:
+// numeric values normalize to a canonical decimal form, strings to their
+// trimmed lower-case form.
+func canonicalValue(s string) string {
+	if f, ok := parseNumber(s); ok {
+		return "#" + strconv.FormatFloat(f, 'g', -1, 64)
+	}
+	return strings.ToLower(strings.TrimSpace(s))
+}
+
+// index returns (building if needed) the equality index for a column.
+func (t *Table) index(col int) map[string][]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ix, ok := t.indexes[col]; ok {
+		return ix
+	}
+	ix := make(map[string][]int)
+	for r, row := range t.Source.Rows {
+		k := canonicalValue(row[col])
+		ix[k] = append(ix[k], r)
+	}
+	if t.indexes == nil {
+		t.indexes = make(map[int]map[string][]int)
+	}
+	t.indexes[col] = ix
+	return ix
+}
+
+// Select scans the table, returning the projection of rows satisfying all
+// predicates (a conjunction) onto the project columns, in row order. It
+// returns an error if any referenced attribute is absent from the schema —
+// callers decide whether absence means "skip this source" (as the Source
+// baseline does) or is a bug.
+func (t *Table) Select(project []string, preds []Pred) ([][]string, error) {
+	_, rows, err := t.SelectIdx(project, preds)
+	return rows, err
+}
+
+// SelectIdx is Select but additionally returns the matching row indices,
+// which the probabilistic query engine uses to identify answer
+// occurrences across alternative mappings.
+func (t *Table) SelectIdx(project []string, preds []Pred) ([]int, [][]string, error) {
+	projIdx := make([]int, len(project))
+	for i, a := range project {
+		idx := t.Source.AttrIndex(a)
+		if idx < 0 {
+			return nil, nil, fmt.Errorf("storage: source %q has no attribute %q", t.Source.Name, a)
+		}
+		projIdx[i] = idx
+	}
+	predIdx := make([]int, len(preds))
+	for i, p := range preds {
+		idx := t.Source.AttrIndex(p.Attr)
+		if idx < 0 {
+			return nil, nil, fmt.Errorf("storage: source %q has no attribute %q", t.Source.Name, p.Attr)
+		}
+		predIdx[i] = idx
+	}
+	var idxs []int
+	var out [][]string
+	emit := func(r int, row []string) {
+		proj := make([]string, len(projIdx))
+		for i, idx := range projIdx {
+			proj[i] = row[idx]
+		}
+		idxs = append(idxs, r)
+		out = append(out, proj)
+	}
+	matches := func(row []string) bool {
+		for i, p := range preds {
+			if !p.Op.Eval(row[predIdx[i]], p.Literal) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Equality predicates drive an index lookup when the table is big
+	// enough to amortize the build; candidate rows are verified against
+	// the remaining predicates in row order.
+	const indexThreshold = 64
+	if len(t.Source.Rows) >= indexThreshold {
+		for i, p := range preds {
+			if p.Op != OpEq {
+				continue
+			}
+			for _, r := range t.index(predIdx[i])[canonicalValue(p.Literal)] {
+				row := t.Source.Rows[r]
+				if matches(row) {
+					emit(r, row)
+				}
+			}
+			return idxs, out, nil
+		}
+	}
+	for r, row := range t.Source.Rows {
+		if matches(row) {
+			emit(r, row)
+		}
+	}
+	return idxs, out, nil
+}

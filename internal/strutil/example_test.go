@@ -1,0 +1,33 @@
+package strutil_test
+
+import (
+	"fmt"
+
+	"udi/internal/strutil"
+)
+
+// Attribute-name variants of one concept score above the certain-edge
+// threshold (0.87), ambiguous generics land in the uncertain band
+// [0.83, 0.87), and unrelated names score low — the three similarity bands
+// the mediated-schema generation of §4 is built on.
+func ExampleAttrSim() {
+	fmt.Printf("phone / phone-no:  %.3f\n", strutil.AttrSim("phone", "phone-no"))
+	fmt.Printf("issn / issue:      %.3f\n", strutil.AttrSim("issn", "issue"))
+	fmt.Printf("title / year:      %.3f\n", strutil.AttrSim("title", "year"))
+	// Output:
+	// phone / phone-no:  0.943
+	// issn / issue:      0.848
+	// title / year:      0.000
+}
+
+func ExampleJaroWinkler() {
+	fmt.Printf("%.4f\n", strutil.JaroWinkler("MARTHA", "MARHTA"))
+	// Output:
+	// 0.9611
+}
+
+func ExampleNormalize() {
+	fmt.Println(strutil.Normalize("Pages/Rec. No"))
+	// Output:
+	// pages rec no
+}

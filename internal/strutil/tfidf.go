@@ -1,0 +1,149 @@
+package strutil
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// MongeElkan returns the Monge-Elkan similarity of two strings under a
+// base token similarity: the average, over tokens of the first string, of
+// the best match among tokens of the second. The raw measure is
+// asymmetric; this implementation symmetrizes by averaging both
+// directions, keeping the Func contract.
+func MongeElkan(a, b string, base Func) float64 {
+	ta, tb := Tokens(a), Tokens(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	return (mongeElkanDir(ta, tb, base) + mongeElkanDir(tb, ta, base)) / 2
+}
+
+func mongeElkanDir(ta, tb []string, base Func) float64 {
+	sum := 0.0
+	for _, x := range ta {
+		best := 0.0
+		for _, y := range tb {
+			if s := base(x, y); s > best {
+				best = s
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(ta))
+}
+
+// TFIDF is a token-weighting model built from a corpus of strings
+// (attribute names in our use). It supports the SoftTFIDF measure of
+// Cohen, Ravikumar and Fienberg — the hybrid their comparison study found
+// strongest for name matching — which combines TF-IDF token weights with a
+// soft (Jaro-Winkler) token-equality test.
+type TFIDF struct {
+	docFreq map[string]int
+	numDocs int
+}
+
+// NewTFIDF builds the weighting model from the corpus of strings; each
+// string is one document whose distinct tokens are counted once.
+func NewTFIDF(corpus []string) *TFIDF {
+	t := &TFIDF{docFreq: make(map[string]int)}
+	for _, doc := range corpus {
+		t.numDocs++
+		seen := map[string]bool{}
+		for _, tok := range Tokens(doc) {
+			if !seen[tok] {
+				seen[tok] = true
+				t.docFreq[tok]++
+			}
+		}
+	}
+	return t
+}
+
+// Weight returns the smoothed IDF weight of a token: log(1 + N/df).
+// Unseen tokens get the maximum weight log(1 + N).
+func (t *TFIDF) Weight(token string) float64 {
+	if t.numDocs == 0 {
+		return 1
+	}
+	df := t.docFreq[Normalize(token)]
+	if df == 0 {
+		return math.Log(1 + float64(t.numDocs))
+	}
+	return math.Log(1 + float64(t.numDocs)/float64(df))
+}
+
+// SoftTFIDF computes the SoftTFIDF similarity of two strings: the cosine
+// of their TF-IDF vectors where tokens x and y count as matching when
+// base(x, y) ≥ theta, contributing weight(x)·weight(y)·base(x, y).
+func (t *TFIDF) SoftTFIDF(a, b string, base Func, theta float64) float64 {
+	ta, tb := Tokens(a), Tokens(b)
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	normA := t.vectorNorm(ta)
+	normB := t.vectorNorm(tb)
+	if normA == 0 || normB == 0 {
+		return 0
+	}
+	dot := 0.0
+	for _, x := range ta {
+		bestSim, bestTok := 0.0, ""
+		for _, y := range tb {
+			if s := base(x, y); s >= theta && s > bestSim {
+				bestSim, bestTok = s, y
+			}
+		}
+		if bestTok != "" {
+			dot += t.Weight(x) * t.Weight(bestTok) * bestSim
+		}
+	}
+	sim := dot / (normA * normB)
+	if sim > 1 {
+		sim = 1 // soft matches can overshoot the exact cosine bound
+	}
+	return sim
+}
+
+func (t *TFIDF) vectorNorm(tokens []string) float64 {
+	counts := map[string]int{}
+	for _, tok := range tokens {
+		counts[tok]++
+	}
+	sum := 0.0
+	for tok, n := range counts {
+		w := float64(n) * t.Weight(tok)
+		sum += w * w
+	}
+	return math.Sqrt(sum)
+}
+
+// Sim returns a Func closing over the model with the standard SoftTFIDF
+// configuration (Jaro-Winkler base, θ = 0.9).
+func (t *TFIDF) Sim() Func {
+	return func(a, b string) float64 { return t.SoftTFIDF(a, b, JaroWinkler, 0.9) }
+}
+
+// TopTokens returns the n highest-IDF tokens seen in the corpus, a
+// diagnostic for inspecting what the model considers distinctive.
+func (t *TFIDF) TopTokens(n int) []string {
+	toks := make([]string, 0, len(t.docFreq))
+	for tok := range t.docFreq {
+		toks = append(toks, tok)
+	}
+	sort.Slice(toks, func(i, j int) bool {
+		wi, wj := t.Weight(toks[i]), t.Weight(toks[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return toks[i] < toks[j]
+	})
+	if n < len(toks) {
+		toks = toks[:n]
+	}
+	return toks
+}
+
+// FieldsOf exposes the documents' tokenization for reuse (e.g. building
+// the model from attribute names plus their values).
+func FieldsOf(doc string) []string { return strings.Fields(Normalize(doc)) }

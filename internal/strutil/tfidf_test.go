@@ -1,0 +1,119 @@
+package strutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMongeElkan(t *testing.T) {
+	// Identical token sets score 1.
+	if s := MongeElkan("home phone", "phone home", JaroWinkler); !almostEq(s, 1) {
+		t.Errorf("permuted tokens = %f", s)
+	}
+	// Subset relation scores above half.
+	if s := MongeElkan("home phone", "phone", JaroWinkler); s < 0.5 {
+		t.Errorf("subset = %f", s)
+	}
+	// Disjoint tokens score low.
+	if s := MongeElkan("year", "price", JaroWinkler); s > 0.6 {
+		t.Errorf("disjoint = %f", s)
+	}
+	if s := MongeElkan("", "x", JaroWinkler); s != 0 {
+		t.Errorf("empty = %f", s)
+	}
+}
+
+func TestMongeElkanSymmetric(t *testing.T) {
+	prop := func(a, b string) bool {
+		x := MongeElkan(a, b, JaroWinkler)
+		y := MongeElkan(b, a, JaroWinkler)
+		return math.Abs(x-y) < 1e-12 && x >= 0 && x <= 1+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func corpusModel() *TFIDF {
+	return NewTFIDF([]string{
+		"home phone", "office phone", "phone number", "home address",
+		"office address", "name", "full name", "email address",
+	})
+}
+
+func TestTFIDFWeights(t *testing.T) {
+	m := corpusModel()
+	// "phone" appears in 3 of 8 docs; "email" in 1: email is rarer, so it
+	// weighs more.
+	if m.Weight("email") <= m.Weight("phone") {
+		t.Errorf("Weight(email)=%f <= Weight(phone)=%f", m.Weight("email"), m.Weight("phone"))
+	}
+	// Unseen tokens get the maximum weight.
+	if m.Weight("zzz") < m.Weight("email") {
+		t.Errorf("unseen token weight %f below rare token %f", m.Weight("zzz"), m.Weight("email"))
+	}
+	// Empty model is total-weight neutral.
+	empty := NewTFIDF(nil)
+	if empty.Weight("x") != 1 {
+		t.Errorf("empty-model weight = %f", empty.Weight("x"))
+	}
+}
+
+func TestSoftTFIDF(t *testing.T) {
+	m := corpusModel()
+	sim := m.Sim()
+	if s := sim("home phone", "home phone"); !almostEq(s, 1) {
+		t.Errorf("identical = %f", s)
+	}
+	// Typo within the soft threshold still matches strongly.
+	if s := sim("home phone", "home phonee"); s < 0.9 {
+		t.Errorf("soft typo = %f", s)
+	}
+	// Shared rare token dominates over a shared common token: both pairs
+	// share one token, but the rare one is more indicative.
+	rare := sim("email address", "email contact")
+	common := sim("phone number", "phone x")
+	if rare <= common {
+		t.Errorf("rare-token pair %f <= common-token pair %f", rare, common)
+	}
+	if s := sim("year", "price"); s != 0 {
+		t.Errorf("disjoint = %f", s)
+	}
+	if s := sim("", "x"); s != 0 {
+		t.Errorf("empty = %f", s)
+	}
+}
+
+func TestSoftTFIDFBounded(t *testing.T) {
+	m := corpusModel()
+	prop := func(a, b string) bool {
+		s := m.SoftTFIDF(a, b, JaroWinkler, 0.9)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopTokens(t *testing.T) {
+	m := corpusModel()
+	top := m.TopTokens(3)
+	if len(top) != 3 {
+		t.Fatalf("TopTokens = %v", top)
+	}
+	// The most distinctive tokens are the df=1 ones, alphabetically first.
+	if m.Weight(top[0]) < m.Weight("phone") {
+		t.Errorf("top token %q not high-weight", top[0])
+	}
+	if got := m.TopTokens(1000); len(got) != len(m.docFreq) {
+		t.Errorf("TopTokens(1000) = %d tokens, want all %d", len(got), len(m.docFreq))
+	}
+}
+
+func TestFieldsOf(t *testing.T) {
+	got := FieldsOf("Home_Phone-No.")
+	if len(got) != 3 || got[0] != "home" || got[1] != "phone" || got[2] != "no" {
+		t.Errorf("FieldsOf = %v", got)
+	}
+}

@@ -1,0 +1,321 @@
+// Package wgraph implements the weighted attribute graph at the heart of
+// mediated-schema generation (paper §4): nodes are frequent source
+// attributes, edges carry pairwise similarity, and edges are classified as
+// certain (weight ≥ τ+ε) or uncertain (τ−ε ≤ weight < τ+ε). It provides
+// the uncertain-edge pruning of Algorithm 1 step 6 and the enumeration of
+// connected-component partitions over uncertain-edge subsets (step 7).
+package wgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge connects two attribute nodes with a similarity weight.
+type Edge struct {
+	A, B   string
+	Weight float64
+}
+
+func (e Edge) String() string { return fmt.Sprintf("(%s, %s, %.3f)", e.A, e.B, e.Weight) }
+
+// canonical orders the endpoint names within the edge.
+func (e Edge) canonical() Edge {
+	if e.A > e.B {
+		e.A, e.B = e.B, e.A
+	}
+	return e
+}
+
+// Graph is the weighted attribute graph with certain/uncertain edge
+// classification.
+type Graph struct {
+	Nodes     []string // sorted
+	Certain   []Edge
+	Uncertain []Edge
+}
+
+// Build constructs the graph over nodes using the pairwise similarity
+// function sim. Per Algorithm 1 steps 4–5: an edge exists when
+// sim ≥ τ−ε; it is uncertain when sim < τ+ε, certain otherwise.
+// Build assumes sim is symmetric and evaluates each unordered pair once.
+func Build(nodes []string, sim func(a, b string) float64, tau, eps float64) *Graph {
+	sorted := make([]string, len(nodes))
+	copy(sorted, nodes)
+	sort.Strings(sorted)
+	g := &Graph{Nodes: sorted}
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			w := sim(sorted[i], sorted[j])
+			if w < tau-eps {
+				continue
+			}
+			e := Edge{A: sorted[i], B: sorted[j], Weight: w}
+			if w < tau+eps {
+				g.Uncertain = append(g.Uncertain, e)
+			} else {
+				g.Certain = append(g.Certain, e)
+			}
+		}
+	}
+	sortEdges(g.Certain)
+	sortEdges(g.Uncertain)
+	return g
+}
+
+func sortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].A != es[j].A {
+			return es[i].A < es[j].A
+		}
+		if es[i].B != es[j].B {
+			return es[i].B < es[j].B
+		}
+		return es[i].Weight < es[j].Weight
+	})
+}
+
+// PruneUncertain implements Algorithm 1 step 6: it removes an uncertain
+// edge (a1, a2) when (1) a1 and a2 are already connected by certain edges,
+// or (2) there is another uncertain edge (a1, a3) with a3 certain-connected
+// to a2 that has already been kept (only one uncertain edge is considered
+// between a node and a certain-connected node set). The receiver is
+// modified in place and also returned.
+func (g *Graph) PruneUncertain() *Graph {
+	uf := newUnionFind(g.Nodes)
+	for _, e := range g.Certain {
+		uf.union(e.A, e.B)
+	}
+	// For rule (2): at most one uncertain edge between a node and a certain
+	// component. Among candidates we keep the heaviest (deterministically
+	// tie-broken by edge order) since it carries the most evidence.
+	type link struct {
+		node string
+		comp string
+	}
+	sorted := make([]Edge, len(g.Uncertain))
+	copy(sorted, g.Uncertain)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Weight != sorted[j].Weight {
+			return sorted[i].Weight > sorted[j].Weight
+		}
+		if sorted[i].A != sorted[j].A {
+			return sorted[i].A < sorted[j].A
+		}
+		return sorted[i].B < sorted[j].B
+	})
+	kept := make(map[link]bool)
+	var out []Edge
+	for _, e := range sorted {
+		ca, cb := uf.find(e.A), uf.find(e.B)
+		if ca == cb {
+			continue // rule (1): already certain-connected
+		}
+		// Normalize the pair of component links this edge represents. Two
+		// uncertain edges are redundant when they connect the same pair of
+		// certain components.
+		k1, k2 := link{ca, cb}, link{cb, ca}
+		if kept[k1] || kept[k2] {
+			continue // rule (2): a representative uncertain edge exists
+		}
+		kept[k1] = true
+		out = append(out, e.canonical())
+	}
+	sortEdges(out)
+	g.Uncertain = out
+	return g
+}
+
+// CapUncertain bounds the number of uncertain edges to limit the 2^u
+// enumeration of Algorithm 1 step 7 (the paper notes ε must be chosen
+// carefully for the same reason). Edges beyond the cap are resolved
+// deterministically: the ones farthest from the threshold midpoint are
+// resolved first — weight ≥ tau becomes certain, weight < tau is dropped.
+// The most ambiguous edges (weight nearest tau) stay uncertain.
+func (g *Graph) CapUncertain(cap int, tau float64) *Graph {
+	if cap < 0 || len(g.Uncertain) <= cap {
+		return g
+	}
+	byAmbiguity := make([]Edge, len(g.Uncertain))
+	copy(byAmbiguity, g.Uncertain)
+	sort.Slice(byAmbiguity, func(i, j int) bool {
+		di := abs(byAmbiguity[i].Weight - tau)
+		dj := abs(byAmbiguity[j].Weight - tau)
+		if di != dj {
+			return di < dj
+		}
+		if byAmbiguity[i].A != byAmbiguity[j].A {
+			return byAmbiguity[i].A < byAmbiguity[j].A
+		}
+		return byAmbiguity[i].B < byAmbiguity[j].B
+	})
+	g.Uncertain = byAmbiguity[:cap]
+	for _, e := range byAmbiguity[cap:] {
+		if e.Weight >= tau {
+			g.Certain = append(g.Certain, e)
+		}
+	}
+	sortEdges(g.Certain)
+	sortEdges(g.Uncertain)
+	return g
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Partition is a node clustering: each cluster sorted, clusters sorted by
+// first element.
+type Partition [][]string
+
+// Key returns a canonical identity for deduplication.
+func (p Partition) Key() string {
+	s := ""
+	for _, c := range p {
+		for _, n := range c {
+			s += n + "\x1f"
+		}
+		s += "\x1e"
+	}
+	return s
+}
+
+// ComponentsOmitting returns the connected components of the graph formed
+// by all certain edges plus the uncertain edges whose index bit is NOT set
+// in omit (Algorithm 1 step 7: "omit the edges in the subset").
+func (g *Graph) ComponentsOmitting(omit uint64) Partition {
+	uf := newUnionFind(g.Nodes)
+	for _, e := range g.Certain {
+		uf.union(e.A, e.B)
+	}
+	for i, e := range g.Uncertain {
+		if omit&(1<<uint(i)) == 0 {
+			uf.union(e.A, e.B)
+		}
+	}
+	return uf.partition()
+}
+
+// Components returns the connected components using every edge (certain
+// and uncertain). This is the single-mediated-schema construction of §4.1.
+func (g *Graph) Components() Partition { return g.ComponentsOmitting(0) }
+
+// CertainComponents returns the components using only certain edges. The
+// paper notes (§6) this equals the consolidated mediated schema in
+// practice.
+func (g *Graph) CertainComponents() Partition {
+	uf := newUnionFind(g.Nodes)
+	for _, e := range g.Certain {
+		uf.union(e.A, e.B)
+	}
+	return uf.partition()
+}
+
+// EnumeratePartitions enumerates the distinct partitions obtained over all
+// subsets of uncertain edges (Algorithm 1 steps 7–8) and, for each, the
+// number of subsets mapping to it. Requires at most 63 uncertain edges;
+// callers should CapUncertain first.
+func (g *Graph) EnumeratePartitions() ([]Partition, []int, error) {
+	u := len(g.Uncertain)
+	if u > 20 {
+		return nil, nil, fmt.Errorf("wgraph: %d uncertain edges would enumerate 2^%d partitions; cap them first", u, u)
+	}
+	seen := make(map[string]int)
+	var parts []Partition
+	var counts []int
+	for omit := uint64(0); omit < 1<<uint(u); omit++ {
+		p := g.ComponentsOmitting(omit)
+		k := p.Key()
+		if i, ok := seen[k]; ok {
+			counts[i]++
+			continue
+		}
+		seen[k] = len(parts)
+		parts = append(parts, p)
+		counts = append(counts, 1)
+	}
+	return parts, counts, nil
+}
+
+// unionFind is a classic disjoint-set structure over string node names.
+type unionFind struct {
+	parent map[string]string
+	rank   map[string]int
+	nodes  []string
+}
+
+func newUnionFind(nodes []string) *unionFind {
+	uf := &unionFind{
+		parent: make(map[string]string, len(nodes)),
+		rank:   make(map[string]int, len(nodes)),
+		nodes:  nodes,
+	}
+	for _, n := range nodes {
+		uf.parent[n] = n
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x string) string {
+	root := x
+	for uf.parent[root] != root {
+		root = uf.parent[root]
+	}
+	for uf.parent[x] != root {
+		uf.parent[x], x = root, uf.parent[x]
+	}
+	return root
+}
+
+func (uf *unionFind) union(a, b string) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}
+
+func (uf *unionFind) partition() Partition {
+	groups := make(map[string][]string)
+	for _, n := range uf.nodes {
+		r := uf.find(n)
+		groups[r] = append(groups[r], n)
+	}
+	var p Partition
+	for _, members := range groups {
+		sort.Strings(members)
+		p = append(p, members)
+	}
+	sort.Slice(p, func(i, j int) bool { return p[i][0] < p[j][0] })
+	return p
+}
+
+// DOT renders the graph in Graphviz format: certain edges solid, uncertain
+// edges dashed with weights, one node per attribute. Useful for inspecting
+// the Figure 3-style attribute graph of a domain.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", name)
+	b.WriteString("  node [shape=ellipse];\n")
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "  %q;\n", n)
+	}
+	for _, e := range g.Certain {
+		fmt.Fprintf(&b, "  %q -- %q [label=\"%.3f\"];\n", e.A, e.B, e.Weight)
+	}
+	for _, e := range g.Uncertain {
+		fmt.Fprintf(&b, "  %q -- %q [style=dashed, label=\"%.3f\"];\n", e.A, e.B, e.Weight)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,283 @@
+package wgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// simFromTable builds a symmetric similarity function from a pair table.
+func simFromTable(table map[[2]string]float64) func(a, b string) float64 {
+	return func(a, b string) float64 {
+		if w, ok := table[[2]string{a, b}]; ok {
+			return w
+		}
+		if w, ok := table[[2]string{b, a}]; ok {
+			return w
+		}
+		return 0
+	}
+}
+
+func TestBuildClassifiesEdges(t *testing.T) {
+	sim := simFromTable(map[[2]string]float64{
+		{"a", "b"}: 0.95, // certain (>= 0.87)
+		{"b", "c"}: 0.85, // uncertain ([0.83, 0.87))
+		{"c", "d"}: 0.80, // absent (< 0.83)
+	})
+	g := Build([]string{"d", "c", "b", "a"}, sim, 0.85, 0.02)
+	if len(g.Certain) != 1 || g.Certain[0].A != "a" || g.Certain[0].B != "b" {
+		t.Errorf("Certain = %v", g.Certain)
+	}
+	if len(g.Uncertain) != 1 || g.Uncertain[0].A != "b" || g.Uncertain[0].B != "c" {
+		t.Errorf("Uncertain = %v", g.Uncertain)
+	}
+	if !reflect.DeepEqual(g.Nodes, []string{"a", "b", "c", "d"}) {
+		t.Errorf("Nodes = %v", g.Nodes)
+	}
+}
+
+func TestPruneRule1(t *testing.T) {
+	// a-b certain, b-c certain; uncertain a-c must be removed (already
+	// certain-connected).
+	g := &Graph{
+		Nodes:     []string{"a", "b", "c"},
+		Certain:   []Edge{{"a", "b", 0.9}, {"b", "c", 0.9}},
+		Uncertain: []Edge{{"a", "c", 0.85}},
+	}
+	g.PruneUncertain()
+	if len(g.Uncertain) != 0 {
+		t.Errorf("rule 1 failed: %v", g.Uncertain)
+	}
+}
+
+func TestPruneRule2(t *testing.T) {
+	// b-c certain. Uncertain a-b and a-c both connect node a to the same
+	// certain component; only one may remain (the heavier).
+	g := &Graph{
+		Nodes:     []string{"a", "b", "c"},
+		Certain:   []Edge{{"b", "c", 0.9}},
+		Uncertain: []Edge{{"a", "b", 0.84}, {"a", "c", 0.86}},
+	}
+	g.PruneUncertain()
+	if len(g.Uncertain) != 1 {
+		t.Fatalf("rule 2 kept %v", g.Uncertain)
+	}
+	if g.Uncertain[0].Weight != 0.86 {
+		t.Errorf("kept the lighter edge: %v", g.Uncertain[0])
+	}
+}
+
+func TestPruneKeepsIndependentUncertain(t *testing.T) {
+	g := &Graph{
+		Nodes:     []string{"a", "b", "c", "d"},
+		Certain:   nil,
+		Uncertain: []Edge{{"a", "b", 0.85}, {"c", "d", 0.85}},
+	}
+	g.PruneUncertain()
+	if len(g.Uncertain) != 2 {
+		t.Errorf("independent uncertain edges pruned: %v", g.Uncertain)
+	}
+}
+
+func TestCapUncertain(t *testing.T) {
+	g := &Graph{
+		Nodes: []string{"a", "b", "c", "d", "e", "f"},
+		Uncertain: []Edge{
+			{"a", "b", 0.851}, // nearest tau -> stays uncertain
+			{"c", "d", 0.869}, // far above tau -> promoted to certain
+			{"e", "f", 0.831}, // far below tau -> dropped
+		},
+	}
+	g.CapUncertain(1, 0.85)
+	if len(g.Uncertain) != 1 || g.Uncertain[0].Weight != 0.851 {
+		t.Errorf("Uncertain = %v", g.Uncertain)
+	}
+	if len(g.Certain) != 1 || g.Certain[0].Weight != 0.869 {
+		t.Errorf("Certain = %v", g.Certain)
+	}
+}
+
+func TestCapUncertainNoop(t *testing.T) {
+	g := &Graph{Nodes: []string{"a", "b"}, Uncertain: []Edge{{"a", "b", 0.85}}}
+	g.CapUncertain(5, 0.85)
+	if len(g.Uncertain) != 1 {
+		t.Error("cap should not change a small graph")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := &Graph{
+		Nodes:     []string{"a", "b", "c", "d"},
+		Certain:   []Edge{{"a", "b", 0.9}},
+		Uncertain: []Edge{{"b", "c", 0.85}},
+	}
+	all := g.Components()
+	want := Partition{{"a", "b", "c"}, {"d"}}
+	if !reflect.DeepEqual(all, want) {
+		t.Errorf("Components = %v", all)
+	}
+	cert := g.CertainComponents()
+	want = Partition{{"a", "b"}, {"c"}, {"d"}}
+	if !reflect.DeepEqual(cert, want) {
+		t.Errorf("CertainComponents = %v", cert)
+	}
+	omitted := g.ComponentsOmitting(1) // omit the only uncertain edge
+	if !reflect.DeepEqual(omitted, want) {
+		t.Errorf("ComponentsOmitting(1) = %v", omitted)
+	}
+}
+
+func TestEnumeratePartitions(t *testing.T) {
+	// One uncertain edge -> two partitions, one subset each.
+	g := &Graph{
+		Nodes:     []string{"a", "b", "c"},
+		Certain:   []Edge{{"a", "b", 0.9}},
+		Uncertain: []Edge{{"b", "c", 0.85}},
+	}
+	parts, counts, err := g.EnumeratePartitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 || counts[0] != 1 || counts[1] != 1 {
+		t.Fatalf("parts=%v counts=%v", parts, counts)
+	}
+}
+
+func TestEnumeratePartitionsDedup(t *testing.T) {
+	// Two uncertain edges forming a triangle with a certain edge: omitting
+	// either single uncertain edge still yields one merged component, so
+	// distinct subsets collapse to the same partition.
+	g := &Graph{
+		Nodes:     []string{"a", "b", "c"},
+		Certain:   []Edge{{"a", "b", 0.9}},
+		Uncertain: []Edge{{"a", "c", 0.85}, {"b", "c", 0.85}},
+	}
+	parts, counts, err := g.EnumeratePartitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subsets: {} -> abc; {ac} -> abc (bc still there); {bc} -> abc; {ac,bc} -> ab|c.
+	if len(parts) != 2 {
+		t.Fatalf("parts = %v", parts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 4 {
+		t.Errorf("subset counts sum to %d, want 4", total)
+	}
+}
+
+func TestEnumerateTooManyUncertain(t *testing.T) {
+	g := &Graph{Nodes: []string{"x"}}
+	for i := 0; i < 21; i++ {
+		g.Uncertain = append(g.Uncertain, Edge{"x", "x", 0.85})
+	}
+	if _, _, err := g.EnumeratePartitions(); err == nil {
+		t.Error("expected error for too many uncertain edges")
+	}
+}
+
+// Property: partitions returned are true partitions of the node set, and
+// the number of distinct partitions is at most 2^u.
+func TestEnumerateProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = string(rune('a' + i))
+		}
+		table := make(map[[2]string]float64)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					table[[2]string{nodes[i], nodes[j]}] = 0.80 + rng.Float64()*0.2
+				}
+			}
+		}
+		g := Build(nodes, simFromTable(table), 0.85, 0.02)
+		g.PruneUncertain().CapUncertain(8, 0.85)
+		parts, counts, err := g.EnumeratePartitions()
+		if err != nil {
+			return false
+		}
+		if len(parts) != len(counts) {
+			return false
+		}
+		for _, p := range parts {
+			seen := make(map[string]bool)
+			for _, cluster := range p {
+				if len(cluster) == 0 {
+					return false
+				}
+				for _, node := range cluster {
+					if seen[node] {
+						return false
+					}
+					seen[node] = true
+				}
+			}
+			if len(seen) != n {
+				return false
+			}
+		}
+		return len(parts) <= 1<<uint(len(g.Uncertain))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pruning never changes the full-graph components (removed edges
+// were redundant for connectivity).
+func TestPrunePreservesFullComponents(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = string(rune('a' + i))
+		}
+		table := make(map[[2]string]float64)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					table[[2]string{nodes[i], nodes[j]}] = 0.80 + rng.Float64()*0.2
+				}
+			}
+		}
+		g := Build(nodes, simFromTable(table), 0.85, 0.02)
+		before := g.Components().Key()
+		g.PruneUncertain()
+		return g.Components().Key() == before
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgeString(t *testing.T) {
+	e := Edge{"a", "b", 0.5}
+	if e.String() != "(a, b, 0.500)" {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := &Graph{
+		Nodes:     []string{"a", "b", "c"},
+		Certain:   []Edge{{"a", "b", 0.9}},
+		Uncertain: []Edge{{"b", "c", 0.85}},
+	}
+	dot := g.DOT("test")
+	for _, frag := range []string{`graph "test"`, `"a" -- "b"`, `style=dashed`, `0.900`, `0.850`} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+}
