@@ -1,0 +1,26 @@
+# Development entry points. `make check` is the tier-1 gate: vet, build,
+# and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check build test race vet bench experiments
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/experiments -exp all

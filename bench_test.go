@@ -14,6 +14,7 @@ import (
 	"udi/internal/eval"
 	"udi/internal/experiments"
 	"udi/internal/feedback"
+	"udi/internal/obs"
 	"udi/internal/pmapping"
 	"udi/internal/sqlparse"
 	"udi/internal/strutil"
@@ -154,11 +155,22 @@ func BenchmarkFig7SetupScaling(b *testing.B) {
 		b.Fatal(err)
 	}
 	sub := corpus.Corpus.Prefix(200)
+	var last *core.System
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Setup(sub, core.Config{}); err != nil {
+		sys, err := core.Setup(sub, core.Config{})
+		if err != nil {
 			b.Fatal(err)
+		}
+		last = sys
+	}
+	b.StopTimer()
+	// Break the headline number down by pipeline stage using the setup
+	// span tree, so regressions localize without a profiler.
+	if tr := last.Trace.Export(); tr != nil {
+		for _, child := range tr.Children {
+			b.ReportMetric(child.DurationMS, child.Name+"-ms")
 		}
 	}
 }
@@ -293,6 +305,36 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// BenchmarkMetricsOverhead contrasts query answering with a live
+// observability registry against the no-op registry — the cost of the
+// instrumentation itself on the hot path. EXPERIMENTS.md records the
+// measured overhead.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	r := peopleRun(b)
+	q := sqlparse.MustParse(r.Spec.Queries[0])
+	for _, mode := range []struct {
+		name string
+		reg  *obs.Registry
+	}{
+		{"instrumented", obs.NewRegistry()},
+		{"noop", obs.Disabled},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			sys, err := core.Setup(r.Corpus.Corpus, core.Config{Obs: mode.reg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.QueryParsed(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkByTupleRanking measures the by-tuple recombination extension.

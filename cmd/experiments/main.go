@@ -6,12 +6,18 @@
 //	experiments -exp all
 //	experiments -exp table2 -domains People,Bib
 //	experiments -exp fig7
+//	experiments -exp table2 -trace traces.json
 //
 // Experiments: table1, table2, table3, fig3, fig4, fig5, fig6, fig7,
 // ablate-sim, ablate-maxent, ablate-params, ablate-agg, ablate-instance, paygo, qtime, all.
+//
+// With -trace PATH, the per-stage setup span trees (import, mediate,
+// pmappings, consolidate) of every system built during the run are written
+// to PATH as JSON, keyed by domain and approach family.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,21 +25,38 @@ import (
 
 	"udi/internal/datagen"
 	"udi/internal/experiments"
+	"udi/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (table1|table2|table3|fig3|fig4|fig5|fig6|fig7|ablate-sim|ablate-maxent|ablate-params|ablate-agg|ablate-instance|paygo|qtime|all)")
 	domains := flag.String("domains", "", "comma-separated domain subset (default: all five)")
 	scale := flag.Float64("scale", 1.0, "scale factor on the number of sources per domain (for quick runs)")
+	trace := flag.String("trace", "", "write per-stage setup span traces to this file as JSON")
 	flag.Parse()
 
-	if err := run(*exp, *domains, *scale); err != nil {
+	if err := run(*exp, *domains, *scale, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, domainFilter string, scale float64) error {
+// writeTraces dumps the span trees of every system the runs built.
+func writeTraces(path string, runs []*experiments.DomainRun) error {
+	traces := map[string]map[string]*obs.SpanExport{}
+	for _, r := range runs {
+		if t := r.Traces(); t != nil {
+			traces[r.Spec.Name] = t
+		}
+	}
+	data, err := json.MarshalIndent(traces, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func run(exp, domainFilter string, scale float64, trace string) error {
 	specs := datagen.AllDomains()
 	if domainFilter != "" {
 		want := map[string]bool{}
@@ -248,6 +271,12 @@ func run(exp, domainFilter string, scale float64) error {
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	if trace != "" {
+		if err := writeTraces(trace, runs); err != nil {
+			return fmt.Errorf("writing traces: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote span traces to %s\n", trace)
 	}
 	return nil
 }

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"udi/internal/obs"
+)
 
 // The experiment driver runs each artifact over scaled-down corpora; the
 // heavy full-scale runs are exercised by `go run ./cmd/experiments` and
@@ -19,29 +26,65 @@ func TestRunSingleExperiments(t *testing.T) {
 		{"fig6", "Movie"},
 	}
 	for _, c := range cases {
-		if err := run(c.exp, c.domains, 0.15); err != nil {
+		if err := run(c.exp, c.domains, 0.15, ""); err != nil {
 			t.Errorf("exp %s: %v", c.exp, err)
 		}
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("nonsense", "People", 0.15); err == nil {
+	if err := run("nonsense", "People", 0.15, ""); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run("table1", "Atlantis", 1); err == nil {
+	if err := run("table1", "Atlantis", 1, ""); err == nil {
 		t.Error("unknown domain accepted")
 	}
-	if err := run("fig3", "People", 0.15); err == nil {
+	if err := run("fig3", "People", 0.15, ""); err == nil {
 		t.Error("fig3 without Bib accepted")
 	}
-	if err := run("fig6", "People", 0.15); err == nil {
+	if err := run("fig6", "People", 0.15, ""); err == nil {
 		t.Error("fig6 without Movie accepted")
 	}
-	if err := run("fig7", "People", 0.15); err == nil {
+	if err := run("fig7", "People", 0.15, ""); err == nil {
 		t.Error("fig7 without Car accepted")
 	}
-	if err := run("paygo", "Movie", 0.15); err == nil {
+	if err := run("paygo", "Movie", 0.15, ""); err == nil {
 		t.Error("paygo without People accepted")
+	}
+}
+
+// TestTraceExport runs one experiment with -trace and checks the emitted
+// JSON parses back into span trees with the expected setup stages.
+func TestTraceExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment driver is slow")
+	}
+	path := filepath.Join(t.TempDir(), "traces.json")
+	if err := run("table3", "People", 0.15, path); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read trace file: %v", err)
+	}
+	var traces map[string]map[string]*obs.SpanExport
+	if err := json.Unmarshal(data, &traces); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	udi := traces["People"]["udi"]
+	if udi == nil {
+		t.Fatalf("missing People/udi trace; got %v", traces)
+	}
+	stages := map[string]bool{}
+	for _, c := range udi.Children {
+		stages[c.Name] = true
+	}
+	for _, want := range []string{"import", "mediate", "pmappings", "consolidate"} {
+		if !stages[want] {
+			t.Errorf("trace is missing stage %q (have %v)", want, stages)
+		}
+	}
+	if udi.DurationNS <= 0 {
+		t.Error("root span has no duration")
 	}
 }

@@ -15,11 +15,18 @@
 //	POST /explain   {"query": "...", "values": [...]} — answer provenance
 //	POST /feedback  {"source": "...", "attr": "...", "med_name": "...",
 //	                 "confirmed": true} — pay-as-you-go improvement
+//
+// Observability:
+//
+//	GET /metrics       JSON snapshot of counters and latency histograms
+//	GET /debug/vars    expvar-compatible dump (includes the "udi" key)
+//	GET /debug/pprof/  standard Go profiling handlers
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"time"
@@ -38,22 +45,27 @@ func main() {
 	load := flag.String("load", "", "serve a system snapshot instead of setting up")
 	sources := flag.Int("sources", 0, "limit the number of sources (0 = full domain)")
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	verbose := flag.Bool("verbose", false, "log one line per request")
 	flag.Parse()
 
-	if err := run(*domain, *data, *load, *sources, *addr); err != nil {
+	if err := run(*domain, *data, *load, *sources, *addr, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "udiserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(domain, data, load string, sources int, addr string) error {
+func run(domain, data, load string, sources int, addr string, verbose bool) error {
 	sys, err := buildSystem(domain, data, load, sources)
 	if err != nil {
 		return err
 	}
+	api := httpapi.NewServer(sys)
+	if verbose {
+		api.Logf = log.Printf
+	}
 	server := &http.Server{
 		Addr:              addr,
-		Handler:           httpapi.NewServer(sys).Handler(),
+		Handler:           api.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	fmt.Fprintf(os.Stderr, "serving %d sources on http://%s\n", len(sys.Corpus.Sources), addr)

@@ -1,12 +1,18 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"udi/internal/core"
 	"udi/internal/csvio"
 	"udi/internal/datagen"
+	"udi/internal/httpapi"
+	"udi/internal/obs"
 	"udi/internal/persist"
 )
 
@@ -64,5 +70,72 @@ func TestBuildSystemSnapshot(t *testing.T) {
 	}
 	if _, err := buildSystem("", "", filepath.Join(t.TempDir(), "none.gz"), 0); err == nil {
 		t.Error("missing snapshot accepted")
+	}
+}
+
+// TestServeObservability drives the full server stack end to end: build a
+// system, serve it, run a query, then check the observability endpoints
+// report live counters for it.
+func TestServeObservability(t *testing.T) {
+	sys, err := buildSystem("People", "", "", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := httpapi.NewServer(sys)
+	var logged int
+	api.Logf = func(format string, args ...any) { logged++ }
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+
+	body := strings.NewReader(`{"query": "SELECT name FROM people"}`)
+	resp, err := http.Post(srv.URL+"/query", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if snap.Counters["http.requests./query"] < 1 {
+		t.Errorf("http.requests./query = %d, want >= 1", snap.Counters["http.requests./query"])
+	}
+	if snap.Counters["query.count"] < 1 {
+		t.Errorf("query.count = %d, want >= 1", snap.Counters["query.count"])
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars: %v", err)
+	}
+	if _, ok := vars["udi"]; !ok {
+		t.Error("/debug/vars is missing the udi key")
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+
+	if logged < 4 {
+		t.Errorf("%d log lines, want >= 4", logged)
 	}
 }

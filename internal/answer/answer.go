@@ -22,8 +22,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"udi/internal/consolidate"
+	"udi/internal/obs"
 	"udi/internal/pmapping"
 	"udi/internal/schema"
 	"udi/internal/sqlparse"
@@ -119,6 +121,11 @@ type Engine struct {
 	// query answering (sources are independent; results merge in source
 	// order, so answers are deterministic). Defaults to GOMAXPROCS.
 	Parallelism int
+	// Obs receives per-query metrics: histograms query.seconds (total
+	// latency), query.rank_seconds (merge + ranking), query.tuples
+	// (distinct ranked answers), query.instances (answer occurrences), and
+	// counter query.count. Nil disables recording.
+	Obs *obs.Registry
 }
 
 // NewEngine builds table wrappers for every source.
@@ -138,6 +145,7 @@ func NewEngine(c *schema.Corpus) *Engine {
 // Parallelism allows — into per-source accumulators, then merges them in
 // source order so results are identical to a serial run.
 func (e *Engine) runPerSource(work func(src *schema.Source, acc *accumulator) error) (*ResultSet, error) {
+	t0 := time.Now()
 	n := len(e.corpus.Sources)
 	accs := make([]*accumulator, n)
 	workers := e.Parallelism
@@ -184,13 +192,22 @@ func (e *Engine) runPerSource(work func(src *schema.Source, acc *accumulator) er
 			return nil, firstErr
 		}
 	}
+	tRank := time.Now()
 	merged := newAccumulator(0)
 	for _, acc := range accs {
 		if acc != nil {
 			merged.merge(acc)
 		}
 	}
-	return merged.results(), nil
+	rs := merged.results()
+	if e.Obs.Enabled() {
+		e.Obs.Add("query.count", 1)
+		e.Obs.Observe("query.seconds", time.Since(t0).Seconds())
+		e.Obs.Observe("query.rank_seconds", time.Since(tRank).Seconds())
+		e.Obs.Observe("query.tuples", float64(len(rs.Ranked)))
+		e.Obs.Observe("query.instances", float64(len(rs.Instances)))
+	}
+	return rs, nil
 }
 
 // Corpus returns the engine's corpus.

@@ -15,6 +15,7 @@ import (
 	"udi/internal/consolidate"
 	"udi/internal/keyword"
 	"udi/internal/mediate"
+	"udi/internal/obs"
 	"udi/internal/pmapping"
 	"udi/internal/schema"
 	"udi/internal/sqlparse"
@@ -37,6 +38,9 @@ type Config struct {
 	// GOMAXPROCS. Set to 1 for fully serial setup (the paper's §7.6
 	// timings are single-threaded).
 	Parallelism int
+	// Obs receives setup, solver and query metrics (see internal/obs).
+	// Nil means obs.Default; pass obs.Disabled to turn recording off.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -51,10 +55,20 @@ func (c Config) withDefaults() Config {
 	if c.PMap.Sim == nil {
 		c.PMap.Sim = c.Mediate.Sim
 	}
+	if c.Obs == nil {
+		c.Obs = obs.Default
+	}
+	// The maxent solver inherits the system registry unless overridden.
+	if c.PMap.Maxent.Obs == nil {
+		c.PMap.Maxent.Obs = c.Obs
+	}
 	return c
 }
 
-// Timings records the four setup phases reported in Figure 7.
+// Timings records the four setup phases reported in Figure 7. It is the
+// flat legacy view of the setup trace: each field equals the duration of
+// the identically-staged span in System.Trace (import, mediate, pmappings,
+// consolidate nested under setup). New reporting should prefer the trace.
 type Timings struct {
 	Import        time.Duration // importing source schemas (table + index build)
 	MedSchema     time.Duration // creating the p-med-schema
@@ -86,6 +100,10 @@ type System struct {
 	ConsMaps map[string]*consolidate.PMapping
 
 	Timings Timings
+	// Trace is the setup span tree (setup → import, mediate, pmappings,
+	// consolidate); incremental source changes adopt child spans into it.
+	// Timings is derived from these spans.
+	Trace *obs.Span
 
 	engine  *answer.Engine
 	kwIndex *storage.KeywordIndex
@@ -96,21 +114,19 @@ type System struct {
 func Setup(c *schema.Corpus, cfg Config) (*System, error) {
 	cfg = cfg.withDefaults()
 	s := &System{Corpus: c, Cfg: cfg}
+	s.startTrace("UDI")
 
-	start := time.Now()
-	s.engine = answer.NewEngine(c)
-	s.engine.Parallelism = cfg.Parallelism
-	s.kwIndex = storage.BuildKeywordIndex(c)
-	s.kw = keyword.NewEngine(s.kwIndex)
-	s.Timings.Import = time.Since(start)
+	s.importSources()
 
-	start = time.Now()
+	sp := s.Trace.Child("mediate")
 	med, err := mediate.Generate(c, cfg.Mediate)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	s.Med = med
-	s.Timings.MedSchema = time.Since(start)
+	sp.SetAttr("schemas", med.PMed.Len())
+	s.Timings.MedSchema = sp.End()
 
 	if err := s.buildMappings(); err != nil {
 		return nil, err
@@ -118,7 +134,44 @@ func Setup(c *schema.Corpus, cfg Config) (*System, error) {
 	if err := s.consolidate(); err != nil {
 		return nil, err
 	}
+	s.endTrace()
 	return s, nil
+}
+
+// startTrace roots the setup span tree.
+func (s *System) startTrace(variant string) {
+	s.Trace = obs.StartSpan("setup")
+	s.Trace.SetAttr("variant", variant)
+	s.Trace.SetAttr("sources", len(s.Corpus.Sources))
+	s.Trace.SetAttr("parallelism", s.Cfg.Parallelism)
+}
+
+// importSources builds the query engine and keyword index (the "import"
+// stage: tables + indexes over every source schema).
+func (s *System) importSources() {
+	sp := s.Trace.Child("import")
+	s.engine = answer.NewEngine(s.Corpus)
+	s.engine.Parallelism = s.Cfg.Parallelism
+	s.engine.Obs = s.Cfg.Obs
+	s.kwIndex = storage.BuildKeywordIndex(s.Corpus)
+	s.kw = keyword.NewEngine(s.kwIndex)
+	s.Timings.Import = sp.End()
+}
+
+// endTrace closes the setup span and publishes the per-stage durations to
+// the configured registry.
+func (s *System) endTrace() {
+	total := s.Trace.End()
+	r := s.Cfg.Obs
+	if !r.Enabled() {
+		return
+	}
+	r.Add("setup.count", 1)
+	r.Observe("setup.seconds", total.Seconds())
+	r.Observe("setup.import_seconds", s.Timings.Import.Seconds())
+	r.Observe("setup.mediate_seconds", s.Timings.MedSchema.Seconds())
+	r.Observe("setup.pmappings_seconds", s.Timings.PMappings.Seconds())
+	r.Observe("setup.consolidate_seconds", s.Timings.Consolidation.Seconds())
 }
 
 // SetupSingleMed configures the §7.4 SingleMed variant: the single
@@ -148,13 +201,9 @@ func setupDeterministic(c *schema.Corpus, cfg Config, m *schema.MediatedSchema) 
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	s := &System{Corpus: c, Cfg: cfg, Med: &mediate.Result{PMed: pmed}}
+	s.startTrace("deterministic")
 
-	start := time.Now()
-	s.engine = answer.NewEngine(c)
-	s.engine.Parallelism = cfg.Parallelism
-	s.kwIndex = storage.BuildKeywordIndex(c)
-	s.kw = keyword.NewEngine(s.kwIndex)
-	s.Timings.Import = time.Since(start)
+	s.importSources()
 
 	if err := s.buildMappings(); err != nil {
 		return nil, err
@@ -162,6 +211,7 @@ func setupDeterministic(c *schema.Corpus, cfg Config, m *schema.MediatedSchema) 
 	if err := s.consolidate(); err != nil {
 		return nil, err
 	}
+	s.endTrace()
 	return s, nil
 }
 
@@ -225,10 +275,11 @@ func (s *System) forEachSource(fn func(src *schema.Source) (any, error), apply f
 }
 
 func (s *System) buildMappings() error {
-	start := time.Now()
+	sp := s.Trace.Child("pmappings")
 	s.Maps = make(map[string][]*pmapping.PMapping, len(s.Corpus.Sources))
 	err := s.forEachSource(
 		func(src *schema.Source) (any, error) {
+			t0 := time.Now()
 			pms := make([]*pmapping.PMapping, 0, s.Med.PMed.Len())
 			for _, m := range s.Med.PMed.Schemas {
 				pm, err := pmapping.Build(src, m, s.Cfg.PMap)
@@ -237,17 +288,19 @@ func (s *System) buildMappings() error {
 				}
 				pms = append(pms, pm)
 			}
+			s.Cfg.Obs.Observe("setup.pmapping_source_seconds", time.Since(t0).Seconds())
 			return pms, nil
 		},
 		func(src *schema.Source, res any) {
 			s.Maps[src.Name] = res.([]*pmapping.PMapping)
 		})
-	s.Timings.PMappings = time.Since(start)
+	s.Timings.PMappings = sp.End()
 	return err
 }
 
 func (s *System) consolidate() error {
-	start := time.Now()
+	sp := s.Trace.Child("consolidate")
+	defer sp.End()
 	target, err := consolidate.Schema(s.Med.PMed)
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
@@ -270,7 +323,8 @@ func (s *System) consolidate() error {
 				s.ConsMaps[src.Name] = cpm
 			}
 		})
-	s.Timings.Consolidation = time.Since(start)
+	sp.SetAttr("materialized", len(s.ConsMaps))
+	s.Timings.Consolidation = sp.End()
 	return err
 }
 
@@ -298,13 +352,12 @@ func Restore(c *schema.Corpus, cfg Config, med *mediate.Result,
 		Target:   target,
 		ConsMaps: consMaps,
 	}
-	s.engine = answer.NewEngine(c)
-	s.engine.Parallelism = s.Cfg.Parallelism
-	s.kwIndex = storage.BuildKeywordIndex(c)
-	s.kw = keyword.NewEngine(s.kwIndex)
+	s.startTrace("restore")
+	s.importSources()
 	if s.ConsMaps == nil {
 		s.ConsMaps = map[string]*consolidate.PMapping{}
 	}
+	s.endTrace()
 	return s, nil
 }
 

@@ -2,12 +2,12 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"udi/internal/answer"
 	"udi/internal/consolidate"
 	"udi/internal/keyword"
 	"udi/internal/mediate"
+	"udi/internal/obs"
 	"udi/internal/pmapping"
 	"udi/internal/schema"
 	"udi/internal/storage"
@@ -34,13 +34,16 @@ func (s *System) AddSource(src *schema.Source) (bool, error) {
 		return false, fmt.Errorf("core: %w", err)
 	}
 
-	start := time.Now()
+	trace := obs.StartSpan("add_source")
+	trace.SetAttr("source", src.Name)
+	sp := trace.Child("mediate")
 	med, err := mediate.Generate(corpus, s.Cfg.Mediate)
 	if err != nil {
 		return false, fmt.Errorf("core: %w", err)
 	}
 	if !sameSchemaSet(s.Med.PMed, med.PMed) {
 		// Clustering changed: full rebuild.
+		s.Cfg.Obs.Add("add_source.rebuild", 1)
 		rebuilt, err := Setup(corpus, s.Cfg)
 		if err != nil {
 			return false, err
@@ -57,6 +60,7 @@ func (s *System) AddSource(src *schema.Source) (bool, error) {
 	if err != nil {
 		// A schema's probability dropped to zero with the new counts; the
 		// schema set effectively changed, so rebuild.
+		s.Cfg.Obs.Add("add_source.rebuild", 1)
 		rebuilt, serr := Setup(corpus, s.Cfg)
 		if serr != nil {
 			return false, serr
@@ -65,17 +69,18 @@ func (s *System) AddSource(src *schema.Source) (bool, error) {
 		return false, nil
 	}
 	s.Med = &mediate.Result{PMed: pmed, Graph: med.Graph, FrequentAttrs: med.FrequentAttrs}
-	s.Timings.MedSchema += time.Since(start)
+	s.Timings.MedSchema += sp.End()
 
 	s.Corpus = corpus
-	start = time.Now()
+	sp = trace.Child("import")
 	s.engine = answer.NewEngine(corpus)
 	s.engine.Parallelism = s.Cfg.Parallelism
+	s.engine.Obs = s.Cfg.Obs
 	s.kwIndex = storage.BuildKeywordIndex(corpus)
 	s.kw = keyword.NewEngine(s.kwIndex)
-	s.Timings.Import += time.Since(start)
+	s.Timings.Import += sp.End()
 
-	start = time.Now()
+	sp = trace.Child("pmappings")
 	pms := make([]*pmapping.PMapping, 0, pmed.Len())
 	for _, m := range pmed.Schemas {
 		pm, err := pmapping.Build(src, m, s.Cfg.PMap)
@@ -85,14 +90,18 @@ func (s *System) AddSource(src *schema.Source) (bool, error) {
 		pms = append(pms, pm)
 	}
 	s.Maps[src.Name] = pms
-	s.Timings.PMappings += time.Since(start)
+	s.Timings.PMappings += sp.End()
 
-	start = time.Now()
+	sp = trace.Child("consolidate")
 	cpm, err := consolidate.ConsolidateMappings(pmed, s.Target, pms, s.Cfg.ConsolidateLimit)
 	if err == nil {
 		s.ConsMaps[src.Name] = cpm
 	}
-	s.Timings.Consolidation += time.Since(start)
+	s.Timings.Consolidation += sp.End()
+	trace.End()
+	s.Trace.Adopt(trace)
+	s.Cfg.Obs.Add("add_source.fast", 1)
+	s.Cfg.Obs.Observe("add_source.seconds", trace.Duration().Seconds())
 	return true, nil
 }
 
@@ -148,10 +157,16 @@ func (s *System) RemoveSource(name string) (bool, error) {
 	s.Corpus = corpus
 	delete(s.Maps, name)
 	delete(s.ConsMaps, name)
+	trace := obs.StartSpan("remove_source")
+	trace.SetAttr("source", name)
 	s.engine = answer.NewEngine(corpus)
 	s.engine.Parallelism = s.Cfg.Parallelism
+	s.engine.Obs = s.Cfg.Obs
 	s.kwIndex = storage.BuildKeywordIndex(corpus)
 	s.kw = keyword.NewEngine(s.kwIndex)
+	trace.End()
+	s.Trace.Adopt(trace)
+	s.Cfg.Obs.Add("remove_source.fast", 1)
 	return true, nil
 }
 

@@ -8,12 +8,17 @@ package httpapi
 import (
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"strings"
 	"sync"
+	"time"
 
 	"udi/internal/core"
 	"udi/internal/feedback"
+	"udi/internal/obs"
 	"udi/internal/sqlparse"
 )
 
@@ -22,12 +27,27 @@ import (
 type Server struct {
 	mu  sync.RWMutex
 	sys *core.System
+	reg *obs.Registry
+
+	// Logf, when set, receives one line per request (method, path,
+	// status, duration). Nil disables request logging.
+	Logf func(format string, args ...any)
 }
 
-// NewServer wraps a configured system.
-func NewServer(sys *core.System) *Server { return &Server{sys: sys} }
+// NewServer wraps a configured system. Request metrics go to the system's
+// observability registry (core.Config.Obs).
+func NewServer(sys *core.System) *Server {
+	reg := sys.Cfg.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
+	return &Server{sys: sys, reg: reg}
+}
 
-// Handler returns the routed HTTP handler.
+// Handler returns the routed HTTP handler. Every route is wrapped in the
+// metrics/logging middleware; /metrics serves the registry snapshot,
+// /debug/vars is expvar-compatible, and /debug/pprof/* exposes the
+// standard profiling handlers.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -36,7 +56,93 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /explain", s.handleExplain)
 	mux.HandleFunc("POST /feedback", s.handleFeedback)
 	mux.HandleFunc("GET /candidates", s.handleCandidates)
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return s.instrument(mux)
+}
+
+// statusWriter captures the response status for metrics and logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// routeLabel collapses request paths onto a bounded label set so the
+// per-route counters cannot grow without bound on arbitrary URLs.
+func routeLabel(path string) string {
+	if strings.HasPrefix(path, "/debug/pprof") {
+		return "/debug/pprof"
+	}
+	switch path {
+	case "/healthz", "/schema", "/query", "/explain", "/feedback", "/candidates", "/metrics", "/debug/vars":
+		return path
+	}
+	return "other"
+}
+
+// instrument wraps h with request counting, error counting, a latency
+// histogram, and optional per-request logging. Metric names:
+// http.requests, http.requests.<route>, http.errors, http.seconds.
+func (s *Server) instrument(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		elapsed := time.Since(t0)
+		if s.reg.Enabled() {
+			s.reg.Add("http.requests", 1)
+			s.reg.Add("http.requests."+routeLabel(r.URL.Path), 1)
+			if sw.status >= 400 {
+				s.reg.Add("http.errors", 1)
+			}
+			s.reg.Observe("http.seconds", elapsed.Seconds())
+		}
+		if s.Logf != nil {
+			s.Logf("%s %s %d %s", r.Method, r.URL.Path, sw.status, elapsed)
+		}
+	})
+}
+
+// handleMetrics serves the observability registry as a JSON snapshot:
+// {"counters": {...}, "histograms": {name: {count, sum, min, max, mean,
+// p50, p95, p99}}}.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
+}
+
+// handleVars serves an expvar-compatible JSON document: every published
+// expvar (cmdline, memstats, ...) plus the server's registry under the
+// "udi" key. It renders expvars itself instead of installing the global
+// expvar.Handler so multiple servers can coexist in one process.
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\n")
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+	})
+	if !first {
+		fmt.Fprintf(w, ",\n")
+	}
+	snap, err := json.Marshal(s.reg.Snapshot())
+	if err != nil {
+		snap = []byte("{}")
+	}
+	fmt.Fprintf(w, "%q: %s\n}\n", "udi", snap)
 }
 
 type candidateJSON struct {

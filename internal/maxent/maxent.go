@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"udi/internal/obs"
 )
 
 // Problem describes one OPT instance.
@@ -38,6 +40,10 @@ type Options struct {
 	// Tol is the convergence tolerance on max |E_c - t_c|. Zero means the
 	// default (1e-9).
 	Tol float64
+	// Obs receives solver metrics: counters maxent.solves /
+	// maxent.fastpath / maxent.infeasible and histograms maxent.outcomes /
+	// maxent.sweeps / maxent.residual. Nil disables recording.
+	Obs *obs.Registry
 }
 
 // ErrInfeasible is wrapped by Solve when no distribution can satisfy the
@@ -81,6 +87,8 @@ func Solve(p Problem, opts Options) ([]float64, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	opts.Obs.Add("maxent.solves", 1)
+	opts.Obs.Observe("maxent.outcomes", float64(p.NumOutcomes))
 	// Clamp targets that drifted past [0,1] by floating-point noise
 	// (Validate already bounded the drift). Work on a copy: the caller's
 	// slice must not be mutated.
@@ -112,10 +120,12 @@ func Solve(p Problem, opts Options) ([]float64, error) {
 	}
 	for c, t := range p.Targets {
 		if len(members[c]) == 0 && t > tol {
+			opts.Obs.Add("maxent.infeasible", 1)
 			return nil, fmt.Errorf("%w: constraint %d has target %g but no supporting outcome", ErrInfeasible, c, t)
 		}
 		if len(members[c]) == p.NumOutcomes && math.Abs(t-1) > tol && p.NumOutcomes > 0 {
 			// Every outcome contains c, so its total is forced to 1.
+			opts.Obs.Add("maxent.infeasible", 1)
 			return nil, fmt.Errorf("%w: constraint %d appears in every outcome but target is %g", ErrInfeasible, c, t)
 		}
 	}
@@ -128,6 +138,13 @@ func Solve(p Problem, opts Options) ([]float64, error) {
 	// several alternatives) exactly, including boundary optima that IPF
 	// approaches only sublinearly.
 	if probs, ok, err := solveDisjoint(p, members, tol); ok {
+		opts.Obs.Add("maxent.fastpath", 1)
+		if err != nil {
+			opts.Obs.Add("maxent.infeasible", 1)
+		} else {
+			opts.Obs.Observe("maxent.sweeps", 0)
+			opts.Obs.Observe("maxent.residual", residual(p, probs, members))
+		}
 		return probs, err
 	}
 
@@ -147,6 +164,7 @@ func Solve(p Problem, opts Options) ([]float64, error) {
 		}
 	}
 	if alive == 0 {
+		opts.Obs.Add("maxent.infeasible", 1)
 		return nil, fmt.Errorf("%w: every outcome is excluded by a zero target", ErrInfeasible)
 	}
 	for k := range probs {
@@ -155,8 +173,17 @@ func Solve(p Problem, opts Options) ([]float64, error) {
 		}
 	}
 
-	lastStallCheck := math.Inf(1)
+	// Boundary optima (some p_k → 0) slow IPF to a sublinear crawl: the
+	// vanishing outcomes decay like c/sweep^α, so the residual never hits
+	// tol within any reasonable budget. Geometric checkpoints detect the
+	// stall — geometric convergence more than halves the residual between
+	// checkpoints k and 2k, a sublinear tail does not — and hand off to
+	// the projection polish below, which finishes the job additively.
+	nextCheck := 256
+	checkWorst := math.Inf(1)
+	sweeps := 0
 	for sweep := 0; sweep < maxSweeps; sweep++ {
+		sweeps = sweep + 1
 		worst := 0.0
 		for c, t := range p.Targets {
 			if t <= tol {
@@ -170,6 +197,7 @@ func Solve(p Problem, opts Options) ([]float64, error) {
 				worst = d
 			}
 			if e <= 0 {
+				opts.Obs.Add("maxent.infeasible", 1)
 				return nil, fmt.Errorf("%w: constraint %d lost all support during fitting", ErrInfeasible, c)
 			}
 			// Exact I-projection onto {Σ_{k∋c} p_k = t}: rescale the two
@@ -183,6 +211,7 @@ func Solve(p Problem, opts Options) ([]float64, error) {
 			if comp > 0 {
 				outScale = (1 - t) / comp
 			} else if math.Abs(t-1) > tol {
+				opts.Obs.Add("maxent.infeasible", 1)
 				return nil, fmt.Errorf("%w: constraint %d saturates the distribution but target is %g", ErrInfeasible, c, t)
 			}
 			inSet := make(map[int]bool, len(members[c]))
@@ -201,33 +230,184 @@ func Solve(p Problem, opts Options) ([]float64, error) {
 			}
 		}
 		if worst < tol {
+			opts.Obs.Observe("maxent.sweeps", float64(sweep+1))
+			opts.Obs.Observe("maxent.residual", worst)
 			return normalize(probs), nil
 		}
-		// Boundary optima (some p_k → 0) slow IPF to a 1/k crawl: when the
-		// residual stops halving, outcomes whose mass is on the order of
-		// the residual are vanishing — zero them and continue on the face.
-		if sweep%500 == 499 {
-			if worst > lastStallCheck/2 {
-				changed := false
-				for k := range probs {
-					if !zeroed[k] && probs[k] > 0 && probs[k] < 2*worst {
-						zeroed[k] = true
-						probs[k] = 0
-						changed = true
-					}
-				}
-				if changed {
-					probs = normalize(probs)
-				}
+		if sweep+1 == nextCheck {
+			if worst < 1e-3 && worst > checkWorst/2 {
+				break
 			}
-			lastStallCheck = worst
+			checkWorst = worst
+			nextCheck *= 2
 		}
 	}
-	// Converged-enough check: accept a loose tolerance before failing.
-	if residual(p, probs, members) < 1e-6 {
+	// IPF stalled on a boundary optimum (or exhausted its budget without
+	// reaching tol). Finish with an additive projection: alternate between
+	// the minimum-norm correction onto the affine set {constraint sums hit
+	// their targets, total mass is 1} and clamping to the nonnegative
+	// orthant. Unlike IPF's multiplicative updates — which can neither
+	// reach an exact zero nor regrow one — the additive step moves any
+	// outcome in either direction, so it converges to a feasible point
+	// from warm starts that IPF alone approaches only sublinearly.
+	if res := polish(p, probs, members, zeroed, tol); res < 1e-6 {
+		opts.Obs.Add("maxent.polished", 1)
+		opts.Obs.Observe("maxent.sweeps", float64(sweeps))
+		opts.Obs.Observe("maxent.residual", res)
 		return normalize(probs), nil
 	}
+	opts.Obs.Add("maxent.infeasible", 1)
 	return nil, fmt.Errorf("%w: IPF did not converge (residual %g)", ErrInfeasible, residual(p, probs, members))
+}
+
+// polish projects probs onto the feasible polytope by alternating a
+// minimum-norm correction onto the affine constraint set with clamping to
+// p ≥ 0, and returns the final residual. The affine set has one row per
+// positive-target constraint plus a total-mass row; outcomes excluded by a
+// zero-target constraint stay at exactly 0. The Gram matrix of the rows is
+// fixed across iterations, so it is factored once.
+func polish(p Problem, probs []float64, members [][]int, zeroed []bool, tol float64) float64 {
+	rows := make([]int, 0, len(p.Targets)) // constraints with positive targets
+	for c, t := range p.Targets {
+		if t > tol {
+			rows = append(rows, c)
+		}
+	}
+	m := len(rows) + 1 // +1 for the total-mass row
+	n := p.NumOutcomes
+	// B[i][k] = 1 when outcome k belongs to row i's constraint (zeroed
+	// outcomes excluded: they carry no mass and receive no correction).
+	B := make([][]float64, m)
+	for i, c := range rows {
+		B[i] = make([]float64, n)
+		for _, k := range members[c] {
+			if !zeroed[k] {
+				B[i][k] = 1
+			}
+		}
+	}
+	B[m-1] = make([]float64, n)
+	for k := 0; k < n; k++ {
+		if !zeroed[k] {
+			B[m-1][k] = 1
+		}
+	}
+	// Gram matrix G = B·Bᵀ + εI, factored once. The tiny ridge keeps the
+	// factorization alive when constraint rows are linearly dependent.
+	G := make([][]float64, m)
+	for i := range G {
+		G[i] = make([]float64, m)
+		for j := 0; j <= i; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += B[i][k] * B[j][k]
+			}
+			G[i][j] = s
+			G[j][i] = s
+		}
+		G[i][i] += 1e-10
+	}
+	lu, perm := luFactor(G)
+	if lu == nil {
+		return residual(p, probs, members)
+	}
+	r := make([]float64, m)
+	const maxIters = 500
+	for iter := 0; iter < maxIters; iter++ {
+		worst := 0.0
+		for i, c := range rows {
+			e := 0.0
+			for _, k := range members[c] {
+				e += probs[k]
+			}
+			r[i] = p.Targets[c] - e
+			if d := math.Abs(r[i]); d > worst {
+				worst = d
+			}
+		}
+		total := 0.0
+		for k, v := range probs {
+			if !zeroed[k] {
+				total += v
+			}
+		}
+		r[m-1] = 1 - total
+		if d := math.Abs(r[m-1]); d > worst {
+			worst = d
+		}
+		if worst < 1e-12 {
+			break
+		}
+		lam := luSolve(lu, perm, r)
+		for k := 0; k < n; k++ {
+			if zeroed[k] {
+				continue
+			}
+			d := 0.0
+			for i := 0; i < m; i++ {
+				d += lam[i] * B[i][k]
+			}
+			probs[k] += d
+			if probs[k] < 0 {
+				probs[k] = 0
+			}
+		}
+	}
+	return residual(p, probs, members)
+}
+
+// luFactor computes an in-place LU factorization of A with partial
+// pivoting. Returns nil when A is numerically singular.
+func luFactor(A [][]float64) ([][]float64, []int) {
+	m := len(A)
+	lu := make([][]float64, m)
+	for i := range lu {
+		lu[i] = append([]float64(nil), A[i]...)
+	}
+	perm := make([]int, m)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < m; col++ {
+		piv := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(lu[r][col]) > math.Abs(lu[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(lu[piv][col]) < 1e-300 {
+			return nil, nil
+		}
+		lu[col], lu[piv] = lu[piv], lu[col]
+		perm[col], perm[piv] = perm[piv], perm[col]
+		for r := col + 1; r < m; r++ {
+			f := lu[r][col] / lu[col][col]
+			lu[r][col] = f
+			for c := col + 1; c < m; c++ {
+				lu[r][c] -= f * lu[col][c]
+			}
+		}
+	}
+	return lu, perm
+}
+
+// luSolve solves A·x = b given the factorization from luFactor.
+func luSolve(lu [][]float64, perm []int, b []float64) []float64 {
+	m := len(lu)
+	x := make([]float64, m)
+	for i := 0; i < m; i++ {
+		x[i] = b[perm[i]]
+		for j := 0; j < i; j++ {
+			x[i] -= lu[i][j] * x[j]
+		}
+	}
+	for i := m - 1; i >= 0; i-- {
+		for j := i + 1; j < m; j++ {
+			x[i] -= lu[i][j] * x[j]
+		}
+		x[i] /= lu[i][i]
+	}
+	return x
 }
 
 // solveDisjoint handles problems where no outcome carries more than one

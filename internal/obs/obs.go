@@ -1,0 +1,314 @@
+// Package obs is the observability layer of the system: atomic counters,
+// value/latency histograms with quantile estimates, and named pipeline
+// spans that nest into a machine-readable trace. It is dependency-free
+// (standard library only) and race-safe: every recording path is either a
+// single atomic operation or lock-free after the first lookup, so hot
+// paths (per-source scans, per-query accounting) can record from many
+// goroutines concurrently.
+//
+// The package distinguishes three states of a *Registry:
+//
+//   - obs.Default — the process-wide registry, used when a Config leaves
+//     its Obs field nil;
+//   - obs.NewRegistry() — an isolated registry (tests, benchmarks,
+//     multi-tenant servers);
+//   - obs.Disabled — a registry whose recording methods return
+//     immediately; also, every method is safe on a nil *Registry. Both
+//     make "instrumentation off" a one-field change.
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically adjustable atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta. Safe on a nil receiver.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count. Safe on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// histBounds is the shared geometric bucket ladder: a 1-2-5 sequence per
+// decade spanning 1e-9 .. 1e9. It covers solver residuals (~1e-10 lands in
+// the underflow bucket), sub-microsecond latencies, and multi-million
+// tuple counts with ≤ 2.5x relative error per bucket.
+var histBounds = func() []float64 {
+	var b []float64
+	for exp := -9; exp <= 9; exp++ {
+		d := math.Pow(10, float64(exp))
+		b = append(b, 1*d, 2*d, 5*d)
+	}
+	return b
+}()
+
+// Histogram accumulates float64 observations (seconds, counts, residuals)
+// into fixed geometric buckets and reports count, sum, min, max and
+// estimated quantiles. All methods are lock-free and safe for concurrent
+// use; Add is a handful of atomic operations.
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+	minBits atomic.Uint64 // math.Float64bits; valid only when count > 0
+	maxBits atomic.Uint64
+	buckets [](atomic.Int64) // len(histBounds)+1; last is overflow
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{buckets: make([]atomic.Int64, len(histBounds)+1)}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value. Safe on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if v >= math.Float64frombits(old) || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	h.buckets[bucketIdx(v)].Add(1)
+}
+
+func bucketIdx(v float64) int {
+	// Binary search over the sorted bounds: first bound >= v.
+	i := sort.SearchFloat64s(histBounds, v)
+	return i // v > last bound lands in the overflow bucket
+}
+
+// Count returns the number of observations. Safe on a nil receiver.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations. Safe on a nil receiver.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) as the upper bound of
+// the bucket containing it. Returns 0 when empty. Safe on a nil receiver.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			if i < len(histBounds) {
+				return histBounds[i]
+			}
+			// Overflow bucket: the max is the best estimate available.
+			return math.Float64frombits(h.maxBits.Load())
+		}
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// HistogramSnapshot is the exported view of a histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot captures the histogram's current statistics. Safe on a nil
+// receiver (returns the zero snapshot).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return HistogramSnapshot{}
+	}
+	sum := h.Sum()
+	return HistogramSnapshot{
+		Count: n,
+		Sum:   sum,
+		Min:   math.Float64frombits(h.minBits.Load()),
+		Max:   math.Float64frombits(h.maxBits.Load()),
+		Mean:  sum / float64(n),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// Registry is a named collection of counters and histograms.
+type Registry struct {
+	disabled bool
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry; components fall back to it when no
+// registry is configured explicitly.
+var Default = NewRegistry()
+
+// Disabled is a registry whose recording methods are no-ops. Counter and
+// Histogram return nil (whose methods are themselves no-ops), so a
+// disabled registry can be threaded through the same code paths at
+// negligible cost.
+var Disabled = &Registry{disabled: true}
+
+// Enabled reports whether the registry records anything. False for nil and
+// for Disabled.
+func (r *Registry) Enabled() bool { return r != nil && !r.disabled }
+
+// Counter returns (creating if needed) the named counter, or nil when the
+// registry is nil or disabled.
+func (r *Registry) Counter(name string) *Counter {
+	if !r.Enabled() {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns (creating if needed) the named histogram, or nil when
+// the registry is nil or disabled.
+func (r *Registry) Histogram(name string) *Histogram {
+	if !r.Enabled() {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Add increments the named counter.
+func (r *Registry) Add(name string, delta int64) { r.Counter(name).Add(delta) }
+
+// Observe records a value into the named histogram.
+func (r *Registry) Observe(name string, v float64) { r.Histogram(name).Observe(v) }
+
+// Snapshot is a point-in-time JSON-serializable view of a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every counter and histogram. Safe on nil/disabled
+// registries (returns empty maps).
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if !r.Enabled() {
+		return snap
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, h := range r.hists {
+		snap.Histograms[name] = h.Snapshot()
+	}
+	return snap
+}
+
+// MarshalJSON serializes the registry as its snapshot, so a *Registry can
+// be handed directly to JSON encoders (expvar, /metrics).
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}
+
+// Reset drops every counter and histogram (tests and long-lived servers
+// that rotate windows).
+func (r *Registry) Reset() {
+	if !r.Enabled() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = map[string]*Counter{}
+	r.hists = map[string]*Histogram{}
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a", 1)
+	r.Add("a", 2)
+	if got := r.Counter("a").Value(); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	if got := r.Counter("missing").Value(); got != 0 {
+		t.Errorf("fresh counter = %d, want 0", got)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	r := NewRegistry()
+	for i := 1; i <= 100; i++ {
+		r.Observe("h", float64(i))
+	}
+	s := r.Histogram("h").Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 5050 {
+		t.Errorf("sum = %g", s.Sum)
+	}
+	if s.Min != 1 || s.Max != 100 {
+		t.Errorf("min/max = %g/%g", s.Min, s.Max)
+	}
+	if s.Mean != 50.5 {
+		t.Errorf("mean = %g", s.Mean)
+	}
+	// Bucket upper bounds: p50 of 1..100 lands in the (20,50] bucket, p95
+	// and p99 in (50,100]. Quantiles are estimates with ≤ 2.5x error.
+	if s.P50 < 50 || s.P50 > 100 {
+		t.Errorf("p50 = %g", s.P50)
+	}
+	if s.P99 < 99 || s.P99 > 200 {
+		t.Errorf("p99 = %g", s.P99)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := newHistogram()
+	h.Observe(1e-12) // below the smallest bound: first bucket
+	h.Observe(1e12)  // above the largest bound: overflow bucket
+	h.Observe(math.NaN())
+	if h.Count() != 2 {
+		t.Errorf("count = %d, want 2 (NaN dropped)", h.Count())
+	}
+	if q := h.Quantile(1); q != 1e12 {
+		t.Errorf("q1 = %g, want max for overflow bucket", q)
+	}
+}
+
+func TestDisabledAndNil(t *testing.T) {
+	Disabled.Add("x", 1)
+	Disabled.Observe("y", 2)
+	if Disabled.Counter("x") != nil || Disabled.Histogram("y") != nil {
+		t.Error("disabled registry returned live instruments")
+	}
+	if Disabled.Enabled() {
+		t.Error("Disabled.Enabled() = true")
+	}
+	var r *Registry
+	r.Add("x", 1)
+	r.Observe("y", 2)
+	if r.Enabled() {
+		t.Error("nil.Enabled() = true")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Histograms) != 0 {
+		t.Error("nil snapshot not empty")
+	}
+	var c *Counter
+	c.Add(1)
+	var h *Histogram
+	h.Observe(1)
+	if c.Value() != 0 || h.Count() != 0 {
+		t.Error("nil instruments recorded")
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add("c", 1)
+				r.Observe("h", float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Errorf("hist count = %d, want 8000", got)
+	}
+	if sum := r.Histogram("h").Sum(); sum != 8*999*1000/2 {
+		t.Errorf("hist sum = %g, want %d", sum, 8*999*1000/2)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Add("requests", 7)
+	r.Observe("latency", 0.25)
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["requests"] != 7 {
+		t.Errorf("counters = %v", snap.Counters)
+	}
+	if snap.Histograms["latency"].Count != 1 {
+		t.Errorf("histograms = %v", snap.Histograms)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	r.Add("a", 1)
+	r.Reset()
+	if got := r.Snapshot(); len(got.Counters) != 0 {
+		t.Errorf("after reset: %v", got.Counters)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := StartSpan("setup")
+	imp := root.Child("import")
+	time.Sleep(time.Millisecond)
+	imp.End()
+	med := root.Child("mediate")
+	med.SetAttr("schemas", 4)
+	med.End()
+	root.SetAttr("sources", 20)
+	root.End()
+
+	if root.Duration() < imp.Duration() {
+		t.Errorf("root %v shorter than child %v", root.Duration(), imp.Duration())
+	}
+	if got := root.Find("mediate"); got != med {
+		t.Error("Find failed")
+	}
+	if root.Find("nope") != nil {
+		t.Error("Find found a ghost")
+	}
+
+	exp := root.Export()
+	if exp.Name != "setup" || len(exp.Children) != 2 {
+		t.Fatalf("export = %+v", exp)
+	}
+	if exp.Attrs["sources"] != 20 {
+		t.Errorf("attrs = %v", exp.Attrs)
+	}
+	if exp.Children[0].DurationNS <= 0 {
+		t.Errorf("child duration = %d", exp.Children[0].DurationNS)
+	}
+	raw, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SpanExport
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Children[1].Name != "mediate" {
+		t.Errorf("round-trip = %+v", back)
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var s *Span
+	if c := s.Child("x"); c != nil {
+		t.Error("nil.Child returned a span")
+	}
+	s.Adopt(StartSpan("y"))
+	s.SetAttr("k", 1)
+	if s.End() != 0 || s.Duration() != 0 || s.Name() != "" {
+		t.Error("nil span methods not zero")
+	}
+	if s.Export() != nil || s.Find("x") != nil {
+		t.Error("nil span export/find not nil")
+	}
+}
+
+func TestSpanDoubleEnd(t *testing.T) {
+	s := StartSpan("x")
+	d1 := s.End()
+	time.Sleep(2 * time.Millisecond)
+	if d2 := s.End(); d2 != d1 {
+		t.Errorf("second End changed duration: %v vs %v", d1, d2)
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := StartSpan("root")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				root.Child("c").End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Export().Children); got != 800 {
+		t.Errorf("children = %d, want 800", got)
+	}
+}

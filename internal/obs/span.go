@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Span is one named, timed stage of a pipeline. Spans nest: the setup
+// pipeline produces setup → {import, mediate, pmappings, consolidate}.
+// Attributes carry stage-level facts (source counts, schema counts). All
+// methods are safe for concurrent use and on a nil receiver, so code can
+// thread a possibly-absent span without guards.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	duration time.Duration
+	ended    bool
+	attrs    map[string]any
+	children []*Span
+}
+
+// StartSpan begins a new root span.
+func StartSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child begins a nested span under s. Returns nil when s is nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := StartSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Adopt attaches an externally created span (e.g. an incremental
+// add-source trace recorded after setup finished) as a child of s.
+func (s *Span) Adopt(c *Span) {
+	if s == nil || c == nil {
+		return
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// End closes the span and returns its duration. Ending twice keeps the
+// first duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		s.duration = time.Since(s.start)
+		s.ended = true
+	}
+	return s.duration
+}
+
+// SetAttr records a key/value attribute on the span.
+func (s *Span) SetAttr(key string, v any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = map[string]any{}
+	}
+	s.attrs[key] = v
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's duration: the closed duration once ended,
+// the running elapsed time otherwise.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.duration
+	}
+	return time.Since(s.start)
+}
+
+// Find returns the first descendant span (depth-first, including s itself)
+// with the given name, or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.name == name {
+		return s
+	}
+	s.mu.Lock()
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		if found := c.Find(name); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// SpanExport is the machine-readable form of a span tree, the trace format
+// the experiments harness dumps alongside paper-table output.
+type SpanExport struct {
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationNS int64          `json:"duration_ns"`
+	DurationMS float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*SpanExport  `json:"children,omitempty"`
+}
+
+// Export snapshots the span tree. Running spans export their elapsed time
+// so far. Returns nil for a nil span.
+func (s *Span) Export() *SpanExport {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	d := s.duration
+	if !s.ended {
+		d = time.Since(s.start)
+	}
+	out := &SpanExport{
+		Name:       s.name,
+		Start:      s.start,
+		DurationNS: d.Nanoseconds(),
+		DurationMS: float64(d.Nanoseconds()) / 1e6,
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]any, len(s.attrs))
+		for k, v := range s.attrs {
+			out.Attrs[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, c.Export())
+	}
+	return out
+}
+
+// MarshalJSON serializes the span as its export form.
+func (s *Span) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.Export())
+}
