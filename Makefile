@@ -1,11 +1,13 @@
 # Development entry points. `make check` is the tier-1 gate: vet, build,
-# and the full test suite under the race detector.
+# the full test suite under the race detector, and a short fuzzing pass
+# over the SQL parser.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: check build test race vet bench experiments
+.PHONY: check build test race vet bench fuzz experiments
 
-check: vet build race
+check: vet build race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +23,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/sqlparse
 
 experiments:
 	$(GO) run ./cmd/experiments -exp all

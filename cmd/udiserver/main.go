@@ -45,21 +45,23 @@ func main() {
 	load := flag.String("load", "", "serve a system snapshot instead of setting up")
 	sources := flag.Int("sources", 0, "limit the number of sources (0 = full domain)")
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	top := flag.Int("top", 0, "default answer limit for /query when the request sets no \"top\" (0 = unlimited)")
 	verbose := flag.Bool("verbose", false, "log one line per request")
 	flag.Parse()
 
-	if err := run(*domain, *data, *load, *sources, *addr, *verbose); err != nil {
+	if err := run(*domain, *data, *load, *sources, *addr, *top, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "udiserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(domain, data, load string, sources int, addr string, verbose bool) error {
+func run(domain, data, load string, sources int, addr string, top int, verbose bool) error {
 	sys, err := buildSystem(domain, data, load, sources)
 	if err != nil {
 		return err
 	}
 	api := httpapi.NewServer(sys)
+	api.DefaultTop = top
 	if verbose {
 		api.Logf = log.Printf
 	}

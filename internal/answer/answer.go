@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -82,35 +83,7 @@ type ResultSet struct {
 // to produce the tuple) and coincide when every tuple occurs in at most
 // one row per source.
 func (rs *ResultSet) ByTupleRanking() []Answer {
-	probs := make(map[string]float64)
-	var order []string
-	for _, inst := range rs.Instances {
-		tk := tupleKey(inst.Values)
-		if _, ok := probs[tk]; !ok {
-			probs[tk] = 1
-			order = append(order, tk)
-		}
-		p := inst.Prob
-		if p > 1 {
-			p = 1
-		}
-		probs[tk] *= 1 - p
-	}
-	out := make([]Answer, 0, len(order))
-	for _, tk := range order {
-		values := strings.Split(tk, "\x1f")
-		if tk == "" {
-			values = []string{}
-		}
-		out = append(out, Answer{Values: values, Prob: 1 - probs[tk]})
-	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Prob != out[j].Prob {
-			return out[i].Prob > out[j].Prob
-		}
-		return tupleKey(out[i].Values) < tupleKey(out[j].Values)
-	})
-	return out
+	return selectTopK(rs.byTupleProbs(), 0)
 }
 
 // Engine answers queries over a corpus.
@@ -124,8 +97,15 @@ type Engine struct {
 	// Obs receives per-query metrics: histograms query.seconds (total
 	// latency), query.rank_seconds (merge + ranking), query.tuples
 	// (distinct ranked answers), query.instances (answer occurrences), and
-	// counter query.count. Nil disables recording.
+	// counters query.count, plan_cache.hits, plan_cache.misses,
+	// plan_cache.invalidations. Nil disables recording. Set it through
+	// SetObs so the per-table index metrics share the registry.
 	Obs *obs.Registry
+	// Plans caches resolved AnswerPMed query plans. Non-nil (the NewEngine
+	// default) enables the fast path; nil forces the naive per-query
+	// resolution. Callers that mutate p-mappings in place must call
+	// InvalidatePlans (see the PlanCache invalidation contract).
+	Plans *PlanCache
 }
 
 // NewEngine builds table wrappers for every source.
@@ -134,11 +114,43 @@ func NewEngine(c *schema.Corpus) *Engine {
 		corpus:      c,
 		tables:      make(map[string]*storage.Table, len(c.Sources)),
 		Parallelism: runtime.GOMAXPROCS(0),
+		Plans:       NewPlanCache(),
 	}
 	for _, s := range c.Sources {
 		e.tables[s.Name] = storage.NewTable(s)
 	}
 	return e
+}
+
+// SetObs sets the metrics registry on the engine and on every source
+// table, so query-level and index-level counters land in one place. A
+// setup-time knob, like the tables' own Obs fields.
+func (e *Engine) SetObs(r *obs.Registry) {
+	e.Obs = r
+	for _, t := range e.tables {
+		t.Obs = r
+	}
+}
+
+// SetIndexing toggles the tables' equality-predicate pushdown indexes.
+// Off forces full scans (differential testing and ablations).
+func (e *Engine) SetIndexing(on bool) {
+	for _, t := range e.tables {
+		t.NoIndex = !on
+	}
+}
+
+// InvalidatePlans drops all cached query plans. Callers must invoke it
+// after mutating any p-mapping in place (feedback conditioning does);
+// corpus changes instead rebuild the Engine, which starts a fresh cache.
+func (e *Engine) InvalidatePlans() {
+	if e.Plans == nil {
+		return
+	}
+	e.Plans.Invalidate()
+	if e.Obs.Enabled() {
+		e.Obs.Add("plan_cache.invalidations", 1)
+	}
 }
 
 // runPerSource evaluates work for every source — in parallel when
@@ -213,6 +225,11 @@ func (e *Engine) runPerSource(work func(src *schema.Source, acc *accumulator) er
 // Corpus returns the engine's corpus.
 func (e *Engine) Corpus() *schema.Corpus { return e.corpus }
 
+// Tables exposes the per-source tables for setup-time tuning of their
+// index knobs (Obs, NoIndex, IndexThreshold). The map itself must not be
+// mutated.
+func (e *Engine) Tables() map[string]*storage.Table { return e.tables }
+
 // PMedInput carries a p-med-schema and, for every source, one p-mapping per
 // possible mediated schema.
 type PMedInput struct {
@@ -228,7 +245,26 @@ type PMedInput struct {
 // schema that does not mediate some query attribute contributes nothing; a
 // mapping that leaves some query attribute unmapped contributes nothing.
 func (e *Engine) AnswerPMed(in PMedInput, q *sqlparse.Query) (*ResultSet, error) {
-	// Resolve each schema's query clusters once, shared across sources.
+	if e.Plans != nil {
+		key, attrs := planKey(q)
+		if plan, ok := e.Plans.lookup(in, key); ok {
+			if e.Obs.Enabled() {
+				e.Obs.Add("plan_cache.hits", 1)
+			}
+			return e.answerWithPlan(plan, q)
+		}
+		plan, err := e.buildPlan(in, attrs)
+		if err != nil {
+			return nil, err
+		}
+		e.Plans.store(in, key, plan)
+		if e.Obs.Enabled() {
+			e.Obs.Add("plan_cache.misses", 1)
+		}
+		return e.answerWithPlan(plan, q)
+	}
+	// Naive path: resolve each schema's query clusters once, shared across
+	// sources, and re-derive every mapping assignment for this query.
 	type schemaPlan struct {
 		medIdxs map[string]int
 		idxList []int
@@ -365,21 +401,7 @@ func (e *Engine) scanAssignment(acc *accumulator, source string, q *sqlparse.Que
 // queryMedIdxs resolves every query attribute to the index of its cluster
 // in med; ok is false if any attribute is not mediated.
 func queryMedIdxs(q *sqlparse.Query, med *schema.MediatedSchema) (map[string]int, bool) {
-	out := make(map[string]int)
-	for _, a := range q.Attrs() {
-		found := false
-		for j, cluster := range med.Attrs {
-			if cluster.Contains(a) {
-				out[a] = j
-				found = true
-				break
-			}
-		}
-		if !found {
-			return nil, false
-		}
-	}
-	return out, true
+	return attrsMedIdxs(q.Attrs(), med)
 }
 
 // accumulator gathers per-row instance probabilities and per-source tuple
@@ -436,7 +458,7 @@ func (a *accumulator) addAssignment(source string, rowIdxs []int, rows [][]strin
 	for i, r := range rowIdxs {
 		values := rows[i]
 		tk := tupleKey(values)
-		ik := fmt.Sprintf("%s\x1e%d\x1e%s", source, r, tk)
+		ik := source + "\x1e" + strconv.Itoa(r) + "\x1e" + tk
 		if inst, ok := a.instances[ik]; ok {
 			inst.Prob += weight
 		} else {

@@ -1,0 +1,259 @@
+package answer
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"udi/internal/mediate"
+	"udi/internal/obs"
+	"udi/internal/pmapping"
+	"udi/internal/schema"
+	"udi/internal/sqlparse"
+)
+
+// Differential harness for the query-serving fast path. The plan cache,
+// merged scan ops, pushdown indexes and bounded top-k all re-implement
+// semantics the naive Definition 3.3 path already has; this file pins
+// them together: over randomized corpora and randomized queries, the
+// fast path must return byte-identical values and probabilities within
+// probTol of the naive path, including the by-table disjunction
+// p = 1 − Π(1 − p_i) and the by-tuple recombination.
+
+const probTol = 1e-12
+
+// diffCorpus builds a random corpus shaped for differential testing:
+// attribute names with plural variants (so the mediated schema has both
+// certain and uncertain clusterings) and cell values drawn from a small
+// pool (so equality and LIKE predicates select nontrivial subsets).
+func diffCorpus(rng *rand.Rand) *schema.Corpus {
+	bases := []string{"alpha", "bravo", "carrot", "delta", "echo", "forest"}
+	nBases := 2 + rng.Intn(len(bases)-1)
+	nSources := 4 + rng.Intn(6)
+	var sources []*schema.Source
+	for i := 0; i < nSources; i++ {
+		var attrs []string
+		used := map[string]bool{}
+		for j := 0; j < nBases; j++ {
+			if rng.Float64() < 0.6 {
+				v := bases[j]
+				if rng.Intn(2) == 1 {
+					v += "s"
+				}
+				if !used[v] {
+					used[v] = true
+					attrs = append(attrs, v)
+				}
+			}
+		}
+		if len(attrs) == 0 {
+			attrs = []string{bases[0]}
+		}
+		nRows := 2 + rng.Intn(10)
+		rows := make([][]string, nRows)
+		for r := range rows {
+			row := make([]string, len(attrs))
+			for c := range row {
+				row[c] = fmt.Sprintf("v%d", rng.Intn(5))
+			}
+			rows[r] = row
+		}
+		sources = append(sources, schema.MustNewSource(fmt.Sprintf("s%02d", i), attrs, rows))
+	}
+	c, err := schema.NewCorpus("diff", sources)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// diffSetup mirrors core.Setup's mediate+pmapping stages without
+// importing core (which imports this package): a p-med-schema over the
+// corpus and one p-mapping per (source, possible schema).
+func diffSetup(t *testing.T, corpus *schema.Corpus) (PMedInput, []string) {
+	t.Helper()
+	med, err := mediate.Generate(corpus, mediate.Config{})
+	if err != nil {
+		t.Fatalf("mediate: %v", err)
+	}
+	in := PMedInput{PMed: med.PMed, Maps: make(map[string][]*pmapping.PMapping, len(corpus.Sources))}
+	for _, src := range corpus.Sources {
+		pms := make([]*pmapping.PMapping, 0, med.PMed.Len())
+		for _, m := range med.PMed.Schemas {
+			pm, err := pmapping.Build(src, m, pmapping.Config{})
+			if err != nil {
+				t.Fatalf("pmapping %s: %v", src.Name, err)
+			}
+			pms = append(pms, pm)
+		}
+		in.Maps[src.Name] = pms
+	}
+	return in, med.FrequentAttrs
+}
+
+// diffQuery generates a random select-project query over the frequent
+// attributes, mixing predicate operators so both the indexed (equality)
+// and verified-only (range, LIKE, !=) paths run.
+func diffQuery(rng *rand.Rand, attrs []string) *sqlparse.Query {
+	sel := attrs[rng.Intn(len(attrs))]
+	qs := "SELECT " + sel + " FROM t"
+	if rng.Float64() < 0.75 {
+		preds := 1 + rng.Intn(2)
+		for i := 0; i < preds; i++ {
+			attr := attrs[rng.Intn(len(attrs))]
+			lit := fmt.Sprintf("v%d", rng.Intn(5))
+			var pred string
+			switch rng.Intn(5) {
+			case 0, 1: // weighted toward equality, the indexed operator
+				pred = fmt.Sprintf("%s = '%s'", attr, lit)
+			case 2:
+				pred = fmt.Sprintf("%s != '%s'", attr, lit)
+			case 3:
+				pred = fmt.Sprintf("%s >= '%s'", attr, lit)
+			default:
+				pred = fmt.Sprintf("%s LIKE 'v%%'", attr)
+			}
+			if i == 0 {
+				qs += " WHERE " + pred
+			} else {
+				qs += " AND " + pred
+			}
+		}
+	}
+	return sqlparse.MustParse(qs)
+}
+
+// diffCompare asserts two result sets agree: identical instance
+// occurrences and ranked values/order, probabilities within probTol.
+func diffCompare(t *testing.T, label string, want, got *ResultSet) {
+	t.Helper()
+	if len(got.Instances) != len(want.Instances) {
+		t.Fatalf("%s: %d instances, want %d", label, len(got.Instances), len(want.Instances))
+	}
+	for i, w := range want.Instances {
+		g := got.Instances[i]
+		if g.Source != w.Source || g.Row != w.Row || tupleKey(g.Values) != tupleKey(w.Values) {
+			t.Fatalf("%s: instance %d: got %s/%d/%v, want %s/%d/%v",
+				label, i, g.Source, g.Row, g.Values, w.Source, w.Row, w.Values)
+		}
+		if math.Abs(g.Prob-w.Prob) > probTol {
+			t.Fatalf("%s: instance %d prob %.17g, want %.17g", label, i, g.Prob, w.Prob)
+		}
+	}
+	if len(got.Ranked) != len(want.Ranked) {
+		t.Fatalf("%s: %d ranked answers, want %d", label, len(got.Ranked), len(want.Ranked))
+	}
+	for i, w := range want.Ranked {
+		g := got.Ranked[i]
+		if tupleKey(g.Values) != tupleKey(w.Values) {
+			t.Fatalf("%s: rank %d: got %v, want %v", label, i, g.Values, w.Values)
+		}
+		if math.Abs(g.Prob-w.Prob) > probTol {
+			t.Fatalf("%s: rank %d prob %.17g, want %.17g", label, i, g.Prob, w.Prob)
+		}
+	}
+	if len(got.PerSource) != len(want.PerSource) {
+		t.Fatalf("%s: %d per-source entries, want %d", label, len(got.PerSource), len(want.PerSource))
+	}
+	for i, w := range want.PerSource {
+		g := got.PerSource[i]
+		if g.Source != w.Source || len(g.Probs) != len(w.Probs) {
+			t.Fatalf("%s: per-source %d: got %s (%d tuples), want %s (%d tuples)",
+				label, i, g.Source, len(g.Probs), w.Source, len(w.Probs))
+		}
+		for tk, wp := range w.Probs {
+			if math.Abs(g.Probs[tk]-wp) > probTol {
+				t.Fatalf("%s: per-source %d tuple %q prob %.17g, want %.17g",
+					label, i, tk, g.Probs[tk], wp)
+			}
+		}
+	}
+}
+
+// TestDifferentialFastPath is the harness: ≥ 200 randomized
+// (corpus, query) trials comparing the naive path (no plan cache, no
+// indexes) against the fast path cold and warm, plus the bounded top-k
+// rankings against their full-sort equivalents.
+func TestDifferentialFastPath(t *testing.T) {
+	seeds, queriesPer := 60, 4 // 240 trials
+	if testing.Short() {
+		seeds = 15 // 60 trials
+	}
+	reg := obs.NewRegistry()
+	trials := 0
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		corpus := diffCorpus(rng)
+		in, attrs := diffSetup(t, corpus)
+
+		naive := NewEngine(corpus)
+		naive.Plans = nil
+		naive.SetIndexing(false)
+
+		fast := NewEngine(corpus)
+		fast.SetObs(reg)
+		for _, tbl := range fast.tables {
+			tbl.IndexThreshold = 1 // force pushdown even on tiny sources
+		}
+
+		for qi := 0; qi < queriesPer; qi++ {
+			q := diffQuery(rng, attrs)
+			label := fmt.Sprintf("seed %d query %q", seed, q)
+			want, err := naive.AnswerPMed(in, q)
+			if err != nil {
+				t.Fatalf("%s: naive: %v", label, err)
+			}
+			cold, err := fast.AnswerPMed(in, q)
+			if err != nil {
+				t.Fatalf("%s: fast cold: %v", label, err)
+			}
+			diffCompare(t, label+" [cold]", want, cold)
+			warm, err := fast.AnswerPMed(in, q)
+			if err != nil {
+				t.Fatalf("%s: fast warm: %v", label, err)
+			}
+			diffCompare(t, label+" [warm]", want, warm)
+
+			// Bounded top-k must be the exact prefix of the full ranking
+			// ((prob desc, key asc) is a total order, so prefixes are
+			// unique).
+			full := want.ByTupleRanking()
+			k := 1 + rng.Intn(len(full)+1)
+			topk := warm.ByTupleRankingTopK(k)
+			if k > len(full) {
+				k = len(full)
+			}
+			if len(topk) != k {
+				t.Fatalf("%s: top-%d returned %d answers", label, k, len(topk))
+			}
+			for i := 0; i < k; i++ {
+				if tupleKey(topk[i].Values) != tupleKey(full[i].Values) {
+					t.Fatalf("%s: top-%d rank %d: got %v, want %v", label, k, i, topk[i].Values, full[i].Values)
+				}
+				if math.Abs(topk[i].Prob-full[i].Prob) > probTol {
+					t.Fatalf("%s: top-%d rank %d prob %.17g, want %.17g", label, k, i, topk[i].Prob, full[i].Prob)
+				}
+			}
+			for i, a := range warm.TopK(k) {
+				if tupleKey(a.Values) != tupleKey(warm.Ranked[i].Values) || a.Prob != warm.Ranked[i].Prob {
+					t.Fatalf("%s: TopK(%d)[%d] != Ranked[%d]", label, k, i, i)
+				}
+			}
+			trials++
+		}
+	}
+	if min := 200; !testing.Short() && trials < min {
+		t.Fatalf("ran %d trials, want >= %d", trials, min)
+	}
+	// The comparison is vacuous if the fast path never actually cached or
+	// probed: every warm query must hit, and the equality-heavy workload
+	// must have pushed predicates down at least once.
+	snap := reg.Snapshot()
+	if snap.Counters["plan_cache.hits"] == 0 || snap.Counters["plan_cache.misses"] == 0 {
+		t.Fatalf("plan cache never exercised: %+v", snap.Counters)
+	}
+	if snap.Counters["index.probes"] == 0 {
+		t.Fatalf("indexes never probed: %+v", snap.Counters)
+	}
+}

@@ -1,0 +1,155 @@
+package answer
+
+import (
+	"math"
+	"testing"
+
+	"udi/internal/obs"
+	"udi/internal/pmapping"
+	"udi/internal/sqlparse"
+)
+
+// TestPlanCacheHitMiss pins the cache lifecycle on the Figure 1 fixture:
+// first query misses and populates, repeat hits, a different attribute
+// set misses again, and both paths return Example 2.1's probabilities.
+func TestPlanCacheHitMiss(t *testing.T) {
+	corpus, in := figure1Fixture()
+	e := NewEngine(corpus)
+	reg := obs.NewRegistry()
+	e.SetObs(reg)
+
+	q := sqlparse.MustParse("SELECT name, phone FROM t")
+	rs, err := e.AnswerPMed(in, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Example 2.1: hPhone with prob 0.34+0.16=0.5... the fixture's known
+	// marginals: each phone answer combines schema and mapping weights.
+	if len(rs.Instances) == 0 {
+		t.Fatal("no answers")
+	}
+	if got := reg.Snapshot().Counters; got["plan_cache.misses"] != 1 || got["plan_cache.hits"] != 0 {
+		t.Fatalf("after first query: %+v", got)
+	}
+	if e.Plans.Len() != 1 {
+		t.Fatalf("cached %d plans, want 1", e.Plans.Len())
+	}
+
+	rs2, err := e.AnswerPMed(in, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counters; got["plan_cache.hits"] != 1 {
+		t.Fatalf("after repeat query: %+v", got)
+	}
+	for i := range rs.Ranked {
+		if rs.Ranked[i].Prob != rs2.Ranked[i].Prob {
+			t.Fatalf("hit changed answer %d: %v vs %v", i, rs.Ranked[i], rs2.Ranked[i])
+		}
+	}
+
+	// Same attribute set, different query shape: still one plan.
+	if _, err := e.AnswerPMed(in, sqlparse.MustParse("SELECT name FROM t WHERE phone != 'x'")); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counters; got["plan_cache.hits"] != 2 {
+		t.Fatalf("shape change should share the plan: %+v", got)
+	}
+
+	// New attribute set: a second plan.
+	if _, err := e.AnswerPMed(in, sqlparse.MustParse("SELECT name FROM t")); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counters; got["plan_cache.misses"] != 2 {
+		t.Fatalf("new attribute set should miss: %+v", got)
+	}
+	if e.Plans.Len() != 2 {
+		t.Fatalf("cached %d plans, want 2", e.Plans.Len())
+	}
+}
+
+// TestPlanCacheInvalidate pins the invalidation contract: after an
+// in-place p-mapping mutation plus InvalidatePlans, the next query
+// misses, rebuilds, and reflects the new probabilities.
+func TestPlanCacheInvalidate(t *testing.T) {
+	corpus, in := figure1Fixture()
+	e := NewEngine(corpus)
+	reg := obs.NewRegistry()
+	e.SetObs(reg)
+
+	q := sqlparse.MustParse("SELECT phone FROM t")
+	before, err := e.AnswerPMed(in, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate in place the way feedback conditioning does: confirm the
+	// straight phone mapping in schema 0 (prob 0.8 → 1).
+	pm := in.Maps["S1"][0]
+	var corr *pmapping.Corr
+	for gi := range pm.Groups {
+		for ci := range pm.Groups[gi].Corrs {
+			if c := &pm.Groups[gi].Corrs[ci]; c.SrcAttr == "hPhone" && c.Weight == 0.8 {
+				corr = c
+			}
+		}
+	}
+	if corr == nil {
+		t.Fatal("fixture changed: no hPhone correspondence at weight 0.8")
+	}
+	if err := pm.Condition(corr.SrcAttr, corr.MedIdx, true, pmapping.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	e.InvalidatePlans()
+	if got := reg.Snapshot().Counters; got["plan_cache.invalidations"] != 1 {
+		t.Fatalf("invalidation not recorded: %+v", got)
+	}
+	if e.Plans.Len() != 0 {
+		t.Fatalf("cache holds %d plans after invalidation", e.Plans.Len())
+	}
+
+	after, err := e.AnswerPMed(in, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counters; got["plan_cache.misses"] != 2 {
+		t.Fatalf("post-invalidation query should miss: %+v", got)
+	}
+	changed := false
+	for i := range after.Ranked {
+		if i < len(before.Ranked) && math.Abs(after.Ranked[i].Prob-before.Ranked[i].Prob) > 1e-9 {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("conditioning did not change any answer probability — stale plan?")
+	}
+}
+
+// TestPlanCacheIdentityFlush pins the (PMed, Maps) identity guard: a
+// lookup with a different input misses and the store flushes the old
+// entries, so plans from one p-med-schema never answer another's query.
+func TestPlanCacheIdentityFlush(t *testing.T) {
+	corpus, in := figure1Fixture()
+	e := NewEngine(corpus)
+	q := sqlparse.MustParse("SELECT name FROM t")
+	if _, err := e.AnswerPMed(in, q); err != nil {
+		t.Fatal(err)
+	}
+	if e.Plans.Len() != 1 {
+		t.Fatalf("cached %d plans, want 1", e.Plans.Len())
+	}
+
+	// A structurally identical input with fresh identity must not reuse
+	// the old plan.
+	_, in2 := figure1Fixture()
+	if _, ok := e.Plans.lookup(in2, "name"); ok {
+		t.Fatal("lookup hit across input identities")
+	}
+	if _, err := e.AnswerPMed(in2, q); err != nil {
+		t.Fatal(err)
+	}
+	if e.Plans.Len() != 1 {
+		t.Fatalf("store did not flush the previous identity: %d plans", e.Plans.Len())
+	}
+}

@@ -152,7 +152,7 @@ func (s *System) importSources() {
 	sp := s.Trace.Child("import")
 	s.engine = answer.NewEngine(s.Corpus)
 	s.engine.Parallelism = s.Cfg.Parallelism
-	s.engine.Obs = s.Cfg.Obs
+	s.engine.SetObs(s.Cfg.Obs)
 	s.kwIndex = storage.BuildKeywordIndex(s.Corpus)
 	s.kw = keyword.NewEngine(s.kwIndex)
 	s.Timings.Import = sp.End()
@@ -388,6 +388,12 @@ func (s *System) Query(q string) (*answer.ResultSet, error) {
 func (s *System) QueryParsed(q *sqlparse.Query) (*answer.ResultSet, error) {
 	return s.engine.AnswerPMed(answer.PMedInput{PMed: s.Med.PMed, Maps: s.Maps}, q)
 }
+
+// Engine exposes the query engine for serving-path tuning (plan cache,
+// index toggles). The engine is replaced wholesale when the corpus
+// changes (AddSource / RemoveSource), so don't hold the pointer across
+// those calls.
+func (s *System) Engine() *answer.Engine { return s.engine }
 
 // QueryConsolidated answers over the consolidated schema and p-mappings.
 // It requires every source to have a materialized consolidated p-mapping.

@@ -27,6 +27,7 @@ func (s *System) ApplyFeedbackAt(source string, schemaIdx int, srcAttr string, m
 	if err := pms[schemaIdx].Condition(srcAttr, medIdx, confirmed, s.Cfg.PMap); err != nil {
 		return err
 	}
+	s.engine.InvalidatePlans() // conditioning mutated the p-mapping in place
 	return s.reconsolidateSource(source)
 }
 
@@ -59,6 +60,7 @@ func (s *System) ApplyFeedback(source, srcAttr, medName string, confirmed bool) 
 	if !applied {
 		return fmt.Errorf("core: no mediated attribute contains %q", medName)
 	}
+	s.engine.InvalidatePlans() // conditioning mutated the p-mappings in place
 	return s.reconsolidateSource(source)
 }
 

@@ -75,7 +75,7 @@ func (s *System) AddSource(src *schema.Source) (bool, error) {
 	sp = trace.Child("import")
 	s.engine = answer.NewEngine(corpus)
 	s.engine.Parallelism = s.Cfg.Parallelism
-	s.engine.Obs = s.Cfg.Obs
+	s.engine.SetObs(s.Cfg.Obs)
 	s.kwIndex = storage.BuildKeywordIndex(corpus)
 	s.kw = keyword.NewEngine(s.kwIndex)
 	s.Timings.Import += sp.End()
@@ -161,7 +161,7 @@ func (s *System) RemoveSource(name string) (bool, error) {
 	trace.SetAttr("source", name)
 	s.engine = answer.NewEngine(corpus)
 	s.engine.Parallelism = s.Cfg.Parallelism
-	s.engine.Obs = s.Cfg.Obs
+	s.engine.SetObs(s.Cfg.Obs)
 	s.kwIndex = storage.BuildKeywordIndex(corpus)
 	s.kw = keyword.NewEngine(s.kwIndex)
 	trace.End()

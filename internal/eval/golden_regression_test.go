@@ -1,0 +1,63 @@
+// Golden-standard regression fixtures: the five-domain Table 2 numbers
+// recorded in EXPERIMENTS.md, pinned so changes to the matcher, maxent
+// solver or query engine cannot silently drift the headline results.
+// The external test package breaks the eval ← experiments import cycle.
+package eval_test
+
+import (
+	"math"
+	"testing"
+
+	"udi/internal/core"
+	"udi/internal/datagen"
+	"udi/internal/experiments"
+)
+
+// table2Golden are the measured golden-standard rows of EXPERIMENTS.md
+// Table 2 (precision / recall / F per domain, seed = the domain's
+// canonical seed). The tolerance absorbs the 3-decimal rounding in the
+// table, nothing more: a real behavior change trips it.
+var table2Golden = []struct {
+	name      string
+	spec      *datagen.Domain
+	p, r, f   float64
+	shortMode bool // also run under -short (keep at least one domain covered)
+}{
+	{"Movie", datagen.Movie(101), 1.000, 0.888, 0.940, false},
+	{"Car", datagen.Car(102), 1.000, 0.905, 0.949, false},
+	{"People", datagen.People(103), 0.927, 0.855, 0.882, true},
+	{"Course", datagen.Course(104), 1.000, 0.923, 0.960, false},
+	{"Bib", datagen.Bib(105), 0.949, 1.000, 0.966, false},
+}
+
+const table2Tol = 0.0006 // the table rounds to 3 decimals
+
+func TestTable2GoldenRegression(t *testing.T) {
+	for _, row := range table2Golden {
+		row := row
+		t.Run(row.name, func(t *testing.T) {
+			if testing.Short() && !row.shortMode {
+				t.Skip("large domain skipped under -short")
+			}
+			t.Parallel()
+			r, err := experiments.Load(row.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := r.UDI()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := r.Score(sys, core.UDI)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got.Precision-row.p) > table2Tol ||
+				math.Abs(got.Recall-row.r) > table2Tol ||
+				math.Abs(got.F-row.f) > table2Tol {
+				t.Errorf("%s golden-standard PRF drifted: got %.3f/%.3f/%.3f, EXPERIMENTS.md records %.3f/%.3f/%.3f",
+					row.name, got.Precision, got.Recall, got.F, row.p, row.r, row.f)
+			}
+		})
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"udi/internal/answer"
 	"udi/internal/core"
 	"udi/internal/feedback"
 	"udi/internal/obs"
@@ -32,6 +33,11 @@ type Server struct {
 	// Logf, when set, receives one line per request (method, path,
 	// status, duration). Nil disables request logging.
 	Logf func(format string, args ...any)
+
+	// DefaultTop bounds the answers returned by /query when the request
+	// does not set "top" itself (0 = unlimited). The udiserver -top flag
+	// sets it.
+	DefaultTop int
 }
 
 // NewServer wraps a configured system. Request metrics go to the system's
@@ -241,7 +247,8 @@ type queryRequest struct {
 	Approach string `json:"approach,omitempty"`
 	// Semantics is "by-table" (default) or "by-tuple".
 	Semantics string `json:"semantics,omitempty"`
-	// Top bounds the returned answers (0 = all).
+	// Top bounds the returned answers (0 = the server's DefaultTop;
+	// negative = explicitly all).
 	Top int `json:"top,omitempty"`
 }
 
@@ -278,20 +285,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ranked := rs.Ranked
+	top := req.Top
+	if top == 0 {
+		top = s.DefaultTop
+	}
+	var ranked []answer.Answer
 	switch req.Semantics {
 	case "", "by-table":
+		ranked = rs.TopK(top)
 	case "by-tuple":
-		ranked = rs.ByTupleRanking()
+		ranked = rs.ByTupleRankingTopK(top)
 	default:
 		writeError(w, http.StatusBadRequest, errors.New("semantics must be by-table or by-tuple"))
 		return
 	}
-	resp := queryResponse{Distinct: len(ranked), Occurrences: len(rs.Instances)}
-	for i, a := range ranked {
-		if req.Top > 0 && i >= req.Top {
-			break
-		}
+	// Distinct counts every distinct answer tuple, not just the top-k
+	// returned ones (the tuple sets coincide under both semantics).
+	resp := queryResponse{Distinct: len(rs.Ranked), Occurrences: len(rs.Instances)}
+	for _, a := range ranked {
 		resp.Answers = append(resp.Answers, answerJSON{Values: a.Values, Prob: a.Prob})
 	}
 	writeJSON(w, http.StatusOK, resp)

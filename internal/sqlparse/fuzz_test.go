@@ -1,0 +1,62 @@
+package sqlparse
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse drives the parser with mutated SQL. The invariants: Parse
+// never panics, returns exactly one of (query, error), and a successful
+// parse yields a query whose derived forms (Attrs, String) are also
+// panic-free and whose String re-parses successfully. Strict round-trip
+// equality is NOT asserted — String() quotes literals but not exotic
+// identifiers, so a reparse can split them differently; the corpus-facing
+// guarantee is only that rendered queries stay parseable.
+//
+// Run continuously with: go test -fuzz=FuzzParse -fuzztime=10s ./internal/sqlparse
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// Well-formed queries from the unit tests and domain workloads.
+		"SELECT name, phone FROM People",
+		"SELECT title FROM Movie WHERE year >= 1990 AND title LIKE '%star%' AND genre != 'Drama'",
+		"SELECT `link to pubmed`, pages/rec.no, author(s) FROM Bib WHERE \"journal name\" = 'Nature'",
+		"SELECT a FROM t WHERE x = 'O''Brien'",
+		"SELECT a FROM t WHERE x > -3.5",
+		"select a from t where b like 'x%'",
+		"SELECT a FROM t WHERE x <> 5",
+		// Malformed inputs that must keep erroring, not crashing.
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a FROM t WHERE x = 'unterminated",
+		"SELECT a FROM t WHERE x ! 5",
+		"SELECT a, FROM t",
+		"FROM t SELECT a",
+		"SELECT a FROM t WHERE x = 1 AND",
+		"SELECT a FROM t WHERE x ~ 1",
+		"SELECT \x00 FROM \xff",
+		"SELECT `unterminated FROM t",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if (q == nil) == (err == nil) {
+			t.Fatalf("Parse(%q) = %v, %v: want exactly one of query/error", input, q, err)
+		}
+		if err != nil {
+			return
+		}
+		q.Attrs()
+		rendered := q.String()
+		if !utf8.ValidString(input) {
+			// Rendering can only re-parse when the identifiers were
+			// well-formed text to begin with.
+			return
+		}
+		if _, rerr := Parse(rendered); rerr != nil {
+			t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", input, rendered, rerr)
+		}
+	})
+}

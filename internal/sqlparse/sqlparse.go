@@ -24,22 +24,57 @@ type Query struct {
 	Where  []storage.Pred // conjunctive predicates
 }
 
-// String renders the query back to SQL-ish text.
+// String renders the query back to SQL-ish text that Parse accepts:
+// identifiers that would not survive the lexer bare (spaces, keywords,
+// leading digits, ...) come back backtick-quoted, and literal quotes are
+// re-escaped SQL-style.
 func (q *Query) String() string {
 	var b strings.Builder
 	b.WriteString("SELECT ")
-	b.WriteString(strings.Join(q.Select, ", "))
+	for i, a := range q.Select {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(quoteIdent(a))
+	}
 	b.WriteString(" FROM ")
-	b.WriteString(q.From)
+	b.WriteString(quoteIdent(q.From))
 	if len(q.Where) > 0 {
 		b.WriteString(" WHERE ")
 		parts := make([]string, len(q.Where))
 		for i, p := range q.Where {
-			parts[i] = fmt.Sprintf("%s %s '%s'", p.Attr, p.Op, p.Literal)
+			parts[i] = fmt.Sprintf("%s %s '%s'", quoteIdent(p.Attr), p.Op,
+				strings.ReplaceAll(p.Literal, "'", "''"))
 		}
 		b.WriteString(strings.Join(parts, " AND "))
 	}
 	return b.String()
+}
+
+// quoteIdent renders an identifier so it lexes back as one token: bare
+// when every rune is an identifier rune, the first is not a digit (a
+// leading digit lexes as a number) and the word is not a keyword;
+// backtick-quoted (with backticks doubled) otherwise.
+func quoteIdent(s string) string {
+	bare := s != "" && !isDigit(s[0]) && !(s[0] == '-' && len(s) > 1 && isDigit(s[1]))
+	if bare {
+		for i := 0; i < len(s); i++ {
+			if !isIdentRune(s[i]) {
+				bare = false
+				break
+			}
+		}
+	}
+	if bare {
+		switch strings.ToUpper(s) {
+		case "SELECT", "FROM", "WHERE", "AND", "LIKE":
+			bare = false
+		}
+	}
+	if bare {
+		return s
+	}
+	return "`" + strings.ReplaceAll(s, "`", "``") + "`"
 }
 
 // Attrs returns every attribute referenced by the query (SELECT then

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"udi/internal/obs"
 	"udi/internal/schema"
 )
 
@@ -88,9 +89,25 @@ func (p Pred) String() string {
 
 // Table wraps a source instance for scanning. Tables are immutable once
 // built, matching the paper's setting where source data is loaded once at
-// setup time. Equality lookups build per-column hash indexes lazily.
+// setup time. Equality lookups build per-column hash indexes lazily:
+// each indexed column maps every canonical cell value to the ascending
+// list of row ids holding it, and a conjunction of equality predicates
+// resolves by intersecting those postings lists instead of scanning.
 type Table struct {
 	Source *schema.Source
+
+	// Obs, when set, receives index metrics: counters index.builds (one
+	// per lazily built column index), index.probes (one per postings
+	// lookup) and index.rows_skipped (rows the pushdown avoided
+	// scanning). It is a setup-time knob: set it before the table serves
+	// concurrent queries. Nil disables recording.
+	Obs *obs.Registry
+	// NoIndex forces full scans (differential testing and ablations).
+	// Setup-time knob, like Obs.
+	NoIndex bool
+	// IndexThreshold overrides the minimum row count at which equality
+	// predicates use index lookups (<= 0 means the default, 64).
+	IndexThreshold int
 
 	mu      sync.Mutex
 	indexes map[int]map[string][]int // column -> canonical value -> row indices
@@ -101,15 +118,23 @@ func NewTable(s *schema.Source) *Table { return &Table{Source: s} }
 
 // canonicalValue folds a cell into the equality class CompareValues uses:
 // numeric values normalize to a canonical decimal form, strings to their
-// trimmed lower-case form.
+// trimmed lower-case form. Two cells are EqualValues iff their canonical
+// forms are equal — the pushdown relies on this to skip re-verifying
+// equality predicates on index candidates — so non-numeric strings that
+// happen to start with the numeric marker are escaped out of its space.
 func canonicalValue(s string) string {
 	if f, ok := parseNumber(s); ok {
 		return "#" + strconv.FormatFloat(f, 'g', -1, 64)
 	}
-	return strings.ToLower(strings.TrimSpace(s))
+	t := strings.ToLower(strings.TrimSpace(s))
+	if strings.HasPrefix(t, "#") {
+		return "\x00" + t
+	}
+	return t
 }
 
 // index returns (building if needed) the equality index for a column.
+// Postings lists are in ascending row order by construction.
 func (t *Table) index(col int) map[string][]int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -125,7 +150,28 @@ func (t *Table) index(col int) map[string][]int {
 		t.indexes = make(map[int]map[string][]int)
 	}
 	t.indexes[col] = ix
+	t.Obs.Add("index.builds", 1)
 	return ix
+}
+
+// intersectPostings merges two ascending row-id lists into their
+// intersection, preserving order.
+func intersectPostings(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
 }
 
 // Select scans the table, returning the projection of rows satisfying all
@@ -158,6 +204,15 @@ func (t *Table) SelectIdx(project []string, preds []Pred) ([]int, [][]string, er
 		}
 		predIdx[i] = idx
 	}
+	idxs, out := t.SelectIdxCols(projIdx, preds, predIdx)
+	return idxs, out, nil
+}
+
+// SelectIdxCols is SelectIdx with attribute resolution already done: the
+// projection and predicate columns are given as column indices (the
+// predicates' Attr fields are ignored). The plan cache uses it to skip
+// per-query name lookups. Column indices must be valid for the source.
+func (t *Table) SelectIdxCols(projIdx []int, preds []Pred, predIdx []int) ([]int, [][]string) {
 	var idxs []int
 	var out [][]string
 	emit := func(r int, row []string) {
@@ -177,22 +232,58 @@ func (t *Table) SelectIdx(project []string, preds []Pred) ([]int, [][]string, er
 		return true
 	}
 
-	// Equality predicates drive an index lookup when the table is big
-	// enough to amortize the build; candidate rows are verified against
-	// the remaining predicates in row order.
-	const indexThreshold = 64
-	if len(t.Source.Rows) >= indexThreshold {
+	// Equality predicates push down to the per-column postings: each
+	// contributes a sorted row-id list, the conjunction is their
+	// intersection, and the surviving candidates are verified against the
+	// full predicate list in row order (canonical-value equality is a
+	// candidate generator, not the final word). Indexes build lazily and
+	// only when the table is big enough to amortize the build.
+	threshold := t.IndexThreshold
+	if threshold <= 0 {
+		threshold = defaultIndexThreshold
+	}
+	if !t.NoIndex && len(t.Source.Rows) >= threshold {
+		candidates, probes := []int(nil), 0
+		var verify []int // non-equality predicates the postings can't answer
 		for i, p := range preds {
 			if p.Op != OpEq {
+				verify = append(verify, i)
 				continue
 			}
-			for _, r := range t.index(predIdx[i])[canonicalValue(p.Literal)] {
+			postings := t.index(predIdx[i])[canonicalValue(p.Literal)]
+			probes++
+			if probes == 1 {
+				candidates = postings
+			} else {
+				candidates = intersectPostings(candidates, postings)
+			}
+			if len(candidates) == 0 {
+				break
+			}
+		}
+		if probes > 0 {
+			if t.Obs.Enabled() {
+				t.Obs.Add("index.probes", int64(probes))
+				t.Obs.Add("index.rows_skipped", int64(len(t.Source.Rows)-len(candidates)))
+			}
+			// Canonical-form equality coincides exactly with EqualValues
+			// (see canonicalValue), so candidates already satisfy every
+			// equality predicate; only the remaining operators need the
+			// per-row check.
+			for _, r := range candidates {
 				row := t.Source.Rows[r]
-				if matches(row) {
+				ok := true
+				for _, i := range verify {
+					if !preds[i].Op.Eval(row[predIdx[i]], preds[i].Literal) {
+						ok = false
+						break
+					}
+				}
+				if ok {
 					emit(r, row)
 				}
 			}
-			return idxs, out, nil
+			return idxs, out
 		}
 	}
 	for r, row := range t.Source.Rows {
@@ -200,5 +291,9 @@ func (t *Table) SelectIdx(project []string, preds []Pred) ([]int, [][]string, er
 			emit(r, row)
 		}
 	}
-	return idxs, out, nil
+	return idxs, out
 }
+
+// defaultIndexThreshold is the row count below which a full scan beats
+// building and probing an index.
+const defaultIndexThreshold = 64
