@@ -1,13 +1,14 @@
 # Development entry points. `make check` is the tier-1 gate: vet, build,
-# the full test suite under the race detector, and a short fuzzing pass
-# over the SQL parser.
+# the full test suite under the race detector (including the setup
+# fast-path concurrency tests), and a short fuzzing pass over the SQL
+# parser.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build test race vet bench fuzz experiments
+.PHONY: check build test race race-setup vet bench bench-setup fuzz experiments
 
-check: vet build race fuzz
+check: vet build race race-setup fuzz
 
 vet:
 	$(GO) vet ./...
@@ -21,8 +22,29 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Short, targeted -race pass over the setup fast path's concurrency
+# surface: lock-free similarity reads racing vocabulary extensions, the
+# parallel setup stages, and the parallel index build.
+race-setup:
+	$(GO) test -race -run 'TestConcurrentAttrSimDuringAdds|TestDeterminismUnderParallelism|TestBuildKeywordIndexParallelEquivalence' ./internal/core ./internal/storage
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Setup-pipeline benchmark (naive single-threaded baseline vs the fast
+# path); snapshots the raw benchmark lines as JSON into BENCH_setup.json.
+bench-setup:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig7SetupScaling' -benchmem -benchtime=5x . \
+	  | tee /dev/stderr \
+	  | awk 'BEGIN { print "[" } \
+	    /^BenchmarkFig7SetupScaling/ { \
+	      printf "%s", comma; comma=",\n"; \
+	      n=split($$1, a, "/"); \
+	      printf "  {\"case\": \"%s\", \"iters\": %s", a[n], $$2; \
+	      for (i = 3; i < NF; i += 2) { printf ", \"%s\": %s", $$(i+1), $$i } \
+	      printf "}" \
+	    } \
+	    END { print "\n]" }' > BENCH_setup.json
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/sqlparse

@@ -146,32 +146,47 @@ func BenchmarkTable3SchemaQuality(b *testing.B) {
 	}
 }
 
-// BenchmarkFig7SetupScaling measures full automatic setup on a 200-source
-// Car prefix (the Figure 7 workload at one sweep point).
+// BenchmarkFig7SetupScaling measures full automatic setup on the whole
+// 817-source Car corpus (the Figure 7 workload at its final sweep
+// point), contrasting the naive single-threaded pipeline against the
+// setup fast path (interned similarity matrix + schema-dedup caches +
+// parallel stages). The acceptance bar for the setup-path work is
+// fast ≥ 2× faster than naive; BENCH_setup.json snapshots the numbers.
 func BenchmarkFig7SetupScaling(b *testing.B) {
 	spec := datagen.Car(102)
 	corpus, err := datagen.Generate(spec)
 	if err != nil {
 		b.Fatal(err)
 	}
-	sub := corpus.Corpus.Prefix(200)
-	var last *core.System
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sys, err := core.Setup(sub, core.Config{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = sys
-	}
-	b.StopTimer()
-	// Break the headline number down by pipeline stage using the setup
-	// span tree, so regressions localize without a profiler.
-	if tr := last.Trace.Export(); tr != nil {
-		for _, child := range tr.Children {
-			b.ReportMetric(child.DurationMS, child.Name+"-ms")
-		}
+	full := corpus.Corpus
+	for _, mode := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"naive-1t", core.Config{Parallelism: 1, DisableSimMatrix: true, DisablePMapDedup: true}},
+		{"fast-1t", core.Config{Parallelism: 1}},
+		{"fast-mt", core.Config{}}, // default parallelism = GOMAXPROCS
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var last *core.System
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys, err := core.Setup(full, mode.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = sys
+			}
+			b.StopTimer()
+			// Break the headline number down by pipeline stage using the
+			// setup span tree, so regressions localize without a profiler.
+			if tr := last.Trace.Export(); tr != nil {
+				for _, child := range tr.Children {
+					b.ReportMetric(child.DurationMS, child.Name+"-ms")
+				}
+			}
+		})
 	}
 }
 

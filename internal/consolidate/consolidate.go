@@ -8,7 +8,9 @@ package consolidate
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"udi/internal/pmapping"
 	"udi/internal/schema"
@@ -20,33 +22,86 @@ import (
 // pipeline always feeds schemas over the same attribute set, so this is
 // only a safeguard).
 func Schema(pmed *schema.PMedSchema) (*schema.MediatedSchema, error) {
+	return SchemaP(pmed, 1)
+}
+
+// SchemaP is Schema with the per-attribute signature computation split
+// across up to workers goroutines. Signatures are independent per
+// attribute and the final clustering is canonically sorted, so the result
+// is identical at every worker count.
+func SchemaP(pmed *schema.PMedSchema, workers int) (*schema.MediatedSchema, error) {
 	if pmed.Len() == 0 {
 		return nil, fmt.Errorf("consolidate: empty p-med-schema")
 	}
+	names := map[string]bool{}
+	// clusterKey[i][name] is the cluster identity of name in schema M_i —
+	// one linear pass per schema, replacing the ClusterOf scan per
+	// (attribute, schema) pair.
+	clusterKey := make([]map[string]string, pmed.Len())
+	for i, m := range pmed.Schemas {
+		keys := make(map[string]string)
+		for _, c := range m.Attrs {
+			k := c.Key()
+			for _, n := range c {
+				keys[n] = k
+				names[n] = true
+			}
+		}
+		clusterKey[i] = keys
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
 	// Signature of an attribute: the tuple of cluster identities across
 	// all M_i. Equal signatures <=> always clustered together.
-	names := map[string]bool{}
-	for _, m := range pmed.Schemas {
-		for _, n := range m.Names() {
-			names[n] = true
-		}
-	}
-	sig := make(map[string]string, len(names))
-	for n := range names {
-		parts := make([]string, 0, pmed.Len())
-		for _, m := range pmed.Schemas {
-			c := m.ClusterOf(n)
-			if c == nil {
-				parts = append(parts, "\x00"+n) // singleton placeholder
-				continue
+	sigs := make([]string, len(sorted))
+	signature := func(lo, hi int) {
+		var b strings.Builder
+		for x := lo; x < hi; x++ {
+			n := sorted[x]
+			b.Reset()
+			for i := range pmed.Schemas {
+				if i > 0 {
+					b.WriteByte('\x1d')
+				}
+				if k, ok := clusterKey[i][n]; ok {
+					b.WriteString(k)
+					continue
+				}
+				b.WriteByte('\x00') // singleton placeholder
+				b.WriteString(n)
 			}
-			parts = append(parts, c.Key())
+			sigs[x] = b.String()
 		}
-		sig[n] = strings.Join(parts, "\x1d")
 	}
+	if workers > len(sorted) {
+		workers = len(sorted)
+	}
+	if workers <= 1 {
+		signature(0, len(sorted))
+	} else {
+		var wg sync.WaitGroup
+		chunk := (len(sorted) + workers - 1) / workers
+		for lo := 0; lo < len(sorted); lo += chunk {
+			hi := lo + chunk
+			if hi > len(sorted) {
+				hi = len(sorted)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				signature(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
 	groups := map[string][]string{}
-	for n, s := range sig {
-		groups[s] = append(groups[s], n)
+	for x, n := range sorted {
+		groups[sigs[x]] = append(groups[sigs[x]], n)
 	}
 	clusters := make([]schema.MediatedAttr, 0, len(groups))
 	for _, g := range groups {
@@ -72,16 +127,17 @@ func (m OneToMany) key() string {
 		attrs = append(attrs, a)
 	}
 	sort.Strings(attrs)
-	var b strings.Builder
+	var b []byte
 	for _, a := range attrs {
-		b.WriteString(a)
-		b.WriteByte('=')
+		b = append(b, a...)
+		b = append(b, '=')
 		for _, j := range m.SrcToMed[a] {
-			fmt.Fprintf(&b, "%d,", j)
+			b = strconv.AppendInt(b, int64(j), 10)
+			b = append(b, ',')
 		}
-		b.WriteByte(';')
+		b = append(b, ';')
 	}
-	return b.String()
+	return string(b)
 }
 
 // MedToSrc inverts the mapping: each T attribute index corresponds to at
@@ -105,6 +161,48 @@ type PMapping struct {
 	Mappings   []OneToMany
 }
 
+// Consolidator precomputes the schema-refinement tables shared by every
+// source's consolidation against one (p-med-schema, target) pair. The
+// setup pipeline consolidates hundreds of sources against the same pair,
+// so hoisting the refinement out of the per-source call removes the
+// dominant repeated work (cluster scans and key construction).
+type Consolidator struct {
+	pmed   *schema.PMedSchema
+	target *schema.MediatedSchema
+	// refine[i] maps a mediated-attribute index of M_i to the sorted T
+	// indices contained in it.
+	refine []map[int][]int
+}
+
+// NewConsolidator builds the refinement tables for one (pmed, target)
+// pair.
+func NewConsolidator(pmed *schema.PMedSchema, target *schema.MediatedSchema) *Consolidator {
+	refine := make([]map[int][]int, pmed.Len())
+	for i, m := range pmed.Schemas {
+		r := make(map[int][]int)
+		for ti, tAttr := range target.Attrs {
+			// Find the M_i cluster containing this T cluster (all its
+			// names are together in every M_i by construction).
+			c := m.ClusterOf(tAttr[0])
+			if c == nil {
+				continue
+			}
+			key := c.Key()
+			for mi, mAttr := range m.Attrs {
+				if mAttr.Key() == key {
+					r[mi] = append(r[mi], ti)
+					break
+				}
+			}
+		}
+		for mi := range r {
+			sort.Ints(r[mi])
+		}
+		refine[i] = r
+	}
+	return &Consolidator{pmed: pmed, target: target, refine: refine}
+}
+
 // ConsolidateMappings implements the three-step consolidation of §6 for
 // one source: pms[i] is the p-mapping between the source and pmed.Schemas[i].
 //
@@ -117,34 +215,16 @@ type PMapping struct {
 // maxMappings bounds the materialized product distribution per schema
 // (p-mappings factor into groups; consolidation needs explicit mappings).
 func ConsolidateMappings(pmed *schema.PMedSchema, target *schema.MediatedSchema, pms []*pmapping.PMapping, maxMappings int64) (*PMapping, error) {
+	return NewConsolidator(pmed, target).Consolidate(pms, maxMappings)
+}
+
+// Consolidate runs the per-source consolidation against the precomputed
+// refinement tables.
+func (co *Consolidator) Consolidate(pms []*pmapping.PMapping, maxMappings int64) (*PMapping, error) {
+	pmed, target, refine := co.pmed, co.target, co.refine
 	if len(pms) != pmed.Len() {
 		return nil, fmt.Errorf("consolidate: %d p-mappings for %d schemas", len(pms), pmed.Len())
 	}
-	// Precompute, per schema M_i, the refinement: med index in M_i -> T
-	// indices contained in it.
-	refine := make([]map[int][]int, pmed.Len())
-	for i, m := range pmed.Schemas {
-		r := make(map[int][]int)
-		for ti, tAttr := range target.Attrs {
-			// Find the M_i cluster containing this T cluster (all its
-			// names are together in every M_i by construction).
-			c := m.ClusterOf(tAttr[0])
-			if c == nil {
-				continue
-			}
-			for mi, mAttr := range m.Attrs {
-				if mAttr.Key() == c.Key() {
-					r[mi] = append(r[mi], ti)
-					break
-				}
-			}
-		}
-		for mi := range r {
-			sort.Ints(r[mi])
-		}
-		refine[i] = r
-	}
-
 	merged := map[string]*OneToMany{}
 	var order []string
 	srcName := ""
@@ -158,14 +238,14 @@ func ConsolidateMappings(pmed *schema.PMedSchema, target *schema.MediatedSchema,
 			return nil, fmt.Errorf("consolidate: source %q schema %d: %w", pm.SourceName, i, err)
 		}
 		for _, fm := range full {
-			// Step 1: rewrite into T-space. fm.MedToSrc maps M_i index ->
-			// source attribute.
-			otm := OneToMany{SrcToMed: map[string][]int{}, Prob: fm.Prob * pmed.Probs[i]}
-			for mi, src := range fm.MedToSrc {
-				otm.SrcToMed[src] = append(otm.SrcToMed[src], refine[i][mi]...)
-			}
-			for a := range otm.SrcToMed {
-				sort.Ints(otm.SrcToMed[a])
+			// Step 1: rewrite into T-space. fm.Pairs maps M_i indices ->
+			// source attributes.
+			otm := OneToMany{SrcToMed: make(map[string][]int, len(fm.Pairs)), Prob: fm.Prob * pmed.Probs[i]}
+			for _, p := range fm.Pairs {
+				// One-to-one mappings and group-partitioned source attrs
+				// mean each Src appears exactly once, so the T indices are
+				// just a copy of the (already sorted) refinement list.
+				otm.SrcToMed[p.Src] = append([]int(nil), refine[i][p.Med]...)
 			}
 			if otm.Prob == 0 {
 				continue
@@ -186,6 +266,36 @@ func ConsolidateMappings(pmed *schema.PMedSchema, target *schema.MediatedSchema,
 		out.Mappings = append(out.Mappings, *merged[k])
 	}
 	return out, nil
+}
+
+// Clone returns a deep copy of the consolidated p-mapping. The
+// schema-dedup cache in core shares one canonical consolidation across
+// sources with identical schemas and hands each a clone, so later
+// per-source rewrites (feedback re-consolidation replaces the entry
+// wholesale, but callers may also edit mappings) cannot leak between
+// sources. The target schema is shared — it is immutable.
+func (pm *PMapping) Clone() *PMapping {
+	cp := &PMapping{SourceName: pm.SourceName, Target: pm.Target}
+	if pm.Mappings != nil {
+		cp.Mappings = make([]OneToMany, len(pm.Mappings))
+		for i, m := range pm.Mappings {
+			nm := OneToMany{Prob: m.Prob}
+			if m.SrcToMed != nil {
+				nm.SrcToMed = make(map[string][]int, len(m.SrcToMed))
+				for a, idxs := range m.SrcToMed {
+					if idxs == nil { // preserve nil-ness for DeepEqual with a fresh build
+						nm.SrcToMed[a] = nil
+						continue
+					}
+					out := make([]int, len(idxs))
+					copy(out, idxs)
+					nm.SrcToMed[a] = out
+				}
+			}
+			cp.Mappings[i] = nm
+		}
+	}
+	return cp
 }
 
 // TotalProb returns the probability mass of the consolidated p-mapping;

@@ -41,6 +41,15 @@ type Config struct {
 	// Obs receives setup, solver and query metrics (see internal/obs).
 	// Nil means obs.Default; pass obs.Disabled to turn recording off.
 	Obs *obs.Registry
+
+	// DisableSimMatrix skips the interned attribute-similarity matrix and
+	// calls the configured Sim functions directly on every comparison.
+	// DisablePMapDedup skips the schema-dedup caches so every source's
+	// p-mappings and consolidation are computed from scratch. Both exist
+	// for benchmarking and for differential tests pinning the fast path to
+	// the naive path; production setups leave them false.
+	DisableSimMatrix bool
+	DisablePMapDedup bool
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +117,10 @@ type System struct {
 	engine  *answer.Engine
 	kwIndex *storage.KeywordIndex
 	kw      *keyword.Engine
+
+	// caches holds the setup fast path's interned similarity matrices and
+	// schema-dedup caches (see fastpath.go).
+	caches *setupCaches
 }
 
 // Setup runs the full automatic configuration of Figure 2 over the corpus.
@@ -119,7 +132,7 @@ func Setup(c *schema.Corpus, cfg Config) (*System, error) {
 	s.importSources()
 
 	sp := s.Trace.Child("mediate")
-	med, err := mediate.Generate(c, cfg.Mediate)
+	med, err := mediate.Generate(c, s.medConfig())
 	if err != nil {
 		sp.End()
 		return nil, fmt.Errorf("core: %w", err)
@@ -138,22 +151,40 @@ func Setup(c *schema.Corpus, cfg Config) (*System, error) {
 	return s, nil
 }
 
-// startTrace roots the setup span tree.
+// startTrace roots the setup span tree and attaches fresh fast-path
+// caches.
 func (s *System) startTrace(variant string) {
+	s.initCaches()
 	s.Trace = obs.StartSpan("setup")
 	s.Trace.SetAttr("variant", variant)
 	s.Trace.SetAttr("sources", len(s.Corpus.Sources))
 	s.Trace.SetAttr("parallelism", s.Cfg.Parallelism)
 }
 
-// importSources builds the query engine and keyword index (the "import"
-// stage: tables + indexes over every source schema).
+// importSources builds the query engine, keyword index and similarity
+// matrices (the "import" stage: tables + indexes over every source
+// schema, plus the interned vocabulary every later stage reads). With
+// Parallelism > 1 the keyword index shards per source and the matrices
+// fill concurrently with it; both constructions are deterministic, so
+// the stage's outputs are identical at any worker count.
 func (s *System) importSources() {
 	sp := s.Trace.Child("import")
 	s.engine = answer.NewEngine(s.Corpus)
 	s.engine.Parallelism = s.Cfg.Parallelism
 	s.engine.SetObs(s.Cfg.Obs)
-	s.kwIndex = storage.BuildKeywordIndex(s.Corpus)
+	if s.Cfg.Parallelism > 1 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.ensureSims()
+		}()
+		s.kwIndex = storage.BuildKeywordIndexP(s.Corpus, s.Cfg.Parallelism)
+		wg.Wait()
+	} else {
+		s.kwIndex = storage.BuildKeywordIndexP(s.Corpus, 1)
+		s.ensureSims()
+	}
 	s.kw = keyword.NewEngine(s.kwIndex)
 	s.Timings.Import = sp.End()
 }
@@ -217,7 +248,11 @@ func setupDeterministic(c *schema.Corpus, cfg Config, m *schema.MediatedSchema) 
 
 // forEachSource runs fn over every source using up to Parallelism workers,
 // collecting the first error. Results are applied through the apply
-// callback, which runs in the caller's goroutine.
+// callback, which runs in the caller's goroutine — but in COMPLETION
+// order, not corpus order, when Parallelism > 1. Every apply callback in
+// this package must therefore be commutative (keyed map inserts, never
+// order-dependent appends) so that setup output is identical at
+// Parallelism 1 and N; parallel_test.go pins this.
 func (s *System) forEachSource(fn func(src *schema.Source) (any, error), apply func(src *schema.Source, result any)) error {
 	workers := s.Cfg.Parallelism
 	if workers > len(s.Corpus.Sources) {
@@ -280,17 +315,14 @@ func (s *System) buildMappings() error {
 	err := s.forEachSource(
 		func(src *schema.Source) (any, error) {
 			t0 := time.Now()
-			pms := make([]*pmapping.PMapping, 0, s.Med.PMed.Len())
-			for _, m := range s.Med.PMed.Schemas {
-				pm, err := pmapping.Build(src, m, s.Cfg.PMap)
-				if err != nil {
-					return nil, fmt.Errorf("core: p-mapping for %q: %w", src.Name, err)
-				}
-				pms = append(pms, pm)
+			pms, err := s.buildSourceMappings(src)
+			if err != nil {
+				return nil, err
 			}
 			s.Cfg.Obs.Observe("setup.pmapping_source_seconds", time.Since(t0).Seconds())
 			return pms, nil
 		},
+		// apply runs in completion order; the keyed insert is commutative.
 		func(src *schema.Source, res any) {
 			s.Maps[src.Name] = res.([]*pmapping.PMapping)
 		})
@@ -300,24 +332,23 @@ func (s *System) buildMappings() error {
 
 func (s *System) consolidate() error {
 	sp := s.Trace.Child("consolidate")
-	defer sp.End()
-	target, err := consolidate.Schema(s.Med.PMed)
+	target, err := consolidate.SchemaP(s.Med.PMed, s.Cfg.Parallelism)
 	if err != nil {
+		sp.End()
 		return fmt.Errorf("core: %w", err)
 	}
 	s.Target = target
 	s.ConsMaps = make(map[string]*consolidate.PMapping, len(s.Corpus.Sources))
+	co := s.newConsolidator()
 	err = s.forEachSource(
 		func(src *schema.Source) (any, error) {
-			cpm, err := consolidate.ConsolidateMappings(s.Med.PMed, target, s.Maps[src.Name], s.Cfg.ConsolidateLimit)
-			if err != nil {
-				// Materialization too large for this source: skip it.
-				// Query answering uses the p-med-schema path, which is
-				// equivalent (Theorem 6.2).
-				return (*consolidate.PMapping)(nil), nil
-			}
-			return cpm, nil
+			// consolidateSource returns nil (no error) when
+			// materialization exceeds ConsolidateLimit: the source is
+			// skipped and query answering uses the p-med-schema path,
+			// which is equivalent (Theorem 6.2).
+			return s.consolidateSource(co, src)
 		},
+		// apply runs in completion order; the keyed insert is commutative.
 		func(src *schema.Source, res any) {
 			if cpm := res.(*consolidate.PMapping); cpm != nil {
 				s.ConsMaps[src.Name] = cpm

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"udi/internal/consolidate"
+	"udi/internal/intern"
+	"udi/internal/mediate"
+	"udi/internal/pmapping"
+	"udi/internal/schema"
+	"udi/internal/strutil"
+)
+
+// setupCaches holds the setup fast path's shared state: the interned
+// similarity matrices and the schema-dedup caches for p-mappings and
+// consolidated p-mappings. One instance lives per System; a full rebuild
+// (Setup) starts fresh. All members are safe under the system's
+// concurrency discipline (queries share, mutations exclude) and the
+// dedup caches are additionally safe for the setup worker pool itself.
+type setupCaches struct {
+	simOnce sync.Once
+	// matMed/matPMap back simMed/simPMap when interning is enabled; they
+	// are extended (never rebuilt) on incremental source adds.
+	matMed  *intern.Matrix
+	matPMap *intern.Matrix
+	// simMed/simPMap are the resolved similarity functions the pipeline
+	// actually calls — matrix-backed on the fast path, the raw base
+	// functions when Config.DisableSimMatrix is set.
+	simMed  strutil.Func
+	simPMap strutil.Func
+
+	pmaps dedupCache[*pmapping.PMapping]
+	cons  dedupCache[*consolidate.PMapping]
+}
+
+// dedupEntry computes its value exactly once; concurrent requesters for
+// the same key block on the winner.
+type dedupEntry[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+// dedupCache is a keyed once-cache shared by the setup worker pool.
+type dedupCache[T any] struct {
+	mu sync.Mutex
+	m  map[string]*dedupEntry[T]
+}
+
+// entry returns the entry for key, creating it if needed, and reports
+// whether it already existed (an existing entry is a cache hit for
+// accounting — the value may still be under construction by another
+// worker, in which case once.Do blocks until it is ready).
+func (c *dedupCache[T]) entry(key string) (*dedupEntry[T], bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]*dedupEntry[T])
+	}
+	e, ok := c.m[key]
+	if !ok {
+		e = &dedupEntry[T]{}
+		c.m[key] = e
+	}
+	return e, ok
+}
+
+// invalidate drops every entry.
+func (c *dedupCache[T]) invalidate() {
+	c.mu.Lock()
+	c.m = nil
+	c.mu.Unlock()
+}
+
+// initCaches attaches a fresh cache set; called from every System
+// construction path (Setup, setupDeterministic, Restore) before any
+// stage runs.
+func (s *System) initCaches() {
+	s.caches = &setupCaches{}
+}
+
+// ensureSims resolves the similarity functions once per System. On the
+// fast path it interns the corpus-wide attribute vocabulary and fills
+// one triangular matrix per role (mediate and pmapping may be configured
+// with different base matchers) in a single parallel pass; every
+// subsequent Sim call across mediate, pmapping and incremental re-runs
+// is a lookup. The vocabulary is frozen here; AddSource extends it.
+func (s *System) ensureSims() {
+	cs := s.caches
+	cs.simOnce.Do(func() {
+		baseMed := s.Cfg.Mediate.Sim
+		if baseMed == nil {
+			baseMed = strutil.AttrSim
+		}
+		basePMap := s.Cfg.PMap.Sim
+		if basePMap == nil {
+			basePMap = strutil.AttrSim
+		}
+		if s.Cfg.DisableSimMatrix {
+			cs.simMed, cs.simPMap = baseMed, basePMap
+			return
+		}
+		t0 := time.Now()
+		names := s.Corpus.AllAttrs()
+		cs.matMed = intern.BuildMatrix(names, baseMed, s.Cfg.Parallelism)
+		cs.matPMap = intern.BuildMatrix(names, basePMap, s.Cfg.Parallelism)
+		cs.simMed = cs.matMed.Sim
+		cs.simPMap = cs.matPMap.Sim
+		if r := s.Cfg.Obs; r.Enabled() {
+			r.Add("setup.sim_matrix.builds", 1)
+			r.Add("setup.sim_matrix.names", int64(len(names)))
+			r.Observe("setup.sim_matrix.build_seconds", time.Since(t0).Seconds())
+		}
+	})
+}
+
+// extendSims grows the interned vocabulary (and both matrices) with any
+// attribute names the pipeline has not seen — the incremental-add path.
+// Known names are free; the matrices publish enlarged snapshots
+// atomically so concurrent readers never block.
+func (s *System) extendSims(names []string) {
+	s.ensureSims()
+	cs := s.caches
+	if cs.matPMap == nil {
+		return // interning disabled
+	}
+	added := cs.matMed.Extend(names, s.Cfg.Parallelism)
+	cs.matPMap.Extend(names, s.Cfg.Parallelism)
+	if added > 0 && s.Cfg.Obs.Enabled() {
+		s.Cfg.Obs.Add("setup.sim_matrix.extends", 1)
+		s.Cfg.Obs.Add("setup.sim_matrix.names", int64(added))
+	}
+}
+
+// medConfig returns the mediate config with the resolved (matrix-backed)
+// similarity.
+func (s *System) medConfig() mediate.Config {
+	s.ensureSims()
+	cfg := s.Cfg.Mediate
+	cfg.Sim = s.caches.simMed
+	return cfg
+}
+
+// pmapConfig returns the pmapping config with the resolved
+// (matrix-backed) similarity.
+func (s *System) pmapConfig() pmapping.Config {
+	s.ensureSims()
+	cfg := s.Cfg.PMap
+	cfg.Sim = s.caches.simPMap
+	return cfg
+}
+
+// AttrSim returns the attribute similarity used for p-mapping
+// construction, backed by the interned matrix when enabled. External
+// consumers (the feedback ranker) should prefer this over reading
+// Cfg.PMap.Sim so repeated evaluations hit the precomputed values.
+func (s *System) AttrSim() strutil.Func {
+	s.ensureSims()
+	return s.caches.simPMap
+}
+
+// invalidateSetupCaches drops the schema-dedup caches. Feedback
+// conditions p-mappings in place; the canonical cache entries themselves
+// are never handed out (every consumer gets a clone), but dropping the
+// caches alongside the plan cache keeps the invalidation story uniform:
+// after feedback, nothing derived from pre-feedback state is reused.
+func (s *System) invalidateSetupCaches() {
+	if s.caches == nil {
+		return
+	}
+	s.caches.pmaps.invalidate()
+	s.caches.cons.invalidate()
+	if s.Cfg.Obs.Enabled() {
+		s.Cfg.Obs.Add("setup.pmap_dedup.invalidations", 1)
+	}
+}
+
+// attrSetKey canonicalizes a source schema as an order-free attribute
+// set: the dedup caches key on it because pmapping.Build and
+// ConsolidateMappings provably depend only on the attribute set (see
+// pmapping.TestBuildCanonicalUnderAttrOrder), not on column order, rows
+// or the source name.
+func attrSetKey(attrs []string) string {
+	sorted := make([]string, len(attrs))
+	copy(sorted, attrs)
+	sort.Strings(sorted)
+	return strings.Join(sorted, "\x1f")
+}
+
+// buildSourceMappings constructs the per-schema p-mappings for one
+// source, sharing work across sources with identical attribute sets: the
+// first source with a given (attr set, schema) pair computes the
+// canonical p-mapping, every other source receives a deep clone with its
+// own SourceName. Clones keep feedback conditioning per-source: mutating
+// one source's p-mapping never reaches another's.
+func (s *System) buildSourceMappings(src *schema.Source) ([]*pmapping.PMapping, error) {
+	cfg := s.pmapConfig()
+	pms := make([]*pmapping.PMapping, 0, s.Med.PMed.Len())
+	if s.Cfg.DisablePMapDedup {
+		for _, m := range s.Med.PMed.Schemas {
+			pm, err := pmapping.Build(src, m, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("core: p-mapping for %q: %w", src.Name, err)
+			}
+			pms = append(pms, pm)
+		}
+		return pms, nil
+	}
+	key := attrSetKey(src.Attrs)
+	r := s.Cfg.Obs
+	for l, m := range s.Med.PMed.Schemas {
+		e, existed := s.caches.pmaps.entry(fmt.Sprintf("%s\x1e%d", key, l))
+		e.once.Do(func() {
+			e.val, e.err = pmapping.Build(src, m, cfg)
+		})
+		if r.Enabled() {
+			if existed {
+				r.Add("setup.pmap_dedup.hits", 1)
+			} else {
+				r.Add("setup.pmap_dedup.misses", 1)
+			}
+		}
+		if e.err != nil {
+			return nil, fmt.Errorf("core: p-mapping for %q: %w", src.Name, e.err)
+		}
+		pm := e.val.Clone()
+		pm.SourceName = src.Name
+		pms = append(pms, pm)
+	}
+	return pms, nil
+}
+
+// newConsolidator precomputes the refinement tables for the current
+// (p-med-schema, target) pair; one per consolidation stage, shared by
+// every source in it.
+func (s *System) newConsolidator() *consolidate.Consolidator {
+	return consolidate.NewConsolidator(s.Med.PMed, s.Target)
+}
+
+// consolidateSource builds the consolidated p-mapping for one source,
+// deduplicated by attribute set like buildSourceMappings. A nil result
+// (with nil error) means materialization exceeded Cfg.ConsolidateLimit
+// for this schema shape; the p-med-schema query path remains correct
+// (Theorem 6.2), so the source is simply skipped — and so is every other
+// source sharing the shape, exactly as the naive path would.
+func (s *System) consolidateSource(co *consolidate.Consolidator, src *schema.Source) (*consolidate.PMapping, error) {
+	if s.Cfg.DisablePMapDedup {
+		// Naive baseline: rebuild the refinement tables per source, exactly
+		// as ConsolidateMappings always did before the Consolidator hoist.
+		cpm, err := consolidate.ConsolidateMappings(s.Med.PMed, s.Target, s.Maps[src.Name], s.Cfg.ConsolidateLimit)
+		if err != nil {
+			return nil, nil
+		}
+		return cpm, nil
+	}
+	key := attrSetKey(src.Attrs)
+	e, existed := s.caches.cons.entry(key)
+	e.once.Do(func() {
+		e.val, e.err = co.Consolidate(s.Maps[src.Name], s.Cfg.ConsolidateLimit)
+	})
+	if r := s.Cfg.Obs; r.Enabled() {
+		if existed {
+			r.Add("setup.cons_dedup.hits", 1)
+		} else {
+			r.Add("setup.cons_dedup.misses", 1)
+		}
+	}
+	if e.err != nil {
+		return nil, nil // too large to materialize: skip, like the naive path
+	}
+	cpm := e.val.Clone()
+	cpm.SourceName = src.Name
+	return cpm, nil
+}

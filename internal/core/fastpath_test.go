@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"udi/internal/obs"
+	"udi/internal/pmapping"
+	"udi/internal/schema"
+)
+
+// twinSystem builds a system over a corpus where several sources share
+// the exact attribute set (the shape the dedup caches exploit).
+func twinSystem(t *testing.T, cfg Config) *System {
+	t.Helper()
+	attrs := [][]string{
+		{"name", "phone", "address"},
+		{"name", "phone", "address"},
+		{"name", "phone", "address"},
+		{"name", "phones"},
+		{"phones", "address"},
+	}
+	sources := make([]*schema.Source, len(attrs))
+	for i, a := range attrs {
+		row := make([]string, len(a))
+		for j := range row {
+			row[j] = fmt.Sprintf("v%d%d", i, j)
+		}
+		sources[i] = schema.MustNewSource(fmt.Sprintf("s%02d", i), a, [][]string{row})
+	}
+	corpus, err := schema.NewCorpus("twins", sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Setup(corpus, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestDedupCloneIsolation: sources with identical schemas must receive
+// pointer-distinct but value-identical p-mappings and consolidated
+// p-mappings — shared canonical computation, isolated ownership.
+func TestDedupCloneIsolation(t *testing.T) {
+	sys := twinSystem(t, Config{Obs: obs.Disabled})
+	a, b := sys.Maps["s00"], sys.Maps["s01"]
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("unexpected p-mapping counts: %d vs %d", len(a), len(b))
+	}
+	for l := range a {
+		if a[l] == b[l] {
+			t.Fatalf("schema %d: twin sources share one *PMapping", l)
+		}
+		if a[l].SourceName != "s00" || b[l].SourceName != "s01" {
+			t.Fatalf("schema %d: wrong SourceName %q / %q", l, a[l].SourceName, b[l].SourceName)
+		}
+		// Value-identical apart from the owner name.
+		ca := a[l].Clone()
+		ca.SourceName = b[l].SourceName
+		if !reflect.DeepEqual(ca, b[l]) {
+			t.Fatalf("schema %d: twin p-mappings differ in value", l)
+		}
+		// Groups must not alias: probability slices are conditioned in
+		// place by feedback.
+		if len(a[l].Groups) > 0 && len(a[l].Groups[0].Probs) > 0 &&
+			&a[l].Groups[0].Probs[0] == &b[l].Groups[0].Probs[0] {
+			t.Fatalf("schema %d: twin p-mappings alias the same Probs slice", l)
+		}
+	}
+	ca, cb := sys.ConsMaps["s00"], sys.ConsMaps["s01"]
+	if ca == nil || cb == nil {
+		t.Fatal("missing consolidated p-mappings for twins")
+	}
+	if ca == cb {
+		t.Fatal("twin sources share one consolidated *PMapping")
+	}
+	cc := ca.Clone()
+	cc.SourceName = cb.SourceName
+	if !reflect.DeepEqual(cc, cb) {
+		t.Fatal("twin consolidated p-mappings differ in value")
+	}
+}
+
+// TestFeedbackDoesNotLeakAcrossTwins: conditioning one twin's p-mapping
+// must leave the other twin bit-identical to its pre-feedback state.
+func TestFeedbackDoesNotLeakAcrossTwins(t *testing.T) {
+	sys := twinSystem(t, Config{Obs: obs.Disabled})
+	before := make([]*pmapping.PMapping, len(sys.Maps["s01"]))
+	for l, pm := range sys.Maps["s01"] {
+		before[l] = pm.Clone()
+	}
+	consBefore := sys.ConsMaps["s01"].Clone()
+
+	// Condition every correspondence of s00 in every schema.
+	for l, pm := range sys.Maps["s00"] {
+		for _, g := range pm.Groups {
+			for _, c := range g.Corrs {
+				if err := sys.ApplyFeedbackAt("s00", l, c.SrcAttr, c.MedIdx, true); err != nil {
+					t.Fatalf("feedback: %v", err)
+				}
+			}
+		}
+	}
+
+	for l, pm := range sys.Maps["s01"] {
+		if !reflect.DeepEqual(before[l], pm) {
+			t.Fatalf("schema %d: feedback on s00 mutated s01's p-mapping", l)
+		}
+	}
+	if !reflect.DeepEqual(consBefore, sys.ConsMaps["s01"]) {
+		t.Fatal("feedback on s00 mutated s01's consolidated p-mapping")
+	}
+}
+
+// TestInvalidateSetupCachesDropsEntries: after feedback, a subsequent
+// AddSource of a twin schema must rebuild from the caches' empty state
+// (misses, not stale hits) — observable through the obs counters.
+func TestInvalidateSetupCachesDropsEntries(t *testing.T) {
+	reg := obs.NewRegistry()
+	sys := twinSystem(t, Config{Obs: reg})
+	if reg.Counter("setup.pmap_dedup.hits").Value() == 0 {
+		t.Fatal("twin corpus produced no dedup hits")
+	}
+	pm := sys.Maps["s00"][0]
+	if len(pm.Groups) == 0 || len(pm.Groups[0].Corrs) == 0 {
+		t.Skip("no correspondences to condition")
+	}
+	c := pm.Groups[0].Corrs[0]
+	if err := sys.ApplyFeedbackAt("s00", 0, c.SrcAttr, c.MedIdx, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("setup.pmap_dedup.invalidations").Value(); got != 1 {
+		t.Fatalf("pmap_dedup.invalidations = %d, want 1", got)
+	}
+	missesBefore := reg.Counter("setup.pmap_dedup.misses").Value()
+	src := schema.MustNewSource("s99", []string{"name", "phone", "address"},
+		[][]string{{"x", "y", "z"}})
+	if _, err := sys.AddSource(src); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("setup.pmap_dedup.misses").Value(); got <= missesBefore {
+		t.Fatalf("expected fresh misses after invalidation, got %d (was %d)", got, missesBefore)
+	}
+}
+
+// TestConcurrentAttrSimDuringAdds races matrix-backed similarity reads
+// against incremental vocabulary extensions; run under -race this pins
+// the lock-free snapshot publication at the System level.
+func TestConcurrentAttrSimDuringAdds(t *testing.T) {
+	sys := twinSystem(t, Config{Obs: obs.Disabled})
+	// The matrix-backed sim function is safe without any lock: Extend
+	// publishes enlarged snapshots atomically.
+	sim := sys.AttrSim()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			names := []string{"name", "phone", "phones", "address", "zz-unknown"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a, b := names[i%len(names)], names[(i/2)%len(names)]
+				if v := sim(a, b); v < 0 || v > 1 {
+					t.Errorf("sim(%q,%q) = %v out of range", a, b, v)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		src := schema.MustNewSource(fmt.Sprintf("n%02d", i),
+			[]string{"name", fmt.Sprintf("extra%d", i)}, [][]string{{"a", "b"}})
+		if _, err := sys.AddSource(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -28,6 +28,7 @@ func (s *System) ApplyFeedbackAt(source string, schemaIdx int, srcAttr string, m
 		return err
 	}
 	s.engine.InvalidatePlans() // conditioning mutated the p-mapping in place
+	s.invalidateSetupCaches()  // the canonical dedup entries predate the feedback
 	return s.reconsolidateSource(source)
 }
 
@@ -61,9 +62,14 @@ func (s *System) ApplyFeedback(source, srcAttr, medName string, confirmed bool) 
 		return fmt.Errorf("core: no mediated attribute contains %q", medName)
 	}
 	s.engine.InvalidatePlans() // conditioning mutated the p-mappings in place
+	s.invalidateSetupCaches()  // the canonical dedup entries predate the feedback
 	return s.reconsolidateSource(source)
 }
 
+// reconsolidateSource rebuilds one source's consolidated p-mapping from
+// its (now conditioned) per-schema p-mappings. It deliberately bypasses
+// the schema-dedup cache: conditioned p-mappings differ from the
+// canonical ones other sources with the same schema share.
 func (s *System) reconsolidateSource(source string) error {
 	cpm, err := consolidate.ConsolidateMappings(s.Med.PMed, s.Target, s.Maps[source], s.Cfg.ConsolidateLimit)
 	if err != nil {

@@ -4,11 +4,9 @@ import (
 	"fmt"
 
 	"udi/internal/answer"
-	"udi/internal/consolidate"
 	"udi/internal/keyword"
 	"udi/internal/mediate"
 	"udi/internal/obs"
-	"udi/internal/pmapping"
 	"udi/internal/schema"
 	"udi/internal/storage"
 )
@@ -36,8 +34,11 @@ func (s *System) AddSource(src *schema.Source) (bool, error) {
 
 	trace := obs.StartSpan("add_source")
 	trace.SetAttr("source", src.Name)
+	// Grow the interned vocabulary with any attribute names the new source
+	// introduces so the matrix-backed similarity stays a pure lookup.
+	s.extendSims(src.Attrs)
 	sp := trace.Child("mediate")
-	med, err := mediate.Generate(corpus, s.Cfg.Mediate)
+	med, err := mediate.Generate(corpus, s.medConfig())
 	if err != nil {
 		return false, fmt.Errorf("core: %w", err)
 	}
@@ -69,6 +70,11 @@ func (s *System) AddSource(src *schema.Source) (bool, error) {
 		return false, nil
 	}
 	s.Med = &mediate.Result{PMed: pmed, Graph: med.Graph, FrequentAttrs: med.FrequentAttrs}
+	// Consolidation scales mapping probabilities by Pr(M_i), which the new
+	// source just shifted, so cached consolidations no longer match the
+	// current p-med-schema. The p-mapping dedup cache stays valid: Build
+	// depends only on the clusterings, which are unchanged on this path.
+	s.caches.cons.invalidate()
 	s.Timings.MedSchema += sp.End()
 
 	s.Corpus = corpus
@@ -76,25 +82,22 @@ func (s *System) AddSource(src *schema.Source) (bool, error) {
 	s.engine = answer.NewEngine(corpus)
 	s.engine.Parallelism = s.Cfg.Parallelism
 	s.engine.SetObs(s.Cfg.Obs)
-	s.kwIndex = storage.BuildKeywordIndex(corpus)
+	s.kwIndex = storage.BuildKeywordIndexP(corpus, s.Cfg.Parallelism)
 	s.kw = keyword.NewEngine(s.kwIndex)
 	s.Timings.Import += sp.End()
 
 	sp = trace.Child("pmappings")
-	pms := make([]*pmapping.PMapping, 0, pmed.Len())
-	for _, m := range pmed.Schemas {
-		pm, err := pmapping.Build(src, m, s.Cfg.PMap)
-		if err != nil {
-			return false, fmt.Errorf("core: p-mapping for %q: %w", src.Name, err)
-		}
-		pms = append(pms, pm)
+	pms, err := s.buildSourceMappings(src)
+	if err != nil {
+		sp.End()
+		return false, err
 	}
 	s.Maps[src.Name] = pms
 	s.Timings.PMappings += sp.End()
 
 	sp = trace.Child("consolidate")
-	cpm, err := consolidate.ConsolidateMappings(pmed, s.Target, pms, s.Cfg.ConsolidateLimit)
-	if err == nil {
+	cpm, err := s.consolidateSource(s.newConsolidator(), src)
+	if err == nil && cpm != nil {
 		s.ConsMaps[src.Name] = cpm
 	}
 	s.Timings.Consolidation += sp.End()
@@ -130,7 +133,7 @@ func (s *System) RemoveSource(name string) (bool, error) {
 		return false, fmt.Errorf("core: %w", err)
 	}
 
-	med, err := mediate.Generate(corpus, s.Cfg.Mediate)
+	med, err := mediate.Generate(corpus, s.medConfig())
 	if err != nil {
 		// The shrunken corpus may no longer have frequent attributes.
 		return false, fmt.Errorf("core: %w", err)
@@ -154,6 +157,10 @@ func (s *System) RemoveSource(name string) (bool, error) {
 		return false, nil
 	}
 	s.Med = &mediate.Result{PMed: pmed, Graph: med.Graph, FrequentAttrs: med.FrequentAttrs}
+	// Schema probabilities shifted; drop cached consolidations (see
+	// AddSource). The interned matrices keep the departed source's names —
+	// extra exact entries are harmless.
+	s.caches.cons.invalidate()
 	s.Corpus = corpus
 	delete(s.Maps, name)
 	delete(s.ConsMaps, name)
@@ -162,7 +169,7 @@ func (s *System) RemoveSource(name string) (bool, error) {
 	s.engine = answer.NewEngine(corpus)
 	s.engine.Parallelism = s.Cfg.Parallelism
 	s.engine.SetObs(s.Cfg.Obs)
-	s.kwIndex = storage.BuildKeywordIndex(corpus)
+	s.kwIndex = storage.BuildKeywordIndexP(corpus, s.Cfg.Parallelism)
 	s.kw = keyword.NewEngine(s.kwIndex)
 	trace.End()
 	s.Trace.Adopt(trace)

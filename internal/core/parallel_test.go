@@ -55,6 +55,26 @@ func TestDeterminismUnderParallelism(t *testing.T) {
 		}
 	}
 
+	// The consolidation stage is parallel too (SchemaP splits the
+	// signature pass, forEachSource splits the per-source consolidation):
+	// the consolidated schema T and every consolidated p-mapping must be
+	// bit-identical at any worker count.
+	if !reflect.DeepEqual(serial.Target, parallel.Target) {
+		t.Fatalf("consolidated schema differs:\n%v\nvs\n%v", serial.Target, parallel.Target)
+	}
+	if len(serial.ConsMaps) != len(parallel.ConsMaps) {
+		t.Fatalf("consolidated p-mapping counts differ: %d vs %d", len(serial.ConsMaps), len(parallel.ConsMaps))
+	}
+	for name, spm := range serial.ConsMaps {
+		ppm, ok := parallel.ConsMaps[name]
+		if !ok {
+			t.Fatalf("parallel setup is missing the consolidated p-mapping for %q", name)
+		}
+		if !reflect.DeepEqual(spm, ppm) {
+			t.Fatalf("consolidated p-mapping for %q differs between serial and parallel setup", name)
+		}
+	}
+
 	for _, qs := range c.Domain.Queries {
 		q := sqlparse.MustParse(qs)
 		a, err := serial.QueryParsed(q)

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"udi/internal/obs"
+	"udi/internal/schema"
+	"udi/internal/sqlparse"
+)
+
+// naiveConfig disables every fast-path optimization: similarity comes
+// straight from the configured functions and every source's p-mappings
+// and consolidation are computed from scratch, serially.
+func naiveConfig() Config {
+	return Config{
+		Parallelism:      1,
+		DisableSimMatrix: true,
+		DisablePMapDedup: true,
+		Obs:              obs.Disabled,
+	}
+}
+
+// TestSetupDifferentialFastVsNaive pins the fast path (interned sim
+// matrix + schema-dedup caches + parallel stages) to the naive path over
+// randomized corpora: the p-med-schemas, per-source p-mappings,
+// consolidated schema and consolidated p-mappings must be deeply
+// identical, and every query answer's probability must agree within
+// 1e-12. Any drift — a matrix entry that isn't the exact base value, a
+// dedup key collision, an order-dependent apply — fails here.
+func TestSetupDifferentialFastVsNaive(t *testing.T) {
+	nCorpora := 100
+	if testing.Short() {
+		nCorpora = 20
+	}
+	for seed := 0; seed < nCorpora; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		corpus := randomCorpus(rng)
+
+		naive, err := Setup(corpus, naiveConfig())
+		if err != nil {
+			t.Fatalf("seed %d: naive setup: %v", seed, err)
+		}
+		fast, err := Setup(corpus, Config{Parallelism: 4, Obs: obs.Disabled})
+		if err != nil {
+			t.Fatalf("seed %d: fast setup: %v", seed, err)
+		}
+
+		if !reflect.DeepEqual(naive.Med.PMed, fast.Med.PMed) {
+			t.Fatalf("seed %d: p-med-schemas differ", seed)
+		}
+		if !reflect.DeepEqual(naive.Maps, fast.Maps) {
+			t.Fatalf("seed %d: p-mappings differ", seed)
+		}
+		if !reflect.DeepEqual(naive.Target, fast.Target) {
+			t.Fatalf("seed %d: consolidated schemas differ", seed)
+		}
+		if !reflect.DeepEqual(naive.ConsMaps, fast.ConsMaps) {
+			t.Fatalf("seed %d: consolidated p-mappings differ", seed)
+		}
+
+		attrs := corpus.FrequentAttrs(0.10)
+		if len(attrs) == 0 {
+			continue
+		}
+		sel := attrs[rng.Intn(len(attrs))]
+		q := sqlparse.MustParse("SELECT " + sel + " FROM t")
+		na, err := naive.QueryParsed(q)
+		if err != nil {
+			t.Fatalf("seed %d: naive query: %v", seed, err)
+		}
+		fa, err := fast.QueryParsed(q)
+		if err != nil {
+			t.Fatalf("seed %d: fast query: %v", seed, err)
+		}
+		if len(na.Ranked) != len(fa.Ranked) {
+			t.Fatalf("seed %d: %d vs %d answers", seed, len(na.Ranked), len(fa.Ranked))
+		}
+		probs := make(map[string]float64, len(na.Ranked))
+		for _, a := range na.Ranked {
+			probs[strings.Join(a.Values, "\x1f")] = a.Prob
+		}
+		for _, a := range fa.Ranked {
+			p, ok := probs[strings.Join(a.Values, "\x1f")]
+			if !ok {
+				t.Fatalf("seed %d: fast-only answer %v", seed, a.Values)
+			}
+			if math.Abs(p-a.Prob) > 1e-12 {
+				t.Fatalf("seed %d: answer %v prob %g vs %g", seed, a.Values, p, a.Prob)
+			}
+		}
+	}
+}
+
+// TestSetupDifferentialAfterIncrementalAdd extends the differential
+// check through the incremental path: a system grown with AddSource
+// (matrix Extend + dedup reuse + cons-cache invalidation) must answer
+// identically to a naive system built directly over the final corpus —
+// modulo the documented AddSource approximation of keeping prior
+// sources' consolidations, which the p-med-schema path does not use.
+func TestSetupDifferentialAfterIncrementalAdd(t *testing.T) {
+	nCorpora := 30
+	if testing.Short() {
+		nCorpora = 8
+	}
+	for seed := 0; seed < nCorpora; seed++ {
+		rng := rand.New(rand.NewSource(int64(1000 + seed)))
+		corpus := randomCorpus(rng)
+		if len(corpus.Sources) < 2 {
+			continue
+		}
+		// Grow a fast system from all but the last source.
+		initial := corpus.Sources[:len(corpus.Sources)-1]
+		last := corpus.Sources[len(corpus.Sources)-1]
+		sub := mustCorpus(t, corpus.Domain, initial)
+		fast, err := Setup(sub, Config{Parallelism: 4, Obs: obs.Disabled})
+		if err != nil {
+			t.Fatalf("seed %d: fast setup: %v", seed, err)
+		}
+		if _, err := fast.AddSource(last); err != nil {
+			t.Fatalf("seed %d: add source: %v", seed, err)
+		}
+		naive, err := Setup(corpus, naiveConfig())
+		if err != nil {
+			t.Fatalf("seed %d: naive setup: %v", seed, err)
+		}
+
+		// The p-med-schema clusterings and p-mappings must agree exactly
+		// (probabilities refresh over the same counts on both paths).
+		if !reflect.DeepEqual(naive.Med.PMed, fast.Med.PMed) {
+			t.Fatalf("seed %d: p-med-schemas differ after add", seed)
+		}
+		if !reflect.DeepEqual(naive.Maps, fast.Maps) {
+			t.Fatalf("seed %d: p-mappings differ after add", seed)
+		}
+		attrs := corpus.FrequentAttrs(0.10)
+		if len(attrs) == 0 {
+			continue
+		}
+		q := sqlparse.MustParse("SELECT " + attrs[0] + " FROM t")
+		na, _ := naive.QueryParsed(q)
+		fa, _ := fast.QueryParsed(q)
+		if len(na.Ranked) != len(fa.Ranked) {
+			t.Fatalf("seed %d: %d vs %d answers after add", seed, len(na.Ranked), len(fa.Ranked))
+		}
+		for i := range na.Ranked {
+			if math.Abs(na.Ranked[i].Prob-fa.Ranked[i].Prob) > 1e-12 {
+				t.Fatalf("seed %d: answer %d prob %g vs %g", seed, i,
+					na.Ranked[i].Prob, fa.Ranked[i].Prob)
+			}
+		}
+	}
+}
+
+func mustCorpus(t *testing.T, domain string, sources []*schema.Source) *schema.Corpus {
+	t.Helper()
+	c, err := schema.NewCorpus(domain, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSetupDifferentialAfterFeedback runs feedback through both paths
+// and requires identical conditioned marginals and answers: the fast
+// path's cloned p-mappings must condition exactly like naive ones, and
+// its cache invalidation must leave no stale state behind.
+func TestSetupDifferentialAfterFeedback(t *testing.T) {
+	nCorpora := 30
+	if testing.Short() {
+		nCorpora = 8
+	}
+	for seed := 0; seed < nCorpora; seed++ {
+		rng := rand.New(rand.NewSource(int64(2000 + seed)))
+		corpus := randomCorpus(rng)
+		naive, err := Setup(corpus, naiveConfig())
+		if err != nil {
+			t.Fatalf("seed %d: naive setup: %v", seed, err)
+		}
+		fast, err := Setup(corpus, Config{Parallelism: 4, Obs: obs.Disabled})
+		if err != nil {
+			t.Fatalf("seed %d: fast setup: %v", seed, err)
+		}
+		// Apply the same feedback to both systems.
+		applied := false
+		for _, src := range corpus.Sources {
+			for l, pm := range naive.Maps[src.Name] {
+				for _, g := range pm.Groups {
+					if len(g.Corrs) == 0 {
+						continue
+					}
+					c := g.Corrs[rng.Intn(len(g.Corrs))]
+					confirmed := rng.Float64() < 0.5
+					if err := naive.ApplyFeedbackAt(src.Name, l, c.SrcAttr, c.MedIdx, confirmed); err != nil {
+						t.Fatalf("seed %d: naive feedback: %v", seed, err)
+					}
+					if err := fast.ApplyFeedbackAt(src.Name, l, c.SrcAttr, c.MedIdx, confirmed); err != nil {
+						t.Fatalf("seed %d: fast feedback: %v", seed, err)
+					}
+					applied = true
+					break
+				}
+				if applied {
+					break
+				}
+			}
+			if applied {
+				break
+			}
+		}
+		if !applied {
+			continue
+		}
+		if !reflect.DeepEqual(naive.Maps, fast.Maps) {
+			t.Fatalf("seed %d: p-mappings differ after feedback", seed)
+		}
+		if !reflect.DeepEqual(naive.ConsMaps, fast.ConsMaps) {
+			t.Fatalf("seed %d: consolidated p-mappings differ after feedback", seed)
+		}
+	}
+}
+
+// TestSetupFastPathCounters checks the obs accounting of one fast setup
+// over a corpus with repeated schemas: the matrix builds once, and the
+// dedup caches record one miss per distinct (attr set, schema) pair with
+// everything else a hit.
+func TestSetupFastPathCounters(t *testing.T) {
+	sources := make([]*schema.Source, 0, 9)
+	for i := 0; i < 9; i++ {
+		// Three distinct schema shapes, three sources each.
+		var attrs []string
+		switch i % 3 {
+		case 0:
+			attrs = []string{"name", "phone"}
+		case 1:
+			attrs = []string{"name", "phones"}
+		case 2:
+			attrs = []string{"phone", "address"}
+		}
+		sources = append(sources, schema.MustNewSource(fmt.Sprintf("s%02d", i), attrs,
+			[][]string{{"v1", "v2"}}))
+	}
+	corpus := mustCorpus(t, "counters", sources)
+	reg := obs.NewRegistry()
+	sys, err := Setup(corpus, Config{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("setup.sim_matrix.builds").Value(); got != 1 {
+		t.Errorf("sim_matrix.builds = %d, want 1", got)
+	}
+	nSchemas := int64(sys.Med.PMed.Len())
+	wantMisses := 3 * nSchemas // three distinct attr sets
+	wantTotal := 9 * nSchemas  // nine sources
+	if got := reg.Counter("setup.pmap_dedup.misses").Value(); got != wantMisses {
+		t.Errorf("pmap_dedup.misses = %d, want %d", got, wantMisses)
+	}
+	if got := reg.Counter("setup.pmap_dedup.hits").Value(); got != wantTotal-wantMisses {
+		t.Errorf("pmap_dedup.hits = %d, want %d", got, wantTotal-wantMisses)
+	}
+	if got := reg.Counter("setup.cons_dedup.misses").Value(); got != 3 {
+		t.Errorf("cons_dedup.misses = %d, want 3", got)
+	}
+	if got := reg.Counter("setup.cons_dedup.hits").Value(); got != 6 {
+		t.Errorf("cons_dedup.hits = %d, want 6", got)
+	}
+}

@@ -16,7 +16,6 @@ import (
 
 	"udi/internal/core"
 	"udi/internal/datagen"
-	"udi/internal/strutil"
 )
 
 // Candidate is one correspondence the system is uncertain about.
@@ -195,10 +194,10 @@ func (s *Session) clusterPool(schemaIdx, medIdx int) map[string]bool {
 // recovers the recall the paper's high threshold gives up (§7.2).
 func (s *Session) Candidates(limit int) []Candidate {
 	var out []Candidate
-	sim := s.Sys.Cfg.PMap.Sim
-	if sim == nil {
-		sim = strutil.AttrSim // the pmapping default
-	}
+	// AttrSim resolves the configured similarity (default strutil.AttrSim)
+	// and serves it from the interned matrix, so ranking candidates over
+	// the whole corpus costs map lookups, not string comparisons.
+	sim := s.Sys.AttrSim()
 	for _, src := range s.Sys.Corpus.Sources {
 		pms := s.Sys.Maps[src.Name]
 		for l, pm := range pms {

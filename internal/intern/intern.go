@@ -1,0 +1,212 @@
+// Package intern assigns dense integer IDs to the corpus-wide attribute
+// vocabulary and precomputes the pairwise attribute-similarity matrix over
+// it. The vocabulary is small — dozens of distinct names versus hundreds
+// of sources — so one triangular pass replaces the millions of repeated
+// string-similarity calls the setup pipeline otherwise makes (every
+// source × mediated-cluster pair re-evaluates the same name pairs), and
+// removes the shared-mutex memoization that serialized parallel setup
+// workers on the hottest function.
+//
+// Invariants (see DESIGN.md "Setup fast path"):
+//
+//   - Matrix entries are the base function's values, computed once; a
+//     lookup is bit-identical to calling the base function directly, so
+//     the interned pipeline is differentially indistinguishable from the
+//     naive one.
+//   - The base similarity is assumed symmetric (the same assumption
+//     wgraph.Build already makes); the matrix stores unordered pairs.
+//   - The vocabulary is frozen per corpus build. Incremental source adds
+//     with unseen names go through Extend, which publishes a new
+//     (vocabulary, matrix) snapshot atomically: concurrent readers are
+//     lock-free and always see a consistent pair.
+//   - Names outside the vocabulary fall back to the base function.
+package intern
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Vocab maps attribute names to dense IDs. It is immutable after
+// construction; Matrix.Extend builds a fresh Vocab rather than mutating.
+type Vocab struct {
+	ids   map[string]int
+	names []string
+}
+
+// NewVocab interns the given names in order, dropping duplicates.
+func NewVocab(names []string) *Vocab {
+	v := &Vocab{ids: make(map[string]int, len(names))}
+	for _, n := range names {
+		if _, ok := v.ids[n]; ok {
+			continue
+		}
+		v.ids[n] = len(v.names)
+		v.names = append(v.names, n)
+	}
+	return v
+}
+
+// ID returns the dense ID of name and whether it is interned.
+func (v *Vocab) ID(name string) (int, bool) {
+	id, ok := v.ids[name]
+	return id, ok
+}
+
+// Name returns the name with the given ID.
+func (v *Vocab) Name(id int) string { return v.names[id] }
+
+// Len returns the vocabulary size.
+func (v *Vocab) Len() int { return len(v.names) }
+
+// Names returns the interned names in ID order. The caller must not
+// modify the returned slice.
+func (v *Vocab) Names() []string { return v.names }
+
+// matrixState is one immutable (vocabulary, values) snapshot. vals is the
+// upper triangle including the diagonal: for i ≤ j,
+// idx = i*n − i*(i−1)/2 + (j−i).
+type matrixState struct {
+	vocab *Vocab
+	vals  []float64
+}
+
+func (st *matrixState) idx(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	n := st.vocab.Len()
+	return i*n - i*(i-1)/2 + (j - i)
+}
+
+// Matrix is a precomputed symmetric similarity matrix over an interned
+// vocabulary. Sim is safe for concurrent use without locks; Extend may
+// run concurrently with readers (it swaps in a new snapshot) but callers
+// must serialize Extend against other Extends, which the Matrix does
+// internally.
+type Matrix struct {
+	base  func(a, b string) float64
+	state atomic.Pointer[matrixState]
+
+	extendMu sync.Mutex
+}
+
+// BuildMatrix interns names (duplicates dropped, order preserved) and
+// fills the triangular matrix with base values using up to workers
+// goroutines. base must be symmetric and pure.
+func BuildMatrix(names []string, base func(a, b string) float64, workers int) *Matrix {
+	m := &Matrix{base: base}
+	vocab := NewVocab(names)
+	st := &matrixState{vocab: vocab, vals: make([]float64, triSize(vocab.Len()))}
+	fillRows(st, base, 0, workers)
+	m.state.Store(st)
+	return m
+}
+
+func triSize(n int) int { return n * (n + 1) / 2 }
+
+// fillRows computes every entry (i, j) with i ≥ from, j ≥ i, splitting
+// rows across workers. Cells are independent, so any schedule produces
+// the same matrix.
+func fillRows(st *matrixState, base func(a, b string) float64, from, workers int) {
+	n := st.vocab.Len()
+	rows := n - from
+	if rows <= 0 {
+		return
+	}
+	// Row i owns (i, j) for j ≥ max(i, from): old rows compute only the
+	// new columns (entries below `from` were carried over), new rows the
+	// full triangle tail. Every new cell is covered exactly once.
+	fill := func(i int) {
+		a := st.vocab.names[i]
+		lo := i
+		if lo < from {
+			lo = from
+		}
+		for j := lo; j < n; j++ {
+			st.vals[st.idx(i, j)] = base(a, st.vocab.names[j])
+		}
+	}
+	if workers <= 1 || rows == 1 {
+		for i := 0; i < n; i++ {
+			fill(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var counter atomic.Int64
+	counter.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(counter.Add(1))
+				if i >= n {
+					return
+				}
+				fill(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Sim returns the precomputed similarity when both names are interned and
+// falls back to the base function otherwise. It is the drop-in
+// replacement for the base in mediate/pmapping configs.
+func (m *Matrix) Sim(a, b string) float64 {
+	st := m.state.Load()
+	i, ok := st.vocab.ID(a)
+	if ok {
+		if j, ok2 := st.vocab.ID(b); ok2 {
+			return st.vals[st.idx(i, j)]
+		}
+	}
+	return m.base(a, b)
+}
+
+// Len returns the current vocabulary size.
+func (m *Matrix) Len() int { return m.state.Load().vocab.Len() }
+
+// Pairs returns the number of stored entries (including the diagonal).
+func (m *Matrix) Pairs() int { return len(m.state.Load().vals) }
+
+// Vocab returns the current vocabulary snapshot.
+func (m *Matrix) Vocab() *Vocab { return m.state.Load().vocab }
+
+// Extend interns any names not yet in the vocabulary (sorted for
+// deterministic IDs), computes the new rows/columns with up to workers
+// goroutines, and atomically publishes the enlarged snapshot. It returns
+// the number of names added. Existing entries are copied, not
+// recomputed, so old and new snapshots agree bit-for-bit on old pairs.
+func (m *Matrix) Extend(names []string, workers int) int {
+	m.extendMu.Lock()
+	defer m.extendMu.Unlock()
+	old := m.state.Load()
+	var fresh []string
+	seen := map[string]bool{}
+	for _, n := range names {
+		if _, ok := old.vocab.ID(n); ok || seen[n] {
+			continue
+		}
+		seen[n] = true
+		fresh = append(fresh, n)
+	}
+	if len(fresh) == 0 {
+		return 0
+	}
+	sort.Strings(fresh)
+	vocab := NewVocab(append(append([]string{}, old.vocab.names...), fresh...))
+	st := &matrixState{vocab: vocab, vals: make([]float64, triSize(vocab.Len()))}
+	oldN := old.vocab.Len()
+	for i := 0; i < oldN; i++ {
+		for j := i; j < oldN; j++ {
+			st.vals[st.idx(i, j)] = old.vals[old.idx(i, j)]
+		}
+	}
+	fillRows(st, m.base, oldN, workers)
+	m.state.Store(st)
+	return len(fresh)
+}

@@ -11,18 +11,20 @@
 package matching
 
 import (
-	"sync"
-
 	"udi/internal/schema"
 	"udi/internal/strutil"
 )
 
-// InstanceSim measures attribute similarity by column-value overlap.
+// InstanceSim measures attribute similarity by column-value overlap. It
+// is immutable after construction and safe for concurrent use without
+// locks. It deliberately does no per-pair memoization: the setup pipeline
+// caches all pairwise values in the interned similarity matrix
+// (internal/intern), and the mutex a shared cache needs would serialize
+// every parallel setup worker on the hottest function. Callers outside
+// the pipeline that evaluate the same pair repeatedly should layer
+// intern.BuildMatrix on top.
 type InstanceSim struct {
 	pools map[string]map[string]bool
-
-	mu    sync.Mutex
-	cache map[[2]string]float64
 }
 
 // NewInstanceSim scans the corpus once, pooling the distinct non-empty
@@ -43,34 +45,17 @@ func NewInstanceSim(c *schema.Corpus) *InstanceSim {
 			}
 		}
 	}
-	return &InstanceSim{pools: pools, cache: make(map[[2]string]float64)}
+	return &InstanceSim{pools: pools}
 }
 
 // Sim returns the Jaccard coefficient of the two attribute names' value
-// pools (0 when either name was never observed). Results are cached; the
-// function is safe for concurrent use.
+// pools (0 when either name was never observed). It is safe for
+// concurrent use and lock-free.
 func (is *InstanceSim) Sim(a, b string) float64 {
 	if a == b {
 		return 1
 	}
-	key := [2]string{a, b}
-	if a > b {
-		key = [2]string{b, a}
-	}
-	is.mu.Lock()
-	if v, ok := is.cache[key]; ok {
-		is.mu.Unlock()
-		return v
-	}
-	is.mu.Unlock()
-
-	pa, pb := is.pools[key[0]], is.pools[key[1]]
-	v := jaccard(pa, pb)
-
-	is.mu.Lock()
-	is.cache[key] = v
-	is.mu.Unlock()
-	return v
+	return jaccard(is.pools[a], is.pools[b])
 }
 
 func jaccard(a, b map[string]bool) float64 {

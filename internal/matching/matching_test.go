@@ -2,6 +2,7 @@ package matching
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"udi/internal/schema"
@@ -45,7 +46,7 @@ func TestInstanceSimOverlap(t *testing.T) {
 	if is.Sim("name", "ghost") != 0 {
 		t.Error("unknown attribute overlap != 0")
 	}
-	// Symmetry via cache.
+	// Symmetry (Jaccard is order-free).
 	if is.Sim("fullname", "name") != is.Sim("name", "fullname") {
 		t.Error("not symmetric")
 	}
@@ -71,4 +72,27 @@ func TestHybridRecoversNameDissimilarPairs(t *testing.T) {
 	if s := weak("name", "fullname"); math.Abs(s-1.0/3) > 1e-9 {
 		t.Errorf("weighted hybrid = %f, want 1/3", s)
 	}
+}
+
+// TestInstanceSimConcurrent hammers Sim from several goroutines; under
+// -race this pins that the lock-free (cache-less) implementation is safe
+// for the parallel setup workers that share one matcher.
+func TestInstanceSimConcurrent(t *testing.T) {
+	is := NewInstanceSim(corpus())
+	names := []string{"name", "fullname", "phone", "ghost"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				a, b := names[(w+i)%len(names)], names[i%len(names)]
+				if got, want := is.Sim(a, b), is.Sim(b, a); got != want {
+					t.Errorf("Sim(%q,%q)=%v != Sim(%q,%q)=%v", a, b, got, b, a, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }

@@ -130,6 +130,43 @@ type PMapping struct {
 	DroppedCorrs int
 }
 
+// Clone returns a deep copy of the p-mapping: feedback conditioning
+// mutates groups in place, so sources sharing a schema-dedup cache entry
+// each receive their own clone. Nil-versus-empty slice distinctions are
+// preserved so a clone is reflect.DeepEqual to a fresh Build of the same
+// schema (modulo SourceName). The mediated schema is shared — it is
+// immutable after construction.
+func (pm *PMapping) Clone() *PMapping {
+	cp := &PMapping{SourceName: pm.SourceName, Med: pm.Med, DroppedCorrs: pm.DroppedCorrs}
+	if pm.Groups != nil {
+		cp.Groups = make([]Group, len(pm.Groups))
+		for i, g := range pm.Groups {
+			ng := Group{
+				Corrs: cloneSlice(g.Corrs),
+				Probs: cloneSlice(g.Probs),
+			}
+			if g.Mappings != nil {
+				ng.Mappings = make([][]int, len(g.Mappings))
+				for k, m := range g.Mappings {
+					ng.Mappings[k] = cloneSlice(m)
+				}
+			}
+			cp.Groups[i] = ng
+		}
+	}
+	return cp
+}
+
+// cloneSlice copies a slice, preserving nil.
+func cloneSlice[T any](s []T) []T {
+	if s == nil {
+		return nil
+	}
+	out := make([]T, len(s))
+	copy(out, s)
+	return out
+}
+
 // Build constructs the p-mapping between src and med per §5.
 func Build(src *schema.Source, med *schema.MediatedSchema, cfg Config) (*PMapping, error) {
 	cfg = cfg.withDefaults()
@@ -226,7 +263,12 @@ func Normalize(corrs []Corr) []Corr {
 
 // splitGroups partitions the correspondences into connected components of
 // the bipartite graph whose vertices are source attributes and mediated
-// attributes. Groups are returned in deterministic order.
+// attributes. The output is canonical: correspondences within a group are
+// sorted (SrcAttr, MedIdx) and groups are ordered by their smallest
+// correspondence, so the result depends only on the correspondence *set*,
+// not on the order source attributes were listed in. The schema-dedup
+// cache in core relies on this to share p-mappings across sources whose
+// schemas are equal as sets.
 func splitGroups(corrs []Corr) [][]Corr {
 	parent := make(map[string]string)
 	var find func(string) string
@@ -259,14 +301,6 @@ func splitGroups(corrs []Corr) [][]Corr {
 		}
 		byRoot[r] = append(byRoot[r], c)
 	}
-	// Deterministic order: sort groups by their smallest correspondence.
-	sort.Slice(roots, func(i, j int) bool {
-		a, b := byRoot[roots[i]][0], byRoot[roots[j]][0]
-		if a.SrcAttr != b.SrcAttr {
-			return a.SrcAttr < b.SrcAttr
-		}
-		return a.MedIdx < b.MedIdx
-	})
 	out := make([][]Corr, 0, len(roots))
 	for _, r := range roots {
 		g := byRoot[r]
@@ -278,6 +312,15 @@ func splitGroups(corrs []Corr) [][]Corr {
 		})
 		out = append(out, g)
 	}
+	// Sort groups by their smallest correspondence — the groups are
+	// already internally sorted, so this order is input-order-free.
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i][0], out[j][0]
+		if a.SrcAttr != b.SrcAttr {
+			return a.SrcAttr < b.SrcAttr
+		}
+		return a.MedIdx < b.MedIdx
+	})
 	return out
 }
 
@@ -500,10 +543,19 @@ func (pm *PMapping) NumFullMappings() int64 {
 	return n
 }
 
+// MedSrc is one correspondence of an explicit mapping: mediated-attribute
+// index Med maps to source attribute Src.
+type MedSrc struct {
+	Med int
+	Src string
+}
+
 // FullMapping is one explicit one-to-one mapping with its probability.
+// Groups partition the source attributes and mappings are one-to-one, so
+// each Med index and each Src attribute appears at most once in Pairs.
 type FullMapping struct {
-	MedToSrc map[int]string
-	Prob     float64
+	Pairs []MedSrc
+	Prob  float64
 }
 
 // FullMappings materializes the product distribution across groups. It
@@ -513,20 +565,26 @@ func (pm *PMapping) FullMappings(limit int64) ([]FullMapping, error) {
 	if n := pm.NumFullMappings(); n > limit {
 		return nil, fmt.Errorf("pmapping: %d full mappings exceed limit %d", n, limit)
 	}
-	result := []FullMapping{{MedToSrc: map[int]string{}, Prob: 1}}
+	result := []FullMapping{{Prob: 1}}
 	for _, g := range pm.Groups {
+		// Materialize each group mapping's pair list once; the product
+		// step below then only concatenates slices.
+		gp := make([][]MedSrc, len(g.Mappings))
+		for k, mapping := range g.Mappings {
+			pairs := make([]MedSrc, len(mapping))
+			for x, ci := range mapping {
+				c := g.Corrs[ci]
+				pairs[x] = MedSrc{Med: c.MedIdx, Src: c.SrcAttr}
+			}
+			gp[k] = pairs
+		}
 		next := make([]FullMapping, 0, len(result)*len(g.Mappings))
 		for _, r := range result {
-			for k, mapping := range g.Mappings {
-				combined := make(map[int]string, len(r.MedToSrc)+len(mapping))
-				for kk, v := range r.MedToSrc {
-					combined[kk] = v
-				}
-				for _, ci := range mapping {
-					c := g.Corrs[ci]
-					combined[c.MedIdx] = c.SrcAttr
-				}
-				next = append(next, FullMapping{MedToSrc: combined, Prob: r.Prob * g.Probs[k]})
+			for k := range g.Mappings {
+				combined := make([]MedSrc, 0, len(r.Pairs)+len(gp[k]))
+				combined = append(combined, r.Pairs...)
+				combined = append(combined, gp[k]...)
+				next = append(next, FullMapping{Pairs: combined, Prob: r.Prob * g.Probs[k]})
 			}
 		}
 		result = next

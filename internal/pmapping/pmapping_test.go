@@ -3,6 +3,7 @@ package pmapping
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -133,11 +134,13 @@ func TestBuildPaperExample(t *testing.T) {
 	probs := map[int]float64{} // bitmask: 1 = A mapped, 2 = B mapped
 	for _, fm := range full {
 		mask := 0
-		if _, ok := fm.MedToSrc[0]; ok {
-			mask |= 1
-		}
-		if _, ok := fm.MedToSrc[1]; ok {
-			mask |= 2
+		for _, p := range fm.Pairs {
+			switch p.Med {
+			case 0:
+				mask |= 1
+			case 1:
+				mask |= 2
+			}
 		}
 		probs[mask] += fm.Prob
 	}
@@ -428,5 +431,77 @@ func TestAggregateModes(t *testing.T) {
 	}
 	if p := pm.MarginalProb("address.", 0); math.Abs(p-1) > 1e-9 {
 		t.Errorf("AggMax address marginal = %f, want 1", p)
+	}
+}
+
+// TestBuildCanonicalUnderAttrOrder pins the invariant the schema-dedup
+// cache relies on: two sources whose schemas are equal as *sets* produce
+// identical p-mappings (groups, correspondences, mappings, probabilities)
+// regardless of the order their attributes are listed in.
+func TestBuildCanonicalUnderAttrOrder(t *testing.T) {
+	attrs := []string{"name", "phone", "fone", "email", "addr"}
+	m := med([]string{"name"}, []string{"phone", "fone"}, []string{"email"}, []string{"addr"})
+	rng := rand.New(rand.NewSource(11))
+	base, err := Build(schema.MustNewSource("base", attrs, nil), m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]string{}, attrs...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		pm, err := Build(schema.MustNewSource("base", shuffled, nil), m, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, pm) {
+			t.Fatalf("trial %d: p-mapping differs under attr order %v:\n%+v\nvs\n%+v", trial, shuffled, base, pm)
+		}
+	}
+}
+
+// TestClone checks the deep copy: value-identical (DeepEqual) to the
+// original, no shared mutable slices, and nil-ness preserved so a clone
+// matches a fresh Build byte-for-byte.
+func TestClone(t *testing.T) {
+	src := schema.MustNewSource("s", []string{"name", "phone", "fone"}, nil)
+	m := med([]string{"name"}, []string{"phone", "fone"})
+	pm, err := Build(src, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := pm.Clone()
+	if !reflect.DeepEqual(pm, cp) {
+		t.Fatalf("clone not DeepEqual:\n%+v\nvs\n%+v", pm, cp)
+	}
+	if len(cp.Groups) == 0 {
+		t.Fatal("test schema produced no groups")
+	}
+	// Mutate the clone the way feedback does; the original must not move.
+	before := pm.Groups[0].Probs[0]
+	cp.Groups[0].Probs[0] = -1
+	cp.Groups[0].Corrs[0].Weight = -1
+	if len(cp.Groups[0].Mappings) > 1 {
+		cp.Groups[0].Mappings[1] = append(cp.Groups[0].Mappings[1], 99)
+	}
+	if pm.Groups[0].Probs[0] != before || pm.Groups[0].Corrs[0].Weight == -1 {
+		t.Fatal("mutating clone changed the original")
+	}
+	for k, mp := range pm.Groups[0].Mappings {
+		for _, ci := range mp {
+			if ci == 99 {
+				t.Fatalf("mapping %d aliases the clone", k)
+			}
+		}
+	}
+	// Conditioning the clone must leave the original untouched.
+	if err := cp.Condition("name", 0, true, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Build(src, m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pm, fresh) {
+		t.Fatal("conditioning a clone mutated the original p-mapping")
 	}
 }

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"regexp"
@@ -387,5 +388,33 @@ func TestIndexedSelectNumericEquality(t *testing.T) {
 	}
 	if len(idxs) != 100 {
 		t.Errorf("numeric equality classes not canonicalized: %d rows", len(idxs))
+	}
+}
+
+// TestBuildKeywordIndexParallelEquivalence requires the sharded parallel
+// build to produce the same structures as the serial one — including
+// postings order, which the merge preserves by walking shards in corpus
+// order.
+func TestBuildKeywordIndexParallelEquivalence(t *testing.T) {
+	var sources []*schema.Source
+	for i := 0; i < 9; i++ {
+		sources = append(sources, schema.MustNewSource(
+			fmt.Sprintf("s%d", i),
+			[]string{"name", "note"},
+			[][]string{
+				{fmt.Sprintf("ann%d", i), "fast red car"},
+				{"bob", fmt.Sprintf("blue bike %d", i)},
+			}))
+	}
+	c, err := schema.NewCorpus("kw", sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := BuildKeywordIndex(c)
+	for _, workers := range []int{2, 4, 16} {
+		parallel := BuildKeywordIndexP(c, workers)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("workers=%d: parallel keyword index differs from serial", workers)
+		}
 	}
 }
