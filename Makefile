@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build test race race-setup vet bench bench-setup fuzz experiments
+.PHONY: check build test race race-setup race-serve api-compat vet bench bench-setup fuzz experiments
 
-check: vet build race race-setup fuzz
+check: vet build race race-setup race-serve api-compat fuzz
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +27,19 @@ race:
 # parallel setup stages, and the parallel index build.
 race-setup:
 	$(GO) test -race -run 'TestConcurrentAttrSimDuringAdds|TestDeterminismUnderParallelism|TestBuildKeywordIndexParallelEquivalence' ./internal/core ./internal/storage
+
+# Soak the snapshot serving core under the race detector: lock-free
+# readers racing the single-writer commit path (feedback, source
+# add/remove), plus the HTTP-level deadline and admission-control tests.
+# -count=2 reruns the soak so a lucky scheduling interleave can't hide a
+# race.
+race-serve:
+	$(GO) test -race -count=2 -run 'TestSnapshotIsolationSoak|TestSnapshotStableAcrossCommits|TestConcurrentQueriesWithIncrementalAdd|TestQueryDeadline|TestAdmissionControl' ./internal/core ./internal/httpapi
+
+# API compatibility gate: the unversioned legacy routes must keep serving
+# (with their Deprecation markers) alongside /v1.
+api-compat:
+	$(GO) test -run 'TestLegacyAliases|TestFeedbackAdvancesEpoch' ./internal/httpapi
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

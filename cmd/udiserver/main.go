@@ -4,31 +4,43 @@
 //
 //	udiserver -domain People -addr :8080
 //	udiserver -load car.udi.gz -addr 127.0.0.1:9000
-//	udiserver -data ./my-tables
+//	udiserver -data ./my-tables -max-inflight 32 -query-timeout 2s
 //
-// Endpoints:
+// Endpoints (all under /v1; the unversioned paths remain as deprecated
+// aliases and answer with a Deprecation header):
 //
-//	GET  /healthz   liveness and source count
-//	GET  /schema    probabilistic + consolidated mediated schemas
-//	POST /query     {"query": "SELECT ...", "approach": "UDI", "top": 10,
-//	                 "semantics": "by-table"|"by-tuple"}
-//	POST /explain   {"query": "...", "values": [...]} — answer provenance
-//	POST /feedback  {"source": "...", "attr": "...", "med_name": "...",
-//	                 "confirmed": true} — pay-as-you-go improvement
+//	GET  /v1/healthz     liveness, source count, serving epoch
+//	GET  /v1/schema      probabilistic + consolidated mediated schemas,
+//	                     epoch, staleness
+//	POST /v1/query       {"query": "SELECT ...", "approach": "UDI",
+//	                     "top": 10, "semantics": "by-table"|"by-tuple"}
+//	POST /v1/explain     {"query": "...", "values": [...]} — provenance
+//	POST /v1/feedback    {"source": "...", "attr": "...", "med_name":
+//	                     "...", "confirmed": true} — pay-as-you-go loop
+//	GET  /v1/candidates  feedback question queue
+//
+// Errors use one JSON envelope: {"error": {"code", "message", "details"}}
+// with codes bad_query, unknown_source, timeout, canceled, overloaded,
+// internal. Overload answers 429 + Retry-After; an expired -query-timeout
+// answers 504.
 //
 // Observability:
 //
-//	GET /metrics       JSON snapshot of counters and latency histograms
+//	GET /v1/metrics    JSON snapshot of counters and latency histograms
 //	GET /debug/vars    expvar-compatible dump (includes the "udi" key)
 //	GET /debug/pprof/  standard Go profiling handlers
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"udi/internal/core"
@@ -45,33 +57,63 @@ func main() {
 	load := flag.String("load", "", "serve a system snapshot instead of setting up")
 	sources := flag.Int("sources", 0, "limit the number of sources (0 = full domain)")
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
-	top := flag.Int("top", 0, "default answer limit for /query when the request sets no \"top\" (0 = unlimited)")
+	top := flag.Int("top", 0, "default answer limit for /v1/query when the request sets no \"top\" (0 = unlimited)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent query-path requests; excess gets 429 (0 = unlimited)")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-request deadline for query-path requests; expiry gets 504 (0 = none)")
 	verbose := flag.Bool("verbose", false, "log one line per request")
 	flag.Parse()
 
-	if err := run(*domain, *data, *load, *sources, *addr, *top, *verbose); err != nil {
+	opts := httpapi.Options{
+		DefaultTop:   *top,
+		MaxInFlight:  *maxInflight,
+		QueryTimeout: *queryTimeout,
+	}
+	if *verbose {
+		opts.Logf = log.Printf
+	}
+	if err := run(*domain, *data, *load, *sources, *addr, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "udiserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(domain, data, load string, sources int, addr string, top int, verbose bool) error {
+func run(domain, data, load string, sources int, addr string, opts httpapi.Options) error {
 	sys, err := buildSystem(domain, data, load, sources)
 	if err != nil {
 		return err
 	}
-	api := httpapi.NewServer(sys)
-	api.DefaultTop = top
-	if verbose {
-		api.Logf = log.Printf
-	}
+	api := httpapi.NewServer(sys, opts)
 	server := &http.Server{
 		Addr:              addr,
 		Handler:           api.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Fprintf(os.Stderr, "serving %d sources on http://%s\n", len(sys.Corpus.Sources), addr)
-	return server.ListenAndServe()
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests before
+	// exiting so clients never see a connection reset on deploys.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "serving %d sources on http://%s\n", len(sys.Corpus.Sources), addr)
+		errc <- server.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "shutting down...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
 }
 
 func buildSystem(domain, data, load string, sources int) (*core.System, error) {

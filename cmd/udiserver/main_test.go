@@ -81,14 +81,14 @@ func TestServeObservability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	api := httpapi.NewServer(sys)
+	api := httpapi.NewServer(sys, httpapi.Options{})
 	var logged int
 	api.Logf = func(format string, args ...any) { logged++ }
 	srv := httptest.NewServer(api.Handler())
 	defer srv.Close()
 
 	body := strings.NewReader(`{"query": "SELECT name FROM people"}`)
-	resp, err := http.Post(srv.URL+"/query", "application/json", body)
+	resp, err := http.Post(srv.URL+"/v1/query", "application/json", body)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestServeObservability(t *testing.T) {
 		t.Fatalf("query status %d", resp.StatusCode)
 	}
 
-	resp, err = http.Get(srv.URL + "/metrics")
+	resp, err = http.Get(srv.URL + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}

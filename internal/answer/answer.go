@@ -17,6 +17,8 @@
 package answer
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -155,9 +157,30 @@ func (e *Engine) InvalidatePlans() {
 
 // runPerSource evaluates work for every source — in parallel when
 // Parallelism allows — into per-source accumulators, then merges them in
-// source order so results are identical to a serial run.
-func (e *Engine) runPerSource(work func(src *schema.Source, acc *accumulator) error) (*ResultSet, error) {
+// source order so results are identical to a serial run. The context is
+// checked before each source is dispatched (and, via the table scans,
+// every cancelCheckRows rows inside one), so an expired deadline stops
+// the query instead of letting it run to completion; cancellation is
+// reported through the query.canceled counter.
+func (e *Engine) runPerSource(ctx context.Context, work func(ctx context.Context, src *schema.Source, acc *accumulator) error) (*ResultSet, error) {
+	rs, err := e.runPerSourceInner(ctx, work)
+	if err != nil && isCancellation(err) && e.Obs.Enabled() {
+		e.Obs.Add("query.canceled", 1)
+	}
+	return rs, err
+}
+
+// isCancellation reports whether err is a context cancellation or
+// deadline expiry (possibly wrapped).
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (e *Engine) runPerSourceInner(ctx context.Context, work func(ctx context.Context, src *schema.Source, acc *accumulator) error) (*ResultSet, error) {
 	t0 := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := len(e.corpus.Sources)
 	accs := make([]*accumulator, n)
 	workers := e.Parallelism
@@ -166,8 +189,11 @@ func (e *Engine) runPerSource(work func(src *schema.Source, acc *accumulator) er
 	}
 	if workers <= 1 {
 		for i, src := range e.corpus.Sources {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			acc := newAccumulator(0)
-			if err := work(src, acc); err != nil {
+			if err := work(ctx, src, acc); err != nil {
 				return nil, err
 			}
 			acc.finishSource()
@@ -181,13 +207,21 @@ func (e *Engine) runPerSource(work func(src *schema.Source, acc *accumulator) er
 			firstErr error
 		)
 		for i := range e.corpus.Sources {
+			if err := ctx.Err(); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				break
+			}
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-sem }()
 				acc := newAccumulator(0)
-				if err := work(e.corpus.Sources[i], acc); err != nil {
+				if err := work(ctx, e.corpus.Sources[i], acc); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -245,13 +279,20 @@ type PMedInput struct {
 // schema that does not mediate some query attribute contributes nothing; a
 // mapping that leaves some query attribute unmapped contributes nothing.
 func (e *Engine) AnswerPMed(in PMedInput, q *sqlparse.Query) (*ResultSet, error) {
+	return e.AnswerPMedCtx(context.Background(), in, q)
+}
+
+// AnswerPMedCtx is AnswerPMed under a context: the per-source scan loops
+// poll for cancellation, so a request deadline stops the query early with
+// ctx.Err() instead of serving a late answer.
+func (e *Engine) AnswerPMedCtx(ctx context.Context, in PMedInput, q *sqlparse.Query) (*ResultSet, error) {
 	if e.Plans != nil {
 		key, attrs := planKey(q)
 		if plan, ok := e.Plans.lookup(in, key); ok {
 			if e.Obs.Enabled() {
 				e.Obs.Add("plan_cache.hits", 1)
 			}
-			return e.answerWithPlan(plan, q)
+			return e.answerWithPlan(ctx, plan, q)
 		}
 		plan, err := e.buildPlan(in, attrs)
 		if err != nil {
@@ -261,7 +302,7 @@ func (e *Engine) AnswerPMed(in PMedInput, q *sqlparse.Query) (*ResultSet, error)
 		if e.Obs.Enabled() {
 			e.Obs.Add("plan_cache.misses", 1)
 		}
-		return e.answerWithPlan(plan, q)
+		return e.answerWithPlan(ctx, plan, q)
 	}
 	// Naive path: resolve each schema's query clusters once, shared across
 	// sources, and re-derive every mapping assignment for this query.
@@ -279,7 +320,7 @@ func (e *Engine) AnswerPMed(in PMedInput, q *sqlparse.Query) (*ResultSet, error)
 			plans[l] = pl
 		}
 	}
-	return e.runPerSource(func(src *schema.Source, acc *accumulator) error {
+	return e.runPerSource(ctx, func(ctx context.Context, src *schema.Source, acc *accumulator) error {
 		pms := in.Maps[src.Name]
 		if len(pms) != in.PMed.Len() {
 			return fmt.Errorf("answer: source %q has %d p-mappings for %d schemas",
@@ -295,7 +336,7 @@ func (e *Engine) AnswerPMed(in PMedInput, q *sqlparse.Query) (*ResultSet, error)
 				if asgn.Prob == 0 {
 					continue
 				}
-				if err := e.scanAssignment(acc, src.Name, q, pl.medIdxs, asgn.MedToSrc, weight*asgn.Prob); err != nil {
+				if err := e.scanAssignment(ctx, acc, src.Name, q, pl.medIdxs, asgn.MedToSrc, weight*asgn.Prob); err != nil {
 					return err
 				}
 			}
@@ -308,11 +349,17 @@ func (e *Engine) AnswerPMed(in PMedInput, q *sqlparse.Query) (*ResultSet, error)
 // the consolidated one-to-many p-mappings (§6). By Theorem 6.2 the result
 // equals AnswerPMed on the originating p-med-schema.
 func (e *Engine) AnswerConsolidated(target *schema.MediatedSchema, maps map[string]*consolidate.PMapping, q *sqlparse.Query) (*ResultSet, error) {
+	return e.AnswerConsolidatedCtx(context.Background(), target, maps, q)
+}
+
+// AnswerConsolidatedCtx is AnswerConsolidated under a context (see
+// AnswerPMedCtx).
+func (e *Engine) AnswerConsolidatedCtx(ctx context.Context, target *schema.MediatedSchema, maps map[string]*consolidate.PMapping, q *sqlparse.Query) (*ResultSet, error) {
 	medIdxs, ok := queryMedIdxs(q, target)
 	if !ok {
 		return newAccumulator(0).results(), nil // query attribute not mediated
 	}
-	return e.runPerSource(func(src *schema.Source, acc *accumulator) error {
+	return e.runPerSource(ctx, func(ctx context.Context, src *schema.Source, acc *accumulator) error {
 		cpm := maps[src.Name]
 		if cpm == nil {
 			return fmt.Errorf("answer: no consolidated p-mapping for source %q", src.Name)
@@ -321,7 +368,7 @@ func (e *Engine) AnswerConsolidated(target *schema.MediatedSchema, maps map[stri
 			if m.Prob == 0 {
 				continue
 			}
-			if err := e.scanAssignment(acc, src.Name, q, medIdxs, m.MedToSrc(), m.Prob); err != nil {
+			if err := e.scanAssignment(ctx, acc, src.Name, q, medIdxs, m.MedToSrc(), m.Prob); err != nil {
 				return err
 			}
 		}
@@ -337,13 +384,19 @@ type DeterministicMaps map[string]map[int]string
 // per source over schema target (§7.3's TopMapping baseline). Matching
 // answers get probability 1.
 func (e *Engine) AnswerTopMapping(target *schema.MediatedSchema, maps DeterministicMaps, q *sqlparse.Query) (*ResultSet, error) {
+	return e.AnswerTopMappingCtx(context.Background(), target, maps, q)
+}
+
+// AnswerTopMappingCtx is AnswerTopMapping under a context (see
+// AnswerPMedCtx).
+func (e *Engine) AnswerTopMappingCtx(ctx context.Context, target *schema.MediatedSchema, maps DeterministicMaps, q *sqlparse.Query) (*ResultSet, error) {
 	medIdxs, ok := queryMedIdxs(q, target)
 	if !ok {
 		return newAccumulator(0).results(), nil
 	}
-	return e.runPerSource(func(src *schema.Source, acc *accumulator) error {
+	return e.runPerSource(ctx, func(ctx context.Context, src *schema.Source, acc *accumulator) error {
 		if m := maps[src.Name]; m != nil {
-			return e.scanAssignment(acc, src.Name, q, medIdxs, m, 1)
+			return e.scanAssignment(ctx, acc, src.Name, q, medIdxs, m, 1)
 		}
 		return nil
 	})
@@ -353,27 +406,36 @@ func (e *Engine) AnswerTopMapping(target *schema.MediatedSchema, maps Determinis
 // directly on every source whose schema literally contains all query
 // attributes; answers are certain (probability 1) and combined by union.
 func (e *Engine) AnswerSource(q *sqlparse.Query) *ResultSet {
-	rs, _ := e.runPerSource(func(src *schema.Source, acc *accumulator) error {
+	rs, _ := e.AnswerSourceCtx(context.Background(), q)
+	return rs
+}
+
+// AnswerSourceCtx is AnswerSource under a context; the only possible
+// error is a context cancellation.
+func (e *Engine) AnswerSourceCtx(ctx context.Context, q *sqlparse.Query) (*ResultSet, error) {
+	return e.runPerSource(ctx, func(ctx context.Context, src *schema.Source, acc *accumulator) error {
 		for _, a := range q.Attrs() {
 			if !src.HasAttr(a) {
 				return nil
 			}
 		}
-		idxs, rows, err := e.tables[src.Name].SelectIdx(q.Select, q.Where)
+		idxs, rows, err := e.tables[src.Name].SelectIdxCtx(ctx, q.Select, q.Where)
 		if err != nil {
+			if isCancellation(err) {
+				return err
+			}
 			return nil // attribute presence was checked; defensive
 		}
 		acc.addAssignment(src.Name, idxs, rows, 1)
 		return nil
 	})
-	return rs
 }
 
 // scanAssignment rewrites q under one (mediated→source) assignment, scans
 // the source table and accumulates weight for each matching row. An
 // assignment that leaves any query attribute unmapped contributes nothing
 // (by-table semantics over one-to-one mappings).
-func (e *Engine) scanAssignment(acc *accumulator, source string, q *sqlparse.Query, medIdxs map[string]int, medToSrc map[int]string, weight float64) error {
+func (e *Engine) scanAssignment(ctx context.Context, acc *accumulator, source string, q *sqlparse.Query, medIdxs map[string]int, medToSrc map[int]string, weight float64) error {
 	project := make([]string, len(q.Select))
 	for i, a := range q.Select {
 		srcAttr, ok := medToSrc[medIdxs[a]]
@@ -390,8 +452,11 @@ func (e *Engine) scanAssignment(acc *accumulator, source string, q *sqlparse.Que
 		}
 		preds[i] = storage.Pred{Attr: srcAttr, Op: p.Op, Literal: p.Literal}
 	}
-	idxs, rows, err := e.tables[source].SelectIdx(project, preds)
+	idxs, rows, err := e.tables[source].SelectIdxCtx(ctx, project, preds)
 	if err != nil {
+		if isCancellation(err) {
+			return err
+		}
 		return fmt.Errorf("answer: %w", err)
 	}
 	acc.addAssignment(source, idxs, rows, weight)

@@ -1,6 +1,7 @@
 package answer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -31,9 +32,18 @@ type Contribution struct {
 // pay-as-you-go administrator uses to see *why* the system returned an
 // answer before deciding what feedback to give.
 func (e *Engine) Explain(in PMedInput, q *sqlparse.Query, values []string) ([]Contribution, error) {
+	return e.ExplainCtx(context.Background(), in, q, values)
+}
+
+// ExplainCtx is Explain under a context: the provenance scans poll for
+// cancellation like the query path does.
+func (e *Engine) ExplainCtx(ctx context.Context, in PMedInput, q *sqlparse.Query, values []string) ([]Contribution, error) {
 	want := tupleKey(values)
 	var out []Contribution
 	for _, src := range e.corpus.Sources {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pms := in.Maps[src.Name]
 		if len(pms) != in.PMed.Len() {
 			return nil, fmt.Errorf("answer: source %q has %d p-mappings for %d schemas",
@@ -52,7 +62,7 @@ func (e *Engine) Explain(in PMedInput, q *sqlparse.Query, values []string) ([]Co
 				if asgn.Prob == 0 {
 					continue
 				}
-				rows, ok, err := e.rowsProducing(src.Name, q, medIdxs, asgn.MedToSrc, want)
+				rows, ok, err := e.rowsProducing(ctx, src.Name, q, medIdxs, asgn.MedToSrc, want)
 				if err != nil {
 					return nil, err
 				}
@@ -84,7 +94,7 @@ func (e *Engine) Explain(in PMedInput, q *sqlparse.Query, values []string) ([]Co
 // rowsProducing rewrites q under the assignment and returns the rows whose
 // projection equals the wanted tuple. ok is false when the assignment
 // leaves a query attribute unmapped.
-func (e *Engine) rowsProducing(source string, q *sqlparse.Query, medIdxs map[string]int, medToSrc map[int]string, want string) ([]int, bool, error) {
+func (e *Engine) rowsProducing(ctx context.Context, source string, q *sqlparse.Query, medIdxs map[string]int, medToSrc map[int]string, want string) ([]int, bool, error) {
 	project := make([]string, len(q.Select))
 	for i, a := range q.Select {
 		srcAttr, ok := medToSrc[medIdxs[a]]
@@ -101,8 +111,11 @@ func (e *Engine) rowsProducing(source string, q *sqlparse.Query, medIdxs map[str
 		}
 		preds = append(preds, storage.Pred{Attr: srcAttr, Op: p.Op, Literal: p.Literal})
 	}
-	idxs, rows, err := e.tables[source].SelectIdx(project, preds)
+	idxs, rows, err := e.tables[source].SelectIdxCtx(ctx, project, preds)
 	if err != nil {
+		if isCancellation(err) {
+			return nil, false, err
+		}
 		return nil, false, fmt.Errorf("answer: %w", err)
 	}
 	var match []int

@@ -1,6 +1,7 @@
 package answer
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sort"
@@ -185,9 +186,10 @@ func (e *Engine) buildPlan(in PMedInput, attrs []string) (*queryPlan, error) {
 // answerWithPlan executes a resolved plan for one concrete query: per
 // source and op, the projection and predicate columns come straight from
 // the plan's attribute→column maps, and the table scan pushes equality
-// predicates down to its postings indexes.
-func (e *Engine) answerWithPlan(plan *queryPlan, q *sqlparse.Query) (*ResultSet, error) {
-	return e.runPerSource(func(src *schema.Source, acc *accumulator) error {
+// predicates down to its postings indexes. Scans poll ctx so an expired
+// deadline stops the query mid-plan.
+func (e *Engine) answerWithPlan(ctx context.Context, plan *queryPlan, q *sqlparse.Query) (*ResultSet, error) {
+	return e.runPerSource(ctx, func(ctx context.Context, src *schema.Source, acc *accumulator) error {
 		ops := plan.bySource[src.Name]
 		if len(ops) == 0 {
 			return nil
@@ -202,7 +204,10 @@ func (e *Engine) answerWithPlan(plan *queryPlan, q *sqlparse.Query) (*ResultSet,
 			for i, p := range q.Where {
 				predIdx[i] = op.attrCol[p.Attr]
 			}
-			idxs, rows := tbl.SelectIdxCols(projIdx, q.Where, predIdx)
+			idxs, rows, err := tbl.SelectIdxColsCtx(ctx, projIdx, q.Where, predIdx)
+			if err != nil {
+				return err
+			}
 			acc.addAssignment(src.Name, idxs, rows, op.weight)
 		}
 		return nil

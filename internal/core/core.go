@@ -6,9 +6,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"udi/internal/answer"
@@ -91,6 +93,14 @@ func (t Timings) Total() time.Duration {
 }
 
 // System is a configured data integration system over one corpus.
+//
+// Serving discipline: the exported fields are the writer's working state.
+// Queries never read them directly — they go through Snapshot(), an
+// atomic load of the last published epoch — so any number of readers can
+// run concurrently with one mutation (AddSource, RemoveSource, feedback),
+// which builds the next epoch copy-on-write under the commit lock and
+// publishes it atomically. Code that touches the fields directly (setup,
+// experiments, tests) must not run concurrently with mutations.
 type System struct {
 	Corpus *schema.Corpus
 	Cfg    Config
@@ -121,6 +131,14 @@ type System struct {
 	// caches holds the setup fast path's interned similarity matrices and
 	// schema-dedup caches (see fastpath.go).
 	caches *setupCaches
+
+	// snap is the serving snapshot readers load; epoch numbers its
+	// commits; commitMu serializes mutations (single-writer); committing
+	// reports an in-progress commit for staleness endpoints.
+	snap       atomic.Pointer[Snapshot]
+	epoch      atomic.Uint64
+	commitMu   sync.Mutex
+	committing atomic.Bool
 }
 
 // Setup runs the full automatic configuration of Figure 2 over the corpus.
@@ -189,10 +207,12 @@ func (s *System) importSources() {
 	s.Timings.Import = sp.End()
 }
 
-// endTrace closes the setup span and publishes the per-stage durations to
-// the configured registry.
+// endTrace closes the setup span, publishes the freshly built state as
+// the first serving snapshot, and reports the per-stage durations to the
+// configured registry.
 func (s *System) endTrace() {
 	total := s.Trace.End()
+	s.publish()
 	r := s.Cfg.Obs
 	if !r.Enabled() {
 		return
@@ -406,126 +426,75 @@ const (
 )
 
 // Query parses and answers q with the UDI semantics (Definition 3.3 over
-// the p-med-schema; answers ranked by probability).
+// the p-med-schema; answers ranked by probability). It serves from the
+// current snapshot; use QueryCtx to bound the work with a deadline.
 func (s *System) Query(q string) (*answer.ResultSet, error) {
-	parsed, err := sqlparse.Parse(q)
-	if err != nil {
-		return nil, err
-	}
-	return s.QueryParsed(parsed)
+	return s.Snapshot().QueryCtx(context.Background(), q)
 }
 
-// QueryParsed answers an already-parsed query with UDI semantics.
+// QueryCtx is Query under a context: the scan loops poll for
+// cancellation, so an expired deadline stops the query with ctx.Err().
+func (s *System) QueryCtx(ctx context.Context, q string) (*answer.ResultSet, error) {
+	return s.Snapshot().QueryCtx(ctx, q)
+}
+
+// QueryParsed answers an already-parsed query with UDI semantics against
+// the current snapshot.
 func (s *System) QueryParsed(q *sqlparse.Query) (*answer.ResultSet, error) {
-	return s.engine.AnswerPMed(answer.PMedInput{PMed: s.Med.PMed, Maps: s.Maps}, q)
+	return s.Snapshot().QueryParsedCtx(context.Background(), q)
 }
 
 // Engine exposes the query engine for serving-path tuning (plan cache,
 // index toggles). The engine is replaced wholesale when the corpus
 // changes (AddSource / RemoveSource), so don't hold the pointer across
-// those calls.
+// those calls. It is the writer-side engine: tune it before serving
+// concurrent traffic.
 func (s *System) Engine() *answer.Engine { return s.engine }
 
 // QueryConsolidated answers over the consolidated schema and p-mappings.
 // It requires every source to have a materialized consolidated p-mapping.
 func (s *System) QueryConsolidated(q *sqlparse.Query) (*answer.ResultSet, error) {
-	if len(s.ConsMaps) != len(s.Corpus.Sources) {
-		return nil, fmt.Errorf("core: %d of %d sources lack consolidated p-mappings",
-			len(s.Corpus.Sources)-len(s.ConsMaps), len(s.Corpus.Sources))
-	}
-	return s.engine.AnswerConsolidated(s.Target, s.ConsMaps, q)
+	return s.Snapshot().QueryConsolidatedCtx(context.Background(), q)
 }
 
 // QuerySource runs the Source baseline (§7.3).
 func (s *System) QuerySource(q *sqlparse.Query) *answer.ResultSet {
-	return s.engine.AnswerSource(q)
+	rs, _ := s.Snapshot().QuerySourceCtx(context.Background(), q)
+	return rs
 }
 
 // QueryTopMapping runs the TopMapping baseline (§7.3): the consolidated
 // mediated schema with only the highest-probability mapping per source.
 func (s *System) QueryTopMapping(q *sqlparse.Query) (*answer.ResultSet, error) {
-	maps := make(answer.DeterministicMaps, len(s.Corpus.Sources))
-	for _, src := range s.Corpus.Sources {
-		if cpm, ok := s.ConsMaps[src.Name]; ok {
-			best := -1
-			for i, m := range cpm.Mappings {
-				if best < 0 || m.Prob > cpm.Mappings[best].Prob {
-					best = i
-				}
-			}
-			if best >= 0 {
-				maps[src.Name] = cpm.Mappings[best].MedToSrc()
-			}
-			continue
-		}
-		// Fallback for sources whose consolidation was skipped: the top
-		// mapping of the most probable schema, rewritten into T-space by
-		// cluster containment.
-		top, _ := s.Maps[src.Name][0].TopMapping()
-		rewritten := make(map[int]string)
-		for mi, srcAttr := range top {
-			cluster := s.Med.PMed.Schemas[0].Attrs[mi]
-			for ti, tAttr := range s.Target.Attrs {
-				if cluster.Contains(tAttr[0]) {
-					rewritten[ti] = srcAttr
-				}
-			}
-		}
-		maps[src.Name] = rewritten
-	}
-	return s.engine.AnswerTopMapping(s.Target, maps, q)
+	return s.Snapshot().QueryTopMappingCtx(context.Background(), q)
 }
 
 // QueryKeyword runs one of the keyword baselines (§7.3).
 func (s *System) QueryKeyword(q *sqlparse.Query, v keyword.Variant) []answer.Instance {
-	return s.kw.Answer(q, v)
+	return s.Snapshot().QueryKeyword(q, v)
 }
 
 // Run dispatches an approach by name; keyword approaches return instance
 // lists wrapped in a ResultSet without ranking.
 func (s *System) Run(a Approach, q *sqlparse.Query) (*answer.ResultSet, error) {
-	switch a {
-	case UDI:
-		return s.QueryParsed(q)
-	case Consolidated:
-		return s.QueryConsolidated(q)
-	case SourceOnly:
-		return s.QuerySource(q), nil
-	case TopMapping:
-		return s.QueryTopMapping(q)
-	case KeywordNaive, KeywordStruct, KeywordStrict:
-		v := keyword.Naive
-		if a == KeywordStruct {
-			v = keyword.Struct
-		} else if a == KeywordStrict {
-			v = keyword.Strict
-		}
-		return &answer.ResultSet{Instances: s.QueryKeyword(q, v)}, nil
-	}
-	return nil, fmt.Errorf("core: unknown approach %q", a)
+	return s.Snapshot().RunCtx(context.Background(), a, q)
+}
+
+// RunCtx is Run under a context (see QueryCtx).
+func (s *System) RunCtx(ctx context.Context, a Approach, q *sqlparse.Query) (*answer.ResultSet, error) {
+	return s.Snapshot().RunCtx(ctx, a, q)
 }
 
 // ExplainAnswer returns the provenance of one answer tuple under the UDI
 // semantics: every (source, schema, mapping) path that produced it, with
 // its probability mass (see answer.Contribution).
 func (s *System) ExplainAnswer(q *sqlparse.Query, values []string) ([]answer.Contribution, error) {
-	return s.engine.Explain(answer.PMedInput{PMed: s.Med.PMed, Maps: s.Maps}, q, values)
+	return s.Snapshot().ExplainCtx(context.Background(), q, values)
 }
 
 // RepresentativeName returns the most frequent source attribute of the
 // cluster containing name in the consolidated schema, the name the system
 // would expose to users (§3). Returns name itself if unclustered.
 func (s *System) RepresentativeName(name string) string {
-	cluster := s.Target.ClusterOf(name)
-	if cluster == nil {
-		return name
-	}
-	freq := s.Corpus.AttrFrequency()
-	best := cluster[0]
-	for _, a := range cluster[1:] {
-		if freq[a] > freq[best] {
-			best = a
-		}
-	}
-	return best
+	return s.Snapshot().RepresentativeName(name)
 }

@@ -1,83 +1,138 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"udi/internal/consolidate"
+	"udi/internal/pmapping"
 )
 
-// ApplyFeedbackAt incorporates user feedback on a single correspondence of
-// one possible mediated schema: source attribute srcAttr of the named
-// source does (confirmed) or does not (rejected) correspond to mediated
-// attribute medIdx of schema schemaIdx. The affected p-mapping is
-// conditioned (see pmapping.Condition) and the source's consolidated
-// p-mapping is rebuilt. This is the pay-as-you-go improvement loop the
-// paper leaves as future work (§9).
-func (s *System) ApplyFeedbackAt(source string, schemaIdx int, srcAttr string, medIdx int, confirmed bool) error {
-	pms, ok := s.Maps[source]
-	if !ok {
-		return fmt.Errorf("core: unknown source %q", source)
-	}
-	if schemaIdx < 0 || schemaIdx >= len(pms) {
-		return fmt.Errorf("core: schema index %d out of range [0,%d)", schemaIdx, len(pms))
-	}
-	if medIdx < 0 || medIdx >= len(s.Med.PMed.Schemas[schemaIdx].Attrs) {
-		return fmt.Errorf("core: mediated attribute %d out of range", medIdx)
-	}
-	if err := pms[schemaIdx].Condition(srcAttr, medIdx, confirmed, s.Cfg.PMap); err != nil {
-		return err
-	}
-	s.engine.InvalidatePlans() // conditioning mutated the p-mapping in place
-	s.invalidateSetupCaches()  // the canonical dedup entries predate the feedback
-	return s.reconsolidateSource(source)
+// ErrUnknownSource reports feedback or removal addressed to a source the
+// system does not serve. Wrapped errors preserve it for errors.Is, which
+// the HTTP layer uses to map it onto the unknown_source error code.
+var ErrUnknownSource = errors.New("unknown source")
+
+// Feedback is one pay-as-you-go improvement: source attribute SrcAttr of
+// the named source does (Confirmed) or does not correspond to a mediated
+// attribute. The mediated attribute is identified either by MedName — any
+// member name of the cluster, applying to every possible schema whose
+// clustering contains it — or, when MedName is empty, by the exact
+// (SchemaIdx, MedIdx) pair.
+type Feedback struct {
+	Source  string
+	SrcAttr string
+	// MedName identifies the mediated attribute by member name (the usual
+	// API-level form; /v1/candidates returns usable names).
+	MedName string
+	// SchemaIdx/MedIdx target one correspondence exactly; consulted only
+	// when MedName is empty.
+	SchemaIdx int
+	MedIdx    int
+	Confirmed bool
 }
 
-// ApplyFeedback is the name-based convenience: the mediated attribute is
-// identified by any member name, and the feedback applies to every
-// possible schema whose clustering contains that name.
+// SubmitFeedback incorporates one feedback item. The affected p-mappings
+// are conditioned (see pmapping.Condition) and the source's consolidated
+// p-mapping is rebuilt — all copy-on-write behind the single-writer
+// commit lock, so in-flight queries keep serving the previous epoch and
+// the new state becomes visible atomically. A failed submission (unknown
+// source, bad target, conditioning error) publishes nothing. This is the
+// pay-as-you-go improvement loop the paper leaves as future work (§9).
+func (s *System) SubmitFeedback(fb Feedback) error {
+	return s.commit("feedback", func() error { return s.applyFeedbackLocked(fb) })
+}
+
+// ApplyFeedback is the name-based convenience form of SubmitFeedback.
 func (s *System) ApplyFeedback(source, srcAttr, medName string, confirmed bool) error {
-	pms, ok := s.Maps[source]
-	if !ok {
-		return fmt.Errorf("core: unknown source %q", source)
+	if medName == "" {
+		return fmt.Errorf("core: feedback needs a mediated attribute name")
 	}
-	applied := false
-	for l, m := range s.Med.PMed.Schemas {
-		cluster := m.ClusterOf(medName)
-		if cluster == nil {
-			continue
-		}
-		medIdx := -1
-		for j, a := range m.Attrs {
-			if a.Key() == cluster.Key() {
-				medIdx = j
-				break
+	return s.SubmitFeedback(Feedback{Source: source, SrcAttr: srcAttr, MedName: medName, Confirmed: confirmed})
+}
+
+// ApplyFeedbackAt is the exact-index form of SubmitFeedback: the feedback
+// applies to mediated attribute medIdx of possible schema schemaIdx only.
+func (s *System) ApplyFeedbackAt(source string, schemaIdx int, srcAttr string, medIdx int, confirmed bool) error {
+	return s.SubmitFeedback(Feedback{Source: source, SrcAttr: srcAttr, SchemaIdx: schemaIdx, MedIdx: medIdx, Confirmed: confirmed})
+}
+
+// applyFeedbackLocked resolves the feedback targets and applies them to
+// cloned p-mappings. Caller holds the commit lock.
+func (s *System) applyFeedbackLocked(fb Feedback) error {
+	pms, ok := s.Maps[fb.Source]
+	if !ok {
+		return fmt.Errorf("core: %w %q", ErrUnknownSource, fb.Source)
+	}
+
+	// Resolve the (schema, mediated attribute) pairs the feedback touches.
+	type target struct{ schemaIdx, medIdx int }
+	var targets []target
+	if fb.MedName != "" {
+		for l, m := range s.Med.PMed.Schemas {
+			cluster := m.ClusterOf(fb.MedName)
+			if cluster == nil {
+				continue
+			}
+			for j, a := range m.Attrs {
+				if a.Key() == cluster.Key() {
+					targets = append(targets, target{l, j})
+					break
+				}
 			}
 		}
-		if err := pms[l].Condition(srcAttr, medIdx, confirmed, s.Cfg.PMap); err != nil {
+		if len(targets) == 0 {
+			return fmt.Errorf("core: no mediated attribute contains %q", fb.MedName)
+		}
+	} else {
+		if fb.SchemaIdx < 0 || fb.SchemaIdx >= len(pms) {
+			return fmt.Errorf("core: schema index %d out of range [0,%d)", fb.SchemaIdx, len(pms))
+		}
+		if fb.MedIdx < 0 || fb.MedIdx >= len(s.Med.PMed.Schemas[fb.SchemaIdx].Attrs) {
+			return fmt.Errorf("core: mediated attribute %d out of range", fb.MedIdx)
+		}
+		targets = append(targets, target{fb.SchemaIdx, fb.MedIdx})
+	}
+
+	// Copy-on-write: condition clones, leaving every published snapshot's
+	// p-mappings untouched. Conditioning errors abort before anything is
+	// installed, so feedback is all-or-nothing even across schemas.
+	next := make([]*pmapping.PMapping, len(pms))
+	copy(next, pms)
+	cloned := make(map[int]bool, len(targets))
+	for _, t := range targets {
+		if !cloned[t.schemaIdx] {
+			next[t.schemaIdx] = next[t.schemaIdx].Clone()
+			cloned[t.schemaIdx] = true
+		}
+		if err := next[t.schemaIdx].Condition(fb.SrcAttr, t.medIdx, fb.Confirmed, s.Cfg.PMap); err != nil {
 			return err
 		}
-		applied = true
 	}
-	if !applied {
-		return fmt.Errorf("core: no mediated attribute contains %q", medName)
-	}
-	s.engine.InvalidatePlans() // conditioning mutated the p-mappings in place
+	maps := clonedMaps(s.Maps)
+	maps[fb.Source] = next
+	s.Maps = maps
+
+	s.engine.InvalidatePlans() // cached plans resolved the pre-feedback mappings
 	s.invalidateSetupCaches()  // the canonical dedup entries predate the feedback
-	return s.reconsolidateSource(source)
+	return s.reconsolidateSource(fb.Source)
 }
 
 // reconsolidateSource rebuilds one source's consolidated p-mapping from
-// its (now conditioned) per-schema p-mappings. It deliberately bypasses
-// the schema-dedup cache: conditioned p-mappings differ from the
-// canonical ones other sources with the same schema share.
+// its (now conditioned) per-schema p-mappings into a fresh ConsMaps map,
+// never mutating the published one. It deliberately bypasses the
+// schema-dedup cache: conditioned p-mappings differ from the canonical
+// ones other sources with the same schema share.
 func (s *System) reconsolidateSource(source string) error {
+	cons := clonedMaps(s.ConsMaps)
 	cpm, err := consolidate.ConsolidateMappings(s.Med.PMed, s.Target, s.Maps[source], s.Cfg.ConsolidateLimit)
 	if err != nil {
 		// Too large to materialize: drop the consolidated form; the
 		// p-med-schema query path remains correct.
-		delete(s.ConsMaps, source)
-		return nil
+		delete(cons, source)
+	} else {
+		cons[source] = cpm
 	}
-	s.ConsMaps[source] = cpm
+	s.ConsMaps = cons
 	return nil
 }

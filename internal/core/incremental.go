@@ -23,7 +23,21 @@ import (
 // which is what correctness requires.
 //
 // It returns true when the fast path applied.
+//
+// AddSource is one commit: it runs behind the single-writer lock, builds
+// the next state copy-on-write, and publishes it as the next epoch.
+// In-flight queries keep serving the previous snapshot throughout.
 func (s *System) AddSource(src *schema.Source) (bool, error) {
+	fast := false
+	err := s.commit("add_source", func() error {
+		var err error
+		fast, err = s.addSourceLocked(src)
+		return err
+	})
+	return fast, err
+}
+
+func (s *System) addSourceLocked(src *schema.Source) (bool, error) {
 	newSources := make([]*schema.Source, 0, len(s.Corpus.Sources)+1)
 	newSources = append(newSources, s.Corpus.Sources...)
 	newSources = append(newSources, src)
@@ -49,7 +63,7 @@ func (s *System) AddSource(src *schema.Source) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		*s = *rebuilt
+		s.adopt(rebuilt)
 		return false, nil
 	}
 
@@ -66,7 +80,7 @@ func (s *System) AddSource(src *schema.Source) (bool, error) {
 		if serr != nil {
 			return false, serr
 		}
-		*s = *rebuilt
+		s.adopt(rebuilt)
 		return false, nil
 	}
 	s.Med = &mediate.Result{PMed: pmed, Graph: med.Graph, FrequentAttrs: med.FrequentAttrs}
@@ -92,14 +106,19 @@ func (s *System) AddSource(src *schema.Source) (bool, error) {
 		sp.End()
 		return false, err
 	}
-	s.Maps[src.Name] = pms
+	// Copy-on-write: published snapshots hold the old maps; grow clones.
+	maps := clonedMaps(s.Maps)
+	maps[src.Name] = pms
+	s.Maps = maps
 	s.Timings.PMappings += sp.End()
 
 	sp = trace.Child("consolidate")
+	cons := clonedMaps(s.ConsMaps)
 	cpm, err := s.consolidateSource(s.newConsolidator(), src)
 	if err == nil && cpm != nil {
-		s.ConsMaps[src.Name] = cpm
+		cons[src.Name] = cpm
 	}
+	s.ConsMaps = cons
 	s.Timings.Consolidation += sp.End()
 	trace.End()
 	s.Trace.Adopt(trace)
@@ -110,8 +129,19 @@ func (s *System) AddSource(src *schema.Source) (bool, error) {
 
 // RemoveSource drops a source from the system. Like AddSource, it keeps
 // the existing clustering when the shrunken corpus reproduces it and only
-// refreshes probabilities; otherwise it rebuilds.
+// refreshes probabilities; otherwise it rebuilds. It is one commit (see
+// AddSource).
 func (s *System) RemoveSource(name string) (bool, error) {
+	fast := false
+	err := s.commit("remove_source", func() error {
+		var err error
+		fast, err = s.removeSourceLocked(name)
+		return err
+	})
+	return fast, err
+}
+
+func (s *System) removeSourceLocked(name string) (bool, error) {
 	idx := -1
 	for i, src := range s.Corpus.Sources {
 		if src.Name == name {
@@ -120,7 +150,7 @@ func (s *System) RemoveSource(name string) (bool, error) {
 		}
 	}
 	if idx < 0 {
-		return false, fmt.Errorf("core: unknown source %q", name)
+		return false, fmt.Errorf("core: %w %q", ErrUnknownSource, name)
 	}
 	newSources := make([]*schema.Source, 0, len(s.Corpus.Sources)-1)
 	newSources = append(newSources, s.Corpus.Sources[:idx]...)
@@ -143,7 +173,7 @@ func (s *System) RemoveSource(name string) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		*s = *rebuilt
+		s.adopt(rebuilt)
 		return false, nil
 	}
 	probs := mediate.AssignProbabilities(s.Med.PMed.Schemas, corpus)
@@ -153,7 +183,7 @@ func (s *System) RemoveSource(name string) (bool, error) {
 		if serr != nil {
 			return false, serr
 		}
-		*s = *rebuilt
+		s.adopt(rebuilt)
 		return false, nil
 	}
 	s.Med = &mediate.Result{PMed: pmed, Graph: med.Graph, FrequentAttrs: med.FrequentAttrs}
@@ -162,8 +192,13 @@ func (s *System) RemoveSource(name string) (bool, error) {
 	// extra exact entries are harmless.
 	s.caches.cons.invalidate()
 	s.Corpus = corpus
-	delete(s.Maps, name)
-	delete(s.ConsMaps, name)
+	// Copy-on-write: published snapshots keep the departed source's entries.
+	maps := clonedMaps(s.Maps)
+	delete(maps, name)
+	s.Maps = maps
+	cons := clonedMaps(s.ConsMaps)
+	delete(cons, name)
+	s.ConsMaps = cons
 	trace := obs.StartSpan("remove_source")
 	trace.SetAttr("source", name)
 	s.engine = answer.NewEngine(corpus)

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"udi/internal/answer"
+	"udi/internal/consolidate"
+	"udi/internal/keyword"
+	"udi/internal/mediate"
+	"udi/internal/pmapping"
+	"udi/internal/schema"
+	"udi/internal/sqlparse"
+)
+
+// Snapshot is one immutable epoch of the serving state: the p-med-schema,
+// every source's p-mappings, the consolidated schema and mappings, and
+// the query/keyword engines built over exactly that corpus. Queries run
+// against a Snapshot obtained with a single atomic load, so every reader
+// sees a consistent (PMed, Maps) pair by construction — no lock, no
+// identity guard — while mutations build the next snapshot copy-on-write
+// behind the system's single-writer commit lock and publish it atomically.
+// Nothing reachable from a published Snapshot is ever mutated again.
+type Snapshot struct {
+	// Epoch numbers commits from 1 (the initial Setup/Restore) upward;
+	// commits are totally ordered by the writer lock, so epochs observed
+	// through System.Snapshot are monotonically non-decreasing.
+	Epoch uint64
+	// CreatedAt is the publication time, the base of the staleness the
+	// /v1/schema endpoint reports.
+	CreatedAt time.Time
+
+	Corpus *schema.Corpus
+	// Med holds this epoch's p-med-schema.
+	Med *mediate.Result
+	// Maps[source][l] is the p-mapping between a source and Med's l-th
+	// schema. The map and every p-mapping in it are frozen.
+	Maps map[string][]*pmapping.PMapping
+	// Target is the consolidated mediated schema (§6).
+	Target *schema.MediatedSchema
+	// ConsMaps holds the consolidated one-to-many p-mappings; a source is
+	// absent when materialization exceeded Cfg.ConsolidateLimit.
+	ConsMaps map[string]*consolidate.PMapping
+
+	engine *answer.Engine
+	kw     *keyword.Engine
+	sys    *System
+}
+
+// Snapshot returns the current serving snapshot with one atomic load.
+// Hold the pointer for the duration of one request to see a single epoch;
+// re-load to observe later commits.
+func (s *System) Snapshot() *Snapshot {
+	if sn := s.snap.Load(); sn != nil {
+		return sn
+	}
+	// Systems assembled field-by-field (tests, tools) never ran a commit;
+	// publish their current state lazily as epoch 1.
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	if sn := s.snap.Load(); sn != nil {
+		return sn
+	}
+	return s.publish()
+}
+
+// Epoch returns the current snapshot's epoch.
+func (s *System) Epoch() uint64 { return s.Snapshot().Epoch }
+
+// Committing reports whether a mutation is currently building the next
+// snapshot. Queries keep serving the previous epoch throughout; the flag
+// exists so the API can report in-progress staleness.
+func (s *System) Committing() bool { return s.committing.Load() }
+
+// publish freezes the system's current state as the next epoch and makes
+// it the serving snapshot. Callers must hold commitMu (or be the sole
+// owner during construction) and must not mutate anything reachable from
+// the published fields afterwards — the copy-on-write discipline every
+// mutation path follows.
+func (s *System) publish() *Snapshot {
+	sn := &Snapshot{
+		Epoch:     s.epoch.Add(1),
+		CreatedAt: time.Now(),
+		Corpus:    s.Corpus,
+		Med:       s.Med,
+		Maps:      s.Maps,
+		Target:    s.Target,
+		ConsMaps:  s.ConsMaps,
+		engine:    s.engine,
+		kw:        s.kw,
+		sys:       s,
+	}
+	s.snap.Store(sn)
+	if s.Cfg.Obs.Enabled() {
+		s.Cfg.Obs.Add("snapshot.commits", 1)
+	}
+	return sn
+}
+
+// commit runs one mutation under the single-writer lock and publishes the
+// next epoch if it succeeds. A failed mutation publishes nothing: the
+// serving snapshot is untouched, so commits are all-or-nothing.
+func (s *System) commit(kind string, fn func() error) error {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	s.committing.Store(true)
+	defer s.committing.Store(false)
+	t0 := time.Now()
+	if err := fn(); err != nil {
+		return err
+	}
+	s.publish()
+	if r := s.Cfg.Obs; r.Enabled() {
+		r.Observe("commit.seconds", time.Since(t0).Seconds())
+		r.Add("commit."+kind, 1)
+	}
+	return nil
+}
+
+// adopt moves a freshly built system's state into s (the full-rebuild
+// path of AddSource/RemoveSource). It replaces every data field but keeps
+// s's identity — epoch counter, commit lock, published snapshot — so
+// readers observe the rebuild as one more commit, not a new system.
+func (s *System) adopt(r *System) {
+	s.Corpus = r.Corpus
+	s.Cfg = r.Cfg
+	s.Med = r.Med
+	s.Maps = r.Maps
+	s.Target = r.Target
+	s.ConsMaps = r.ConsMaps
+	s.Timings = r.Timings
+	s.Trace = r.Trace
+	s.engine = r.engine
+	s.kwIndex = r.kwIndex
+	s.kw = r.kw
+	s.caches = r.caches
+}
+
+// clonedMaps returns a shallow copy of a snapshot-published map so the
+// writer can change entries without touching what readers hold. Values
+// are shared: the caller must replace (never mutate) any entry it edits.
+func clonedMaps[V any](m map[string]V) map[string]V {
+	out := make(map[string]V, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// --- query path -------------------------------------------------------
+
+// QueryCtx parses and answers q against this snapshot with the UDI
+// semantics. The context's deadline/cancellation stops the scan loops.
+func (sn *Snapshot) QueryCtx(ctx context.Context, q string) (*answer.ResultSet, error) {
+	parsed, err := sqlparse.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return sn.QueryParsedCtx(ctx, parsed)
+}
+
+// QueryParsedCtx answers an already-parsed query with UDI semantics.
+func (sn *Snapshot) QueryParsedCtx(ctx context.Context, q *sqlparse.Query) (*answer.ResultSet, error) {
+	return sn.engine.AnswerPMedCtx(ctx, answer.PMedInput{PMed: sn.Med.PMed, Maps: sn.Maps}, q)
+}
+
+// QueryConsolidatedCtx answers over the consolidated schema and
+// p-mappings. It requires every source to have a materialized
+// consolidated p-mapping.
+func (sn *Snapshot) QueryConsolidatedCtx(ctx context.Context, q *sqlparse.Query) (*answer.ResultSet, error) {
+	if len(sn.ConsMaps) != len(sn.Corpus.Sources) {
+		return nil, fmt.Errorf("core: %d of %d sources lack consolidated p-mappings",
+			len(sn.Corpus.Sources)-len(sn.ConsMaps), len(sn.Corpus.Sources))
+	}
+	return sn.engine.AnswerConsolidatedCtx(ctx, sn.Target, sn.ConsMaps, q)
+}
+
+// QuerySourceCtx runs the Source baseline (§7.3).
+func (sn *Snapshot) QuerySourceCtx(ctx context.Context, q *sqlparse.Query) (*answer.ResultSet, error) {
+	return sn.engine.AnswerSourceCtx(ctx, q)
+}
+
+// QueryTopMappingCtx runs the TopMapping baseline (§7.3): the
+// consolidated mediated schema with only the highest-probability mapping
+// per source.
+func (sn *Snapshot) QueryTopMappingCtx(ctx context.Context, q *sqlparse.Query) (*answer.ResultSet, error) {
+	maps := make(answer.DeterministicMaps, len(sn.Corpus.Sources))
+	for _, src := range sn.Corpus.Sources {
+		if cpm, ok := sn.ConsMaps[src.Name]; ok {
+			best := -1
+			for i, m := range cpm.Mappings {
+				if best < 0 || m.Prob > cpm.Mappings[best].Prob {
+					best = i
+				}
+			}
+			if best >= 0 {
+				maps[src.Name] = cpm.Mappings[best].MedToSrc()
+			}
+			continue
+		}
+		// Fallback for sources whose consolidation was skipped: the top
+		// mapping of the most probable schema, rewritten into T-space by
+		// cluster containment.
+		top, _ := sn.Maps[src.Name][0].TopMapping()
+		rewritten := make(map[int]string)
+		for mi, srcAttr := range top {
+			cluster := sn.Med.PMed.Schemas[0].Attrs[mi]
+			for ti, tAttr := range sn.Target.Attrs {
+				if cluster.Contains(tAttr[0]) {
+					rewritten[ti] = srcAttr
+				}
+			}
+		}
+		maps[src.Name] = rewritten
+	}
+	return sn.engine.AnswerTopMappingCtx(ctx, sn.Target, maps, q)
+}
+
+// QueryKeyword runs one of the keyword baselines (§7.3). Keyword lookups
+// are index probes, not scans, so they take no context.
+func (sn *Snapshot) QueryKeyword(q *sqlparse.Query, v keyword.Variant) []answer.Instance {
+	return sn.kw.Answer(q, v)
+}
+
+// RunCtx dispatches an approach by name; keyword approaches return
+// instance lists wrapped in a ResultSet without ranking.
+func (sn *Snapshot) RunCtx(ctx context.Context, a Approach, q *sqlparse.Query) (*answer.ResultSet, error) {
+	switch a {
+	case UDI:
+		return sn.QueryParsedCtx(ctx, q)
+	case Consolidated:
+		return sn.QueryConsolidatedCtx(ctx, q)
+	case SourceOnly:
+		return sn.QuerySourceCtx(ctx, q)
+	case TopMapping:
+		return sn.QueryTopMappingCtx(ctx, q)
+	case KeywordNaive, KeywordStruct, KeywordStrict:
+		v := keyword.Naive
+		if a == KeywordStruct {
+			v = keyword.Struct
+		} else if a == KeywordStrict {
+			v = keyword.Strict
+		}
+		return &answer.ResultSet{Instances: sn.QueryKeyword(q, v)}, nil
+	}
+	return nil, fmt.Errorf("core: unknown approach %q", a)
+}
+
+// ExplainCtx returns the provenance of one answer tuple under this
+// snapshot's UDI semantics (see answer.Contribution).
+func (sn *Snapshot) ExplainCtx(ctx context.Context, q *sqlparse.Query, values []string) ([]answer.Contribution, error) {
+	return sn.engine.ExplainCtx(ctx, answer.PMedInput{PMed: sn.Med.PMed, Maps: sn.Maps}, q, values)
+}
+
+// RepresentativeName returns the most frequent source attribute of the
+// cluster containing name in the consolidated schema, the name the system
+// would expose to users (§3). Returns name itself if unclustered.
+func (sn *Snapshot) RepresentativeName(name string) string {
+	cluster := sn.Target.ClusterOf(name)
+	if cluster == nil {
+		return name
+	}
+	freq := sn.Corpus.AttrFrequency()
+	best := cluster[0]
+	for _, a := range cluster[1:] {
+		if freq[a] > freq[best] {
+			best = a
+		}
+	}
+	return best
+}
+
+// AttrSim exposes the system's resolved attribute similarity (see
+// System.AttrSim); the interned matrix behind it is safe for concurrent
+// readers.
+func (sn *Snapshot) AttrSim() func(a, b string) float64 { return sn.sys.AttrSim() }

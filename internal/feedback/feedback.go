@@ -83,7 +83,10 @@ func (o *GoldenOracle) Correct(source, srcAttr string, clusterNames []string) bo
 	return concepts[truth]
 }
 
-// Session drives feedback rounds against a configured system.
+// Session drives feedback rounds against a configured system. Each public
+// call captures one serving snapshot and ranks against it, so a session
+// interleaves safely with concurrent queries and mutations; the feedback
+// it applies goes through the system's commit path.
 type Session struct {
 	Sys    *core.System
 	Oracle Oracle
@@ -113,12 +116,12 @@ func NewSession(sys *core.System, oracle Oracle) *Session {
 // valueOverlap returns the containment of the column's value set in the
 // cluster's value pool: |col ∩ cluster| / |col|. Containment (rather than
 // Jaccard) suits the asymmetry — one column against the union of many.
-func (s *Session) valueOverlap(source, attr string, schemaIdx, medIdx int) float64 {
-	col := s.columnValues(source, attr)
+func (s *Session) valueOverlap(sn *core.Snapshot, source, attr string, schemaIdx, medIdx int) float64 {
+	col := s.columnValues(sn, source, attr)
 	if len(col) == 0 {
 		return 0
 	}
-	pool := s.clusterPool(schemaIdx, medIdx)
+	pool := s.clusterPool(sn, schemaIdx, medIdx)
 	if len(pool) == 0 {
 		return 0
 	}
@@ -131,13 +134,13 @@ func (s *Session) valueOverlap(source, attr string, schemaIdx, medIdx int) float
 	return float64(hit) / float64(len(col))
 }
 
-func (s *Session) columnValues(source, attr string) map[string]bool {
+func (s *Session) columnValues(sn *core.Snapshot, source, attr string) map[string]bool {
 	key := [2]string{source, attr}
 	if vs, ok := s.colValues[key]; ok {
 		return vs
 	}
 	vs := map[string]bool{}
-	for _, src := range s.Sys.Corpus.Sources {
+	for _, src := range sn.Corpus.Sources {
 		if src.Name != source {
 			continue
 		}
@@ -158,14 +161,14 @@ func (s *Session) columnValues(source, attr string) map[string]bool {
 
 // clusterPool unions the values of every column whose correspondence to
 // the cluster has marginal probability at least 0.5.
-func (s *Session) clusterPool(schemaIdx, medIdx int) map[string]bool {
+func (s *Session) clusterPool(sn *core.Snapshot, schemaIdx, medIdx int) map[string]bool {
 	key := [2]int{schemaIdx, medIdx}
 	if pool, ok := s.clusterValues[key]; ok {
 		return pool
 	}
 	pool := map[string]bool{}
-	for _, src := range s.Sys.Corpus.Sources {
-		pm := s.Sys.Maps[src.Name][schemaIdx]
+	for _, src := range sn.Corpus.Sources {
+		pm := sn.Maps[src.Name][schemaIdx]
 		for _, g := range pm.Groups {
 			for _, c := range g.Corrs {
 				if c.MedIdx != medIdx {
@@ -174,7 +177,7 @@ func (s *Session) clusterPool(schemaIdx, medIdx int) map[string]bool {
 				if pm.MarginalProb(c.SrcAttr, c.MedIdx) < 0.5 {
 					continue
 				}
-				for v := range s.columnValues(src.Name, c.SrcAttr) {
+				for v := range s.columnValues(sn, src.Name, c.SrcAttr) {
 					pool[v] = true
 				}
 			}
@@ -193,15 +196,28 @@ func (s *Session) clusterPool(schemaIdx, medIdx int) map[string]bool {
 // latter injects the missed correspondence, which is how a deployment
 // recovers the recall the paper's high threshold gives up (§7.2).
 func (s *Session) Candidates(limit int) []Candidate {
+	return s.candidates(s.Sys.Snapshot(), limit)
+}
+
+// CandidatesIn is Candidates against a caller-captured snapshot, for
+// callers that need the returned schema/attribute indices to resolve
+// against the exact schemas they are holding.
+func (s *Session) CandidatesIn(sn *core.Snapshot, limit int) []Candidate {
+	return s.candidates(sn, limit)
+}
+
+// candidates ranks against one snapshot, so the scan sees a consistent
+// (PMed, Maps) pair even while feedback or source changes commit.
+func (s *Session) candidates(sn *core.Snapshot, limit int) []Candidate {
 	var out []Candidate
 	// AttrSim resolves the configured similarity (default strutil.AttrSim)
 	// and serves it from the interned matrix, so ranking candidates over
 	// the whole corpus costs map lookups, not string comparisons.
-	sim := s.Sys.AttrSim()
-	for _, src := range s.Sys.Corpus.Sources {
-		pms := s.Sys.Maps[src.Name]
+	sim := sn.AttrSim()
+	for _, src := range sn.Corpus.Sources {
+		pms := sn.Maps[src.Name]
 		for l, pm := range pms {
-			weight := s.Sys.Med.PMed.Probs[l]
+			weight := sn.Med.PMed.Probs[l]
 			mapped := map[string]bool{}
 			for _, g := range pm.Groups {
 				for _, c := range g.Corrs {
@@ -222,7 +238,7 @@ func (s *Session) Candidates(limit int) []Candidate {
 					})
 				}
 			}
-			med := s.Sys.Med.PMed.Schemas[l]
+			med := sn.Med.PMed.Schemas[l]
 			for _, attr := range src.Attrs {
 				if mapped[attr] {
 					continue
@@ -242,7 +258,7 @@ func (s *Session) Candidates(limit int) []Candidate {
 							score = v
 						}
 					}
-					if ov := s.valueOverlap(src.Name, attr, l, j); ov > score {
+					if ov := s.valueOverlap(sn, src.Name, attr, l, j); ov > score {
 						score = ov
 					}
 					if score > bestScore {
@@ -272,7 +288,7 @@ func (s *Session) Candidates(limit int) []Candidate {
 	byQuestion := map[string]int{}
 	dedup := out[:0]
 	for _, c := range out {
-		key := c.Source + "\x1f" + c.SrcAttr + "\x1f" + s.clusterKeyAt(c.SchemaIdx, c.MedIdx)
+		key := c.Source + "\x1f" + c.SrcAttr + "\x1f" + s.clusterKeyAt(sn, c.SchemaIdx, c.MedIdx)
 		if i, ok := byQuestion[key]; ok {
 			dedup[i].Uncertainty += c.Uncertainty
 			continue
@@ -300,8 +316,8 @@ func (s *Session) Candidates(limit int) []Candidate {
 	return out
 }
 
-func (s *Session) clusterKeyAt(schemaIdx, medIdx int) string {
-	return s.Sys.Med.PMed.Schemas[schemaIdx].Attrs[medIdx].Key()
+func (s *Session) clusterKeyAt(sn *core.Snapshot, schemaIdx, medIdx int) string {
+	return sn.Med.PMed.Schemas[schemaIdx].Attrs[medIdx].Key()
 }
 
 // Step asks the oracle about the most uncertain correspondence and
@@ -310,15 +326,16 @@ func (s *Session) clusterKeyAt(schemaIdx, medIdx int) string {
 // the user answered a question about the cluster, not about one schema.
 // It reports whether any candidate remained.
 func (s *Session) Step() (Candidate, bool, error) {
-	cands := s.Candidates(1)
+	sn := s.Sys.Snapshot()
+	cands := s.candidates(sn, 1)
 	if len(cands) == 0 {
 		return Candidate{}, false, nil
 	}
 	c := cands[0]
-	cluster := s.Sys.Med.PMed.Schemas[c.SchemaIdx].Attrs[c.MedIdx]
+	cluster := sn.Med.PMed.Schemas[c.SchemaIdx].Attrs[c.MedIdx]
 	confirmed := s.Oracle.Correct(c.Source, c.SrcAttr, cluster)
 	key := cluster.Key()
-	for l, m := range s.Sys.Med.PMed.Schemas {
+	for l, m := range sn.Med.PMed.Schemas {
 		for j, a := range m.Attrs {
 			if a.Key() != key {
 				continue

@@ -3,17 +3,38 @@
 // inspection, answer provenance, and the pay-as-you-go feedback endpoint.
 // It turns the library into the service a dataspace deployment would
 // actually run: set up once (or restore a snapshot), then serve.
+//
+// The API is versioned: every endpoint lives under /v1, and the original
+// unversioned paths remain as deprecated aliases (they serve identically
+// but set a Deprecation header pointing at the successor). Errors use one
+// envelope everywhere:
+//
+//	{"error": {"code": "bad_query", "message": "...", "details": {...}}}
+//
+// with codes bad_query, unknown_source, timeout, canceled, overloaded,
+// and internal.
+//
+// Each request serves one epoch: handlers capture the system's current
+// snapshot with an atomic load and never touch mutable state, so queries
+// need no lock and feedback (which goes through the system's single-writer
+// commit path) never blocks them. Admission control and per-request
+// deadlines bound the read path: when Options.MaxInFlight queries are
+// already running the server answers 429 + Retry-After instead of
+// queueing, and when Options.QueryTimeout elapses the scan loops stop and
+// the client gets 504.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"udi/internal/answer"
@@ -23,46 +44,100 @@ import (
 	"udi/internal/sqlparse"
 )
 
-// Server wraps a system with the HTTP handlers. Feedback mutates the
-// p-mappings, so queries and feedback are serialized by an RW lock.
+// Error codes returned in the envelope's "code" field.
+const (
+	codeBadQuery      = "bad_query"
+	codeUnknownSource = "unknown_source"
+	codeTimeout       = "timeout"
+	codeCanceled      = "canceled"
+	codeOverloaded    = "overloaded"
+	codeInternal      = "internal"
+)
+
+// statusClientClosedRequest is the de-facto status for "the client went
+// away before we finished" (nginx's 499); Go has no name for it.
+const statusClientClosedRequest = 499
+
+// Options configures a Server. The zero value serves with no answer
+// limit, no admission control, and no deadline.
+type Options struct {
+	// DefaultTop bounds the answers returned by /v1/query when the request
+	// does not set "top" itself (0 = unlimited).
+	DefaultTop int
+	// MaxInFlight caps concurrently running query-path requests (/v1/query,
+	// /v1/explain, /v1/candidates). Excess requests are rejected
+	// immediately with 429 and a Retry-After header rather than queued —
+	// under overload, fast rejection keeps the served requests fast.
+	// 0 = unlimited.
+	MaxInFlight int
+	// QueryTimeout bounds each query-path request; on expiry the scan
+	// loops stop and the client receives 504 with code "timeout".
+	// 0 = no deadline.
+	QueryTimeout time.Duration
+	// RetryAfter is the hint sent with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// Logf receives one line per request (method, path, status, duration)
+	// and one line per internal error. Nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Server wraps a system with the HTTP handlers. It holds no lock: reads
+// serve an immutable core.Snapshot and writes go through the system's
+// commit path.
 type Server struct {
-	mu  sync.RWMutex
-	sys *core.System
-	reg *obs.Registry
+	sys  *core.System
+	reg  *obs.Registry
+	opts Options
+
+	// sem holds one token per in-flight query-path request; nil when
+	// admission control is off.
+	sem chan struct{}
 
 	// Logf, when set, receives one line per request (method, path,
-	// status, duration). Nil disables request logging.
+	// status, duration). Initialized from Options.Logf.
 	Logf func(format string, args ...any)
-
-	// DefaultTop bounds the answers returned by /query when the request
-	// does not set "top" itself (0 = unlimited). The udiserver -top flag
-	// sets it.
-	DefaultTop int
 }
 
 // NewServer wraps a configured system. Request metrics go to the system's
 // observability registry (core.Config.Obs).
-func NewServer(sys *core.System) *Server {
+func NewServer(sys *core.System, opts Options) *Server {
 	reg := sys.Cfg.Obs
 	if reg == nil {
 		reg = obs.Default
 	}
-	return &Server{sys: sys, reg: reg}
+	s := &Server{sys: sys, reg: reg, opts: opts, Logf: opts.Logf}
+	if opts.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, opts.MaxInFlight)
+	}
+	return s
 }
 
-// Handler returns the routed HTTP handler. Every route is wrapped in the
-// metrics/logging middleware; /metrics serves the registry snapshot,
-// /debug/vars is expvar-compatible, and /debug/pprof/* exposes the
-// standard profiling handlers.
+// Handler returns the routed HTTP handler. Every endpoint is registered
+// twice — under /v1 and at its original unversioned path, the latter
+// marked deprecated — and wrapped in the metrics/logging middleware.
+// /v1/metrics serves the registry snapshot, /debug/vars is
+// expvar-compatible, and /debug/pprof/* exposes the standard profiling
+// handlers (debug routes are unversioned on purpose: they are
+// operator-facing, not part of the API contract).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /schema", s.handleSchema)
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /explain", s.handleExplain)
-	mux.HandleFunc("POST /feedback", s.handleFeedback)
-	mux.HandleFunc("GET /candidates", s.handleCandidates)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	routes := []struct {
+		method string
+		path   string
+		h      http.HandlerFunc
+	}{
+		{"GET", "/healthz", s.handleHealth},
+		{"GET", "/schema", s.handleSchema},
+		{"POST", "/query", s.admitted(s.handleQuery)},
+		{"POST", "/explain", s.admitted(s.handleExplain)},
+		{"POST", "/feedback", s.handleFeedback},
+		{"GET", "/candidates", s.admitted(s.handleCandidates)},
+		{"GET", "/metrics", s.handleMetrics},
+	}
+	for _, rt := range routes {
+		mux.HandleFunc(rt.method+" /v1"+rt.path, rt.h)
+		mux.HandleFunc(rt.method+" "+rt.path, s.deprecated("/v1"+rt.path, rt.h))
+	}
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -70,6 +145,54 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s.instrument(mux)
+}
+
+// deprecated wraps a legacy unversioned route: it serves identically but
+// advertises the /v1 successor (RFC 8594 Deprecation header) and counts
+// remaining legacy traffic so an operator can tell when it is safe to
+// drop the aliases.
+func (s *Server) deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		if s.reg.Enabled() {
+			s.reg.Add("http.legacy_requests", 1)
+		}
+		h(w, r)
+	}
+}
+
+// admitted wraps a query-path handler with admission control and the
+// per-request deadline. Rejection is immediate (no queueing): a server
+// past MaxInFlight answers 429 with Retry-After so clients back off
+// instead of piling onto a slow server.
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				retry := s.opts.RetryAfter
+				if retry <= 0 {
+					retry = time.Second
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
+				if s.reg.Enabled() {
+					s.reg.Add("http.overloaded", 1)
+				}
+				writeError(w, http.StatusTooManyRequests, codeOverloaded,
+					fmt.Sprintf("server at capacity (%d requests in flight)", s.opts.MaxInFlight), nil)
+				return
+			}
+		}
+		if s.opts.QueryTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.opts.QueryTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
 }
 
 // statusWriter captures the response status for metrics and logging.
@@ -84,14 +207,18 @@ func (w *statusWriter) WriteHeader(status int) {
 }
 
 // routeLabel collapses request paths onto a bounded label set so the
-// per-route counters cannot grow without bound on arbitrary URLs.
+// per-route counters cannot grow without bound on arbitrary URLs. The
+// /v1 prefix is stripped: a versioned and a legacy request to the same
+// endpoint count together (legacy traffic is separately visible in
+// http.legacy_requests).
 func routeLabel(path string) string {
 	if strings.HasPrefix(path, "/debug/pprof") {
 		return "/debug/pprof"
 	}
-	switch path {
+	p := strings.TrimPrefix(path, "/v1")
+	switch p {
 	case "/healthz", "/schema", "/query", "/explain", "/feedback", "/candidates", "/metrics", "/debug/vars":
-		return path
+		return p
 	}
 	return "other"
 }
@@ -118,6 +245,60 @@ func (s *Server) instrument(h http.Handler) http.Handler {
 		}
 	})
 }
+
+// --- error envelope ---------------------------------------------------
+
+type errorBody struct {
+	Code    string         `json:"code"`
+	Message string         `json:"message"`
+	Details map[string]any `json:"details,omitempty"`
+}
+
+type errorResponse struct {
+	Error errorBody `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, message string, details map[string]any) {
+	writeJSON(w, status, errorResponse{Error: errorBody{Code: code, Message: message, Details: details}})
+}
+
+// writeQueryError maps a query-path error onto the envelope: deadline
+// expiry is 504/timeout, client disconnect is 499/canceled, an unknown
+// source is 404/unknown_source, and everything else is a 400/bad_query
+// (query-path errors are user-input-shaped: unparsable SQL, unknown
+// approach, missing consolidated mappings).
+func (s *Server) writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		if s.reg.Enabled() {
+			s.reg.Add("http.timeouts", 1)
+		}
+		writeError(w, http.StatusGatewayTimeout, codeTimeout, "query deadline exceeded", nil)
+	case errors.Is(err, context.Canceled):
+		writeError(w, statusClientClosedRequest, codeCanceled, "request canceled by client", nil)
+	case errors.Is(err, core.ErrUnknownSource):
+		writeError(w, http.StatusNotFound, codeUnknownSource, err.Error(), nil)
+	default:
+		writeError(w, http.StatusBadRequest, codeBadQuery, err.Error(), nil)
+	}
+}
+
+// internalError answers 500 without leaking the error: the message goes
+// to the server log, the client sees only the code.
+func (s *Server) internalError(w http.ResponseWriter, r *http.Request, err error) {
+	if s.Logf != nil {
+		s.Logf("internal error: %s %s: %v", r.Method, r.URL.Path, err)
+	}
+	writeError(w, http.StatusInternalServerError, codeInternal, "internal error", nil)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// --- observability endpoints ------------------------------------------
 
 // handleMetrics serves the observability registry as a JSON snapshot:
 // {"counters": {...}, "histograms": {name: {count, sum, min, max, mean,
@@ -151,70 +332,30 @@ func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "%q: %s\n}\n", "udi", snap)
 }
 
-type candidateJSON struct {
-	Source      string   `json:"source"`
-	SrcAttr     string   `json:"attr"`
-	Cluster     []string `json:"cluster"`
-	MedName     string   `json:"med_name"` // a member name usable in POST /feedback
-	Marginal    float64  `json:"marginal"`
-	Uncertainty float64  `json:"uncertainty"`
-}
-
-// handleCandidates lists the correspondences the system would most like a
-// human to confirm or reject, ranked by expected information gain — the
-// question queue of the pay-as-you-go loop. Answer one with POST
-// /feedback using the returned med_name.
-func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
-	limit := 10
-	if v := r.URL.Query().Get("limit"); v != "" {
-		if _, err := fmt.Sscanf(v, "%d", &limit); err != nil || limit <= 0 {
-			writeError(w, http.StatusBadRequest, errors.New("limit must be a positive integer"))
-			return
-		}
-	}
-	s.mu.RLock()
-	sess := feedback.NewSession(s.sys, nil)
-	cands := sess.Candidates(limit)
-	out := make([]candidateJSON, 0, len(cands))
-	for _, c := range cands {
-		cluster := s.sys.Med.PMed.Schemas[c.SchemaIdx].Attrs[c.MedIdx]
-		out = append(out, candidateJSON{
-			Source:      c.Source,
-			SrcAttr:     c.SrcAttr,
-			Cluster:     []string(cluster),
-			MedName:     cluster[0],
-			Marginal:    c.Marginal,
-			Uncertainty: c.Uncertainty,
-		})
-	}
-	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{"candidates": out})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
-}
+// --- serving endpoints ------------------------------------------------
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	n := len(s.sys.Corpus.Sources)
-	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sources": n})
+	sn := s.sys.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"sources": len(sn.Corpus.Sources),
+		"epoch":   sn.Epoch,
+	})
 }
 
 type schemaResponse struct {
 	Schemas []schemaJSON `json:"schemas"`
 	Target  [][]string   `json:"consolidated"`
+	// Epoch identifies the serving snapshot; it increases with every
+	// committed mutation (feedback, source add/remove).
+	Epoch uint64 `json:"epoch"`
+	// CreatedAt is when this epoch was published; StalenessSeconds is the
+	// age of the snapshot at response time.
+	CreatedAt        time.Time `json:"created_at"`
+	StalenessSeconds float64   `json:"staleness_seconds"`
+	// Committing reports an in-progress mutation: answers keep coming
+	// from this epoch, but a newer one is being built.
+	Committing bool `json:"committing"`
 }
 
 type schemaJSON struct {
@@ -223,18 +364,22 @@ type schemaJSON struct {
 }
 
 func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	resp := schemaResponse{}
-	for i, m := range s.sys.Med.PMed.Schemas {
-		sj := schemaJSON{Prob: s.sys.Med.PMed.Probs[i]}
+	sn := s.sys.Snapshot()
+	resp := schemaResponse{
+		Epoch:            sn.Epoch,
+		CreatedAt:        sn.CreatedAt,
+		StalenessSeconds: time.Since(sn.CreatedAt).Seconds(),
+		Committing:       s.sys.Committing(),
+	}
+	for i, m := range sn.Med.PMed.Schemas {
+		sj := schemaJSON{Prob: sn.Med.PMed.Probs[i]}
 		for _, a := range m.Attrs {
 			sj.Clusters = append(sj.Clusters, []string(a))
 		}
 		resp.Schemas = append(resp.Schemas, sj)
 	}
-	if s.sys.Target != nil {
-		for _, a := range s.sys.Target.Attrs {
+	if sn.Target != nil {
+		for _, a := range sn.Target.Attrs {
 			resp.Target = append(resp.Target, []string(a))
 		}
 	}
@@ -261,47 +406,50 @@ type queryResponse struct {
 	Answers     []answerJSON `json:"answers"`
 	Distinct    int          `json:"distinct"`
 	Occurrences int          `json:"occurrences"`
+	// Epoch is the snapshot the query ran against.
+	Epoch uint64 `json:"epoch"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, http.StatusBadRequest, codeBadQuery, fmt.Sprintf("bad request body: %v", err), nil)
 		return
 	}
 	q, err := sqlparse.Parse(req.Query)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadQuery, err.Error(), nil)
 		return
 	}
 	approach := core.Approach(req.Approach)
 	if req.Approach == "" {
 		approach = core.UDI
 	}
-	s.mu.RLock()
-	rs, err := s.sys.Run(approach, q)
-	s.mu.RUnlock()
+	var ranked []answer.Answer
+	switch req.Semantics {
+	case "", "by-table", "by-tuple":
+	default:
+		writeError(w, http.StatusBadRequest, codeBadQuery, "semantics must be by-table or by-tuple", nil)
+		return
+	}
+	sn := s.sys.Snapshot()
+	rs, err := sn.RunCtx(r.Context(), approach, q)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeQueryError(w, r, err)
 		return
 	}
 	top := req.Top
 	if top == 0 {
-		top = s.DefaultTop
+		top = s.opts.DefaultTop
 	}
-	var ranked []answer.Answer
-	switch req.Semantics {
-	case "", "by-table":
-		ranked = rs.TopK(top)
-	case "by-tuple":
+	if req.Semantics == "by-tuple" {
 		ranked = rs.ByTupleRankingTopK(top)
-	default:
-		writeError(w, http.StatusBadRequest, errors.New("semantics must be by-table or by-tuple"))
-		return
+	} else {
+		ranked = rs.TopK(top)
 	}
 	// Distinct counts every distinct answer tuple, not just the top-k
 	// returned ones (the tuple sets coincide under both semantics).
-	resp := queryResponse{Distinct: len(rs.Ranked), Occurrences: len(rs.Instances)}
+	resp := queryResponse{Distinct: len(rs.Ranked), Occurrences: len(rs.Instances), Epoch: sn.Epoch}
 	for _, a := range ranked {
 		resp.Answers = append(resp.Answers, answerJSON{Values: a.Values, Prob: a.Prob})
 	}
@@ -324,26 +472,66 @@ type contributionJSON struct {
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var req explainRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, http.StatusBadRequest, codeBadQuery, fmt.Sprintf("bad request body: %v", err), nil)
 		return
 	}
 	q, err := sqlparse.Parse(req.Query)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadQuery, err.Error(), nil)
 		return
 	}
-	s.mu.RLock()
-	contribs, err := s.sys.ExplainAnswer(q, req.Values)
-	s.mu.RUnlock()
+	sn := s.sys.Snapshot()
+	contribs, err := sn.ExplainCtx(r.Context(), q, req.Values)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeQueryError(w, r, err)
 		return
 	}
 	out := make([]contributionJSON, 0, len(contribs))
 	for _, c := range contribs {
 		out = append(out, contributionJSON(c))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"contributions": out})
+	writeJSON(w, http.StatusOK, map[string]any{"contributions": out, "epoch": sn.Epoch})
+}
+
+type candidateJSON struct {
+	Source      string   `json:"source"`
+	SrcAttr     string   `json:"attr"`
+	Cluster     []string `json:"cluster"`
+	MedName     string   `json:"med_name"` // a member name usable in POST /v1/feedback
+	Marginal    float64  `json:"marginal"`
+	Uncertainty float64  `json:"uncertainty"`
+}
+
+// handleCandidates lists the correspondences the system would most like a
+// human to confirm or reject, ranked by expected information gain — the
+// question queue of the pay-as-you-go loop. Answer one with POST
+// /v1/feedback using the returned med_name.
+func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
+	limit := 10
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &limit); err != nil || limit <= 0 {
+			writeError(w, http.StatusBadRequest, codeBadQuery, "limit must be a positive integer", nil)
+			return
+		}
+	}
+	// One snapshot for both the ranking and the cluster lookups, so the
+	// candidate indices resolve against the schemas that produced them.
+	sn := s.sys.Snapshot()
+	sess := feedback.NewSession(s.sys, nil)
+	cands := sess.CandidatesIn(sn, limit)
+	out := make([]candidateJSON, 0, len(cands))
+	for _, c := range cands {
+		cluster := sn.Med.PMed.Schemas[c.SchemaIdx].Attrs[c.MedIdx]
+		out = append(out, candidateJSON{
+			Source:      c.Source,
+			SrcAttr:     c.SrcAttr,
+			Cluster:     []string(cluster),
+			MedName:     cluster[0],
+			Marginal:    c.Marginal,
+			Uncertainty: c.Uncertainty,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"candidates": out, "epoch": sn.Epoch})
 }
 
 type feedbackRequest struct {
@@ -356,15 +544,26 @@ type feedbackRequest struct {
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	var req feedbackRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, http.StatusBadRequest, codeBadQuery, fmt.Sprintf("bad request body: %v", err), nil)
 		return
 	}
-	s.mu.Lock()
-	err := s.sys.ApplyFeedback(req.Source, req.SrcAttr, req.MedName, req.Confirmed)
-	s.mu.Unlock()
+	if req.MedName == "" {
+		writeError(w, http.StatusBadRequest, codeBadQuery, "med_name is required", nil)
+		return
+	}
+	err := s.sys.SubmitFeedback(core.Feedback{
+		Source:    req.Source,
+		SrcAttr:   req.SrcAttr,
+		MedName:   req.MedName,
+		Confirmed: req.Confirmed,
+	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		if errors.Is(err, core.ErrUnknownSource) {
+			writeError(w, http.StatusNotFound, codeUnknownSource, err.Error(), nil)
+			return
+		}
+		writeError(w, http.StatusBadRequest, codeBadQuery, err.Error(), nil)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "applied"})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "applied", "epoch": s.sys.Epoch()})
 }

@@ -21,7 +21,7 @@ func testServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(NewServer(sys).Handler())
+	srv := httptest.NewServer(NewServer(sys, Options{}).Handler())
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -46,7 +46,7 @@ func postJSON(t *testing.T, url string, body any) (*http.Response, map[string]an
 
 func TestHealthz(t *testing.T) {
 	srv := testServer(t)
-	resp, err := http.Get(srv.URL + "/healthz")
+	resp, err := http.Get(srv.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,11 +61,14 @@ func TestHealthz(t *testing.T) {
 	if out["status"] != "ok" || out["sources"].(float64) != 20 {
 		t.Errorf("health = %v", out)
 	}
+	if out["epoch"].(float64) < 1 {
+		t.Errorf("epoch = %v, want >= 1", out["epoch"])
+	}
 }
 
 func TestSchemaEndpoint(t *testing.T) {
 	srv := testServer(t)
-	resp, err := http.Get(srv.URL + "/schema")
+	resp, err := http.Get(srv.URL + "/v1/schema")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,6 +79,9 @@ func TestSchemaEndpoint(t *testing.T) {
 	}
 	if len(out.Schemas) < 2 || len(out.Target) == 0 {
 		t.Errorf("schema response = %+v", out)
+	}
+	if out.Epoch < 1 || out.CreatedAt.IsZero() || out.StalenessSeconds < 0 {
+		t.Errorf("epoch/staleness = %d/%v/%f", out.Epoch, out.CreatedAt, out.StalenessSeconds)
 	}
 	total := 0.0
 	for _, s := range out.Schemas {
@@ -88,7 +94,7 @@ func TestSchemaEndpoint(t *testing.T) {
 
 func TestQueryEndpoint(t *testing.T) {
 	srv := testServer(t)
-	resp, out := postJSON(t, srv.URL+"/query", queryRequest{
+	resp, out := postJSON(t, srv.URL+"/v1/query", queryRequest{
 		Query: "SELECT name, phone FROM People", Top: 5,
 	})
 	if resp.StatusCode != http.StatusOK {
@@ -109,7 +115,7 @@ func TestQueryEndpoint(t *testing.T) {
 
 func TestQueryByTuple(t *testing.T) {
 	srv := testServer(t)
-	resp, out := postJSON(t, srv.URL+"/query", queryRequest{
+	resp, out := postJSON(t, srv.URL+"/v1/query", queryRequest{
 		Query: "SELECT job FROM People", Semantics: "by-tuple", Top: 3,
 	})
 	if resp.StatusCode != http.StatusOK {
@@ -118,7 +124,7 @@ func TestQueryByTuple(t *testing.T) {
 	if len(out["answers"].([]any)) == 0 {
 		t.Error("no answers under by-tuple semantics")
 	}
-	resp, _ = postJSON(t, srv.URL+"/query", queryRequest{
+	resp, _ = postJSON(t, srv.URL+"/v1/query", queryRequest{
 		Query: "SELECT job FROM People", Semantics: "nonsense",
 	})
 	if resp.StatusCode != http.StatusBadRequest {
@@ -128,15 +134,15 @@ func TestQueryByTuple(t *testing.T) {
 
 func TestQueryErrors(t *testing.T) {
 	srv := testServer(t)
-	resp, _ := postJSON(t, srv.URL+"/query", queryRequest{Query: "not sql"})
+	resp, _ := postJSON(t, srv.URL+"/v1/query", queryRequest{Query: "not sql"})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad query accepted: %d", resp.StatusCode)
 	}
-	resp, _ = postJSON(t, srv.URL+"/query", queryRequest{Query: "SELECT name FROM t", Approach: "Nope"})
+	resp, _ = postJSON(t, srv.URL+"/v1/query", queryRequest{Query: "SELECT name FROM t", Approach: "Nope"})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad approach accepted: %d", resp.StatusCode)
 	}
-	r, err := http.Post(srv.URL+"/query", "application/json", strings.NewReader("{garbage"))
+	r, err := http.Post(srv.URL+"/v1/query", "application/json", strings.NewReader("{garbage"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +154,7 @@ func TestQueryErrors(t *testing.T) {
 
 func TestExplainEndpoint(t *testing.T) {
 	srv := testServer(t)
-	_, out := postJSON(t, srv.URL+"/query", queryRequest{
+	_, out := postJSON(t, srv.URL+"/v1/query", queryRequest{
 		Query: "SELECT name FROM People", Top: 1,
 	})
 	first := out["answers"].([]any)[0].(map[string]any)
@@ -156,7 +162,7 @@ func TestExplainEndpoint(t *testing.T) {
 	for _, v := range first["values"].([]any) {
 		values = append(values, v.(string))
 	}
-	resp, out := postJSON(t, srv.URL+"/explain", explainRequest{
+	resp, out := postJSON(t, srv.URL+"/v1/explain", explainRequest{
 		Query: "SELECT name FROM People", Values: values,
 	})
 	if resp.StatusCode != http.StatusOK {
@@ -170,24 +176,27 @@ func TestExplainEndpoint(t *testing.T) {
 func TestFeedbackEndpoint(t *testing.T) {
 	srv := testServer(t)
 	// Find a generic source to give feedback about via the schema.
-	resp, out := postJSON(t, srv.URL+"/feedback", feedbackRequest{
+	resp, out := postJSON(t, srv.URL+"/v1/feedback", feedbackRequest{
 		Source: "People-000", SrcAttr: "phone", MedName: "phone", Confirmed: true,
 	})
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("unexpected status %d: %v", resp.StatusCode, out)
 	}
-	// Unknown source must 400.
-	resp, _ = postJSON(t, srv.URL+"/feedback", feedbackRequest{
+	// Unknown source must 404 with the typed code.
+	resp, body := postJSON(t, srv.URL+"/v1/feedback", feedbackRequest{
 		Source: "nope", SrcAttr: "a", MedName: "name", Confirmed: true,
 	})
-	if resp.StatusCode != http.StatusBadRequest {
+	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown source accepted: %d", resp.StatusCode)
+	}
+	if code := body["error"].(map[string]any)["code"]; code != "unknown_source" {
+		t.Errorf("code = %v, want unknown_source", code)
 	}
 }
 
 func TestMethodRouting(t *testing.T) {
 	srv := testServer(t)
-	resp, err := http.Get(srv.URL + "/query")
+	resp, err := http.Get(srv.URL + "/v1/query")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +208,7 @@ func TestMethodRouting(t *testing.T) {
 
 func TestCandidatesEndpoint(t *testing.T) {
 	srv := testServer(t)
-	resp, err := http.Get(srv.URL + "/candidates?limit=5")
+	resp, err := http.Get(srv.URL + "/v1/candidates?limit=5")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,24 +216,26 @@ func TestCandidatesEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	var out map[string][]candidateJSON
+	var out struct {
+		Candidates []candidateJSON `json:"candidates"`
+	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
-	cands := out["candidates"]
+	cands := out.Candidates
 	if len(cands) == 0 || len(cands) > 5 {
 		t.Fatalf("candidates = %v", cands)
 	}
 	// The returned med_name must be answerable via POST /feedback.
 	c := cands[0]
-	resp2, body := postJSON(t, srv.URL+"/feedback", feedbackRequest{
+	resp2, body := postJSON(t, srv.URL+"/v1/feedback", feedbackRequest{
 		Source: c.Source, SrcAttr: c.SrcAttr, MedName: c.MedName, Confirmed: true,
 	})
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("feedback on candidate rejected: %d %v", resp2.StatusCode, body)
 	}
 	// Bad limit must 400.
-	resp3, err := http.Get(srv.URL + "/candidates?limit=bogus")
+	resp3, err := http.Get(srv.URL + "/v1/candidates?limit=bogus")
 	if err != nil {
 		t.Fatal(err)
 	}

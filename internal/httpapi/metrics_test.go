@@ -26,7 +26,7 @@ func metricsServer(t *testing.T) (*httptest.Server, *obs.Registry) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(NewServer(sys).Handler())
+	srv := httptest.NewServer(NewServer(sys, Options{}).Handler())
 	t.Cleanup(srv.Close)
 	return srv, reg
 }
@@ -43,18 +43,18 @@ func TestErrorPaths(t *testing.T) {
 		wantStatus int
 		wantJSON   bool // expect {"error": ...} body
 	}{
-		{"query via GET", http.MethodGet, "/query", "", http.StatusMethodNotAllowed, false},
-		{"feedback via GET", http.MethodGet, "/feedback", "", http.StatusMethodNotAllowed, false},
-		{"schema via POST", http.MethodPost, "/schema", "{}", http.StatusMethodNotAllowed, false},
-		{"metrics via POST", http.MethodPost, "/metrics", "{}", http.StatusMethodNotAllowed, false},
-		{"malformed query JSON", http.MethodPost, "/query", "{not json", http.StatusBadRequest, true},
-		{"malformed explain JSON", http.MethodPost, "/explain", "[1,2", http.StatusBadRequest, true},
-		{"malformed feedback JSON", http.MethodPost, "/feedback", `{"source": 7}`, http.StatusBadRequest, true},
-		{"unparsable SQL", http.MethodPost, "/query", `{"query": "DROP TABLE people"}`, http.StatusBadRequest, true},
-		{"empty SQL", http.MethodPost, "/query", `{"query": ""}`, http.StatusBadRequest, true},
-		{"bad semantics", http.MethodPost, "/query", `{"query": "SELECT name FROM people", "semantics": "by-magic"}`, http.StatusBadRequest, true},
-		{"bad candidates limit", http.MethodGet, "/candidates?limit=-2", "", http.StatusBadRequest, true},
-		{"unknown route", http.MethodGet, "/nope", "", http.StatusNotFound, false},
+		{"query via GET", http.MethodGet, "/v1/query", "", http.StatusMethodNotAllowed, false},
+		{"feedback via GET", http.MethodGet, "/v1/feedback", "", http.StatusMethodNotAllowed, false},
+		{"schema via POST", http.MethodPost, "/v1/schema", "{}", http.StatusMethodNotAllowed, false},
+		{"metrics via POST", http.MethodPost, "/v1/metrics", "{}", http.StatusMethodNotAllowed, false},
+		{"malformed query JSON", http.MethodPost, "/v1/query", "{not json", http.StatusBadRequest, true},
+		{"malformed explain JSON", http.MethodPost, "/v1/explain", "[1,2", http.StatusBadRequest, true},
+		{"malformed feedback JSON", http.MethodPost, "/v1/feedback", `{"source": 7}`, http.StatusBadRequest, true},
+		{"unparsable SQL", http.MethodPost, "/v1/query", `{"query": "DROP TABLE people"}`, http.StatusBadRequest, true},
+		{"empty SQL", http.MethodPost, "/v1/query", `{"query": ""}`, http.StatusBadRequest, true},
+		{"bad semantics", http.MethodPost, "/v1/query", `{"query": "SELECT name FROM people", "semantics": "by-magic"}`, http.StatusBadRequest, true},
+		{"bad candidates limit", http.MethodGet, "/v1/candidates?limit=-2", "", http.StatusBadRequest, true},
+		{"unknown route", http.MethodGet, "/v1/nope", "", http.StatusNotFound, false},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -71,14 +71,12 @@ func TestErrorPaths(t *testing.T) {
 				t.Fatalf("status = %d, want %d", resp.StatusCode, c.wantStatus)
 			}
 			if c.wantJSON {
-				var out struct {
-					Error string `json:"error"`
-				}
+				var out errorResponse
 				if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 					t.Fatalf("body is not JSON: %v", err)
 				}
-				if out.Error == "" {
-					t.Error("error body has no message")
+				if out.Error.Code == "" || out.Error.Message == "" {
+					t.Errorf("error envelope incomplete: %+v", out.Error)
 				}
 			}
 		})
@@ -90,11 +88,11 @@ func TestErrorPaths(t *testing.T) {
 // recorded by the answer engine.
 func TestMetricsEndpoint(t *testing.T) {
 	srv, _ := metricsServer(t)
-	if _, out := postJSON(t, srv.URL+"/query", map[string]any{"query": "SELECT name FROM people"}); out["answers"] == nil {
+	if _, out := postJSON(t, srv.URL+"/v1/query", map[string]any{"query": "SELECT name FROM people"}); out["answers"] == nil {
 		t.Fatal("query returned no answers")
 	}
 
-	resp, err := http.Get(srv.URL + "/metrics")
+	resp, err := http.Get(srv.URL + "/v1/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +124,7 @@ func TestMetricsEndpoint(t *testing.T) {
 // TestMetricsErrorCounter checks that 4xx responses increment http.errors.
 func TestMetricsErrorCounter(t *testing.T) {
 	srv, reg := metricsServer(t)
-	resp, err := http.Post(srv.URL+"/query", "application/json", strings.NewReader("{bad"))
+	resp, err := http.Post(srv.URL+"/v1/query", "application/json", strings.NewReader("{bad"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +194,7 @@ func TestRequestLogging(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	api := NewServer(sys)
+	api := NewServer(sys, Options{})
 	var lines []string
 	api.Logf = func(format string, args ...any) {
 		lines = append(lines, fmt.Sprintf(format, args...))

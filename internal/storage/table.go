@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -188,6 +189,14 @@ func (t *Table) Select(project []string, preds []Pred) ([][]string, error) {
 // which the probabilistic query engine uses to identify answer
 // occurrences across alternative mappings.
 func (t *Table) SelectIdx(project []string, preds []Pred) ([]int, [][]string, error) {
+	return t.SelectIdxCtx(context.Background(), project, preds)
+}
+
+// SelectIdxCtx is SelectIdx under a context: the scan checks for
+// cancellation every cancelCheckRows rows and returns ctx.Err() when the
+// deadline expires or the caller cancels, so an HTTP request deadline
+// actually stops the work instead of letting it run to completion.
+func (t *Table) SelectIdxCtx(ctx context.Context, project []string, preds []Pred) ([]int, [][]string, error) {
 	projIdx := make([]int, len(project))
 	for i, a := range project {
 		idx := t.Source.AttrIndex(a)
@@ -204,15 +213,28 @@ func (t *Table) SelectIdx(project []string, preds []Pred) ([]int, [][]string, er
 		}
 		predIdx[i] = idx
 	}
-	idxs, out := t.SelectIdxCols(projIdx, preds, predIdx)
-	return idxs, out, nil
+	return t.SelectIdxColsCtx(ctx, projIdx, preds, predIdx)
 }
 
-// SelectIdxCols is SelectIdx with attribute resolution already done: the
-// projection and predicate columns are given as column indices (the
+// SelectIdxCols is SelectIdxColsCtx without a cancellation point; the
+// background context never expires, so the error return is dropped.
+func (t *Table) SelectIdxCols(projIdx []int, preds []Pred, predIdx []int) ([]int, [][]string) {
+	idxs, out, _ := t.SelectIdxColsCtx(context.Background(), projIdx, preds, predIdx)
+	return idxs, out
+}
+
+// cancelCheckRows is the scan interval between context checks: frequent
+// enough that a canceled query stops within microseconds, rare enough
+// that the atomic load is invisible in scan throughput.
+const cancelCheckRows = 1024
+
+// SelectIdxColsCtx is SelectIdx with attribute resolution already done:
+// the projection and predicate columns are given as column indices (the
 // predicates' Attr fields are ignored). The plan cache uses it to skip
 // per-query name lookups. Column indices must be valid for the source.
-func (t *Table) SelectIdxCols(projIdx []int, preds []Pred, predIdx []int) ([]int, [][]string) {
+// The scan polls ctx every cancelCheckRows rows; on cancellation it
+// returns ctx.Err() and partial output must be discarded.
+func (t *Table) SelectIdxColsCtx(ctx context.Context, projIdx []int, preds []Pred, predIdx []int) ([]int, [][]string, error) {
 	var idxs []int
 	var out [][]string
 	emit := func(r int, row []string) {
@@ -270,7 +292,12 @@ func (t *Table) SelectIdxCols(projIdx []int, preds []Pred, predIdx []int) ([]int
 			// (see canonicalValue), so candidates already satisfy every
 			// equality predicate; only the remaining operators need the
 			// per-row check.
-			for _, r := range candidates {
+			for n, r := range candidates {
+				if n%cancelCheckRows == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, nil, err
+					}
+				}
 				row := t.Source.Rows[r]
 				ok := true
 				for _, i := range verify {
@@ -283,15 +310,20 @@ func (t *Table) SelectIdxCols(projIdx []int, preds []Pred, predIdx []int) ([]int
 					emit(r, row)
 				}
 			}
-			return idxs, out
+			return idxs, out, nil
 		}
 	}
 	for r, row := range t.Source.Rows {
+		if r%cancelCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
 		if matches(row) {
 			emit(r, row)
 		}
 	}
-	return idxs, out
+	return idxs, out, nil
 }
 
 // defaultIndexThreshold is the row count below which a full scan beats
