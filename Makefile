@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build test race race-setup race-serve api-compat vet bench bench-setup fuzz experiments
+.PHONY: check build test race race-setup race-serve api-compat crash-recovery vet bench bench-setup fuzz experiments
 
-check: vet build race race-setup race-serve api-compat fuzz
+check: vet build race race-setup race-serve api-compat crash-recovery fuzz
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +40,14 @@ race-serve:
 # (with their Deprecation markers) alongside /v1.
 api-compat:
 	$(GO) test -run 'TestLegacyAliases|TestFeedbackAdvancesEpoch' ./internal/httpapi
+
+# Durability gate: the torn-write fault-injection matrix (every WAL byte
+# offset, plus mid-log corruption refusal at both the wal and store
+# layers), then the checkpoint-rotation soak under the race detector
+# (readers serving across snapshot rotations).
+crash-recovery:
+	$(GO) test -run 'TestKillAtEveryByteOffset|TestMidLogCorruptionRefused|TestKillAtEveryWALOffset|TestOpenStoreMidLogCorruptionRefused|TestFailedCommitReplay|TestCrashBetweenAppendAndPublish' ./internal/wal ./internal/persist
+	$(GO) test -race -run 'TestCheckpointRotationSoak|TestStoreWarmStart' ./internal/persist
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

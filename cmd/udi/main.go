@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -54,6 +55,9 @@ func run(domain, data string, sources int, query, approach string, top int, show
 	case load != "":
 		fmt.Fprintf(os.Stderr, "restoring system from %s...\n", load)
 		restored, err := persist.LoadFile(load, core.Config{})
+		if errors.Is(err, persist.ErrCorrupt) {
+			return fmt.Errorf("snapshot %s is damaged and cannot be restored (re-run setup and -save): %w", load, err)
+		}
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,17 @@
 //	udiserver -domain People -addr :8080
 //	udiserver -load car.udi.gz -addr 127.0.0.1:9000
 //	udiserver -data ./my-tables -max-inflight 32 -query-timeout 2s
+//	udiserver -domain Car -data-dir /var/lib/udi/car
+//
+// With -data-dir the server is durable: every committed mutation
+// (feedback, source add/remove) is write-ahead-logged and fsynced before
+// it is acknowledged, and every -checkpoint-every commits the system is
+// snapshotted atomically and the log truncated. A restart with the same
+// -data-dir recovers the exact last-committed state (snapshot + WAL tail
+// replay; a torn final record from a mid-append crash is dropped, any
+// other damage refuses startup). On the first start the initial system
+// comes from -domain/-data/-load as usual; afterwards those flags are
+// ignored in favor of the recovered state.
 //
 // Endpoints (all under /v1; the unversioned paths remain as deprecated
 // aliases and answer with a Deprecation header):
@@ -57,6 +68,8 @@ func main() {
 	load := flag.String("load", "", "serve a system snapshot instead of setting up")
 	sources := flag.Int("sources", 0, "limit the number of sources (0 = full domain)")
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	dataDir := flag.String("data-dir", "", "durable mode: WAL + checkpoints in this directory; restarts recover the last committed state")
+	checkpointEvery := flag.Uint64("checkpoint-every", persist.DefaultCheckpointEvery, "commits between checkpoint rotations in -data-dir mode")
 	top := flag.Int("top", 0, "default answer limit for /v1/query when the request sets no \"top\" (0 = unlimited)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent query-path requests; excess gets 429 (0 = unlimited)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-request deadline for query-path requests; expiry gets 504 (0 = none)")
@@ -71,16 +84,29 @@ func main() {
 	if *verbose {
 		opts.Logf = log.Printf
 	}
-	if err := run(*domain, *data, *load, *sources, *addr, opts); err != nil {
+	if err := run(*domain, *data, *load, *sources, *addr, *dataDir, *checkpointEvery, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "udiserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(domain, data, load string, sources int, addr string, opts httpapi.Options) error {
-	sys, err := buildSystem(domain, data, load, sources)
+func run(domain, data, load string, sources int, addr, dataDir string, checkpointEvery uint64, opts httpapi.Options) error {
+	sys, store, err := openSystem(domain, data, load, sources, dataDir, checkpointEvery)
 	if err != nil {
 		return err
+	}
+	if store != nil {
+		opts.Durability = func() httpapi.DurabilityStatus {
+			s := store.Status()
+			return httpapi.DurabilityStatus{
+				CheckpointSeq: s.CheckpointSeq,
+				CheckpointAt:  s.CheckpointAt,
+				LastSeq:       s.LastSeq,
+				WALRecords:    s.WALRecords,
+				WALBytes:      s.WALBytes,
+				Replayed:      s.Replayed,
+			}
+		}
 	}
 	api := httpapi.NewServer(sys, opts)
 	server := &http.Server{
@@ -112,8 +138,42 @@ func run(domain, data, load string, sources int, addr string, opts httpapi.Optio
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
+		if store != nil {
+			// Fold the WAL tail into a final checkpoint so the next start
+			// replays nothing; the WAL already makes this crash-safe, so a
+			// failed checkpoint only costs the next start replay time.
+			if err := store.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "final checkpoint:", err)
+			}
+			return store.Close()
+		}
 		return nil
 	}
+}
+
+// openSystem builds or recovers the serving system. Without a data
+// directory it is the in-memory buildSystem; with one, the durable store
+// owns the lifecycle: setup runs only when the directory is empty, and a
+// corrupt snapshot or WAL refuses startup with persist.ErrCorrupt /
+// wal.ErrCorrupt rather than serving a state that was never committed.
+func openSystem(domain, data, load string, sources int, dataDir string, checkpointEvery uint64) (*core.System, *persist.Store, error) {
+	if dataDir == "" {
+		sys, err := buildSystem(domain, data, load, sources)
+		return sys, nil, err
+	}
+	sys, store, err := persist.OpenStore(dataDir, core.Config{},
+		persist.StoreOptions{CheckpointEvery: checkpointEvery},
+		func() (*core.System, error) {
+			return buildSystem(domain, data, load, sources)
+		})
+	if err != nil {
+		return nil, nil, fmt.Errorf("data dir %s: %w", dataDir, err)
+	}
+	if s := store.Status(); s.Replayed > 0 {
+		fmt.Fprintf(os.Stderr, "recovered %s: replayed %d logged mutations onto checkpoint seq %d\n",
+			dataDir, s.Replayed, s.CheckpointSeq)
+	}
+	return sys, store, nil
 }
 
 func buildSystem(domain, data, load string, sources int) (*core.System, error) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -14,6 +15,7 @@ import (
 	"udi/internal/httpapi"
 	"udi/internal/obs"
 	"udi/internal/persist"
+	"udi/internal/sqlparse"
 )
 
 func TestBuildSystemDomain(t *testing.T) {
@@ -70,6 +72,94 @@ func TestBuildSystemSnapshot(t *testing.T) {
 	}
 	if _, err := buildSystem("", "", filepath.Join(t.TempDir(), "none.gz"), 0); err == nil {
 		t.Error("missing snapshot accepted")
+	}
+}
+
+// TestDurableRestartAllDomains is the acceptance gate for -data-dir: for
+// every evaluation domain, a server that took feedback and a new source,
+// then stopped without a final checkpoint, must recover by WAL replay and
+// answer the domain's full golden query suite identically (1e-12).
+func TestDurableRestartAllDomains(t *testing.T) {
+	for _, d := range datagen.AllDomains() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			dir := t.TempDir()
+			sys, store, err := openSystem(d.Name, "", "", 8, dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// One real feedback item plus a source arrival.
+			fed := false
+			for _, src := range sys.Corpus.Sources {
+				for l, pm := range sys.Maps[src.Name] {
+					if len(pm.Groups) > 0 && len(pm.Groups[0].Corrs) > 0 {
+						c := pm.Groups[0].Corrs[0]
+						if err := sys.ApplyFeedbackAt(src.Name, l, c.SrcAttr, c.MedIdx, true); err != nil {
+							t.Fatal(err)
+						}
+						fed = true
+						break
+					}
+				}
+				if fed {
+					break
+				}
+			}
+			if !fed {
+				t.Fatal("no correspondence to confirm")
+			}
+			extra := datagen.MustGenerate(d).Corpus.Sources[8]
+			if _, err := sys.AddSource(extra); err != nil {
+				t.Fatal(err)
+			}
+
+			type ans struct {
+				key  string
+				prob float64
+			}
+			record := func(s *core.System) [][]ans {
+				var all [][]ans
+				for _, qs := range d.Queries {
+					res, err := s.QueryParsed(sqlparse.MustParse(qs))
+					if err != nil {
+						t.Fatalf("%q: %v", qs, err)
+					}
+					var out []ans
+					for _, a := range res.Ranked {
+						out = append(out, ans{strings.Join(a.Values, "\x1f"), a.Prob})
+					}
+					all = append(all, out)
+				}
+				return all
+			}
+			want := record(sys)
+			if err := store.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			sys2, store2, err := openSystem(d.Name, "", "", 8, dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer store2.Close()
+			if got := store2.Status().Replayed; got != 2 {
+				t.Errorf("replayed %d mutations, want 2", got)
+			}
+			got := record(sys2)
+			for qi := range want {
+				if len(want[qi]) != len(got[qi]) {
+					t.Fatalf("%q: %d vs %d answers", d.Queries[qi], len(want[qi]), len(got[qi]))
+				}
+				for ai := range want[qi] {
+					w, g := want[qi][ai], got[qi][ai]
+					if w.key != g.key || math.Abs(w.prob-g.prob) > 1e-12 {
+						t.Errorf("%q answer %d: %v/%.15g vs %v/%.15g",
+							d.Queries[qi], ai, w.key, w.prob, g.key, g.prob)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -139,6 +139,10 @@ type System struct {
 	epoch      atomic.Uint64
 	commitMu   sync.Mutex
 	committing atomic.Bool
+
+	// clog, when set, write-ahead-logs every commit (see CommitLog).
+	// Read under commitMu only.
+	clog CommitLog
 }
 
 // Setup runs the full automatic configuration of Figure 2 over the corpus.

@@ -1,0 +1,73 @@
+package core
+
+// This file defines the hook a durability layer (internal/persist.Store)
+// uses to write-ahead-log the single-writer commit path. The core stays
+// storage-agnostic: it describes each mutation as a serializable Op and
+// calls the CommitLog around apply/publish; what "durable" means (WAL
+// framing, fsync, checkpoints) lives behind the interface.
+
+// Op kinds, one per mutation the commit path accepts.
+const (
+	OpFeedback     = "feedback"
+	OpAddSource    = "add_source"
+	OpRemoveSource = "remove_source"
+)
+
+// Op describes one serving-state mutation in a replayable form: applying
+// the same Op to the same system state deterministically reproduces the
+// commit. Exactly one payload field is set, matching Kind.
+type Op struct {
+	Kind     string      `json:"kind"`
+	Feedback *Feedback   `json:"feedback,omitempty"`
+	Add      *SourceData `json:"add,omitempty"`
+	Remove   string      `json:"remove,omitempty"`
+}
+
+// SourceData is the raw content of a source (the input AddSource was
+// given), sufficient to reconstruct it with schema.NewSource on replay.
+type SourceData struct {
+	Name  string     `json:"name"`
+	Attrs []string   `json:"attrs"`
+	Rows  [][]string `json:"rows"`
+}
+
+// CommitLog hooks a durability layer into the commit path. All three
+// methods are called with the single-writer commit lock held, in
+// write-ahead order:
+//
+//	Begin(op)      before the mutation is applied — the implementation
+//	               must make the op durable (append + fsync) and assign
+//	               it a sequence number before returning; an error
+//	               fails the commit without applying anything.
+//	Abort(seq)     the mutation failed after Begin: the implementation
+//	               must durably record that seq was NOT applied (a
+//	               compensating abort record), so recovery never
+//	               replays it.
+//	Committed(seq) the mutation applied and the next epoch is
+//	               published; checkpoint rotation hangs off this.
+type CommitLog interface {
+	Begin(op Op) (seq uint64, err error)
+	Abort(seq uint64) error
+	Committed(seq uint64)
+}
+
+// SetCommitLog attaches a durability layer to the commit path. Attach it
+// before serving mutations (it is read under the commit lock but must
+// not change while commits run); a nil log restores in-memory-only
+// commits. Recovery replays a WAL into a system *before* attaching the
+// log, so replayed mutations are not re-logged.
+func (s *System) SetCommitLog(l CommitLog) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	s.clog = l
+}
+
+// Barrier runs fn while holding the single-writer commit lock, with no
+// mutation in flight. Durability layers use it to read a stable view of
+// the writer state (e.g. checkpointing a snapshot) without racing
+// commits; queries are unaffected (they read published snapshots).
+func (s *System) Barrier(fn func()) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	fn()
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"udi/internal/schema"
+)
+
+// recordingLog captures the commit path's CommitLog calls.
+type recordingLog struct {
+	seq      uint64
+	beginErr error
+	calls    []string
+	ops      []Op
+}
+
+func (l *recordingLog) Begin(op Op) (uint64, error) {
+	if l.beginErr != nil {
+		return 0, l.beginErr
+	}
+	l.seq++
+	l.calls = append(l.calls, "begin:"+op.Kind)
+	l.ops = append(l.ops, op)
+	return l.seq, nil
+}
+
+func (l *recordingLog) Abort(seq uint64) error {
+	l.calls = append(l.calls, "abort")
+	return nil
+}
+
+func (l *recordingLog) Committed(seq uint64) {
+	l.calls = append(l.calls, "committed")
+}
+
+// TestCommitLogWriteAheadOrder pins the hook protocol: a successful
+// commit is Begin then Committed; a failed one is Begin then Abort with
+// no epoch published; every mutation kind carries a replayable op.
+func TestCommitLogWriteAheadOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	sys, err := Setup(randomCorpus(rng), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &recordingLog{}
+	sys.SetCommitLog(log)
+
+	if err := applyAnyFeedback(sys); err != nil {
+		t.Fatal(err)
+	}
+	src := schema.MustNewSource("wal-added", []string{"alpha", "bravo"},
+		[][]string{{"v1", "v2"}, {"v3", "v4"}})
+	if _, err := sys.AddSource(src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RemoveSource("wal-added"); err != nil {
+		t.Fatal(err)
+	}
+
+	epoch := sys.Epoch()
+	if err := sys.SubmitFeedback(Feedback{Source: "no-such", SrcAttr: "a", MedName: "b"}); err == nil {
+		t.Fatal("feedback for unknown source succeeded")
+	}
+	if got := sys.Epoch(); got != epoch {
+		t.Errorf("failed logged commit advanced the epoch: %d -> %d", epoch, got)
+	}
+
+	want := []string{
+		"begin:feedback", "committed",
+		"begin:add_source", "committed",
+		"begin:remove_source", "committed",
+		"begin:feedback", "abort",
+	}
+	if len(log.calls) != len(want) {
+		t.Fatalf("calls = %v, want %v", log.calls, want)
+	}
+	for i := range want {
+		if log.calls[i] != want[i] {
+			t.Fatalf("call %d = %q, want %q (all: %v)", i, log.calls[i], want[i], log.calls)
+		}
+	}
+
+	// The add_source op must carry the full source content for replay.
+	add := log.ops[1]
+	if add.Add == nil || add.Add.Name != "wal-added" || len(add.Add.Rows) != 2 {
+		t.Errorf("add_source op payload = %+v", add.Add)
+	}
+	if log.ops[2].Remove != "wal-added" {
+		t.Errorf("remove_source op payload = %+v", log.ops[2])
+	}
+}
+
+// TestCommitLogBeginFailureBlocksCommit: when the durability layer
+// cannot log the op, the mutation must not apply at all — durability
+// strictly precedes visibility.
+func TestCommitLogBeginFailureBlocksCommit(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	sys, err := Setup(randomCorpus(rng), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskFull := errors.New("disk full")
+	sys.SetCommitLog(&recordingLog{beginErr: diskFull})
+
+	epoch := sys.Epoch()
+	err = applyAnyFeedback(sys)
+	if !errors.Is(err, diskFull) {
+		t.Fatalf("err = %v, want wrapped disk full", err)
+	}
+	if got := sys.Epoch(); got != epoch {
+		t.Errorf("unlogged commit advanced the epoch: %d -> %d", epoch, got)
+	}
+
+	// Detaching the log restores in-memory commits.
+	sys.SetCommitLog(nil)
+	if err := applyAnyFeedback(sys); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Epoch(); got != epoch+1 {
+		t.Errorf("epoch = %d, want %d", got, epoch+1)
+	}
+}

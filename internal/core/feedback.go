@@ -40,7 +40,8 @@ type Feedback struct {
 // source, bad target, conditioning error) publishes nothing. This is the
 // pay-as-you-go improvement loop the paper leaves as future work (§9).
 func (s *System) SubmitFeedback(fb Feedback) error {
-	return s.commit("feedback", func() error { return s.applyFeedbackLocked(fb) })
+	op := &Op{Kind: OpFeedback, Feedback: &fb}
+	return s.commit("feedback", op, func() error { return s.applyFeedbackLocked(fb) })
 }
 
 // ApplyFeedback is the name-based convenience form of SubmitFeedback.

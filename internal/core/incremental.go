@@ -29,7 +29,8 @@ import (
 // In-flight queries keep serving the previous snapshot throughout.
 func (s *System) AddSource(src *schema.Source) (bool, error) {
 	fast := false
-	err := s.commit("add_source", func() error {
+	op := &Op{Kind: OpAddSource, Add: &SourceData{Name: src.Name, Attrs: src.Attrs, Rows: src.Rows}}
+	err := s.commit("add_source", op, func() error {
 		var err error
 		fast, err = s.addSourceLocked(src)
 		return err
@@ -83,6 +84,7 @@ func (s *System) addSourceLocked(src *schema.Source) (bool, error) {
 		s.adopt(rebuilt)
 		return false, nil
 	}
+	oldMed := s.Med
 	s.Med = &mediate.Result{PMed: pmed, Graph: med.Graph, FrequentAttrs: med.FrequentAttrs}
 	// Consolidation scales mapping probabilities by Pr(M_i), which the new
 	// source just shifted, so cached consolidations no longer match the
@@ -90,6 +92,20 @@ func (s *System) addSourceLocked(src *schema.Source) (bool, error) {
 	// depends only on the clusterings, which are unchanged on this path.
 	s.caches.cons.invalidate()
 	s.Timings.MedSchema += sp.End()
+
+	// Build the new source's p-mappings before touching any other writer
+	// field (they read s.Med, so that assignment precedes this): a failed
+	// commit must leave the writer state exactly as it was, or the next
+	// successful commit would publish a corpus/engine/maps mix no epoch
+	// ever equaled.
+	sp = trace.Child("pmappings")
+	pms, err := s.buildSourceMappings(src)
+	if err != nil {
+		s.Med = oldMed
+		sp.End()
+		return false, err
+	}
+	s.Timings.PMappings += sp.End()
 
 	s.Corpus = corpus
 	sp = trace.Child("import")
@@ -100,17 +116,10 @@ func (s *System) addSourceLocked(src *schema.Source) (bool, error) {
 	s.kw = keyword.NewEngine(s.kwIndex)
 	s.Timings.Import += sp.End()
 
-	sp = trace.Child("pmappings")
-	pms, err := s.buildSourceMappings(src)
-	if err != nil {
-		sp.End()
-		return false, err
-	}
 	// Copy-on-write: published snapshots hold the old maps; grow clones.
 	maps := clonedMaps(s.Maps)
 	maps[src.Name] = pms
 	s.Maps = maps
-	s.Timings.PMappings += sp.End()
 
 	sp = trace.Child("consolidate")
 	cons := clonedMaps(s.ConsMaps)
@@ -133,7 +142,8 @@ func (s *System) addSourceLocked(src *schema.Source) (bool, error) {
 // AddSource).
 func (s *System) RemoveSource(name string) (bool, error) {
 	fast := false
-	err := s.commit("remove_source", func() error {
+	op := &Op{Kind: OpRemoveSource, Remove: name}
+	err := s.commit("remove_source", op, func() error {
 		var err error
 		fast, err = s.removeSourceLocked(name)
 		return err

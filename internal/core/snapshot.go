@@ -101,16 +101,42 @@ func (s *System) publish() *Snapshot {
 // commit runs one mutation under the single-writer lock and publishes the
 // next epoch if it succeeds. A failed mutation publishes nothing: the
 // serving snapshot is untouched, so commits are all-or-nothing.
-func (s *System) commit(kind string, fn func() error) error {
+//
+// With a CommitLog attached the order is write-ahead: the op is durably
+// logged first, then applied, then published. A mutation that fails
+// after logging writes a compensating abort record so recovery never
+// replays it; if even the abort cannot be made durable, the error
+// surfaces to the caller and recovery's replay discards the op when its
+// application fails at the log's tail.
+func (s *System) commit(kind string, op *Op, fn func() error) error {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 	s.committing.Store(true)
 	defer s.committing.Store(false)
 	t0 := time.Now()
+	var seq uint64
+	logged := false
+	if s.clog != nil && op != nil {
+		var err error
+		if seq, err = s.clog.Begin(*op); err != nil {
+			return fmt.Errorf("core: commit log: %w", err)
+		}
+		logged = true
+	}
 	if err := fn(); err != nil {
+		if logged {
+			if aerr := s.clog.Abort(seq); aerr != nil {
+				s.Cfg.Obs.Add("commit.abort_errors", 1)
+				return fmt.Errorf("core: %w (and abort record failed: %v)", err, aerr)
+			}
+			s.Cfg.Obs.Add("commit.aborts", 1)
+		}
 		return err
 	}
 	s.publish()
+	if logged {
+		s.clog.Committed(seq)
+	}
 	if r := s.Cfg.Obs; r.Enabled() {
 		r.Observe("commit.seconds", time.Since(t0).Seconds())
 		r.Add("commit."+kind, 1)

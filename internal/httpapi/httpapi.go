@@ -79,6 +79,27 @@ type Options struct {
 	// Logf receives one line per request (method, path, status, duration)
 	// and one line per internal error. Nil disables logging.
 	Logf func(format string, args ...any)
+	// Durability, when set, reports the persistence layer's state; it is
+	// included in /v1/schema responses. Nil means the server is
+	// in-memory only and the field is omitted.
+	Durability func() DurabilityStatus
+}
+
+// DurabilityStatus mirrors the persistence layer's recovery state for
+// the API (see persist.Store.Status); httpapi does not import persist,
+// so the server wires an adapter through Options.Durability.
+type DurabilityStatus struct {
+	// CheckpointSeq is the WAL sequence the on-disk snapshot covers;
+	// CheckpointAt is when it was written.
+	CheckpointSeq uint64    `json:"checkpoint_seq"`
+	CheckpointAt  time.Time `json:"checkpoint_at"`
+	// LastSeq is the newest write-ahead-logged mutation.
+	LastSeq uint64 `json:"last_seq"`
+	// WALRecords/WALBytes measure the log tail a restart would replay.
+	WALRecords int   `json:"wal_records"`
+	WALBytes   int64 `json:"wal_bytes"`
+	// Replayed is how many mutations the last startup recovered.
+	Replayed int `json:"replayed"`
 }
 
 // Server wraps a system with the HTTP handlers. It holds no lock: reads
@@ -356,6 +377,9 @@ type schemaResponse struct {
 	// Committing reports an in-progress mutation: answers keep coming
 	// from this epoch, but a newer one is being built.
 	Committing bool `json:"committing"`
+	// Durability is present when the server persists mutations (the
+	// udiserver -data-dir mode); omitted for in-memory serving.
+	Durability *DurabilityStatus `json:"durability,omitempty"`
 }
 
 type schemaJSON struct {
@@ -370,6 +394,10 @@ func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
 		CreatedAt:        sn.CreatedAt,
 		StalenessSeconds: time.Since(sn.CreatedAt).Seconds(),
 		Committing:       s.sys.Committing(),
+	}
+	if s.opts.Durability != nil {
+		d := s.opts.Durability()
+		resp.Durability = &d
 	}
 	for i, m := range sn.Med.PMed.Schemas {
 		sj := schemaJSON{Prob: sn.Med.PMed.Probs[i]}

@@ -92,6 +92,52 @@ func TestSchemaEndpoint(t *testing.T) {
 	}
 }
 
+func TestSchemaDurabilityStatus(t *testing.T) {
+	spec := datagen.People(103)
+	spec.NumSources = 20
+	c := datagen.MustGenerate(spec)
+	sys, err := core.Setup(c.Corpus, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without a durability hook the field is absent entirely.
+	plain := httptest.NewServer(NewServer(sys, Options{}).Handler())
+	t.Cleanup(plain.Close)
+	resp, err := http.Get(plain.URL + "/v1/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := raw["durability"]; ok {
+		t.Error("in-memory server reports durability")
+	}
+
+	durable := httptest.NewServer(NewServer(sys, Options{
+		Durability: func() DurabilityStatus {
+			return DurabilityStatus{CheckpointSeq: 7, LastSeq: 9, WALRecords: 2, WALBytes: 180, Replayed: 3}
+		},
+	}).Handler())
+	t.Cleanup(durable.Close)
+	resp, err = http.Get(durable.URL + "/v1/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out schemaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	d := out.Durability
+	if d == nil || d.CheckpointSeq != 7 || d.LastSeq != 9 || d.WALRecords != 2 || d.WALBytes != 180 || d.Replayed != 3 {
+		t.Errorf("durability = %+v", d)
+	}
+}
+
 func TestQueryEndpoint(t *testing.T) {
 	srv := testServer(t)
 	resp, out := postJSON(t, srv.URL+"/v1/query", queryRequest{

@@ -9,9 +9,11 @@ package persist
 import (
 	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"udi/internal/consolidate"
 	"udi/internal/core"
@@ -24,6 +26,12 @@ import (
 // written by an incompatible version.
 const FormatVersion = 1
 
+// ErrCorrupt reports a snapshot whose bytes do not decode into a loadable
+// system — a truncated or damaged file must fail loudly at startup, never
+// restore as an empty-but-queryable system. Wrapped errors carry the
+// approximate byte offset of the damage.
+var ErrCorrupt = errors.New("persist: corrupt snapshot")
+
 type snapshot struct {
 	Version int          `json:"version"`
 	Domain  string       `json:"domain"`
@@ -32,6 +40,10 @@ type snapshot struct {
 	Maps    []sourceMaps `json:"p_mappings"`
 	Target  [][]string   `json:"consolidated_schema"`
 	Cons    []consDTO    `json:"consolidated_mappings"`
+	// WALSeq is the sequence number of the last write-ahead-log record
+	// this snapshot covers (see Store); recovery replays only records
+	// with a higher sequence. Zero for standalone snapshots.
+	WALSeq uint64 `json:"wal_seq,omitempty"`
 }
 
 type sourceDTO struct {
@@ -78,10 +90,14 @@ type oneToManyDTO struct {
 }
 
 // Save writes a gzip-compressed JSON snapshot of the system.
-func Save(w io.Writer, sys *core.System) error {
+func Save(w io.Writer, sys *core.System) error { return saveSnapshot(w, sys, 0) }
+
+// saveSnapshot is Save carrying the WAL sequence the snapshot covers.
+func saveSnapshot(w io.Writer, sys *core.System, walSeq uint64) error {
 	snap := snapshot{
 		Version: FormatVersion,
 		Domain:  sys.Corpus.Domain,
+		WALSeq:  walSeq,
 	}
 	for _, s := range sys.Corpus.Sources {
 		snap.Sources = append(snap.Sources, sourceDTO{Name: s.Name, Attrs: s.Attrs, Rows: s.Rows})
@@ -135,32 +151,66 @@ func Save(w io.Writer, sys *core.System) error {
 	return gz.Close()
 }
 
-// Load reads a snapshot and restores a ready-to-query system.
+// countingReader tracks bytes consumed so corruption errors can report
+// where in the file the damage sits.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Load reads a snapshot and restores a ready-to-query system. Damage —
+// a stream that is not gzip, is truncated mid-JSON, or decodes into a
+// structurally invalid system (no sources, bad probabilities, dangling
+// mapping references) — returns an error wrapping ErrCorrupt with the
+// byte offset reached, so callers can distinguish "corrupt file" from
+// "wrong version" or I/O failures.
 func Load(r io.Reader, cfg core.Config) (*core.System, error) {
-	gz, err := gzip.NewReader(r)
+	sys, _, err := load(r, cfg)
+	return sys, err
+}
+
+// load is Load returning the snapshot's WAL sequence too (see Store).
+func load(r io.Reader, cfg core.Config) (*core.System, uint64, error) {
+	cr := &countingReader{r: r}
+	gz, err := gzip.NewReader(cr)
 	if err != nil {
-		return nil, fmt.Errorf("persist: %w", err)
+		return nil, 0, fmt.Errorf("persist: at byte %d: %w (%v)", cr.n, ErrCorrupt, err)
 	}
 	defer gz.Close()
 	var snap snapshot
 	if err := json.NewDecoder(gz).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("persist: decode: %w", err)
+		return nil, 0, fmt.Errorf("persist: decode at byte %d: %w (%v)", cr.n, ErrCorrupt, err)
 	}
 	if snap.Version != FormatVersion {
-		return nil, fmt.Errorf("persist: snapshot version %d, want %d", snap.Version, FormatVersion)
+		return nil, 0, fmt.Errorf("persist: snapshot version %d, want %d", snap.Version, FormatVersion)
+	}
+	// A snapshot that decodes but describes no sources is damage (Save
+	// always writes the full corpus), not a tiny deployment: restoring it
+	// would serve an empty system that answers every query with nothing.
+	if len(snap.Sources) == 0 {
+		return nil, 0, fmt.Errorf("persist: at byte %d: %w (snapshot has no sources)", cr.n, ErrCorrupt)
+	}
+	corrupt := func(err error) error {
+		return fmt.Errorf("persist: at byte %d: %w (%v)", cr.n, ErrCorrupt, err)
 	}
 
 	var sources []*schema.Source
 	for _, s := range snap.Sources {
 		src, err := schema.NewSource(s.Name, s.Attrs, s.Rows)
 		if err != nil {
-			return nil, fmt.Errorf("persist: %w", err)
+			return nil, 0, corrupt(err)
 		}
 		sources = append(sources, src)
 	}
 	corpus, err := schema.NewCorpus(snap.Domain, sources)
 	if err != nil {
-		return nil, fmt.Errorf("persist: %w", err)
+		return nil, 0, corrupt(err)
 	}
 
 	var schemas []*schema.MediatedSchema
@@ -171,20 +221,20 @@ func Load(r io.Reader, cfg core.Config) (*core.System, error) {
 		}
 		m, err := schema.NewMediatedSchema(attrs)
 		if err != nil {
-			return nil, fmt.Errorf("persist: %w", err)
+			return nil, 0, corrupt(err)
 		}
 		schemas = append(schemas, m)
 	}
 	pmed, err := schema.NewPMedSchema(schemas, snap.PMed.Probs)
 	if err != nil {
-		return nil, fmt.Errorf("persist: %w", err)
+		return nil, 0, corrupt(err)
 	}
 
 	maps := make(map[string][]*pmapping.PMapping, len(snap.Maps))
 	for _, sm := range snap.Maps {
 		if len(sm.PerMed) != pmed.Len() {
-			return nil, fmt.Errorf("persist: source %q has %d p-mappings for %d schemas",
-				sm.Source, len(sm.PerMed), pmed.Len())
+			return nil, 0, corrupt(fmt.Errorf("source %q has %d p-mappings for %d schemas",
+				sm.Source, len(sm.PerMed), pmed.Len()))
 		}
 		var pms []*pmapping.PMapping
 		for l, dto := range sm.PerMed {
@@ -199,7 +249,7 @@ func Load(r io.Reader, cfg core.Config) (*core.System, error) {
 					g.Corrs = append(g.Corrs, pmapping.Corr{SrcAttr: c.SrcAttr, MedIdx: c.MedIdx, Weight: c.Weight})
 				}
 				if err := validateGroup(g); err != nil {
-					return nil, fmt.Errorf("persist: source %q schema %d: %w", sm.Source, l, err)
+					return nil, 0, corrupt(fmt.Errorf("source %q schema %d: %w", sm.Source, l, err))
 				}
 				pm.Groups = append(pm.Groups, g)
 			}
@@ -216,7 +266,7 @@ func Load(r io.Reader, cfg core.Config) (*core.System, error) {
 		}
 		target, err = schema.NewMediatedSchema(attrs)
 		if err != nil {
-			return nil, fmt.Errorf("persist: %w", err)
+			return nil, 0, corrupt(err)
 		}
 	}
 
@@ -229,7 +279,11 @@ func Load(r io.Reader, cfg core.Config) (*core.System, error) {
 		consMaps[cd.Source] = cpm
 	}
 
-	return core.Restore(corpus, cfg, &mediate.Result{PMed: pmed}, maps, target, consMaps)
+	sys, err := core.Restore(corpus, cfg, &mediate.Result{PMed: pmed}, maps, target, consMaps)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sys, snap.WALSeq, nil
 }
 
 // validateGroup checks structural sanity of a deserialized group so a
@@ -258,25 +312,73 @@ func validateGroup(g pmapping.Group) error {
 	return nil
 }
 
-// SaveFile snapshots the system to path.
-func SaveFile(path string, sys *core.System) error {
-	f, err := os.Create(path)
+// writeFileAtomic writes via a temp file in path's directory, fsyncs,
+// and renames over path, so a crash at any point leaves either the old
+// file or the new one — never a partial write. The directory is fsynced
+// after the rename so the new name itself survives a crash.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	if err := Save(f, sys); err != nil {
-		f.Close()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmp.Name())
+	}
+	if err := write(tmp); err != nil {
+		cleanup()
 		return err
 	}
-	return f.Close()
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("persist: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("persist: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Some
+// filesystems reject directory fsync; that is not a durability bug on
+// the ones that matter, so unsupported errors are ignored.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, errors.ErrUnsupported) {
+		return fmt.Errorf("persist: sync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// SaveFile snapshots the system to path atomically: the snapshot is
+// written to a temp file, fsynced, and renamed into place, so an
+// existing valid snapshot is never replaced by a partial one.
+func SaveFile(path string, sys *core.System) error {
+	return writeFileAtomic(path, func(w io.Writer) error { return Save(w, sys) })
 }
 
 // LoadFile restores a system from a snapshot file.
 func LoadFile(path string, cfg core.Config) (*core.System, error) {
+	sys, _, err := loadFileMeta(path, cfg)
+	return sys, err
+}
+
+// loadFileMeta is LoadFile returning the snapshot's WAL sequence too.
+func loadFileMeta(path string, cfg core.Config) (*core.System, uint64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("persist: %w", err)
+		return nil, 0, fmt.Errorf("persist: %w", err)
 	}
 	defer f.Close()
-	return Load(f, cfg)
+	return load(f, cfg)
 }

@@ -110,6 +110,139 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestLoadCorruptTruncated(t *testing.T) {
+	_, sys := buildSystem(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	// A truncated snapshot must surface as ErrCorrupt with a byte
+	// offset, not as a loadable-but-empty system.
+	cut := buf.Bytes()[:buf.Len()/3]
+	_, err := Load(bytes.NewReader(cut), core.Config{})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated snapshot: err = %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "byte") {
+		t.Errorf("corruption error carries no byte offset: %v", err)
+	}
+
+	// Valid gzip+JSON that describes no sources is damage too.
+	var empty bytes.Buffer
+	gz := gzip.NewWriter(&empty)
+	gz.Write([]byte(`{"version": 1, "domain": "people"}`))
+	gz.Close()
+	_, err = Load(&empty, core.Config{})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("zero-source snapshot: err = %v, want ErrCorrupt", err)
+	}
+
+	// Garbage and non-JSON streams classify as corrupt as well.
+	if _, err := Load(strings.NewReader("not gzip"), core.Config{}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("non-gzip: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestRoundTripAfterFeedback: a snapshot taken after feedback
+// conditioning restores the conditioned distributions exactly — every
+// p-mapping group's probabilities and 20 query answers at 1e-12.
+func TestRoundTripAfterFeedback(t *testing.T) {
+	c, sys := buildSystem(t)
+	applied := 0
+	for _, src := range sys.Corpus.Sources {
+		for l, pm := range sys.Maps[src.Name] {
+			for _, g := range pm.Groups {
+				if len(g.Corrs) == 0 {
+					continue
+				}
+				cr := g.Corrs[0]
+				if err := sys.ApplyFeedbackAt(src.Name, l, cr.SrcAttr, cr.MedIdx, true); err != nil {
+					t.Fatal(err)
+				}
+				applied++
+				break
+			}
+			if applied == 3 {
+				break
+			}
+		}
+		if applied == 3 {
+			break
+		}
+	}
+	if applied != 3 {
+		t.Fatalf("applied %d feedback items, want 3", applied)
+	}
+
+	var buf bytes.Buffer
+	if err := Save(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every p-mapping distribution survives bit-for-bit (to 1e-12).
+	for _, src := range sys.Corpus.Sources {
+		orig, got := sys.Maps[src.Name], restored.Maps[src.Name]
+		if len(orig) != len(got) {
+			t.Fatalf("%s: %d vs %d p-mappings", src.Name, len(orig), len(got))
+		}
+		for l := range orig {
+			if len(orig[l].Groups) != len(got[l].Groups) {
+				t.Fatalf("%s[%d]: %d vs %d groups", src.Name, l, len(orig[l].Groups), len(got[l].Groups))
+			}
+			for gi := range orig[l].Groups {
+				og, gg := orig[l].Groups[gi], got[l].Groups[gi]
+				if len(og.Probs) != len(gg.Probs) || len(og.Corrs) != len(gg.Corrs) {
+					t.Fatalf("%s[%d] group %d shape changed", src.Name, l, gi)
+				}
+				for pi := range og.Probs {
+					if math.Abs(og.Probs[pi]-gg.Probs[pi]) > 1e-12 {
+						t.Errorf("%s[%d] group %d prob %d: %g vs %g",
+							src.Name, l, gi, pi, og.Probs[pi], gg.Probs[pi])
+					}
+				}
+				for ci := range og.Corrs {
+					if math.Abs(og.Corrs[ci].Weight-gg.Corrs[ci].Weight) > 1e-12 {
+						t.Errorf("%s[%d] group %d corr %d weight drifted", src.Name, l, gi, ci)
+					}
+				}
+			}
+		}
+	}
+
+	// 20 query answers: the 10 domain queries through both the UDI and
+	// the consolidated paths, probabilities at 1e-12.
+	for _, qs := range c.Domain.Queries {
+		q := sqlparse.MustParse(qs)
+		for _, mode := range []core.Approach{core.UDI, core.Consolidated} {
+			orig, err1 := sys.Run(mode, q)
+			got, err2 := restored.Run(mode, q)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%q/%v: error mismatch %v vs %v", qs, mode, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if len(orig.Ranked) != len(got.Ranked) {
+				t.Fatalf("%q/%v: %d vs %d answers", qs, mode, len(orig.Ranked), len(got.Ranked))
+			}
+			om := map[string]float64{}
+			for _, a := range orig.Ranked {
+				om[strings.Join(a.Values, "\x1f")] = a.Prob
+			}
+			for _, a := range got.Ranked {
+				p, ok := om[strings.Join(a.Values, "\x1f")]
+				if !ok || math.Abs(p-a.Prob) > 1e-12 {
+					t.Errorf("%q/%v: answer %v prob %.15g vs %.15g", qs, mode, a.Values, a.Prob, p)
+				}
+			}
+		}
+	}
+}
+
 func TestLoadRejectsWrongVersion(t *testing.T) {
 	var buf bytes.Buffer
 	gz := gzip.NewWriter(&buf)

@@ -1,0 +1,357 @@
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"udi/internal/core"
+	"udi/internal/obs"
+	"udi/internal/schema"
+	"udi/internal/wal"
+)
+
+// Store file layout inside the data directory.
+const (
+	snapshotFile = "snapshot.udi.gz"
+	walFile      = "wal.log"
+)
+
+// DefaultCheckpointEvery is the number of committed mutations between
+// automatic checkpoints when StoreOptions leaves CheckpointEvery zero.
+const DefaultCheckpointEvery = 64
+
+// opAbort marks a WAL record that compensates an earlier record of the
+// same sequence: the mutation was logged but failed to apply, so replay
+// must skip it. It is a wal-level kind, never a core.Op kind.
+const opAbort = "abort"
+
+// StoreOptions configures a durable Store.
+type StoreOptions struct {
+	// CheckpointEvery is the number of committed mutations after which
+	// the store snapshots the system and truncates the WAL. Zero means
+	// DefaultCheckpointEvery.
+	CheckpointEvery uint64
+	// NoSync skips fsync on WAL appends. Only for tests and benchmarks:
+	// it trades crash durability for speed.
+	NoSync bool
+	// Obs receives wal.* and checkpoint.* metrics. Nil disables them.
+	Obs *obs.Registry
+}
+
+// Status describes the durability state of a Store at a point in time.
+type Status struct {
+	// CheckpointSeq is the WAL sequence the on-disk snapshot covers.
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	// CheckpointAt is when that snapshot was written.
+	CheckpointAt time.Time `json:"checkpoint_at"`
+	// LastSeq is the sequence of the most recent WAL record.
+	LastSeq uint64 `json:"last_seq"`
+	// WALRecords and WALBytes measure the live WAL tail.
+	WALRecords int   `json:"wal_records"`
+	WALBytes   int64 `json:"wal_bytes"`
+	// Replayed is how many mutations the last open replayed from the WAL.
+	Replayed int `json:"replayed"`
+}
+
+// Store makes a core.System durable: it write-ahead-logs every committed
+// mutation and periodically checkpoints the full system to an atomically
+// replaced snapshot, truncating the log. OpenStore recovers the exact
+// last-committed state after a crash by loading the snapshot and
+// replaying the WAL tail.
+//
+// Lock order is commitMu (core) then Store.mu: the CommitLog methods run
+// under the core's commit lock and take mu inside it; Checkpoint takes
+// commitMu first via core.Barrier. Status takes only mu, so it is safe
+// from any goroutine.
+type Store struct {
+	dir  string
+	opts StoreOptions
+	sys  *core.System
+
+	mu              sync.Mutex
+	w               *wal.WAL
+	lastSeq         uint64
+	checkpointSeq   uint64
+	checkpointAt    time.Time
+	walRecords      int
+	replayed        int
+	sinceCheckpoint uint64
+}
+
+// OpenStore opens (or initializes) the durable system in dir. When no
+// snapshot exists, setup builds the initial system and the store writes
+// its first checkpoint; on later opens setup is not called — the system
+// is restored from the snapshot plus the WAL tail.
+//
+// A torn final WAL record (the crash interrupted an append whose fsync
+// never completed, so the mutation was never acknowledged) is truncated
+// and recovery proceeds. Damage anywhere else — an unreadable snapshot,
+// a corrupt record with more records after it — refuses with an error
+// wrapping ErrCorrupt or wal.ErrCorrupt rather than serving a state no
+// committed epoch ever equaled.
+func OpenStore(dir string, cfg core.Config, opts StoreOptions, setup func() (*core.System, error)) (*core.System, *Store, error) {
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = DefaultCheckpointEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("persist: %w", err)
+	}
+	// A crash can strand temp files from an interrupted checkpoint.
+	if stale, _ := filepath.Glob(filepath.Join(dir, snapshotFile+".tmp*")); len(stale) > 0 {
+		for _, p := range stale {
+			os.Remove(p)
+		}
+	}
+	return openStoreOnce(dir, cfg, opts, setup, true)
+}
+
+func openStoreOnce(dir string, cfg core.Config, opts StoreOptions, setup func() (*core.System, error), allowRetry bool) (*core.System, *Store, error) {
+	snapPath := filepath.Join(dir, snapshotFile)
+	walPath := filepath.Join(dir, walFile)
+
+	var (
+		sys     *core.System
+		baseSeq uint64
+		fresh   bool
+	)
+	if _, err := os.Stat(snapPath); err == nil {
+		sys, baseSeq, err = loadFileMeta(snapPath, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else if os.IsNotExist(err) {
+		sys, err = setup()
+		if err != nil {
+			return nil, nil, err
+		}
+		fresh = true
+	} else {
+		return nil, nil, fmt.Errorf("persist: %w", err)
+	}
+
+	w, recs, err := wal.Open(walPath, wal.Options{NoSync: opts.NoSync, Obs: opts.Obs})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Replay in two phases: collect compensated sequences first, so an
+	// op whose commit failed after logging is skipped even though its
+	// record decodes fine, then apply the survivors in order.
+	aborted := make(map[uint64]bool)
+	lastSeq := baseSeq
+	for _, r := range recs {
+		if r.Kind == opAbort {
+			aborted[r.Seq] = true
+		}
+		if r.Seq > lastSeq {
+			lastSeq = r.Seq
+		}
+	}
+	replayed := 0
+	for i, r := range recs {
+		if r.Kind == opAbort || r.Seq <= baseSeq || aborted[r.Seq] {
+			continue
+		}
+		var op core.Op
+		err := json.Unmarshal(r.Data, &op)
+		if err == nil {
+			err = applyOp(sys, op)
+		}
+		if err != nil {
+			if i == len(recs)-1 && allowRetry {
+				// The crash may have hit between this append and its
+				// abort record: the mutation was never acknowledged, so
+				// dropping it recovers the last committed state. Replay
+				// already mutated sys, so reopen from scratch.
+				if terr := w.TruncateTo(r.Off); terr != nil {
+					w.Close()
+					return nil, nil, terr
+				}
+				w.Close()
+				return openStoreOnce(dir, cfg, opts, setup, false)
+			}
+			w.Close()
+			return nil, nil, fmt.Errorf("persist: wal replay: record %d (seq %d, kind %q): %w (%v)",
+				i, r.Seq, r.Kind, ErrCorrupt, err)
+		}
+		replayed++
+	}
+	if r := opts.Obs; r.Enabled() {
+		r.Add("wal.replay.applied", int64(replayed))
+	}
+
+	st := &Store{
+		dir:           dir,
+		opts:          opts,
+		sys:           sys,
+		w:             w,
+		lastSeq:       lastSeq,
+		checkpointSeq: baseSeq,
+		walRecords:    len(recs),
+		replayed:      replayed,
+	}
+	if fi, err := os.Stat(snapPath); err == nil {
+		st.checkpointAt = fi.ModTime()
+	}
+	// A fresh directory gets its first checkpoint immediately so a crash
+	// before any mutation still warm-starts; a long replay gets folded
+	// into the snapshot so the next start does not pay it again.
+	if fresh || uint64(replayed) >= opts.CheckpointEvery {
+		if err := st.checkpointLocked(); err != nil {
+			w.Close()
+			return nil, nil, err
+		}
+	}
+	sys.SetCommitLog(st)
+	return sys, st, nil
+}
+
+// applyOp replays one logged mutation through the system's public
+// mutation API. The caller has not yet attached the store as the
+// system's CommitLog, so nothing re-logs.
+func applyOp(sys *core.System, op core.Op) error {
+	switch op.Kind {
+	case core.OpFeedback:
+		if op.Feedback == nil {
+			return fmt.Errorf("feedback op without payload")
+		}
+		return sys.SubmitFeedback(*op.Feedback)
+	case core.OpAddSource:
+		if op.Add == nil {
+			return fmt.Errorf("add_source op without payload")
+		}
+		src, err := schema.NewSource(op.Add.Name, op.Add.Attrs, op.Add.Rows)
+		if err != nil {
+			return err
+		}
+		_, err = sys.AddSource(src)
+		return err
+	case core.OpRemoveSource:
+		_, err := sys.RemoveSource(op.Remove)
+		return err
+	default:
+		return fmt.Errorf("unknown op kind %q", op.Kind)
+	}
+}
+
+// Begin implements core.CommitLog: append the op durably before the
+// mutation applies. Called under the core commit lock.
+func (st *Store) Begin(op core.Op) (uint64, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	data, err := json.Marshal(&op)
+	if err != nil {
+		return 0, fmt.Errorf("persist: encode op: %w", err)
+	}
+	seq := st.lastSeq + 1
+	if err := st.w.Append(seq, op.Kind, data); err != nil {
+		return 0, err
+	}
+	st.lastSeq = seq
+	st.walRecords++
+	return seq, nil
+}
+
+// Abort implements core.CommitLog: the logged op failed to apply, so a
+// compensating record makes replay skip it.
+func (st *Store) Abort(seq uint64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if err := st.w.Append(seq, opAbort, nil); err != nil {
+		return err
+	}
+	st.walRecords++
+	return nil
+}
+
+// Committed implements core.CommitLog: the op applied and its epoch is
+// published. Runs the rotation policy; still under the core commit lock,
+// so the writer state it snapshots is stable.
+func (st *Store) Committed(seq uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sinceCheckpoint++
+	if st.sinceCheckpoint < st.opts.CheckpointEvery {
+		return
+	}
+	if err := st.checkpointLocked(); err != nil {
+		// The commit itself is durable in the WAL; the failed rotation
+		// costs replay time, not correctness. Counted, then retried
+		// after another CheckpointEvery commits.
+		st.opts.Obs.Add("checkpoint.errors", 1)
+		st.sinceCheckpoint = 0
+	}
+}
+
+// checkpointLocked snapshots the system atomically, records the WAL
+// sequence it covers, and truncates the WAL. Caller holds st.mu and
+// guarantees the system's writer state is stable (the core commit lock,
+// or exclusive access during open). Crash-safe at every point: the
+// snapshot replaces the old one atomically, and until Reset the WAL
+// retains records the snapshot covers, which replay skips by sequence.
+func (st *Store) checkpointLocked() error {
+	t0 := time.Now()
+	seq := st.lastSeq
+	path := filepath.Join(st.dir, snapshotFile)
+	err := writeFileAtomic(path, func(w io.Writer) error {
+		return saveSnapshot(w, st.sys, seq)
+	})
+	if err != nil {
+		return err
+	}
+	if err := st.w.Reset(); err != nil {
+		return err
+	}
+	st.checkpointSeq = seq
+	st.checkpointAt = time.Now()
+	st.walRecords = 0
+	st.sinceCheckpoint = 0
+	if r := st.opts.Obs; r.Enabled() {
+		r.Add("checkpoint.count", 1)
+		r.Observe("checkpoint.seconds", time.Since(t0).Seconds())
+		if fi, err := os.Stat(path); err == nil {
+			r.Observe("checkpoint.bytes", float64(fi.Size()))
+		}
+	}
+	return nil
+}
+
+// Checkpoint forces a snapshot + WAL truncation now. It takes the core
+// commit lock (via Barrier) so the state it persists is a committed
+// epoch, then the store lock, respecting the documented lock order.
+func (st *Store) Checkpoint() error {
+	var err error
+	st.sys.Barrier(func() {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		err = st.checkpointLocked()
+	})
+	return err
+}
+
+// Status reports the store's durability state.
+func (st *Store) Status() Status {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return Status{
+		CheckpointSeq: st.checkpointSeq,
+		CheckpointAt:  st.checkpointAt,
+		LastSeq:       st.lastSeq,
+		WALRecords:    st.walRecords,
+		WALBytes:      st.w.Size(),
+		Replayed:      st.replayed,
+	}
+}
+
+// Close releases the WAL file. It does not checkpoint; callers wanting a
+// clean shutdown call Checkpoint first.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.w.Close()
+}

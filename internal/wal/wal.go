@@ -1,0 +1,284 @@
+// Package wal implements the write-ahead log behind the durable serving
+// core. Every committed mutation (feedback, source add/remove) is
+// appended as one length-prefixed, CRC32-checksummed record and fsync'd
+// to disk *before* it is applied and published, so a process crash at any
+// instant loses at most the single mutation whose append never completed
+// — never an acknowledged one.
+//
+// Frame layout (all integers little-endian):
+//
+//	| payload len uint32 | CRC32(payload) uint32 | payload |
+//
+// payload:
+//
+//	| seq uint64 | kind len uint8 | kind bytes | data bytes |
+//
+// Recovery distinguishes two failure shapes:
+//
+//   - A torn tail — the file ends inside a frame, or the final complete
+//     frame fails its checksum. Only an append interrupted by a crash can
+//     produce this (the fsync that would have made the frame durable never
+//     returned, so the mutation was never acknowledged); Open truncates
+//     the tail and recovery proceeds from the last complete record.
+//   - Mid-log corruption — a checksum failure or malformed frame that is
+//     followed by more bytes. No crash produces this (appends are strictly
+//     sequential), so the log is untrustworthy and Open refuses with
+//     ErrCorrupt rather than silently dropping committed history.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+
+	"udi/internal/obs"
+)
+
+// ErrCorrupt reports mid-log corruption: the write-ahead log contains a
+// damaged record with valid data after it, so recovery cannot trust any
+// suffix of the log. Wrapped errors carry the byte offset.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+const (
+	headerSize = 8
+	// MaxRecord bounds a single record's payload; a declared length above
+	// it is treated as corruption rather than an allocation request.
+	MaxRecord = 1 << 28
+)
+
+// Record is one durable log entry. Seq, Kind and Data are caller-defined;
+// Off is the byte offset of the record's frame in the log, filled in by
+// Open for replay bookkeeping.
+type Record struct {
+	Seq  uint64
+	Kind string
+	Data []byte
+	Off  int64
+}
+
+// Options configures a WAL.
+type Options struct {
+	// NoSync skips the fsync after each append. Appends are then durable
+	// only against process crashes, not machine crashes — for tests and
+	// benchmarks, not deployments.
+	NoSync bool
+	// Obs receives wal.append.* / wal.replay.* / wal.fsync_seconds
+	// metrics; nil means obs.Default.
+	Obs *obs.Registry
+}
+
+// WAL is an append-only log handle. Methods are not safe for concurrent
+// use; the serving core's single-writer commit lock provides the needed
+// serialization.
+type WAL struct {
+	f    *os.File
+	path string
+	opts Options
+	size int64
+}
+
+// Open opens (creating if needed) the log at path, validates every
+// record, truncates a torn tail left by an interrupted append, and
+// returns the surviving records in append order with the handle
+// positioned for further appends. Mid-log corruption returns ErrCorrupt.
+func Open(path string, opts Options) (*WAL, []Record, error) {
+	if opts.Obs == nil {
+		opts.Obs = obs.Default
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	recs, validEnd, err := readAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	if validEnd < fi.Size() {
+		// Torn tail: the frame at validEnd never became durable, so the
+		// mutation it logged was never acknowledged. Drop it.
+		if err := truncateTo(f, validEnd); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if opts.Obs.Enabled() {
+			opts.Obs.Add("wal.replay.torn_records", 1)
+			opts.Obs.Add("wal.replay.torn_bytes", fi.Size()-validEnd)
+		}
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	if opts.Obs.Enabled() {
+		opts.Obs.Add("wal.replay.records", int64(len(recs)))
+		opts.Obs.Add("wal.replay.bytes", validEnd)
+	}
+	return &WAL{f: f, path: path, opts: opts, size: validEnd}, recs, nil
+}
+
+// readAll scans frames from offset 0 and returns the records up to the
+// first incomplete frame (torn tail) along with the offset where the
+// valid prefix ends. A damaged frame with data after it is ErrCorrupt.
+func readAll(f *os.File) ([]Record, int64, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	size := fi.Size()
+	r := bufio.NewReader(io.NewSectionReader(f, 0, size))
+	var recs []Record
+	var off int64
+	hdr := make([]byte, headerSize)
+	for off < size {
+		if size-off < headerSize {
+			break // torn tail: partial header
+		}
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return nil, 0, fmt.Errorf("wal: read at offset %d: %w", off, err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if int64(length) > MaxRecord {
+			return nil, 0, fmt.Errorf("wal: record at offset %d declares %d bytes: %w", off, length, ErrCorrupt)
+		}
+		if size-off-headerSize < int64(length) {
+			break // torn tail: partial payload
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, 0, fmt.Errorf("wal: read at offset %d: %w", off, err)
+		}
+		end := off + headerSize + int64(length)
+		if crc32.ChecksumIEEE(payload) != sum {
+			if end == size {
+				break // torn final frame: its fsync never completed
+			}
+			return nil, 0, fmt.Errorf("wal: checksum mismatch at offset %d: %w", off, ErrCorrupt)
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			// The checksum passed but the payload is malformed: the record
+			// was written by something that is not this code. Refuse.
+			return nil, 0, fmt.Errorf("wal: record at offset %d: %v: %w", off, err, ErrCorrupt)
+		}
+		rec.Off = off
+		recs = append(recs, rec)
+		off = end
+	}
+	return recs, off, nil
+}
+
+func decodePayload(p []byte) (Record, error) {
+	if len(p) < 9 {
+		return Record{}, errors.New("payload shorter than header")
+	}
+	seq := binary.LittleEndian.Uint64(p[:8])
+	kl := int(p[8])
+	if len(p) < 9+kl {
+		return Record{}, errors.New("kind overruns payload")
+	}
+	return Record{
+		Seq:  seq,
+		Kind: string(p[9 : 9+kl]),
+		Data: append([]byte(nil), p[9+kl:]...),
+	}, nil
+}
+
+// Append durably logs one record: the whole frame is written with a
+// single write and fsync'd (unless Options.NoSync) before Append
+// returns. On a write or sync failure the file is truncated back to the
+// last good frame so a later append cannot follow garbage.
+func (w *WAL) Append(seq uint64, kind string, data []byte) error {
+	if len(kind) > 255 {
+		return fmt.Errorf("wal: kind %q longer than 255 bytes", kind)
+	}
+	payload := make([]byte, 9+len(kind)+len(data))
+	binary.LittleEndian.PutUint64(payload[:8], seq)
+	payload[8] = byte(len(kind))
+	copy(payload[9:], kind)
+	copy(payload[9+len(kind):], data)
+	frame := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[headerSize:], payload)
+
+	t0 := time.Now()
+	if _, err := w.f.Write(frame); err != nil {
+		_ = truncateTo(w.f, w.size)
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if !w.opts.NoSync {
+		ts := time.Now()
+		if err := w.f.Sync(); err != nil {
+			_ = truncateTo(w.f, w.size)
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+		w.opts.Obs.Observe("wal.fsync_seconds", time.Since(ts).Seconds())
+	}
+	w.size += int64(len(frame))
+	if w.opts.Obs.Enabled() {
+		w.opts.Obs.Add("wal.append.records", 1)
+		w.opts.Obs.Add("wal.append.bytes", int64(len(frame)))
+		w.opts.Obs.Observe("wal.append.seconds", time.Since(t0).Seconds())
+	}
+	return nil
+}
+
+// Reset empties the log (checkpoint rotation: the snapshot now covers
+// everything the log held).
+func (w *WAL) Reset() error { return w.truncate(0) }
+
+// TruncateTo drops every frame at or after byte offset off (recovery
+// discarding an uncommitted tail operation).
+func (w *WAL) TruncateTo(off int64) error { return w.truncate(off) }
+
+func (w *WAL) truncate(off int64) error {
+	if err := truncateTo(w.f, off); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	w.size = off
+	return nil
+}
+
+func truncateTo(f *os.File, off int64) error {
+	if err := f.Truncate(off); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Size returns the byte length of the valid log.
+func (w *WAL) Size() int64 { return w.size }
+
+// Sync forces an fsync (used by NoSync callers at barriers).
+func (w *WAL) Sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (w *WAL) Close() error {
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
