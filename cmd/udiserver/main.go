@@ -6,6 +6,7 @@
 //	udiserver -load car.udi.gz -addr 127.0.0.1:9000
 //	udiserver -data ./my-tables -max-inflight 32 -query-timeout 2s
 //	udiserver -domain Car -data-dir /var/lib/udi/car
+//	udiserver -domain Car -shards 4 -data-dir /var/lib/udi/car
 //
 // With -data-dir the server is durable: every committed mutation
 // (feedback, source add/remove) is write-ahead-logged and fsynced before
@@ -16,6 +17,14 @@
 // other damage refuses startup). On the first start the initial system
 // comes from -domain/-data/-load as usual; afterwards those flags are
 // ignored in favor of the recovered state.
+//
+// With -shards N (N > 1) the server partitions the sources across N
+// in-process shards by a stable hash of the source name and answers every
+// query by scatter-gather — bit-identical to single-shard serving.
+// Durable sharded mode lays out one WAL+checkpoint directory per shard
+// (shard-000, shard-001, ...) under -data-dir; the shard count is fixed
+// for the life of the directory. /v1/schema additionally reports the
+// per-shard epoch vector. Snapshot restore (-load) is single-core only.
 //
 // Endpoints (all under /v1; the unversioned paths remain as deprecated
 // aliases and answer with a Deprecation header):
@@ -60,6 +69,7 @@ import (
 	"udi/internal/httpapi"
 	"udi/internal/persist"
 	"udi/internal/schema"
+	"udi/internal/shard"
 )
 
 func main() {
@@ -69,6 +79,7 @@ func main() {
 	sources := flag.Int("sources", 0, "limit the number of sources (0 = full domain)")
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	dataDir := flag.String("data-dir", "", "durable mode: WAL + checkpoints in this directory; restarts recover the last committed state")
+	shards := flag.Int("shards", 1, "partition the sources across this many in-process shards and answer by scatter-gather")
 	checkpointEvery := flag.Uint64("checkpoint-every", persist.DefaultCheckpointEvery, "commits between checkpoint rotations in -data-dir mode")
 	top := flag.Int("top", 0, "default answer limit for /v1/query when the request sets no \"top\" (0 = unlimited)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent query-path requests; excess gets 429 (0 = unlimited)")
@@ -84,31 +95,66 @@ func main() {
 	if *verbose {
 		opts.Logf = log.Printf
 	}
-	if err := run(*domain, *data, *load, *sources, *addr, *dataDir, *checkpointEvery, opts); err != nil {
+	if err := run(*domain, *data, *load, *sources, *shards, *addr, *dataDir, *checkpointEvery, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "udiserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(domain, data, load string, sources int, addr, dataDir string, checkpointEvery uint64, opts httpapi.Options) error {
-	sys, store, err := openSystem(domain, data, load, sources, dataDir, checkpointEvery)
-	if err != nil {
-		return err
-	}
-	if store != nil {
-		opts.Durability = func() httpapi.DurabilityStatus {
-			s := store.Status()
-			return httpapi.DurabilityStatus{
-				CheckpointSeq: s.CheckpointSeq,
-				CheckpointAt:  s.CheckpointAt,
-				LastSeq:       s.LastSeq,
-				WALRecords:    s.WALRecords,
-				WALBytes:      s.WALBytes,
-				Replayed:      s.Replayed,
+func run(domain, data, load string, sources, shards int, addr, dataDir string, checkpointEvery uint64, opts httpapi.Options) error {
+	var api *httpapi.Server
+	var numSources int
+	// finish runs after the listener drains: fold state into a final
+	// checkpoint and release the WAL(s).
+	finish := func() error { return nil }
+	if shards > 1 {
+		sh, err := openSharded(domain, data, load, sources, shards, dataDir, checkpointEvery)
+		if err != nil {
+			return err
+		}
+		// Per-shard durability status is not surfaced through /v1/schema
+		// (the single Durability field models one store); the epoch vector
+		// in the schema response is the sharded staleness signal.
+		api = httpapi.NewShardedServer(sh, opts)
+		numSources = sh.View().NumSources()
+		finish = func() error {
+			if dataDir != "" {
+				if err := sh.Checkpoint(); err != nil {
+					fmt.Fprintln(os.Stderr, "final checkpoint:", err)
+				}
+			}
+			return sh.Close()
+		}
+	} else {
+		sys, store, err := openSystem(domain, data, load, sources, dataDir, checkpointEvery)
+		if err != nil {
+			return err
+		}
+		if store != nil {
+			opts.Durability = func() httpapi.DurabilityStatus {
+				s := store.Status()
+				return httpapi.DurabilityStatus{
+					CheckpointSeq: s.CheckpointSeq,
+					CheckpointAt:  s.CheckpointAt,
+					LastSeq:       s.LastSeq,
+					WALRecords:    s.WALRecords,
+					WALBytes:      s.WALBytes,
+					Replayed:      s.Replayed,
+				}
+			}
+			finish = func() error {
+				// Fold the WAL tail into a final checkpoint so the next start
+				// replays nothing; the WAL already makes this crash-safe, so a
+				// failed checkpoint only costs the next start replay time.
+				if err := store.Checkpoint(); err != nil {
+					fmt.Fprintln(os.Stderr, "final checkpoint:", err)
+				}
+				return store.Close()
 			}
 		}
+		api = httpapi.NewServer(sys, opts)
+		numSources = len(sys.Corpus.Sources)
 	}
-	api := httpapi.NewServer(sys, opts)
 	server := &http.Server{
 		Addr:              addr,
 		Handler:           api.Handler(),
@@ -121,7 +167,7 @@ func run(domain, data, load string, sources int, addr, dataDir string, checkpoin
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "serving %d sources on http://%s\n", len(sys.Corpus.Sources), addr)
+		fmt.Fprintf(os.Stderr, "serving %d sources on http://%s\n", numSources, addr)
 		errc <- server.ListenAndServe()
 	}()
 	select {
@@ -138,17 +184,63 @@ func run(domain, data, load string, sources int, addr, dataDir string, checkpoin
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
-		if store != nil {
-			// Fold the WAL tail into a final checkpoint so the next start
-			// replays nothing; the WAL already makes this crash-safe, so a
-			// failed checkpoint only costs the next start replay time.
-			if err := store.Checkpoint(); err != nil {
-				fmt.Fprintln(os.Stderr, "final checkpoint:", err)
-			}
-			return store.Close()
-		}
-		return nil
+		return finish()
 	}
+}
+
+// openSharded builds or recovers the scatter-gather serving system. The
+// corpus comes from -domain or -data exactly as in single-core mode;
+// -load snapshots carry single-core serving state and are refused.
+func openSharded(domain, data, load string, sources, shards int, dataDir string, checkpointEvery uint64) (*shard.System, error) {
+	if load != "" {
+		return nil, fmt.Errorf("-load serves a single-core snapshot; it cannot be combined with -shards %d", shards)
+	}
+	setup := func() (*schema.Corpus, error) { return buildCorpus(domain, data, sources) }
+	if dataDir == "" {
+		corpus, err := setup()
+		if err != nil {
+			return nil, err
+		}
+		return shard.New(corpus, core.Config{}, shard.Options{Shards: shards})
+	}
+	sh, err := shard.Open(dataDir, core.Config{},
+		shard.Options{Shards: shards, CheckpointEvery: checkpointEvery}, setup)
+	if err != nil {
+		return nil, fmt.Errorf("data dir %s: %w", dataDir, err)
+	}
+	return sh, nil
+}
+
+// buildCorpus loads the raw corpus for sharded mode (the shard system
+// runs its own setup so it can project per-shard state).
+func buildCorpus(domain, data string, sources int) (*schema.Corpus, error) {
+	var corpus *schema.Corpus
+	if data != "" {
+		fmt.Fprintf(os.Stderr, "loading CSV tables from %s...\n", data)
+		c, err := csvio.LoadCorpus(domain, data)
+		if err != nil {
+			return nil, err
+		}
+		corpus = c
+	} else {
+		spec := datagen.DomainByName(domain)
+		if spec == nil {
+			return nil, fmt.Errorf("unknown domain %q", domain)
+		}
+		if sources > 0 {
+			spec.NumSources = sources
+		}
+		fmt.Fprintf(os.Stderr, "generating %s (%d sources)...\n", spec.Name, spec.NumSources)
+		c, err := datagen.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		corpus = c.Corpus
+	}
+	if sources > 0 && sources < len(corpus.Sources) {
+		corpus = corpus.Prefix(sources)
+	}
+	return corpus, nil
 }
 
 // openSystem builds or recovers the serving system. Without a data

@@ -21,7 +21,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -564,6 +563,7 @@ func (a *accumulator) results() *ResultSet {
 	// probabilities to [0,1] (within a source the same tuple may occur in
 	// several rows; by-table set semantics caps its probability at 1).
 	rs.PerSource = a.tupleProbs
+	tuples := make([]rankedTuple, 0, len(a.tupleOrder))
 	for _, tk := range a.tupleOrder {
 		q := 1.0
 		for _, m := range a.tupleProbs {
@@ -573,26 +573,12 @@ func (a *accumulator) results() *ResultSet {
 			}
 			q *= 1 - p
 		}
-		values := strings.Split(tk, "\x1f")
-		if tk == "" {
-			values = []string{}
-		}
-		rs.Ranked = append(rs.Ranked, Answer{Values: values, Prob: 1 - q})
+		tuples = append(tuples, rankedTuple{key: tk, prob: 1 - q})
 	}
-	sort.SliceStable(rs.Ranked, func(i, j int) bool {
-		if rs.Ranked[i].Prob != rs.Ranked[j].Prob {
-			return rs.Ranked[i].Prob > rs.Ranked[j].Prob
-		}
-		return tupleKey(rs.Ranked[i].Values) < tupleKey(rs.Ranked[j].Values)
-	})
-	sort.SliceStable(rs.Instances, func(i, j int) bool {
-		if rs.Instances[i].Source != rs.Instances[j].Source {
-			return rs.Instances[i].Source < rs.Instances[j].Source
-		}
-		if rs.Instances[i].Row != rs.Instances[j].Row {
-			return rs.Instances[i].Row < rs.Instances[j].Row
-		}
-		return tupleKey(rs.Instances[i].Values) < tupleKey(rs.Instances[j].Values)
-	})
+	// selectTopK applies the one pinned total order (probability
+	// descending, tuple key ascending) every ranking in this package
+	// shares; MergeResultSets relies on it for shard-merge determinism.
+	rs.Ranked = selectTopK(tuples, 0)
+	sortInstances(rs.Instances)
 	return rs
 }

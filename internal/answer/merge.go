@@ -1,0 +1,83 @@
+package answer
+
+import "sort"
+
+// MergeResultSets combines the per-partition ResultSets of one query run
+// against disjoint slices of a corpus into the ResultSet the single
+// engine would produce over the whole corpus. sourceOrder is the global
+// corpus source order; it matters because IEEE multiplication is not
+// associative, so the cross-source disjunction Π(1 − p_s) must visit the
+// per-source factors in exactly the order the single engine does for the
+// merged probabilities to be bit-identical, not merely close. A source
+// absent from a partition's PerSource contributes the exact factor 1.0
+// and is skipped, again matching the single engine (which only records
+// sources that produced tuples).
+//
+// The merged Ranked list is ordered by the pinned total tie-break —
+// probability descending, then tuple key ascending — so equal-probability
+// answers arriving from different partitions always rank identically to
+// the single-engine sort (topk_test.go pins this). Instances sort by
+// (source, row, values), the single-engine order.
+//
+// Nil entries in parts are skipped, so a caller may pass a sparse slice.
+func MergeResultSets(sourceOrder []string, parts []*ResultSet) *ResultSet {
+	rs := &ResultSet{}
+	bySource := make(map[string]SourceTupleProbs)
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		rs.Instances = append(rs.Instances, p.Instances...)
+		for _, sp := range p.PerSource {
+			bySource[sp.Source] = sp
+		}
+	}
+	sortInstances(rs.Instances)
+
+	for _, name := range sourceOrder {
+		if sp, ok := bySource[name]; ok {
+			rs.PerSource = append(rs.PerSource, sp)
+		}
+	}
+	// Recombine across sources exactly like accumulator.results: every
+	// distinct tuple multiplies (1 − min(p_s, 1)) over the recorded
+	// sources in global order.
+	seen := make(map[string]bool)
+	var tuples []rankedTuple
+	for _, sp := range rs.PerSource {
+		for tk := range sp.Probs {
+			if !seen[tk] {
+				seen[tk] = true
+				tuples = append(tuples, rankedTuple{key: tk})
+			}
+		}
+	}
+	for i := range tuples {
+		q := 1.0
+		for _, sp := range rs.PerSource {
+			p := sp.Probs[tuples[i].key]
+			if p > 1 {
+				p = 1
+			}
+			q *= 1 - p
+		}
+		tuples[i].prob = 1 - q
+	}
+	rs.Ranked = selectTopK(tuples, 0)
+	return rs
+}
+
+// sortInstances orders instances by (source, row, values) — the order
+// accumulator.results publishes, shared here so merged partitions land in
+// the identical order.
+func sortInstances(instances []Instance) {
+	sort.SliceStable(instances, func(i, j int) bool {
+		if instances[i].Source != instances[j].Source {
+			return instances[i].Source < instances[j].Source
+		}
+		if instances[i].Row != instances[j].Row {
+			return instances[i].Row < instances[j].Row
+		}
+		return tupleKey(instances[i].Values) < tupleKey(instances[j].Values)
+	})
+}

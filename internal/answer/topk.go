@@ -31,10 +31,10 @@ func (a rankedTuple) worseThan(b rankedTuple) bool {
 // tupleMinHeap is a min-heap whose root is the worst kept tuple.
 type tupleMinHeap []rankedTuple
 
-func (h tupleMinHeap) Len() int            { return len(h) }
-func (h tupleMinHeap) Less(i, j int) bool  { return h[i].worseThan(h[j]) }
-func (h tupleMinHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *tupleMinHeap) Push(x any)         { *h = append(*h, x.(rankedTuple)) }
+func (h tupleMinHeap) Len() int           { return len(h) }
+func (h tupleMinHeap) Less(i, j int) bool { return h[i].worseThan(h[j]) }
+func (h tupleMinHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *tupleMinHeap) Push(x any)        { *h = append(*h, x.(rankedTuple)) }
 func (h *tupleMinHeap) Pop() any {
 	old := *h
 	n := len(old)

@@ -1,0 +1,188 @@
+package core
+
+// Shard-host primitives: the commit operations a shard coordinator
+// (internal/shard) drives on the per-shard cores it owns. A shard core is
+// an ordinary System over the subset of sources hashed to it, except that
+// its mediation artifacts (p-med-schema, consolidated target) are computed
+// globally by the coordinator and pushed down — mediation is a function of
+// the whole corpus, so a shard must never derive it from its own slice.
+//
+// Every primitive is one commit with a nil Op: shard-coordination state
+// changes are made durable by the coordinator's journal + per-shard
+// checkpoints, not by the shard's own WAL (a WAL replay of, say, an
+// AddSource would re-derive shard-local mediation, which is exactly the
+// wrong semantics). Feedback, whose replay *is* shard-local, keeps using
+// the ordinary WAL-logged SubmitFeedback path.
+
+import (
+	"fmt"
+
+	"udi/internal/answer"
+	"udi/internal/keyword"
+	"udi/internal/mediate"
+	"udi/internal/pmapping"
+	"udi/internal/schema"
+	"udi/internal/storage"
+)
+
+// SameSchemaSet reports whether two p-med-schemas contain the same
+// clusterings (probabilities ignored) — the fast-path test AddSource and
+// RemoveSource apply, exported for the shard coordinator which makes the
+// same decision globally.
+func SameSchemaSet(a, b *schema.PMedSchema) bool { return sameSchemaSet(a, b) }
+
+// NewEmptyShard builds a servable System over zero sources: the state of
+// a shard no source hashes to. It carries the global mediation so its
+// /v1-visible schema agrees with its peers; queries over it return empty
+// results and mutations addressed to unknown sources fail as usual.
+func NewEmptyShard(domain string, cfg Config, med *mediate.Result, target *schema.MediatedSchema) (*System, error) {
+	corpus, err := schema.NewCorpus(domain, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return Restore(corpus, cfg, med, map[string][]*pmapping.PMapping{}, target, nil)
+}
+
+// ShardAdoptSource commits a coordinator-directed source adoption: the
+// shard gains src and switches to the coordinator's refreshed mediation
+// (same clusterings, recounted probabilities — the AddSource fast path
+// evaluated globally). The shard builds only what is local to it: the new
+// source's p-mappings, tables, indexes, and consolidated p-mapping.
+// Existing sources' artifacts are reused exactly as addSourceLocked would.
+func (s *System) ShardAdoptSource(src *schema.Source, med *mediate.Result) error {
+	return s.commit("shard_adopt", nil, func() error { return s.shardAdoptLocked(src, med) })
+}
+
+func (s *System) shardAdoptLocked(src *schema.Source, med *mediate.Result) error {
+	if med == nil || med.PMed == nil {
+		return fmt.Errorf("core: shard adopt needs a p-med-schema")
+	}
+	newSources := make([]*schema.Source, 0, len(s.Corpus.Sources)+1)
+	newSources = append(newSources, s.Corpus.Sources...)
+	newSources = append(newSources, src)
+	corpus, err := schema.NewCorpus(s.Corpus.Domain, newSources)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	s.extendSims(src.Attrs)
+
+	// Same discipline as addSourceLocked: install the new mediation, build
+	// the new source's p-mappings before touching any other writer field,
+	// and restore the old mediation if that fails so an aborted commit
+	// leaves the writer state untouched.
+	oldMed := s.Med
+	s.Med = med
+	// Probabilities shifted, so cached consolidations no longer match; the
+	// p-mapping dedup cache stays valid (clusterings unchanged).
+	s.caches.cons.invalidate()
+	pms, err := s.buildSourceMappings(src)
+	if err != nil {
+		s.Med = oldMed
+		return err
+	}
+
+	s.Corpus = corpus
+	s.engine = answer.NewEngine(corpus)
+	s.engine.Parallelism = s.Cfg.Parallelism
+	s.engine.SetObs(s.Cfg.Obs)
+	s.kwIndex = storage.BuildKeywordIndexP(corpus, s.Cfg.Parallelism)
+	s.kw = keyword.NewEngine(s.kwIndex)
+
+	maps := clonedMaps(s.Maps)
+	maps[src.Name] = pms
+	s.Maps = maps
+
+	// Consolidate only the new source; existing sources keep their entries
+	// (computed under the previous probabilities), exactly like the
+	// single-core fast path.
+	cons := clonedMaps(s.ConsMaps)
+	if cpm, err := s.consolidateSource(s.newConsolidator(), src); err == nil && cpm != nil {
+		cons[src.Name] = cpm
+	}
+	s.ConsMaps = cons
+	s.Cfg.Obs.Add("shard.adopt", 1)
+	return nil
+}
+
+// ShardDropSource commits a coordinator-directed source removal with the
+// coordinator's refreshed mediation. Unlike RemoveSource it permits
+// emptying the shard: "last source" is a global property only the
+// coordinator can judge.
+func (s *System) ShardDropSource(name string, med *mediate.Result) error {
+	return s.commit("shard_drop", nil, func() error { return s.shardDropLocked(name, med) })
+}
+
+func (s *System) shardDropLocked(name string, med *mediate.Result) error {
+	if med == nil || med.PMed == nil {
+		return fmt.Errorf("core: shard drop needs a p-med-schema")
+	}
+	idx := -1
+	for i, src := range s.Corpus.Sources {
+		if src.Name == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("core: %w %q", ErrUnknownSource, name)
+	}
+	newSources := make([]*schema.Source, 0, len(s.Corpus.Sources)-1)
+	newSources = append(newSources, s.Corpus.Sources[:idx]...)
+	newSources = append(newSources, s.Corpus.Sources[idx+1:]...)
+	corpus, err := schema.NewCorpus(s.Corpus.Domain, newSources)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	s.Med = med
+	s.caches.cons.invalidate()
+	s.Corpus = corpus
+	maps := clonedMaps(s.Maps)
+	delete(maps, name)
+	s.Maps = maps
+	cons := clonedMaps(s.ConsMaps)
+	delete(cons, name)
+	s.ConsMaps = cons
+	s.engine = answer.NewEngine(corpus)
+	s.engine.Parallelism = s.Cfg.Parallelism
+	s.engine.SetObs(s.Cfg.Obs)
+	s.kwIndex = storage.BuildKeywordIndexP(corpus, s.Cfg.Parallelism)
+	s.kw = keyword.NewEngine(s.kwIndex)
+	s.Cfg.Obs.Add("shard.drop", 1)
+	return nil
+}
+
+// ShardSetMediation commits a mediation swap with no corpus change: the
+// coordinator refreshed schema probabilities because a source arrived at
+// (or left) a *different* shard, and every peer must serve the new
+// distribution. Clusterings are expected to be unchanged; p-mappings are
+// therefore reused verbatim (they do not depend on the probabilities).
+func (s *System) ShardSetMediation(med *mediate.Result) error {
+	return s.commit("shard_med", nil, func() error {
+		if med == nil || med.PMed == nil {
+			return fmt.Errorf("core: shard mediation needs a p-med-schema")
+		}
+		s.Med = med
+		// The plan cache keys on (PMed, Maps) identity, so the swap alone
+		// invalidates cached plans; dropping consolidation dedup entries
+		// keeps the invalidation story uniform with the fast path.
+		s.caches.cons.invalidate()
+		s.engine.InvalidatePlans()
+		s.Cfg.Obs.Add("shard.set_mediation", 1)
+		return nil
+	})
+}
+
+// ShardReplaceState commits a wholesale state replacement: the
+// coordinator rebuilt the global system (the clustering changed) and r is
+// this shard's projection of the rebuild. Readers observe it as one more
+// epoch, exactly like the single-core rebuild path.
+func (s *System) ShardReplaceState(r *System) error {
+	return s.commit("shard_replace", nil, func() error {
+		if r == nil {
+			return fmt.Errorf("core: shard replace needs a system")
+		}
+		s.adopt(r)
+		s.Cfg.Obs.Add("shard.replace", 1)
+		return nil
+	})
+}

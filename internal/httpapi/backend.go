@@ -1,0 +1,127 @@
+package httpapi
+
+import (
+	"context"
+	"time"
+
+	"udi/internal/answer"
+	"udi/internal/core"
+	"udi/internal/feedback"
+	"udi/internal/obs"
+	"udi/internal/schema"
+	"udi/internal/shard"
+	"udi/internal/sqlparse"
+)
+
+// backend abstracts what the handlers need from the serving engine, so
+// one Server implementation fronts both a single core.System and a
+// sharded scatter-gather shard.System. Reads go through a view — one
+// consistent capture of the serving state — and writes route through the
+// backend itself.
+type backend interface {
+	view() serveView
+	committing() bool
+	submitFeedback(core.Feedback) error
+	// shards reports the partition count; 0 means unsharded (the
+	// /v1/schema response then omits the shard fields).
+	shards() int
+}
+
+// serveView is one epoch-consistent read view: a core.Snapshot for the
+// single system, a cross-shard View for the sharded one.
+type serveView interface {
+	epoch() uint64
+	// epochVector is the per-shard commit counter vector; nil when
+	// unsharded.
+	epochVector() []uint64
+	createdAt() time.Time
+	numSources() int
+	pmed() *schema.PMedSchema
+	target() *schema.MediatedSchema
+	runCtx(ctx context.Context, a core.Approach, q *sqlparse.Query) (*answer.ResultSet, error)
+	explainCtx(ctx context.Context, q *sqlparse.Query, values []string) ([]answer.Contribution, error)
+	candidates(limit int) []feedback.Candidate
+}
+
+// --- single-core adapter ----------------------------------------------
+
+type coreBackend struct{ sys *core.System }
+
+func (b coreBackend) view() serveView                       { return coreView{sn: b.sys.Snapshot(), sys: b.sys} }
+func (b coreBackend) committing() bool                      { return b.sys.Committing() }
+func (b coreBackend) submitFeedback(fb core.Feedback) error { return b.sys.SubmitFeedback(fb) }
+func (b coreBackend) shards() int                           { return 0 }
+
+type coreView struct {
+	sn  *core.Snapshot
+	sys *core.System
+}
+
+func (v coreView) epoch() uint64                  { return v.sn.Epoch }
+func (v coreView) epochVector() []uint64          { return nil }
+func (v coreView) createdAt() time.Time           { return v.sn.CreatedAt }
+func (v coreView) numSources() int                { return len(v.sn.Corpus.Sources) }
+func (v coreView) pmed() *schema.PMedSchema       { return v.sn.Med.PMed }
+func (v coreView) target() *schema.MediatedSchema { return v.sn.Target }
+
+func (v coreView) runCtx(ctx context.Context, a core.Approach, q *sqlparse.Query) (*answer.ResultSet, error) {
+	return v.sn.RunCtx(ctx, a, q)
+}
+
+func (v coreView) explainCtx(ctx context.Context, q *sqlparse.Query, values []string) ([]answer.Contribution, error) {
+	return v.sn.ExplainCtx(ctx, q, values)
+}
+
+func (v coreView) candidates(limit int) []feedback.Candidate {
+	return feedback.NewSession(v.sys, nil).CandidatesIn(v.sn, limit)
+}
+
+// --- sharded adapter --------------------------------------------------
+
+type shardBackend struct{ sh *shard.System }
+
+func (b shardBackend) view() serveView                       { return shardView{v: b.sh.View(), sh: b.sh} }
+func (b shardBackend) committing() bool                      { return b.sh.Committing() }
+func (b shardBackend) submitFeedback(fb core.Feedback) error { return b.sh.SubmitFeedback(fb) }
+func (b shardBackend) shards() int                           { return b.sh.NumShards() }
+
+type shardView struct {
+	v  *shard.View
+	sh *shard.System
+}
+
+func (v shardView) epoch() uint64                  { return v.v.Epoch() }
+func (v shardView) epochVector() []uint64          { return v.v.Epochs() }
+func (v shardView) createdAt() time.Time           { return v.v.CreatedAt() }
+func (v shardView) numSources() int                { return v.v.NumSources() }
+func (v shardView) pmed() *schema.PMedSchema       { return v.v.PMed() }
+func (v shardView) target() *schema.MediatedSchema { return v.v.Target() }
+
+func (v shardView) runCtx(ctx context.Context, a core.Approach, q *sqlparse.Query) (*answer.ResultSet, error) {
+	return v.v.RunCtx(ctx, a, q)
+}
+
+func (v shardView) explainCtx(ctx context.Context, q *sqlparse.Query, values []string) ([]answer.Contribution, error) {
+	return v.v.ExplainCtx(ctx, q, values)
+}
+
+func (v shardView) candidates(limit int) []feedback.Candidate {
+	return v.sh.Candidates(v.v, limit)
+}
+
+// NewShardedServer wraps a sharded scatter-gather system with the same
+// HTTP surface as NewServer: queries fan out to every shard, feedback
+// routes to the owning shard, and /v1/schema reports the cross-shard
+// epoch vector alongside the scalar epoch. Request metrics go to the
+// sharded system's registry.
+func NewShardedServer(sh *shard.System, opts Options) *Server {
+	reg := sh.Obs()
+	if reg == nil {
+		reg = obs.Default
+	}
+	s := &Server{be: shardBackend{sh: sh}, reg: reg, opts: opts, Logf: opts.Logf}
+	if opts.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, opts.MaxInFlight)
+	}
+	return s
+}

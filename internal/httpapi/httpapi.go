@@ -39,7 +39,6 @@ import (
 
 	"udi/internal/answer"
 	"udi/internal/core"
-	"udi/internal/feedback"
 	"udi/internal/obs"
 	"udi/internal/sqlparse"
 )
@@ -106,7 +105,7 @@ type DurabilityStatus struct {
 // serve an immutable core.Snapshot and writes go through the system's
 // commit path.
 type Server struct {
-	sys  *core.System
+	be   backend
 	reg  *obs.Registry
 	opts Options
 
@@ -126,7 +125,7 @@ func NewServer(sys *core.System, opts Options) *Server {
 	if reg == nil {
 		reg = obs.Default
 	}
-	s := &Server{sys: sys, reg: reg, opts: opts, Logf: opts.Logf}
+	s := &Server{be: coreBackend{sys: sys}, reg: reg, opts: opts, Logf: opts.Logf}
 	if opts.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, opts.MaxInFlight)
 	}
@@ -356,11 +355,11 @@ func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
 // --- serving endpoints ------------------------------------------------
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	sn := s.sys.Snapshot()
+	v := s.be.view()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
-		"sources": len(sn.Corpus.Sources),
-		"epoch":   sn.Epoch,
+		"sources": v.numSources(),
+		"epoch":   v.epoch(),
 	})
 }
 
@@ -368,8 +367,14 @@ type schemaResponse struct {
 	Schemas []schemaJSON `json:"schemas"`
 	Target  [][]string   `json:"consolidated"`
 	// Epoch identifies the serving snapshot; it increases with every
-	// committed mutation (feedback, source add/remove).
+	// committed mutation (feedback, source add/remove). A sharded server
+	// reports the sum of the per-shard epochs, which is equally monotone.
 	Epoch uint64 `json:"epoch"`
+	// Epochs is the cross-shard epoch vector (one commit counter per
+	// shard) and Shards the partition count; both omitted when the server
+	// fronts a single unsharded system.
+	Epochs []uint64 `json:"epochs,omitempty"`
+	Shards int      `json:"shards,omitempty"`
 	// CreatedAt is when this epoch was published; StalenessSeconds is the
 	// age of the snapshot at response time.
 	CreatedAt        time.Time `json:"created_at"`
@@ -388,26 +393,29 @@ type schemaJSON struct {
 }
 
 func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
-	sn := s.sys.Snapshot()
+	v := s.be.view()
 	resp := schemaResponse{
-		Epoch:            sn.Epoch,
-		CreatedAt:        sn.CreatedAt,
-		StalenessSeconds: time.Since(sn.CreatedAt).Seconds(),
-		Committing:       s.sys.Committing(),
+		Epoch:            v.epoch(),
+		Epochs:           v.epochVector(),
+		Shards:           s.be.shards(),
+		CreatedAt:        v.createdAt(),
+		StalenessSeconds: time.Since(v.createdAt()).Seconds(),
+		Committing:       s.be.committing(),
 	}
 	if s.opts.Durability != nil {
 		d := s.opts.Durability()
 		resp.Durability = &d
 	}
-	for i, m := range sn.Med.PMed.Schemas {
-		sj := schemaJSON{Prob: sn.Med.PMed.Probs[i]}
+	pmed := v.pmed()
+	for i, m := range pmed.Schemas {
+		sj := schemaJSON{Prob: pmed.Probs[i]}
 		for _, a := range m.Attrs {
 			sj.Clusters = append(sj.Clusters, []string(a))
 		}
 		resp.Schemas = append(resp.Schemas, sj)
 	}
-	if sn.Target != nil {
-		for _, a := range sn.Target.Attrs {
+	if target := v.target(); target != nil {
+		for _, a := range target.Attrs {
 			resp.Target = append(resp.Target, []string(a))
 		}
 	}
@@ -460,8 +468,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadQuery, "semantics must be by-table or by-tuple", nil)
 		return
 	}
-	sn := s.sys.Snapshot()
-	rs, err := sn.RunCtx(r.Context(), approach, q)
+	v := s.be.view()
+	rs, err := v.runCtx(r.Context(), approach, q)
 	if err != nil {
 		s.writeQueryError(w, r, err)
 		return
@@ -477,7 +485,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// Distinct counts every distinct answer tuple, not just the top-k
 	// returned ones (the tuple sets coincide under both semantics).
-	resp := queryResponse{Distinct: len(rs.Ranked), Occurrences: len(rs.Instances), Epoch: sn.Epoch}
+	resp := queryResponse{Distinct: len(rs.Ranked), Occurrences: len(rs.Instances), Epoch: v.epoch()}
 	for _, a := range ranked {
 		resp.Answers = append(resp.Answers, answerJSON{Values: a.Values, Prob: a.Prob})
 	}
@@ -508,8 +516,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadQuery, err.Error(), nil)
 		return
 	}
-	sn := s.sys.Snapshot()
-	contribs, err := sn.ExplainCtx(r.Context(), q, req.Values)
+	v := s.be.view()
+	contribs, err := v.explainCtx(r.Context(), q, req.Values)
 	if err != nil {
 		s.writeQueryError(w, r, err)
 		return
@@ -518,7 +526,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	for _, c := range contribs {
 		out = append(out, contributionJSON(c))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"contributions": out, "epoch": sn.Epoch})
+	writeJSON(w, http.StatusOK, map[string]any{"contributions": out, "epoch": v.epoch()})
 }
 
 type candidateJSON struct {
@@ -542,14 +550,14 @@ func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	// One snapshot for both the ranking and the cluster lookups, so the
+	// One view for both the ranking and the cluster lookups, so the
 	// candidate indices resolve against the schemas that produced them.
-	sn := s.sys.Snapshot()
-	sess := feedback.NewSession(s.sys, nil)
-	cands := sess.CandidatesIn(sn, limit)
+	v := s.be.view()
+	cands := v.candidates(limit)
 	out := make([]candidateJSON, 0, len(cands))
+	pmed := v.pmed()
 	for _, c := range cands {
-		cluster := sn.Med.PMed.Schemas[c.SchemaIdx].Attrs[c.MedIdx]
+		cluster := pmed.Schemas[c.SchemaIdx].Attrs[c.MedIdx]
 		out = append(out, candidateJSON{
 			Source:      c.Source,
 			SrcAttr:     c.SrcAttr,
@@ -559,7 +567,7 @@ func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
 			Uncertainty: c.Uncertainty,
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"candidates": out, "epoch": sn.Epoch})
+	writeJSON(w, http.StatusOK, map[string]any{"candidates": out, "epoch": v.epoch()})
 }
 
 type feedbackRequest struct {
@@ -579,7 +587,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadQuery, "med_name is required", nil)
 		return
 	}
-	err := s.sys.SubmitFeedback(core.Feedback{
+	err := s.be.submitFeedback(core.Feedback{
 		Source:    req.Source,
 		SrcAttr:   req.SrcAttr,
 		MedName:   req.MedName,
@@ -593,5 +601,5 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadQuery, err.Error(), nil)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "applied", "epoch": s.sys.Epoch()})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "applied", "epoch": s.be.view().epoch()})
 }

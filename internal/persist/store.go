@@ -21,6 +21,43 @@ const (
 	walFile      = "wal.log"
 )
 
+// HasSnapshot reports whether dir contains a store checkpoint — the test
+// a multi-store layout (internal/shard) uses to distinguish a shard that
+// owns sources from one that is empty (an empty corpus cannot be
+// checkpointed, so an empty shard has no store files at all).
+func HasSnapshot(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, snapshotFile))
+	return err == nil
+}
+
+// RemoveStoreFiles deletes the snapshot and WAL from dir (plus stranded
+// checkpoint temp files), the transition a shard store makes when its
+// last source is removed. The snapshot goes first: a crash in between
+// leaves a WAL with no snapshot, which HasSnapshot classifies as "no
+// store", exactly the intended end state.
+func RemoveStoreFiles(dir string) error {
+	if err := os.Remove(filepath.Join(dir, snapshotFile)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Remove(filepath.Join(dir, walFile)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if stale, _ := filepath.Glob(filepath.Join(dir, snapshotFile+".tmp*")); len(stale) > 0 {
+		for _, p := range stale {
+			os.Remove(p)
+		}
+	}
+	return nil
+}
+
+// WriteFileAtomic exposes the store's atomic file replacement (write to a
+// temp file, fsync, rename, fsync the directory) for sibling durability
+// layers — the shard coordinator's manifest and journal use it so those
+// files are never observed half-written.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	return writeFileAtomic(path, write)
+}
+
 // DefaultCheckpointEvery is the number of committed mutations between
 // automatic checkpoints when StoreOptions leaves CheckpointEvery zero.
 const DefaultCheckpointEvery = 64

@@ -1,0 +1,45 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"udi/internal/core"
+	"udi/internal/datagen"
+	"udi/internal/sqlparse"
+)
+
+// BenchmarkScatterGather measures query latency over the Figure 7
+// synthetic Car corpus at 1, 4, and 8 shards — the scatter-gather
+// speedup (or overhead) headline. `make bench-shard` snapshots the
+// numbers into BENCH_shard.json.
+func BenchmarkScatterGather(b *testing.B) {
+	spec := datagen.Car(102)
+	spec.NumSources = 200
+	corpus, err := datagen.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]*sqlparse.Query, len(spec.Queries))
+	for i, qs := range spec.Queries {
+		queries[i] = sqlparse.MustParse(qs)
+	}
+	ctx := context.Background()
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sh, err := New(corpus.Corpus, core.Config{}, Options{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			v := sh.View()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := v.RunCtx(ctx, core.UDI, queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,642 @@
+package shard
+
+// Durability for the sharded coordinator. Single-shard mutations
+// (feedback) ride each shard's own WAL, exactly like the single-core
+// store. Multi-shard mutations (add/remove source, rebuilds) cannot: a
+// WAL replay inside one shard would recompute shard-local mediation,
+// which is wrong by construction. They are made atomic with a
+// coordinator journal instead:
+//
+//	1. journal the op (with the pre-op mediation and source order)
+//	2. apply to the shards in memory
+//	3. checkpoint the touched shards' stores
+//	4. rewrite the manifest, drop the journal
+//
+// A crash before 1 loses nothing; a crash at any later point leaves the
+// journal in place, and Open redoes the op from scratch — the redo
+// recomputes the same deterministic decision (fast vs rebuild) from the
+// journaled pre-op state and applies it idempotently, so recovery lands
+// on the fully-applied state no matter which stage the crash hit. If the
+// op had failed deterministically (it was journaled but could not
+// apply), the redo fails the same way and rolls back to the pre-op
+// state. Either way the mutation is atomic: fully applied or fully
+// absent, never half.
+//
+// Untouched shards keep serving probabilities that are stale on disk
+// (the fast path refreshes them in memory only); every Open reconciles
+// by recounting AssignProbabilities over the reconstructed corpus, which
+// reproduces the serving values bit-for-bit — Generate's probabilities
+// are themselves AssignProbabilities counts, so the recount is an
+// identity, not an approximation.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"udi/internal/core"
+	"udi/internal/mediate"
+	"udi/internal/persist"
+	"udi/internal/schema"
+)
+
+const (
+	manifestFile    = "MANIFEST.json"
+	journalFile     = "JOURNAL.json"
+	manifestVersion = 1
+)
+
+// manifest records the fixed shard layout and the committed global
+// source order. Rewritten atomically after every multi-shard mutation.
+type manifest struct {
+	Version int      `json:"version"`
+	Domain  string   `json:"domain"`
+	Shards  int      `json:"shards"`
+	Order   []string `json:"order"`
+}
+
+// journalRecord captures everything a redo needs to replay one
+// multi-shard op deterministically: the op itself plus the pre-op global
+// order and p-med-schema (schema sequence and probabilities — the
+// sequence matters because shard Maps are indexed by it).
+type journalRecord struct {
+	Op      core.Op      `json:"op"`
+	Order   []string     `json:"order"`
+	Schemas [][][]string `json:"schemas"`
+	Probs   []float64    `json:"probs"`
+}
+
+func shardDir(base string, i int) string {
+	return filepath.Join(base, fmt.Sprintf("shard-%03d", i))
+}
+
+func (s *System) durable() bool { return s.opts.DataDir != "" }
+
+func (s *System) storeOpts() persist.StoreOptions {
+	return persist.StoreOptions{
+		CheckpointEvery: s.opts.CheckpointEvery,
+		NoSync:          s.opts.NoSync,
+		Obs:             s.cfg.Obs,
+	}
+}
+
+// initDurable persists a freshly built layout: one store per non-empty
+// shard, then the manifest. Empty shards get no files at all (an empty
+// corpus has no checkpointable state); their directories appear when a
+// source first hashes to them.
+func (s *System) initDurable(order []string) error {
+	if err := os.MkdirAll(s.opts.DataDir, 0o755); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	for i := range s.shards {
+		if len(s.shards[i].Corpus.Sources) == 0 {
+			continue
+		}
+		if err := s.ensureStore(i); err != nil {
+			return err
+		}
+	}
+	return s.writeManifest(order)
+}
+
+// ensureStore opens (first checkpoint included) or checkpoints shard i's
+// store, making its current in-memory state the on-disk snapshot.
+func (s *System) ensureStore(i int) error {
+	if s.stores[i] != nil {
+		return s.stores[i].Checkpoint()
+	}
+	sys := s.shards[i]
+	_, st, err := persist.OpenStore(shardDir(s.opts.DataDir, i), s.cfg, s.storeOpts(),
+		func() (*core.System, error) { return sys, nil })
+	if err != nil {
+		return err
+	}
+	s.stores[i] = st
+	return nil
+}
+
+// dropStore closes shard i's store and deletes its files — the shard's
+// last source left. HasSnapshot then classifies the directory as empty.
+func (s *System) dropStore(i int) error {
+	if s.stores[i] != nil {
+		if err := s.stores[i].Close(); err != nil {
+			return err
+		}
+		s.stores[i] = nil
+	}
+	return persist.RemoveStoreFiles(shardDir(s.opts.DataDir, i))
+}
+
+// journalBegin makes the op durable before any shard changes. In-memory
+// systems skip it.
+func (s *System) journalBegin(op *core.Op, meta *servingMeta) error {
+	if !s.durable() {
+		return nil
+	}
+	rec := journalRecord{Op: *op, Order: meta.order, Probs: meta.med.PMed.Probs}
+	for _, m := range meta.med.PMed.Schemas {
+		clusters := make([][]string, len(m.Attrs))
+		for i, a := range m.Attrs {
+			clusters[i] = []string(a)
+		}
+		rec.Schemas = append(rec.Schemas, clusters)
+	}
+	return persist.WriteFileAtomic(filepath.Join(s.opts.DataDir, journalFile), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(&rec)
+	})
+}
+
+func (s *System) journalDrop() {
+	if !s.durable() {
+		return
+	}
+	os.Remove(filepath.Join(s.opts.DataDir, journalFile))
+}
+
+// finishDurable completes a multi-shard mutation: checkpoint every
+// touched shard (dropping stores for shards that emptied), rewrite the
+// manifest, drop the journal. The crash hooks mark the recovery-relevant
+// boundaries the fault-injection tests exercise.
+func (s *System) finishDurable(touched []int, order []string) error {
+	if !s.durable() {
+		return nil
+	}
+	for _, i := range touched {
+		if len(s.shards[i].Corpus.Sources) == 0 {
+			if err := s.dropStore(i); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := s.ensureStore(i); err != nil {
+			return err
+		}
+	}
+	if err := s.crash("checkpointed"); err != nil {
+		return err
+	}
+	if err := s.writeManifest(order); err != nil {
+		return err
+	}
+	if err := s.crash("manifest"); err != nil {
+		return err
+	}
+	s.journalDrop()
+	return nil
+}
+
+func (s *System) writeManifest(order []string) error {
+	man := manifest{Version: manifestVersion, Domain: s.domain, Shards: len(s.shards), Order: order}
+	return persist.WriteFileAtomic(filepath.Join(s.opts.DataDir, manifestFile), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(&man)
+	})
+}
+
+// Checkpoint forces every shard store to snapshot and truncate its WAL.
+func (s *System) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.stores {
+		if st == nil {
+			continue
+		}
+		if err := st.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases every shard store's WAL file.
+func (s *System) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for i, st := range s.stores {
+		if st == nil {
+			continue
+		}
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.stores[i] = nil
+	}
+	return first
+}
+
+// --- recovery ---------------------------------------------------------
+
+// Open recovers (or initializes) a durable sharded system in dir. With
+// no manifest present, setup provides the initial corpus and the layout
+// is created fresh. Otherwise every shard is restored from its own
+// snapshot + WAL (replaying shard-local feedback), a pending journal is
+// redone, and the cross-shard mediation is reconciled so all shards
+// serve identical, freshly recounted schema probabilities.
+func Open(dir string, cfg core.Config, opts Options, setup func() (*schema.Corpus, error)) (*System, error) {
+	man, err := readManifest(dir)
+	if os.IsNotExist(err) {
+		c, err := setup()
+		if err != nil {
+			return nil, err
+		}
+		opts.DataDir = dir
+		return New(c, cfg, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if man.Version != manifestVersion {
+		return nil, fmt.Errorf("shard: %w: manifest version %d", persist.ErrCorrupt, man.Version)
+	}
+	if opts.Shards == 0 {
+		opts.Shards = man.Shards
+	}
+	if opts.Shards != man.Shards {
+		return nil, fmt.Errorf("shard: data dir has %d shards, -shards requests %d (resharding is not supported)",
+			man.Shards, opts.Shards)
+	}
+	opts.DataDir = dir
+	n := man.Shards
+	s := &System{cfg: cfg, opts: opts, domain: man.Domain,
+		shards: make([]*core.System, n), stores: make([]*persist.Store, n)}
+
+	// Load every shard that has a checkpoint; note the rest as empty.
+	seed := -1
+	for i := 0; i < n; i++ {
+		d := shardDir(dir, i)
+		if !persist.HasSnapshot(d) {
+			// A crash between deleting a snapshot and its WAL (dropStore)
+			// can strand a WAL in an empty shard directory; clean it so a
+			// later store open does not replay it against a fresh corpus.
+			if _, err := os.Stat(d); err == nil {
+				if err := persist.RemoveStoreFiles(d); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		sys, st, err := persist.OpenStore(d, cfg, s.storeOpts(), func() (*core.System, error) {
+			return nil, fmt.Errorf("shard: %w: shard %d snapshot disappeared", persist.ErrCorrupt, i)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.shards[i] = sys
+		s.stores[i] = st
+		if seed < 0 {
+			seed = i
+		}
+	}
+	if seed < 0 {
+		return nil, fmt.Errorf("shard: %w: no shard has a snapshot", persist.ErrCorrupt)
+	}
+	// Empty shards get zero-source cores seeded with an arbitrary loaded
+	// shard's mediation; redo/reconcile pushes the authoritative one.
+	for i := 0; i < n; i++ {
+		if s.shards[i] != nil {
+			continue
+		}
+		empty, err := core.NewEmptyShard(man.Domain, cfg, s.shards[seed].Med, s.shards[seed].Target)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = empty
+	}
+
+	jr, jerr := readJournal(dir)
+	if jerr != nil && !os.IsNotExist(jerr) {
+		return nil, jerr
+	}
+	var order []string
+	if jerr == nil {
+		order, err = s.redo(jr)
+	} else {
+		order, err = man.Order, s.reconcile(man.Order)
+	}
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	if err := s.validate(order); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// reconcile rebuilds the shared serving mediation after a restart: all
+// shards must agree on the clustering (they always do — every committed
+// mutation pushes one mediation to all of them), and the probabilities
+// are recounted over the reconstructed global corpus, which reproduces
+// the last served values exactly (see the package comment). It also
+// populates s.sources and publishes the meta.
+func (s *System) reconcile(order []string) error {
+	n := len(s.shards)
+	s.sources = make(map[string]*schema.Source, len(order))
+	srcs := make([]*schema.Source, 0, len(order))
+	for _, name := range order {
+		owner := s.shards[ShardOf(name, n)]
+		var found *schema.Source
+		for _, src := range owner.Corpus.Sources {
+			if src.Name == name {
+				found = src
+				break
+			}
+		}
+		if found == nil {
+			return fmt.Errorf("shard: %w: source %q missing from shard %d", persist.ErrCorrupt, name, ShardOf(name, n))
+		}
+		s.sources[name] = found
+		srcs = append(srcs, found)
+	}
+	corpus, err := schema.NewCorpus(s.domain, srcs)
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	// All shards must hold the same schema sequence: Maps are indexed by
+	// it, and the recounted probabilities are assigned positionally.
+	var ref *core.System
+	for _, sh := range s.shards {
+		if len(sh.Corpus.Sources) == 0 {
+			continue
+		}
+		if ref == nil {
+			ref = sh
+			continue
+		}
+		if !sameSchemaSequence(ref.Med.PMed, sh.Med.PMed) {
+			return fmt.Errorf("shard: %w: shards disagree on the mediated clustering", persist.ErrCorrupt)
+		}
+	}
+	probs := mediate.AssignProbabilities(ref.Med.PMed.Schemas, corpus)
+	pmed, err := schema.NewPMedSchema(ref.Med.PMed.Schemas, probs)
+	if err != nil {
+		return fmt.Errorf("shard: %w: reconciled probabilities invalid: %v", persist.ErrCorrupt, err)
+	}
+	med := &mediate.Result{PMed: pmed}
+	for _, sh := range s.shards {
+		if err := sh.ShardSetMediation(med); err != nil {
+			return err
+		}
+	}
+	s.publishMeta(order, med, ref.Target)
+	return nil
+}
+
+func sameSchemaSequence(a, b *schema.PMedSchema) bool {
+	if len(a.Schemas) != len(b.Schemas) {
+		return false
+	}
+	for i := range a.Schemas {
+		if a.Schemas[i].Key() != b.Schemas[i].Key() {
+			return false
+		}
+	}
+	return true
+}
+
+// redo rolls a journaled multi-shard op forward. The journal holds the
+// pre-op order and mediation; the shards on disk hold either the pre-op
+// state (crash before the owner checkpoint) or the post-op state (crash
+// after), and every step below is idempotent across that difference.
+// Returns the committed global order.
+func (s *System) redo(jr *journalRecord) ([]string, error) {
+	n := len(s.shards)
+	preSchemas := make([]*schema.MediatedSchema, len(jr.Schemas))
+	for i, clusters := range jr.Schemas {
+		attrs := make([]schema.MediatedAttr, len(clusters))
+		for j, c := range clusters {
+			attrs[j] = schema.NewMediatedAttr(c...)
+		}
+		m, err := schema.NewMediatedSchema(attrs)
+		if err != nil {
+			return nil, fmt.Errorf("shard: %w: journal schema %d: %v", persist.ErrCorrupt, i, err)
+		}
+		preSchemas[i] = m
+	}
+	prePMed, err := schema.NewPMedSchema(preSchemas, jr.Probs)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w: journal p-med-schema: %v", persist.ErrCorrupt, err)
+	}
+
+	// The post-op order and corpus. Pre-op sources come from the loaded
+	// shards (which hold them at every crash stage); an added source
+	// comes from the op payload, never from disk.
+	var newOrder []string
+	var added *schema.Source
+	switch jr.Op.Kind {
+	case core.OpAddSource:
+		if jr.Op.Add == nil {
+			return nil, fmt.Errorf("shard: %w: add journal without payload", persist.ErrCorrupt)
+		}
+		added, err = schema.NewSource(jr.Op.Add.Name, jr.Op.Add.Attrs, jr.Op.Add.Rows)
+		if err != nil {
+			return nil, fmt.Errorf("shard: %w: journal source: %v", persist.ErrCorrupt, err)
+		}
+		newOrder = append(append(make([]string, 0, len(jr.Order)+1), jr.Order...), added.Name)
+	case core.OpRemoveSource:
+		for _, name := range jr.Order {
+			if name != jr.Op.Remove {
+				newOrder = append(newOrder, name)
+			}
+		}
+		if len(newOrder) == len(jr.Order) {
+			return nil, fmt.Errorf("shard: %w: journal removes unknown source %q", persist.ErrCorrupt, jr.Op.Remove)
+		}
+	default:
+		return nil, fmt.Errorf("shard: %w: journal op kind %q", persist.ErrCorrupt, jr.Op.Kind)
+	}
+	srcs := make([]*schema.Source, 0, len(newOrder))
+	for _, name := range newOrder {
+		if added != nil && name == added.Name {
+			srcs = append(srcs, added)
+			continue
+		}
+		owner := s.shards[ShardOf(name, n)]
+		var found *schema.Source
+		for _, src := range owner.Corpus.Sources {
+			if src.Name == name {
+				found = src
+				break
+			}
+		}
+		if found == nil {
+			return nil, fmt.Errorf("shard: %w: source %q missing during redo", persist.ErrCorrupt, name)
+		}
+		srcs = append(srcs, found)
+	}
+	corpus, err := schema.NewCorpus(s.domain, srcs)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w: %v", persist.ErrCorrupt, err)
+	}
+
+	// Recompute the fast/rebuild decision exactly as the original did.
+	// The journal is only ever written after this computation succeeded
+	// pre-crash, so a failure here means the directory is damaged.
+	gen, err := mediate.Generate(corpus, s.cfg.Mediate)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w: redo mediation: %v", persist.ErrCorrupt, err)
+	}
+	fast := core.SameSchemaSet(prePMed, gen.PMed)
+	var med *mediate.Result
+	if fast {
+		probs := mediate.AssignProbabilities(preSchemas, corpus)
+		pmed, err := schema.NewPMedSchema(preSchemas, probs)
+		if err != nil {
+			fast = false
+		} else {
+			med = &mediate.Result{PMed: pmed, Graph: gen.Graph, FrequentAttrs: gen.FrequentAttrs}
+		}
+	}
+
+	if fast {
+		ownerIdx := ShardOf(srcName(jr), n)
+		owner := s.shards[ownerIdx]
+		switch jr.Op.Kind {
+		case core.OpAddSource:
+			if findSource(owner, added.Name) == nil {
+				if err := owner.ShardAdoptSource(added, med); err != nil {
+					// The op was journaled but fails to apply, exactly as
+					// it would have pre-crash: roll back to the pre-op
+					// state and clear the journal.
+					s.journalDrop()
+					if rerr := s.reconcile(jr.Order); rerr != nil {
+						return nil, rerr
+					}
+					return jr.Order, nil
+				}
+			} else if err := owner.ShardSetMediation(med); err != nil {
+				return nil, err
+			}
+		case core.OpRemoveSource:
+			if findSource(owner, jr.Op.Remove) != nil {
+				if err := owner.ShardDropSource(jr.Op.Remove, med); err != nil {
+					return nil, err
+				}
+			} else if err := owner.ShardSetMediation(med); err != nil {
+				return nil, err
+			}
+		}
+		for i, sh := range s.shards {
+			if i == ownerIdx {
+				continue
+			}
+			if err := sh.ShardSetMediation(med); err != nil {
+				return nil, err
+			}
+		}
+		s.sources = make(map[string]*schema.Source, len(srcs))
+		for _, src := range srcs {
+			s.sources[src.Name] = src
+		}
+		s.publishMeta(newOrder, med, owner.Target)
+	} else {
+		blue, err := core.Setup(corpus, s.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("shard: %w: redo rebuild: %v", persist.ErrCorrupt, err)
+		}
+		for i := 0; i < n; i++ {
+			proj, err := projectShard(s.domain, s.cfg, blue, shardSources(corpus.Sources, i, n))
+			if err != nil {
+				return nil, err
+			}
+			if err := s.shards[i].ShardReplaceState(proj); err != nil {
+				return nil, err
+			}
+		}
+		s.sources = make(map[string]*schema.Source, len(srcs))
+		for _, src := range srcs {
+			s.sources[src.Name] = src
+		}
+		s.publishMeta(newOrder, blue.Med, blue.Target)
+	}
+
+	// Re-persist everything the op touched and commit the journal away.
+	for i := 0; i < n; i++ {
+		if len(s.shards[i].Corpus.Sources) == 0 {
+			if err := s.dropStore(i); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := s.ensureStore(i); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.writeManifest(newOrder); err != nil {
+		return nil, err
+	}
+	s.journalDrop()
+	s.Obs().Add("shard.redo", 1)
+	return newOrder, nil
+}
+
+func srcName(jr *journalRecord) string {
+	if jr.Op.Kind == core.OpAddSource {
+		return jr.Op.Add.Name
+	}
+	return jr.Op.Remove
+}
+
+func findSource(sys *core.System, name string) *schema.Source {
+	for _, src := range sys.Corpus.Sources {
+		if src.Name == name {
+			return src
+		}
+	}
+	return nil
+}
+
+// validate cross-checks the recovered layout: every source sits in
+// exactly the shard its name hashes to, and no shard holds a source the
+// order does not list.
+func (s *System) validate(order []string) error {
+	n := len(s.shards)
+	want := make(map[string]bool, len(order))
+	for _, name := range order {
+		want[name] = true
+	}
+	total := 0
+	for i, sh := range s.shards {
+		for _, src := range sh.Corpus.Sources {
+			if !want[src.Name] {
+				return fmt.Errorf("shard: %w: shard %d holds unlisted source %q", persist.ErrCorrupt, i, src.Name)
+			}
+			if ShardOf(src.Name, n) != i {
+				return fmt.Errorf("shard: %w: source %q found in shard %d, hashes to %d",
+					persist.ErrCorrupt, src.Name, i, ShardOf(src.Name, n))
+			}
+			total++
+		}
+	}
+	if total != len(order) {
+		return fmt.Errorf("shard: %w: shards hold %d sources, manifest lists %d", persist.ErrCorrupt, total, len(order))
+	}
+	return nil
+}
+
+func readManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, err
+	}
+	var man manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("shard: %w: manifest: %v", persist.ErrCorrupt, err)
+	}
+	return &man, nil
+}
+
+func readJournal(dir string) (*journalRecord, error) {
+	data, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if err != nil {
+		return nil, err
+	}
+	var jr journalRecord
+	if err := json.Unmarshal(data, &jr); err != nil {
+		return nil, fmt.Errorf("shard: %w: journal: %v", persist.ErrCorrupt, err)
+	}
+	return &jr, nil
+}

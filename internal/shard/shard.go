@@ -1,0 +1,617 @@
+// Package shard scatters one integration system across N in-process
+// shards and gathers query answers back into exactly what the single
+// system would have produced. Each shard is an ordinary core.System over
+// the subset of sources that hash to it, serving from its own epoch
+// snapshots and (when durable) journaling feedback into its own WAL
+// directory; mediation stays a corpus-global artifact that the
+// coordinator computes once and pushes to every shard.
+//
+// The package's contract is differential: for every query, approach, and
+// mutation history, the scatter-gather answer is bit-identical to the
+// single-core oracle — identical ranking, probabilities equal to the
+// last bit, not merely close. The shard_test differential harness pins
+// this at shard counts {1,2,4,8}; the design notes in DESIGN.md lay out
+// why the merge preserves IEEE semantics (per-source disjunction factors
+// are revisited in global corpus order, absent sources contribute the
+// exact no-op factor 1.0).
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"udi/internal/answer"
+	"udi/internal/consolidate"
+	"udi/internal/core"
+	"udi/internal/feedback"
+	"udi/internal/mediate"
+	"udi/internal/obs"
+	"udi/internal/persist"
+	"udi/internal/pmapping"
+	"udi/internal/schema"
+	"udi/internal/sqlparse"
+)
+
+// Options configures a sharded system.
+type Options struct {
+	// Shards is the number of partitions (default 1). Fixed for the life
+	// of a data directory: resharding is not supported.
+	Shards int
+	// DataDir, when set, makes the system durable: each shard keeps its
+	// WAL and checkpoint under DataDir/shard-NNN, and the coordinator
+	// journals multi-shard mutations so a crash at any point recovers to
+	// a state the single-core oracle could have produced.
+	DataDir string
+	// CheckpointEvery / NoSync configure each shard's persist.Store.
+	CheckpointEvery uint64
+	NoSync          bool
+}
+
+// ShardOf is the deterministic source→shard assignment: FNV-1a of the
+// source name modulo the shard count. Exported so tests and operators can
+// predict placement; changing it would strand every durable layout.
+func ShardOf(name string, shards int) int {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int(h.Sum64() % uint64(shards))
+}
+
+// servingMeta is the coordinator's atomically published cross-shard
+// state: the global source order (which the merge needs to visit
+// disjunction factors in oracle order) and the shared mediation
+// artifacts every shard serves.
+type servingMeta struct {
+	order  []string
+	med    *mediate.Result
+	target *schema.MediatedSchema
+}
+
+// System is the sharded scatter-gather coordinator. Queries snapshot all
+// shards lock-free (View); mutations serialize on one coordinator lock
+// and route to the owning shard, refreshing the global mediation when a
+// source arrives or leaves.
+type System struct {
+	cfg    core.Config
+	opts   Options
+	domain string
+
+	shards []*core.System
+	stores []*persist.Store // nil entries: in-memory, or shard empty
+
+	mu       sync.Mutex
+	mutating atomic.Bool
+	meta     atomic.Pointer[servingMeta]
+	sources  map[string]*schema.Source
+
+	// crashAt, when set by a test, simulates a crash at a named commit
+	// stage: a non-nil return aborts the mutation mid-protocol, leaving
+	// the on-disk state exactly as a real crash there would.
+	crashAt func(stage string) error
+}
+
+// New sets up a sharded system over the corpus: one global core.Setup
+// computes the mediation and per-source artifacts, and each shard
+// receives the projection covering its sources. With Options.DataDir set
+// the layout is persisted immediately.
+func New(c *schema.Corpus, cfg core.Config, opts Options) (*System, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	blue, err := core.Setup(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, opts: opts, domain: c.Domain}
+	n := opts.Shards
+	s.shards = make([]*core.System, n)
+	s.stores = make([]*persist.Store, n)
+	for i := 0; i < n; i++ {
+		proj, err := projectShard(c.Domain, cfg, blue, shardSources(c.Sources, i, n))
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = proj
+	}
+	s.sources = make(map[string]*schema.Source, len(c.Sources))
+	order := make([]string, len(c.Sources))
+	for i, src := range c.Sources {
+		order[i] = src.Name
+		s.sources[src.Name] = src
+	}
+	s.publishMeta(order, blue.Med, blue.Target)
+	if opts.DataDir != "" {
+		if err := s.initDurable(order); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// shardSources filters the global source list down to shard i of n,
+// preserving global order.
+func shardSources(sources []*schema.Source, i, n int) []*schema.Source {
+	var out []*schema.Source
+	for _, src := range sources {
+		if ShardOf(src.Name, n) == i {
+			out = append(out, src)
+		}
+	}
+	return out
+}
+
+// projectShard builds one shard's core from a globally set-up blueprint:
+// the sub-corpus in global order, the blueprint's p-mappings and
+// consolidated mappings for exactly those sources, and the shared global
+// mediation. An empty subset yields a servable zero-source core.
+func projectShard(domain string, cfg core.Config, blue *core.System, subs []*schema.Source) (*core.System, error) {
+	if len(subs) == 0 {
+		return core.NewEmptyShard(domain, cfg, blue.Med, blue.Target)
+	}
+	subCorpus, err := schema.NewCorpus(domain, subs)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	maps := make(map[string][]*pmapping.PMapping, len(subs))
+	cons := make(map[string]*consolidate.PMapping, len(subs))
+	for _, src := range subs {
+		maps[src.Name] = blue.Maps[src.Name]
+		if cpm, ok := blue.ConsMaps[src.Name]; ok {
+			cons[src.Name] = cpm
+		}
+	}
+	return core.Restore(subCorpus, cfg, blue.Med, maps, blue.Target, cons)
+}
+
+func (s *System) publishMeta(order []string, med *mediate.Result, target *schema.MediatedSchema) {
+	s.meta.Store(&servingMeta{order: order, med: med, target: target})
+}
+
+// orderedSources materializes the current sources in global order.
+func (s *System) orderedSources(order []string) []*schema.Source {
+	out := make([]*schema.Source, 0, len(order))
+	for _, name := range order {
+		out = append(out, s.sources[name])
+	}
+	return out
+}
+
+// NumShards returns the shard count.
+func (s *System) NumShards() int { return len(s.shards) }
+
+// Obs returns the observability registry mutations and shards report to.
+func (s *System) Obs() *obs.Registry {
+	if s.cfg.Obs != nil {
+		return s.cfg.Obs
+	}
+	return obs.Default
+}
+
+// Committing reports whether any mutation is in flight — on the
+// coordinator or inside any shard's commit path.
+func (s *System) Committing() bool {
+	if s.mutating.Load() {
+		return true
+	}
+	for _, sh := range s.shards {
+		if sh.Committing() {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *System) crash(stage string) error {
+	if s.crashAt == nil {
+		return nil
+	}
+	return s.crashAt(stage)
+}
+
+// --- read path --------------------------------------------------------
+
+// View is one cross-shard read view: the published coordinator meta plus
+// one snapshot per shard, each captured with a single atomic load. Reads
+// are per-shard snapshot-isolated: a concurrent multi-shard mutation may
+// be visible on some shards and not others within one View (the epoch
+// vector makes this observable); each shard's state is internally
+// consistent, and quiescent views are globally consistent.
+type View struct {
+	meta  *servingMeta
+	snaps []*core.Snapshot
+}
+
+// View captures the current cross-shard read view.
+func (s *System) View() *View {
+	meta := s.meta.Load()
+	snaps := make([]*core.Snapshot, len(s.shards))
+	for i, sh := range s.shards {
+		snaps[i] = sh.Snapshot()
+	}
+	return &View{meta: meta, snaps: snaps}
+}
+
+// Epochs is the cross-shard epoch vector, one commit counter per shard.
+func (v *View) Epochs() []uint64 {
+	out := make([]uint64, len(v.snaps))
+	for i, sn := range v.snaps {
+		out[i] = sn.Epoch
+	}
+	return out
+}
+
+// Epoch collapses the epoch vector into one monotone counter (the sum):
+// every commit anywhere increases it, so it plays the staleness-token
+// role the single-core epoch plays in /v1 responses.
+func (v *View) Epoch() uint64 {
+	var sum uint64
+	for _, sn := range v.snaps {
+		sum += sn.Epoch
+	}
+	return sum
+}
+
+// CreatedAt is the publication time of the newest shard snapshot.
+func (v *View) CreatedAt() time.Time {
+	var t time.Time
+	for _, sn := range v.snaps {
+		if sn.CreatedAt.After(t) {
+			t = sn.CreatedAt
+		}
+	}
+	return t
+}
+
+// NumSources sums the shard corpora.
+func (v *View) NumSources() int {
+	n := 0
+	for _, sn := range v.snaps {
+		n += len(sn.Corpus.Sources)
+	}
+	return n
+}
+
+// PMed returns the shared probabilistic mediated schema.
+func (v *View) PMed() *schema.PMedSchema { return v.meta.med.PMed }
+
+// Target returns the shared consolidated mediated schema.
+func (v *View) Target() *schema.MediatedSchema { return v.meta.target }
+
+// RunCtx fans the query out to every shard concurrently and merges the
+// partial results into the single-engine answer. The context propagates
+// to every shard scan; the first shard error cancels the rest. With one
+// shard the call is a plain dispatch (the shard IS the system).
+func (v *View) RunCtx(ctx context.Context, a core.Approach, q *sqlparse.Query) (*answer.ResultSet, error) {
+	if len(v.snaps) == 1 {
+		return v.snaps[0].RunCtx(ctx, a, q)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	parts := make([]*answer.ResultSet, len(v.snaps))
+	errs := make([]error, len(v.snaps))
+	var wg sync.WaitGroup
+	for i := range v.snaps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rs, err := v.snaps[i].RunCtx(ctx, a, q)
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			parts[i] = rs
+		}(i)
+	}
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return answer.MergeResultSets(v.meta.order, parts), nil
+}
+
+// firstError picks the error to surface from a fan-out: the first
+// non-cancellation error in shard order (a real failure beats the
+// context.Canceled its cancel propagated to the other shards), else the
+// first error. Deterministic given deterministic per-shard outcomes.
+func firstError(errs []error) error {
+	var ret error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if ret == nil || (errors.Is(ret, context.Canceled) && !errors.Is(err, context.Canceled)) {
+			ret = err
+		}
+	}
+	return ret
+}
+
+// ExplainCtx fans provenance out to every shard and re-sorts the merged
+// contributions with the engine's comparator (mass descending, then
+// source, then schema). Order among contributions tied on all three is
+// not pinned across shard counts.
+func (v *View) ExplainCtx(ctx context.Context, q *sqlparse.Query, values []string) ([]answer.Contribution, error) {
+	if len(v.snaps) == 1 {
+		return v.snaps[0].ExplainCtx(ctx, q, values)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	parts := make([][]answer.Contribution, len(v.snaps))
+	errs := make([]error, len(v.snaps))
+	var wg sync.WaitGroup
+	for i := range v.snaps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cs, err := v.snaps[i].ExplainCtx(ctx, q, values)
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			parts[i] = cs
+		}(i)
+	}
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	var out []answer.Contribution
+	for _, cs := range parts {
+		out = append(out, cs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mass != out[j].Mass {
+			return out[i].Mass > out[j].Mass
+		}
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
+		return out[i].SchemaIdx < out[j].SchemaIdx
+	})
+	return out, nil
+}
+
+// Candidates merges the per-shard feedback question queues into one
+// ranking (uncertainty descending, the same order feedback.Session
+// uses), truncated to limit (0 = all). A source lives in exactly one
+// shard, so per-shard dedup is global dedup; the instance-overlap signal
+// for unmapped attributes pools values shard-locally, which can score
+// proposals slightly differently than one global session would — the
+// ranking is advisory, not part of the differential contract.
+func (s *System) Candidates(v *View, limit int) []feedback.Candidate {
+	var all []feedback.Candidate
+	for i, sn := range v.snaps {
+		sess := feedback.NewSession(s.shards[i], nil)
+		all = append(all, sess.CandidatesIn(sn, 0)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Uncertainty != all[j].Uncertainty {
+			return all[i].Uncertainty > all[j].Uncertainty
+		}
+		if all[i].Source != all[j].Source {
+			return all[i].Source < all[j].Source
+		}
+		if all[i].SrcAttr != all[j].SrcAttr {
+			return all[i].SrcAttr < all[j].SrcAttr
+		}
+		return all[i].MedIdx < all[j].MedIdx
+	})
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	return all
+}
+
+// --- mutation path ----------------------------------------------------
+
+// SubmitFeedback routes one feedback item to the shard owning the source.
+// The owning shard's commit path write-ahead-logs it (when durable) and
+// publishes the shard's next epoch; no other shard is touched. Feedback
+// conditions only the source's p-mappings, never the global mediation,
+// so shard-local application is value-identical to the single-core path.
+func (s *System) SubmitFeedback(fb core.Feedback) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mutating.Store(true)
+	defer s.mutating.Store(false)
+	return s.shards[ShardOf(fb.Source, len(s.shards))].SubmitFeedback(fb)
+}
+
+// AddSource grows the sharded system with a new source, reproducing the
+// single-core AddSource decision exactly: the global mediation is
+// regenerated, and if the clustering is unchanged only the probabilities
+// are refreshed (the owner shard adopts the source; every other shard
+// swaps in the refreshed mediation), otherwise the whole system is
+// rebuilt and re-projected. Returns true when the fast path applied.
+//
+// Durability protocol (DataDir mode): the coordinator journals the op
+// before mutating any shard, checkpoints the owner after applying, then
+// rewrites the manifest and drops the journal. A crash at any stage
+// recovers by redoing the journaled op idempotently (Open), so the
+// mutation is atomic across shards: after recovery it is either fully
+// applied or fully absent.
+func (s *System) AddSource(src *schema.Source) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mutating.Store(true)
+	defer s.mutating.Store(false)
+	meta := s.meta.Load()
+
+	all := append(s.orderedSources(meta.order), src)
+	corpus, err := schema.NewCorpus(s.domain, all)
+	if err != nil {
+		return false, fmt.Errorf("shard: %w", err)
+	}
+	gen, err := mediate.Generate(corpus, s.cfg.Mediate)
+	if err != nil {
+		return false, fmt.Errorf("shard: %w", err)
+	}
+	newOrder := append(append(make([]string, 0, len(meta.order)+1), meta.order...), src.Name)
+	op := &core.Op{Kind: core.OpAddSource, Add: &core.SourceData{Name: src.Name, Attrs: src.Attrs, Rows: src.Rows}}
+
+	if !core.SameSchemaSet(meta.med.PMed, gen.PMed) {
+		return false, s.rebuildLocked(corpus, newOrder, op, meta)
+	}
+	// Fast path: clusterings unchanged. Keep the existing schema order
+	// (shard Maps are indexed by it) and refresh the probabilities with
+	// the new source counted — the same floats the oracle computes, since
+	// AssignProbabilities counts over the identical corpus.
+	probs := mediate.AssignProbabilities(meta.med.PMed.Schemas, corpus)
+	pmed, err := schema.NewPMedSchema(meta.med.PMed.Schemas, probs)
+	if err != nil {
+		// A schema's probability hit zero: effectively a set change.
+		return false, s.rebuildLocked(corpus, newOrder, op, meta)
+	}
+	med := &mediate.Result{PMed: pmed, Graph: gen.Graph, FrequentAttrs: gen.FrequentAttrs}
+
+	if err := s.journalBegin(op, meta); err != nil {
+		return false, err
+	}
+	if err := s.crash("journal"); err != nil {
+		return false, err
+	}
+	owner := ShardOf(src.Name, len(s.shards))
+	if err := s.shards[owner].ShardAdoptSource(src, med); err != nil {
+		// Nothing applied; the journaled op failed deterministically, so
+		// a redo after a crash here fails the same way and also rolls
+		// back. Clean the journal on the spot.
+		s.journalDrop()
+		return false, err
+	}
+	if err := s.crash("applied"); err != nil {
+		return false, err
+	}
+	for i, sh := range s.shards {
+		if i == owner {
+			continue
+		}
+		if err := sh.ShardSetMediation(med); err != nil {
+			return false, err
+		}
+	}
+	s.sources[src.Name] = src
+	s.publishMeta(newOrder, med, meta.target)
+	s.Obs().Add("shard.add_source", 1)
+	return true, s.finishDurable([]int{owner}, newOrder)
+}
+
+// RemoveSource drops a source, mirroring the single-core decision:
+// unknown sources and the last source are refused, a mediation failure
+// on the shrunken corpus aborts with no change, and the fast/rebuild
+// split follows the regenerated clustering. Returns true on the fast
+// path.
+func (s *System) RemoveSource(name string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mutating.Store(true)
+	defer s.mutating.Store(false)
+	meta := s.meta.Load()
+
+	if _, ok := s.sources[name]; !ok {
+		return false, fmt.Errorf("shard: %w %q", core.ErrUnknownSource, name)
+	}
+	if len(meta.order) == 1 {
+		return false, fmt.Errorf("shard: cannot remove the last source")
+	}
+	newOrder := make([]string, 0, len(meta.order)-1)
+	for _, n := range meta.order {
+		if n != name {
+			newOrder = append(newOrder, n)
+		}
+	}
+	corpus, err := schema.NewCorpus(s.domain, s.orderedSources(newOrder))
+	if err != nil {
+		return false, fmt.Errorf("shard: %w", err)
+	}
+	gen, err := mediate.Generate(corpus, s.cfg.Mediate)
+	if err != nil {
+		// The shrunken corpus may have no frequent attributes; refuse
+		// with no change, like the single-core path.
+		return false, fmt.Errorf("shard: %w", err)
+	}
+	op := &core.Op{Kind: core.OpRemoveSource, Remove: name}
+
+	if !core.SameSchemaSet(meta.med.PMed, gen.PMed) {
+		return false, s.rebuildLocked(corpus, newOrder, op, meta)
+	}
+	probs := mediate.AssignProbabilities(meta.med.PMed.Schemas, corpus)
+	pmed, err := schema.NewPMedSchema(meta.med.PMed.Schemas, probs)
+	if err != nil {
+		return false, s.rebuildLocked(corpus, newOrder, op, meta)
+	}
+	med := &mediate.Result{PMed: pmed, Graph: gen.Graph, FrequentAttrs: gen.FrequentAttrs}
+
+	if err := s.journalBegin(op, meta); err != nil {
+		return false, err
+	}
+	if err := s.crash("journal"); err != nil {
+		return false, err
+	}
+	owner := ShardOf(name, len(s.shards))
+	if err := s.shards[owner].ShardDropSource(name, med); err != nil {
+		s.journalDrop()
+		return false, err
+	}
+	if err := s.crash("applied"); err != nil {
+		return false, err
+	}
+	for i, sh := range s.shards {
+		if i == owner {
+			continue
+		}
+		if err := sh.ShardSetMediation(med); err != nil {
+			return false, err
+		}
+	}
+	delete(s.sources, name)
+	s.publishMeta(newOrder, med, meta.target)
+	s.Obs().Add("shard.remove_source", 1)
+	return true, s.finishDurable([]int{owner}, newOrder)
+}
+
+// rebuildLocked is the slow path shared by AddSource and RemoveSource:
+// one global core.Setup over the new corpus, re-projected onto every
+// shard as a state replacement (readers observe it as one more epoch per
+// shard). Setup runs before the journal is written, so a Setup failure
+// leaves both memory and disk untouched.
+func (s *System) rebuildLocked(corpus *schema.Corpus, newOrder []string, op *core.Op, meta *servingMeta) error {
+	blue, err := core.Setup(corpus, s.cfg)
+	if err != nil {
+		return err
+	}
+	if err := s.journalBegin(op, meta); err != nil {
+		return err
+	}
+	if err := s.crash("journal"); err != nil {
+		return err
+	}
+	n := len(s.shards)
+	touched := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		proj, err := projectShard(s.domain, s.cfg, blue, shardSources(corpus.Sources, i, n))
+		if err != nil {
+			return err
+		}
+		if err := s.shards[i].ShardReplaceState(proj); err != nil {
+			return err
+		}
+		touched = append(touched, i)
+	}
+	if err := s.crash("applied"); err != nil {
+		return err
+	}
+	s.sources = make(map[string]*schema.Source, len(corpus.Sources))
+	for _, src := range corpus.Sources {
+		s.sources[src.Name] = src
+	}
+	s.publishMeta(newOrder, blue.Med, blue.Target)
+	s.Obs().Add("shard.rebuild", 1)
+	return s.finishDurable(touched, newOrder)
+}

@@ -13,6 +13,10 @@ import (
 // identifiers, so a reparse can split them differently; the corpus-facing
 // guarantee is only that rendered queries stay parseable.
 //
+// A quoting/escaping seed corpus is additionally checked in under
+// testdata/fuzz/FuzzParse (go fuzz v1 format); the fuzzer merges it with
+// the f.Add seeds below automatically.
+//
 // Run continuously with: go test -fuzz=FuzzParse -fuzztime=10s ./internal/sqlparse
 func FuzzParse(f *testing.F) {
 	seeds := []string{
@@ -24,6 +28,13 @@ func FuzzParse(f *testing.F) {
 		"SELECT a FROM t WHERE x > -3.5",
 		"select a from t where b like 'x%'",
 		"SELECT a FROM t WHERE x <> 5",
+		// Quoting and escaping edges: doubled backticks inside backtick
+		// identifiers, reserved words and leading-digit names that only
+		// parse quoted, and quote characters inside string literals.
+		"SELECT `a``b` FROM t WHERE `a``b` = 'x'",
+		"SELECT `select`, `from` FROM `where` WHERE `and` = 'like'",
+		"SELECT `1st place`, `-3x` FROM t",
+		"SELECT a FROM t WHERE x = '`tick``tock`'",
 		// Malformed inputs that must keep erroring, not crashing.
 		"",
 		"SELECT",
