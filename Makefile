@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build test race race-setup race-serve race-shard api-compat crash-recovery no-skip vet bench bench-setup bench-shard fuzz experiments
+.PHONY: check build test race race-setup race-serve race-shard race-feedback api-compat crash-recovery no-skip vet bench bench-setup bench-shard bench-feedback fuzz experiments
 
-check: vet build race race-setup race-serve race-shard api-compat crash-recovery no-skip fuzz
+check: vet build race race-setup race-serve race-shard race-feedback api-compat crash-recovery no-skip fuzz
 
 vet:
 	$(GO) vet ./...
@@ -54,6 +54,17 @@ no-skip:
 api-compat:
 	$(GO) test -run 'TestLegacyAliases|TestFeedbackAdvancesEpoch' ./internal/httpapi
 
+# Group-commit gate: the mixed read/write soak (concurrent writers
+# group-committing feedback vs a serial single-writer oracle replaying the
+# WAL's commit order) and the scoped-invalidation differentials under the
+# race detector; -count=2 reruns the soak so a lucky interleave can't hide
+# a race. Then the batched crash matrix (kill at every byte of an
+# AppendBatch write) without -race, where the per-offset loop dominates.
+race-feedback:
+	$(GO) test -race -count=2 -run 'TestFeedbackSoakMatchesSerialOracle' ./internal/persist
+	$(GO) test -race -short -run 'TestFeedbackDifferentialScopedVsFull|TestScopedInvalidationNoTwinLeak' ./internal/core
+	$(GO) test -run 'TestKillAtEveryBatchOffset|TestKillAtEveryByteOffsetBatched|TestGroupCommitRejectsWithoutLogging' ./internal/wal ./internal/persist
+
 # Durability gate: the torn-write fault-injection matrix (every WAL byte
 # offset, plus mid-log corruption refusal at both the wal and store
 # layers), then the checkpoint-rotation soak under the race detector
@@ -94,6 +105,22 @@ bench-shard:
 	      printf "}" \
 	    } \
 	    END { print "\n]" }' > BENCH_shard.json
+
+# Feedback commit throughput (group commit across writer counts, with
+# concurrent readers, and the fsync-per-commit baseline); snapshots the
+# raw lines as JSON into BENCH_feedback.json.
+bench-feedback:
+	$(GO) test -run '^$$' -bench 'BenchmarkFeedbackThroughput' -benchmem -benchtime=2s ./internal/persist \
+	  | tee /dev/stderr \
+	  | awk 'BEGIN { print "[" } \
+	    /^BenchmarkFeedbackThroughput/ { \
+	      printf "%s", comma; comma=",\n"; \
+	      n=split($$1, a, "/"); \
+	      printf "  {\"case\": \"%s/%s\", \"iters\": %s", a[n-1], a[n], $$2; \
+	      for (i = 3; i < NF; i += 2) { printf ", \"%s\": %s", $$(i+1), $$i } \
+	      printf "}" \
+	    } \
+	    END { print "\n]" }' > BENCH_feedback.json
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/sqlparse

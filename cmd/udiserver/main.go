@@ -84,6 +84,8 @@ func main() {
 	top := flag.Int("top", 0, "default answer limit for /v1/query when the request sets no \"top\" (0 = unlimited)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent query-path requests; excess gets 429 (0 = unlimited)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-request deadline for query-path requests; expiry gets 504 (0 = none)")
+	feedbackBatch := flag.Int("feedback-batch", 0, "max feedback submissions committed under one WAL fsync (0 = default 64)")
+	noGroupCommit := flag.Bool("no-group-commit", false, "commit every feedback submission with its own fsync and snapshot publish")
 	verbose := flag.Bool("verbose", false, "log one line per request")
 	flag.Parse()
 
@@ -95,20 +97,24 @@ func main() {
 	if *verbose {
 		opts.Logf = log.Printf
 	}
-	if err := run(*domain, *data, *load, *sources, *shards, *addr, *dataDir, *checkpointEvery, opts); err != nil {
+	cfg := core.Config{
+		FeedbackBatch:      *feedbackBatch,
+		DisableGroupCommit: *noGroupCommit,
+	}
+	if err := run(*domain, *data, *load, *sources, *shards, *addr, *dataDir, *checkpointEvery, cfg, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "udiserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(domain, data, load string, sources, shards int, addr, dataDir string, checkpointEvery uint64, opts httpapi.Options) error {
+func run(domain, data, load string, sources, shards int, addr, dataDir string, checkpointEvery uint64, cfg core.Config, opts httpapi.Options) error {
 	var api *httpapi.Server
 	var numSources int
 	// finish runs after the listener drains: fold state into a final
 	// checkpoint and release the WAL(s).
 	finish := func() error { return nil }
 	if shards > 1 {
-		sh, err := openSharded(domain, data, load, sources, shards, dataDir, checkpointEvery)
+		sh, err := openSharded(domain, data, load, sources, shards, dataDir, checkpointEvery, cfg)
 		if err != nil {
 			return err
 		}
@@ -126,7 +132,7 @@ func run(domain, data, load string, sources, shards int, addr, dataDir string, c
 			return sh.Close()
 		}
 	} else {
-		sys, store, err := openSystem(domain, data, load, sources, dataDir, checkpointEvery)
+		sys, store, err := openSystem(domain, data, load, sources, dataDir, checkpointEvery, cfg)
 		if err != nil {
 			return err
 		}
@@ -191,7 +197,7 @@ func run(domain, data, load string, sources, shards int, addr, dataDir string, c
 // openSharded builds or recovers the scatter-gather serving system. The
 // corpus comes from -domain or -data exactly as in single-core mode;
 // -load snapshots carry single-core serving state and are refused.
-func openSharded(domain, data, load string, sources, shards int, dataDir string, checkpointEvery uint64) (*shard.System, error) {
+func openSharded(domain, data, load string, sources, shards int, dataDir string, checkpointEvery uint64, cfg core.Config) (*shard.System, error) {
 	if load != "" {
 		return nil, fmt.Errorf("-load serves a single-core snapshot; it cannot be combined with -shards %d", shards)
 	}
@@ -201,9 +207,9 @@ func openSharded(domain, data, load string, sources, shards int, dataDir string,
 		if err != nil {
 			return nil, err
 		}
-		return shard.New(corpus, core.Config{}, shard.Options{Shards: shards})
+		return shard.New(corpus, cfg, shard.Options{Shards: shards})
 	}
-	sh, err := shard.Open(dataDir, core.Config{},
+	sh, err := shard.Open(dataDir, cfg,
 		shard.Options{Shards: shards, CheckpointEvery: checkpointEvery}, setup)
 	if err != nil {
 		return nil, fmt.Errorf("data dir %s: %w", dataDir, err)
@@ -248,15 +254,15 @@ func buildCorpus(domain, data string, sources int) (*schema.Corpus, error) {
 // owns the lifecycle: setup runs only when the directory is empty, and a
 // corrupt snapshot or WAL refuses startup with persist.ErrCorrupt /
 // wal.ErrCorrupt rather than serving a state that was never committed.
-func openSystem(domain, data, load string, sources int, dataDir string, checkpointEvery uint64) (*core.System, *persist.Store, error) {
+func openSystem(domain, data, load string, sources int, dataDir string, checkpointEvery uint64, cfg core.Config) (*core.System, *persist.Store, error) {
 	if dataDir == "" {
-		sys, err := buildSystem(domain, data, load, sources)
+		sys, err := buildSystem(domain, data, load, sources, cfg)
 		return sys, nil, err
 	}
-	sys, store, err := persist.OpenStore(dataDir, core.Config{},
+	sys, store, err := persist.OpenStore(dataDir, cfg,
 		persist.StoreOptions{CheckpointEvery: checkpointEvery},
 		func() (*core.System, error) {
-			return buildSystem(domain, data, load, sources)
+			return buildSystem(domain, data, load, sources, cfg)
 		})
 	if err != nil {
 		return nil, nil, fmt.Errorf("data dir %s: %w", dataDir, err)
@@ -268,18 +274,18 @@ func openSystem(domain, data, load string, sources int, dataDir string, checkpoi
 	return sys, store, nil
 }
 
-func buildSystem(domain, data, load string, sources int) (*core.System, error) {
+func buildSystem(domain, data, load string, sources int, cfg core.Config) (*core.System, error) {
 	switch {
 	case load != "":
 		fmt.Fprintf(os.Stderr, "restoring snapshot %s...\n", load)
-		return persist.LoadFile(load, core.Config{})
+		return persist.LoadFile(load, cfg)
 	case data != "":
 		fmt.Fprintf(os.Stderr, "loading CSV tables from %s...\n", data)
 		corpus, err := csvio.LoadCorpus(domain, data)
 		if err != nil {
 			return nil, err
 		}
-		return setupLimited(corpus, sources)
+		return setupLimited(corpus, sources, cfg)
 	default:
 		spec := datagen.DomainByName(domain)
 		if spec == nil {
@@ -293,13 +299,13 @@ func buildSystem(domain, data, load string, sources int) (*core.System, error) {
 		if err != nil {
 			return nil, err
 		}
-		return core.Setup(c.Corpus, core.Config{})
+		return core.Setup(c.Corpus, cfg)
 	}
 }
 
-func setupLimited(corpus *schema.Corpus, sources int) (*core.System, error) {
+func setupLimited(corpus *schema.Corpus, sources int, cfg core.Config) (*core.System, error) {
 	if sources > 0 && sources < len(corpus.Sources) {
 		corpus = corpus.Prefix(sources)
 	}
-	return core.Setup(corpus, core.Config{})
+	return core.Setup(corpus, cfg)
 }

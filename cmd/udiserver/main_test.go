@@ -19,14 +19,14 @@ import (
 )
 
 func TestBuildSystemDomain(t *testing.T) {
-	sys, err := buildSystem("People", "", "", 12)
+	sys, err := buildSystem("People", "", "", 12, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(sys.Corpus.Sources) != 12 {
 		t.Errorf("sources = %d", len(sys.Corpus.Sources))
 	}
-	if _, err := buildSystem("Atlantis", "", "", 0); err == nil {
+	if _, err := buildSystem("Atlantis", "", "", 0, core.Config{}); err == nil {
 		t.Error("unknown domain accepted")
 	}
 }
@@ -39,14 +39,14 @@ func TestBuildSystemData(t *testing.T) {
 	if err := csvio.WriteCorpus(c.Corpus, dir); err != nil {
 		t.Fatal(err)
 	}
-	sys, err := buildSystem("csv", dir, "", 5)
+	sys, err := buildSystem("csv", dir, "", 5, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(sys.Corpus.Sources) != 5 {
 		t.Errorf("sources = %d", len(sys.Corpus.Sources))
 	}
-	if _, err := buildSystem("csv", filepath.Join(dir, "missing"), "", 0); err == nil {
+	if _, err := buildSystem("csv", filepath.Join(dir, "missing"), "", 0, core.Config{}); err == nil {
 		t.Error("missing data dir accepted")
 	}
 }
@@ -63,14 +63,14 @@ func TestBuildSystemSnapshot(t *testing.T) {
 	if err := persist.SaveFile(path, sys); err != nil {
 		t.Fatal(err)
 	}
-	restored, err := buildSystem("", "", path, 0)
+	restored, err := buildSystem("", "", path, 0, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(restored.Corpus.Sources) != 10 {
 		t.Errorf("sources = %d", len(restored.Corpus.Sources))
 	}
-	if _, err := buildSystem("", "", filepath.Join(t.TempDir(), "none.gz"), 0); err == nil {
+	if _, err := buildSystem("", "", filepath.Join(t.TempDir(), "none.gz"), 0, core.Config{}); err == nil {
 		t.Error("missing snapshot accepted")
 	}
 }
@@ -84,7 +84,7 @@ func TestDurableRestartAllDomains(t *testing.T) {
 		d := d
 		t.Run(d.Name, func(t *testing.T) {
 			dir := t.TempDir()
-			sys, store, err := openSystem(d.Name, "", "", 8, dir, 0)
+			sys, store, err := openSystem(d.Name, "", "", 8, dir, 0, core.Config{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -138,7 +138,7 @@ func TestDurableRestartAllDomains(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			sys2, store2, err := openSystem(d.Name, "", "", 8, dir, 0)
+			sys2, store2, err := openSystem(d.Name, "", "", 8, dir, 0, core.Config{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -167,7 +167,7 @@ func TestDurableRestartAllDomains(t *testing.T) {
 // system, serve it, run a query, then check the observability endpoints
 // report live counters for it.
 func TestServeObservability(t *testing.T) {
-	sys, err := buildSystem("People", "", "", 12)
+	sys, err := buildSystem("People", "", "", 12, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -44,6 +44,13 @@ type Config struct {
 	// Nil means obs.Default; pass obs.Disabled to turn recording off.
 	Obs *obs.Registry
 
+	// FeedbackBatch caps how many concurrent feedback submissions one
+	// group commit folds under a single WAL fsync and a single snapshot
+	// publish (default 64; see SubmitFeedback). It bounds tail latency:
+	// a submission waits for at most FeedbackBatch-1 peers' conditioning
+	// work before its own barrier.
+	FeedbackBatch int
+
 	// DisableSimMatrix skips the interned attribute-similarity matrix and
 	// calls the configured Sim functions directly on every comparison.
 	// DisablePMapDedup skips the schema-dedup caches so every source's
@@ -52,6 +59,19 @@ type Config struct {
 	// the naive path; production setups leave them false.
 	DisableSimMatrix bool
 	DisablePMapDedup bool
+
+	// DisableGroupCommit routes every feedback submission through the
+	// legacy one-commit-per-op path: its own WAL fsync, its own epoch,
+	// wholesale cache invalidation. The fsync-per-commit baseline for
+	// benchmarks and the serial oracle for differential tests.
+	DisableGroupCommit bool
+	// DisableScopedInvalidation makes feedback drop the plan cache and
+	// both schema-dedup caches wholesale (the pre-group-commit behavior)
+	// and rebuild the consolidation refinement tables per commit, instead
+	// of retargeting cached plans and dropping only the entries whose
+	// p-med-schema the feedback touched. The nuke-everything baseline the
+	// scoped-vs-full differential tests compare against.
+	DisableScopedInvalidation bool
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +163,15 @@ type System struct {
 	// clog, when set, write-ahead-logs every commit (see CommitLog).
 	// Read under commitMu only.
 	clog CommitLog
+
+	// fbMu guards the group-commit feedback queue: submissions enqueue
+	// under it, and the first submission to find no leader drains the
+	// queue in FeedbackBatch-sized batches (see SubmitFeedback). It is
+	// never held while committing — the leader reacquires it between
+	// batches — so followers enqueue without waiting on conditioning work.
+	fbMu     sync.Mutex
+	fbQueue  []*feedbackReq
+	fbLeader bool
 }
 
 // Setup runs the full automatic configuration of Figure 2 over the corpus.

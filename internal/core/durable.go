@@ -51,6 +51,30 @@ type CommitLog interface {
 	Committed(seq uint64)
 }
 
+// BatchCommitLog extends CommitLog with a group-commit barrier: a whole
+// batch of already-applied ops is made durable under one append + fsync
+// and acknowledged under one bookkeeping call. The commit path only logs
+// ops that applied successfully (failed ops are rejected before the
+// batch is assembled), so batch mode needs no abort records: a crash at
+// any instant leaves a clean prefix of the batch's records in the log,
+// and replaying that prefix reproduces a state every surviving op's
+// caller could have observed.
+//
+// Both methods run with the single-writer commit lock held.
+//
+//	BeginBatch(ops)           assign the ops consecutive sequence numbers
+//	                          starting at firstSeq and make all of them
+//	                          durable with a single sync barrier; an error
+//	                          fails the whole batch before anything is
+//	                          published.
+//	CommittedBatch(first, n)  the batch published as one epoch; rotation
+//	                          policy accounting for n commits.
+type BatchCommitLog interface {
+	CommitLog
+	BeginBatch(ops []Op) (firstSeq uint64, err error)
+	CommittedBatch(firstSeq uint64, n int)
+}
+
 // SetCommitLog attaches a durability layer to the commit path. Attach it
 // before serving mutations (it is read under the commit lock but must
 // not change while commits run); a nil log restores in-memory-only

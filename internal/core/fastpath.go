@@ -35,6 +35,16 @@ type setupCaches struct {
 
 	pmaps dedupCache[*pmapping.PMapping]
 	cons  dedupCache[*consolidate.PMapping]
+
+	// consol caches the consolidation refinement tables for one
+	// (p-med-schema, target) identity, checked by pointer: feedback
+	// reconditioning reuses the tables across commits, and any mediation
+	// swap (incremental add/remove fast path, shard mediation push)
+	// rebuilds them on first use via the pointer mismatch.
+	consolMu   sync.Mutex
+	consol     *consolidate.Consolidator
+	consolPMed *schema.PMedSchema
+	consolTgt  *schema.MediatedSchema
 }
 
 // dedupEntry computes its value exactly once; concurrent requesters for
@@ -73,6 +83,14 @@ func (c *dedupCache[T]) entry(key string) (*dedupEntry[T], bool) {
 func (c *dedupCache[T]) invalidate() {
 	c.mu.Lock()
 	c.m = nil
+	c.mu.Unlock()
+}
+
+// drop removes one entry (no-op for absent keys) — the scoped form of
+// invalidate.
+func (c *dedupCache[T]) drop(key string) {
+	c.mu.Lock()
+	delete(c.m, key)
 	c.mu.Unlock()
 }
 
@@ -177,6 +195,68 @@ func (s *System) invalidateSetupCaches() {
 	if s.Cfg.Obs.Enabled() {
 		s.Cfg.Obs.Add("setup.pmap_dedup.invalidations", 1)
 	}
+}
+
+// dropFeedbackCacheEntries scopes the schema-dedup invalidation of one
+// feedback batch: for each fed-back source, drop the canonical p-mapping
+// entries of exactly the (attribute set, schema) pairs the feedback
+// conditioned, plus the attribute set's consolidation entry. Every other
+// entry stays valid: canonical values are only ever computed from
+// unconditioned state (pmapping.Build depends solely on the attribute
+// set and the clustering, and a consolidation entry is built from a
+// freshly cloned, unconditioned p-mapping when a new twin arrives), and
+// feedback conditions per-source clones, never the canonical values — so
+// a surviving entry hands a future source bit-for-bit what a full
+// invalidation would recompute. The scoped-vs-full differential suite
+// pins this equivalence.
+//
+// The setup.pmap_dedup.invalidations counter still advances once per
+// batch — it counts invalidation events, scoped or not — alongside
+// feedback.scoped_drops counting the entries actually removed.
+func (s *System) dropFeedbackCacheEntries(dirty map[string][]int) {
+	if s.caches == nil {
+		return
+	}
+	dropped := 0
+	for name, schemas := range dirty {
+		for _, src := range s.Corpus.Sources {
+			if src.Name != name {
+				continue
+			}
+			key := attrSetKey(src.Attrs)
+			for _, l := range schemas {
+				s.caches.pmaps.drop(fmt.Sprintf("%s\x1e%d", key, l))
+			}
+			s.caches.cons.drop(key)
+			dropped += len(schemas) + 1
+			break
+		}
+	}
+	if s.Cfg.Obs.Enabled() {
+		s.Cfg.Obs.Add("setup.pmap_dedup.invalidations", 1)
+		s.Cfg.Obs.Add("feedback.scoped_drops", int64(dropped))
+	}
+}
+
+// consolidator returns the refinement-table consolidator for the current
+// (p-med-schema, target) pair, rebuilding it only when either pointer
+// changed — the cache that lets feedback recondition incrementally
+// instead of re-deriving the tables on every commit. Callers hold the
+// commit lock (the only writer); the consolMu guard additionally covers
+// systems assembled without caches mid-flight.
+func (s *System) consolidator() *consolidate.Consolidator {
+	cs := s.caches
+	if cs == nil {
+		return s.newConsolidator()
+	}
+	cs.consolMu.Lock()
+	defer cs.consolMu.Unlock()
+	if cs.consol == nil || cs.consolPMed != s.Med.PMed || cs.consolTgt != s.Target {
+		cs.consol = s.newConsolidator()
+		cs.consolPMed = s.Med.PMed
+		cs.consolTgt = s.Target
+	}
+	return cs.consol
 }
 
 // attrSetKey canonicalizes a source schema as an order-free attribute

@@ -3,7 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"time"
 
+	"udi/internal/answer"
 	"udi/internal/consolidate"
 	"udi/internal/pmapping"
 )
@@ -12,6 +15,10 @@ import (
 // system does not serve. Wrapped errors preserve it for errors.Is, which
 // the HTTP layer uses to map it onto the unknown_source error code.
 var ErrUnknownSource = errors.New("unknown source")
+
+// defaultFeedbackBatch is the group-commit batch cap when
+// Config.FeedbackBatch is zero.
+const defaultFeedbackBatch = 64
 
 // Feedback is one pay-as-you-go improvement: source attribute SrcAttr of
 // the named source does (Confirmed) or does not correspond to a mediated
@@ -32,6 +39,13 @@ type Feedback struct {
 	Confirmed bool
 }
 
+// feedbackReq is one submission waiting in the group-commit queue; done
+// is buffered so the leader can deliver without blocking on the waiter.
+type feedbackReq struct {
+	fb   Feedback
+	done chan error
+}
+
 // SubmitFeedback incorporates one feedback item. The affected p-mappings
 // are conditioned (see pmapping.Condition) and the source's consolidated
 // p-mapping is rebuilt — all copy-on-write behind the single-writer
@@ -39,9 +53,58 @@ type Feedback struct {
 // the new state becomes visible atomically. A failed submission (unknown
 // source, bad target, conditioning error) publishes nothing. This is the
 // pay-as-you-go improvement loop the paper leaves as future work (§9).
+//
+// Concurrent submissions group-commit: the first submission to find no
+// leader drains the queue in batches of up to Config.FeedbackBatch,
+// conditioning every op into one working copy, making the whole batch
+// durable under a single WAL fsync, and publishing a single epoch —
+// followers just wait for their result. Per-op semantics are unchanged
+// (each op is individually all-or-nothing and individually acknowledged);
+// only the barriers are shared. Config.DisableGroupCommit restores the
+// one-commit-per-op path.
 func (s *System) SubmitFeedback(fb Feedback) error {
-	op := &Op{Kind: OpFeedback, Feedback: &fb}
-	return s.commit("feedback", op, func() error { return s.applyFeedbackLocked(fb) })
+	if s.Cfg.DisableGroupCommit {
+		op := &Op{Kind: OpFeedback, Feedback: &fb}
+		return s.commit("feedback", op, func() error { return s.applyFeedbackLocked(fb) })
+	}
+	req := &feedbackReq{fb: fb, done: make(chan error, 1)}
+	s.fbMu.Lock()
+	s.fbQueue = append(s.fbQueue, req)
+	if s.fbLeader {
+		// A leader is draining; it will commit this request in one of its
+		// batches and deliver the result.
+		s.fbMu.Unlock()
+		return <-req.done
+	}
+	s.fbLeader = true
+	for {
+		n := len(s.fbQueue)
+		if n == 0 {
+			// Re-checked under fbMu after the last batch: no request can
+			// slip in between this check and clearing the flag, so no
+			// submission is ever stranded leaderless.
+			s.fbLeader = false
+			s.fbMu.Unlock()
+			return <-req.done
+		}
+		if lim := s.feedbackBatchMax(); n > lim {
+			n = lim
+		}
+		batch := s.fbQueue[:n:n]
+		rest := make([]*feedbackReq, len(s.fbQueue)-n)
+		copy(rest, s.fbQueue[n:])
+		s.fbQueue = rest
+		s.fbMu.Unlock()
+		s.commitFeedbackBatch(batch)
+		s.fbMu.Lock()
+	}
+}
+
+func (s *System) feedbackBatchMax() int {
+	if s.Cfg.FeedbackBatch > 0 {
+		return s.Cfg.FeedbackBatch
+	}
+	return defaultFeedbackBatch
 }
 
 // ApplyFeedback is the name-based convenience form of SubmitFeedback.
@@ -58,12 +121,166 @@ func (s *System) ApplyFeedbackAt(source string, schemaIdx int, srcAttr string, m
 	return s.SubmitFeedback(Feedback{Source: source, SrcAttr: srcAttr, SchemaIdx: schemaIdx, MedIdx: medIdx, Confirmed: confirmed})
 }
 
-// applyFeedbackLocked resolves the feedback targets and applies them to
-// cloned p-mappings. Caller holds the commit lock.
+// commitFeedbackBatch commits one batch of queued submissions under a
+// single acquisition of the writer lock, one durability barrier, and one
+// published epoch. The protocol is apply-before-log:
+//
+//  1. Condition every op into a private working copy of Maps. A failed
+//     op leaves the copy as the previous op left it and is excluded —
+//     it is rejected to its caller without ever reaching the log, so
+//     batch mode needs no compensating abort records.
+//  2. BeginBatch makes every surviving op durable under one fsync. On
+//     failure the working copy is discarded: nothing was published and
+//     nothing remains in the log.
+//  3. Install the working copy, recondition the dirty sources'
+//     consolidated p-mappings, invalidate exactly what the batch
+//     touched, publish one epoch, and acknowledge the batch.
+//
+// A crash between 2 and 3 leaves durable-but-unacknowledged ops, which
+// recovery replays — the same contract single-op commits have (see
+// persist's TestCrashBetweenAppendAndPublish). A crash inside 2 leaves a
+// clean prefix of the batch's records (wal.AppendBatch's guarantee), and
+// replaying a prefix is deterministic because only successfully-applied
+// ops were logged.
+func (s *System) commitFeedbackBatch(batch []*feedbackReq) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+
+	// A legacy (non-batch) commit log cannot amortize the fsync barrier;
+	// route each op through the one-commit path it was written for.
+	if s.clog != nil {
+		if _, ok := s.clog.(BatchCommitLog); !ok {
+			for _, req := range batch {
+				fb := req.fb
+				op := &Op{Kind: OpFeedback, Feedback: &fb}
+				req.done <- s.commitLocked("feedback", op, func() error { return s.applyFeedbackLocked(fb) })
+			}
+			return
+		}
+	}
+
+	s.committing.Store(true)
+	defer s.committing.Store(false)
+	t0 := time.Now()
+
+	results := make([]error, len(batch))
+	oldMaps := s.Maps
+	work := clonedMaps(s.Maps)
+	// dirty maps each fed-back source to the sorted schema indices its
+	// feedback conditioned — the scope of the invalidation.
+	dirty := make(map[string][]int)
+	var okOps []Op
+	var okIdx []int
+	for i, req := range batch {
+		touched, err := s.conditionFeedback(work, req.fb)
+		if err != nil {
+			results[i] = err
+			continue
+		}
+		fb := req.fb
+		okOps = append(okOps, Op{Kind: OpFeedback, Feedback: &fb})
+		okIdx = append(okIdx, i)
+		dirty[fb.Source] = mergeSchemaIdxs(dirty[fb.Source], touched)
+	}
+	if len(okOps) == 0 {
+		deliverFeedback(batch, results)
+		return
+	}
+
+	var firstSeq uint64
+	logged := false
+	if s.clog != nil {
+		seq, err := s.clog.(BatchCommitLog).BeginBatch(okOps)
+		if err != nil {
+			err = fmt.Errorf("core: commit log: %w", err)
+			for _, i := range okIdx {
+				results[i] = err
+			}
+			deliverFeedback(batch, results)
+			return
+		}
+		firstSeq, logged = seq, true
+	}
+
+	s.Maps = work
+	sources := make([]string, 0, len(dirty))
+	for name := range dirty {
+		sources = append(sources, name)
+	}
+	sort.Strings(sources)
+	if s.Cfg.DisableScopedInvalidation {
+		s.engine.InvalidatePlans()
+		s.invalidateSetupCaches()
+		for _, name := range sources {
+			_ = s.reconsolidateSource(name)
+		}
+	} else {
+		s.reconditionSources(sources)
+		s.engine.RetargetPlans(oldMaps, answer.PMedInput{PMed: s.Med.PMed, Maps: s.Maps}, sources)
+		s.dropFeedbackCacheEntries(dirty)
+	}
+	s.publish()
+	if logged {
+		s.clog.(BatchCommitLog).CommittedBatch(firstSeq, len(okOps))
+	}
+	if r := s.Cfg.Obs; r.Enabled() {
+		r.Add("feedback.batch.commits", 1)
+		r.Add("feedback.batch.ops", int64(len(okOps)))
+		if rejected := len(batch) - len(okOps); rejected > 0 {
+			r.Add("feedback.batch.rejected", int64(rejected))
+		}
+		r.Observe("feedback.batch.size", float64(len(okOps)))
+		r.Observe("commit.seconds", time.Since(t0).Seconds())
+		r.Add("commit.feedback", int64(len(okOps)))
+	}
+	deliverFeedback(batch, results)
+}
+
+func deliverFeedback(batch []*feedbackReq, results []error) {
+	for i, req := range batch {
+		req.done <- results[i]
+	}
+}
+
+// mergeSchemaIdxs unions two sorted, deduplicated index slices.
+func mergeSchemaIdxs(have, add []int) []int {
+	for _, idx := range add {
+		pos := sort.SearchInts(have, idx)
+		if pos < len(have) && have[pos] == idx {
+			continue
+		}
+		have = append(have, 0)
+		copy(have[pos+1:], have[pos:])
+		have[pos] = idx
+	}
+	return have
+}
+
+// applyFeedbackLocked is the legacy one-op apply: condition into a fresh
+// Maps clone and wholesale-invalidate every derived cache. Caller holds
+// the commit lock.
 func (s *System) applyFeedbackLocked(fb Feedback) error {
-	pms, ok := s.Maps[fb.Source]
+	work := clonedMaps(s.Maps)
+	if _, err := s.conditionFeedback(work, fb); err != nil {
+		return err
+	}
+	s.Maps = work
+
+	s.engine.InvalidatePlans() // cached plans resolved the pre-feedback mappings
+	s.invalidateSetupCaches()  // the canonical dedup entries predate the feedback
+	return s.reconsolidateSource(fb.Source)
+}
+
+// conditionFeedback resolves one feedback item's targets and applies it
+// to cloned p-mappings inside work, the batch's private working copy of
+// Maps. On success work[fb.Source] points at the conditioned p-mappings
+// and the touched schema indices are returned (sorted); on error work is
+// exactly as the caller left it, so ops stay individually all-or-nothing
+// even mid-batch. Caller holds the commit lock.
+func (s *System) conditionFeedback(work map[string][]*pmapping.PMapping, fb Feedback) ([]int, error) {
+	pms, ok := work[fb.Source]
 	if !ok {
-		return fmt.Errorf("core: %w %q", ErrUnknownSource, fb.Source)
+		return nil, fmt.Errorf("core: %w %q", ErrUnknownSource, fb.Source)
 	}
 
 	// Resolve the (schema, mediated attribute) pairs the feedback touches.
@@ -83,47 +300,76 @@ func (s *System) applyFeedbackLocked(fb Feedback) error {
 			}
 		}
 		if len(targets) == 0 {
-			return fmt.Errorf("core: no mediated attribute contains %q", fb.MedName)
+			return nil, fmt.Errorf("core: no mediated attribute contains %q", fb.MedName)
 		}
 	} else {
 		if fb.SchemaIdx < 0 || fb.SchemaIdx >= len(pms) {
-			return fmt.Errorf("core: schema index %d out of range [0,%d)", fb.SchemaIdx, len(pms))
+			return nil, fmt.Errorf("core: schema index %d out of range [0,%d)", fb.SchemaIdx, len(pms))
 		}
 		if fb.MedIdx < 0 || fb.MedIdx >= len(s.Med.PMed.Schemas[fb.SchemaIdx].Attrs) {
-			return fmt.Errorf("core: mediated attribute %d out of range", fb.MedIdx)
+			return nil, fmt.Errorf("core: mediated attribute %d out of range", fb.MedIdx)
 		}
 		targets = append(targets, target{fb.SchemaIdx, fb.MedIdx})
 	}
 
 	// Copy-on-write: condition clones, leaving every published snapshot's
 	// p-mappings untouched. Conditioning errors abort before anything is
-	// installed, so feedback is all-or-nothing even across schemas.
+	// installed, so feedback is all-or-nothing even across schemas. An op
+	// later in a batch clones the previous op's clone — value-correct,
+	// and the canonical dedup entries are never touched either way.
 	next := make([]*pmapping.PMapping, len(pms))
 	copy(next, pms)
 	cloned := make(map[int]bool, len(targets))
+	var touched []int
 	for _, t := range targets {
 		if !cloned[t.schemaIdx] {
 			next[t.schemaIdx] = next[t.schemaIdx].Clone()
 			cloned[t.schemaIdx] = true
+			touched = append(touched, t.schemaIdx)
 		}
 		if err := next[t.schemaIdx].Condition(fb.SrcAttr, t.medIdx, fb.Confirmed, s.Cfg.PMap); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	maps := clonedMaps(s.Maps)
-	maps[fb.Source] = next
-	s.Maps = maps
+	work[fb.Source] = next
+	sort.Ints(touched)
+	return touched, nil
+}
 
-	s.engine.InvalidatePlans() // cached plans resolved the pre-feedback mappings
-	s.invalidateSetupCaches()  // the canonical dedup entries predate the feedback
-	return s.reconsolidateSource(fb.Source)
+// reconditionSources rebuilds the consolidated p-mappings of the dirty
+// sources into one fresh ConsMaps clone — the incremental form of
+// reconsolidateSource for a whole batch. It reuses the cached
+// consolidation refinement tables (see System.consolidator): feedback
+// never changes the p-med-schema or the target, so the tables stay valid
+// across commits, and Consolidator.Consolidate is the exact code path
+// behind ConsolidateMappings, so the output is bit-identical to a
+// from-scratch rebuild.
+func (s *System) reconditionSources(sources []string) {
+	if len(sources) == 0 {
+		return
+	}
+	cons := clonedMaps(s.ConsMaps)
+	co := s.consolidator()
+	for _, name := range sources {
+		cpm, err := co.Consolidate(s.Maps[name], s.Cfg.ConsolidateLimit)
+		if err != nil {
+			// Too large to materialize: drop the consolidated form; the
+			// p-med-schema query path remains correct.
+			delete(cons, name)
+		} else {
+			cons[name] = cpm
+		}
+	}
+	s.ConsMaps = cons
 }
 
 // reconsolidateSource rebuilds one source's consolidated p-mapping from
 // its (now conditioned) per-schema p-mappings into a fresh ConsMaps map,
 // never mutating the published one. It deliberately bypasses the
 // schema-dedup cache: conditioned p-mappings differ from the canonical
-// ones other sources with the same schema share.
+// ones other sources with the same schema share. The legacy (full
+// invalidation) path; group commits recondition through
+// reconditionSources instead.
 func (s *System) reconsolidateSource(source string) error {
 	cons := clonedMaps(s.ConsMaps)
 	cpm, err := consolidate.ConsolidateMappings(s.Med.PMed, s.Target, s.Maps[source], s.Cfg.ConsolidateLimit)

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"udi/internal/obs"
+	"udi/internal/schema"
+	"udi/internal/sqlparse"
+)
+
+// gatherFeedback collects up to n feedback ops spread across sources and
+// schemas of sys, with rng-driven targets and confirmations. The ops are
+// pure values, so the same sequence can be replayed into any system built
+// over the same corpus.
+func gatherFeedback(sys *System, rng *rand.Rand, n int) []Feedback {
+	var ops []Feedback
+	for _, src := range sys.Corpus.Sources {
+		for l, pm := range sys.Maps[src.Name] {
+			for _, g := range pm.Groups {
+				if len(g.Corrs) == 0 {
+					continue
+				}
+				c := g.Corrs[rng.Intn(len(g.Corrs))]
+				ops = append(ops, Feedback{
+					Source: src.Name, SrcAttr: c.SrcAttr,
+					SchemaIdx: l, MedIdx: c.MedIdx,
+					Confirmed: rng.Float64() < 0.5,
+				})
+				break
+			}
+			if len(ops) == n {
+				return ops
+			}
+		}
+		if len(ops) == n {
+			return ops
+		}
+	}
+	return ops
+}
+
+// diffQueries compares the two systems' ranked answers over qs at 1e-12.
+func diffQueries(t *testing.T, seed int, label string, a, b *System, qs []*sqlparse.Query) {
+	t.Helper()
+	for _, q := range qs {
+		ra, err := a.QueryParsed(q)
+		if err != nil {
+			t.Fatalf("seed %d: %s: baseline query: %v", seed, label, err)
+		}
+		rb, err := b.QueryParsed(q)
+		if err != nil {
+			t.Fatalf("seed %d: %s: query: %v", seed, label, err)
+		}
+		if len(ra.Ranked) != len(rb.Ranked) {
+			t.Fatalf("seed %d: %s: %d vs %d answers", seed, label, len(ra.Ranked), len(rb.Ranked))
+		}
+		probs := make(map[string]float64, len(ra.Ranked))
+		for _, ans := range ra.Ranked {
+			probs[strings.Join(ans.Values, "\x1f")] = ans.Prob
+		}
+		for _, ans := range rb.Ranked {
+			p, ok := probs[strings.Join(ans.Values, "\x1f")]
+			if !ok {
+				t.Fatalf("seed %d: %s: extra answer %v", seed, label, ans.Values)
+			}
+			if math.Abs(p-ans.Prob) > 1e-12 {
+				t.Fatalf("seed %d: %s: answer %v prob %g vs %g", seed, label, ans.Values, p, ans.Prob)
+			}
+		}
+	}
+}
+
+// TestFeedbackDifferentialScopedVsFull pins the scoped-invalidation group
+// commit to the full-invalidation and legacy serial paths over randomized
+// multi-schema corpora: after the same feedback sequence, the p-mappings
+// and consolidated p-mappings must be byte-identical across all three
+// configurations, and every answer probability must agree within 1e-12 —
+// including answers served from plans that the scoped path retargeted
+// in place rather than rebuilding, and from dedup-cache entries it chose
+// to keep. Any over-narrow invalidation (a stale plan, a conditioned
+// value leaking into a canonical cache entry) diverges here.
+func TestFeedbackDifferentialScopedVsFull(t *testing.T) {
+	nCorpora := 100
+	if testing.Short() {
+		nCorpora = 20
+	}
+	for seed := 0; seed < nCorpora; seed++ {
+		rng := rand.New(rand.NewSource(int64(3000 + seed)))
+		corpus := randomCorpus(rng)
+
+		scoped, err := Setup(corpus, Config{Parallelism: 4, Obs: obs.Disabled})
+		if err != nil {
+			t.Fatalf("seed %d: scoped setup: %v", seed, err)
+		}
+		full, err := Setup(corpus, Config{Parallelism: 4, Obs: obs.Disabled,
+			DisableScopedInvalidation: true})
+		if err != nil {
+			t.Fatalf("seed %d: full setup: %v", seed, err)
+		}
+		serial, err := Setup(corpus, Config{Parallelism: 1, Obs: obs.Disabled,
+			DisableGroupCommit: true})
+		if err != nil {
+			t.Fatalf("seed %d: serial setup: %v", seed, err)
+		}
+		systems := []*System{scoped, full, serial}
+
+		// Warm every plan cache before the feedback so the scoped system
+		// must retarget live plans, not rebuild from empty.
+		attrs := corpus.FrequentAttrs(0.10)
+		var qs []*sqlparse.Query
+		for i := 0; i < len(attrs) && i < 3; i++ {
+			qs = append(qs, sqlparse.MustParse("SELECT "+attrs[i]+" FROM t"))
+		}
+		for _, sys := range systems {
+			for _, q := range qs {
+				if _, err := sys.QueryParsed(q); err != nil {
+					t.Fatalf("seed %d: warmup query: %v", seed, err)
+				}
+			}
+		}
+
+		ops := gatherFeedback(scoped, rng, 6)
+		if len(ops) == 0 {
+			continue
+		}
+		// Mix in one name-addressed op, which fans out across every
+		// possible schema that mediates the name (multi-schema dirty set).
+		if len(attrs) > 0 {
+			for _, src := range corpus.Sources {
+				for _, a := range src.Attrs {
+					if a == attrs[0] {
+						ops = append(ops, Feedback{
+							Source: src.Name, SrcAttr: a, MedName: attrs[0],
+							Confirmed: rng.Float64() < 0.5,
+						})
+					}
+				}
+			}
+		}
+		for i, fb := range ops {
+			var errs [3]error
+			for j, sys := range systems {
+				errs[j] = sys.SubmitFeedback(fb)
+			}
+			if (errs[0] == nil) != (errs[1] == nil) || (errs[0] == nil) != (errs[2] == nil) {
+				t.Fatalf("seed %d: op %d: divergent outcomes %v / %v / %v", seed, i, errs[0], errs[1], errs[2])
+			}
+		}
+
+		if !reflect.DeepEqual(scoped.Med.PMed, full.Med.PMed) ||
+			!reflect.DeepEqual(scoped.Med.PMed, serial.Med.PMed) {
+			t.Fatalf("seed %d: p-med-schemas differ after feedback", seed)
+		}
+		if !reflect.DeepEqual(scoped.Maps, full.Maps) {
+			t.Fatalf("seed %d: scoped vs full p-mappings differ", seed)
+		}
+		if !reflect.DeepEqual(scoped.Maps, serial.Maps) {
+			t.Fatalf("seed %d: scoped vs serial p-mappings differ", seed)
+		}
+		if !reflect.DeepEqual(scoped.ConsMaps, full.ConsMaps) {
+			t.Fatalf("seed %d: scoped vs full consolidated p-mappings differ", seed)
+		}
+		if !reflect.DeepEqual(scoped.ConsMaps, serial.ConsMaps) {
+			t.Fatalf("seed %d: scoped vs serial consolidated p-mappings differ", seed)
+		}
+		diffQueries(t, seed, "post-feedback vs full", full, scoped, qs)
+		diffQueries(t, seed, "post-feedback vs serial", serial, scoped, qs)
+
+		// Grow each system with a twin of a fed-back source: AddSource
+		// consults the dedup caches the scoped path deliberately kept, so
+		// a conditioned value that leaked into a canonical entry would
+		// surface as a divergent twin here.
+		var fed *schema.Source
+		for _, src := range corpus.Sources {
+			if src.Name == ops[0].Source {
+				fed = src
+				break
+			}
+		}
+		if fed == nil {
+			continue
+		}
+		rows := [][]string{make([]string, len(fed.Attrs))}
+		for j := range rows[0] {
+			rows[0][j] = "twin-v"
+		}
+		twin := schema.MustNewSource("twin-of-fed", fed.Attrs, rows)
+		for _, sys := range systems {
+			if _, err := sys.AddSource(twin); err != nil {
+				t.Fatalf("seed %d: add twin: %v", seed, err)
+			}
+		}
+		if !reflect.DeepEqual(scoped.Maps["twin-of-fed"], full.Maps["twin-of-fed"]) ||
+			!reflect.DeepEqual(scoped.Maps["twin-of-fed"], serial.Maps["twin-of-fed"]) {
+			t.Fatalf("seed %d: twin p-mappings differ after scoped feedback", seed)
+		}
+		diffQueries(t, seed, "post-twin vs full", full, scoped, qs)
+		diffQueries(t, seed, "post-twin vs serial", serial, scoped, qs)
+	}
+}

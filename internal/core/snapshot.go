@@ -111,6 +111,13 @@ func (s *System) publish() *Snapshot {
 func (s *System) commit(kind string, op *Op, fn func() error) error {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
+	return s.commitLocked(kind, op, fn)
+}
+
+// commitLocked is commit's body for callers already holding commitMu
+// (the group-commit leader falling back to per-op commits against a
+// non-batch CommitLog).
+func (s *System) commitLocked(kind string, op *Op, fn func() error) error {
 	s.committing.Store(true)
 	defer s.committing.Store(false)
 	t0 := time.Now()

@@ -294,6 +294,52 @@ func (st *Store) Begin(op core.Op) (uint64, error) {
 	return seq, nil
 }
 
+// BeginBatch implements core.BatchCommitLog: every op of one group
+// commit gets a consecutive sequence number and all of them become
+// durable under a single wal.AppendBatch — one write, one fsync. Each op
+// lands as an ordinary frame, so replay needs no batch awareness: a
+// crash mid-append leaves a clean prefix of the batch (wal's torn-tail
+// truncation), and the core only batches ops that already applied, so no
+// abort records ever interleave with a batch. Called under the core
+// commit lock.
+func (st *Store) BeginBatch(ops []core.Op) (uint64, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	first := st.lastSeq + 1
+	entries := make([]wal.BatchEntry, len(ops))
+	for i := range ops {
+		data, err := json.Marshal(&ops[i])
+		if err != nil {
+			return 0, fmt.Errorf("persist: encode op: %w", err)
+		}
+		entries[i] = wal.BatchEntry{Seq: first + uint64(i), Kind: ops[i].Kind, Data: data}
+	}
+	if err := st.w.AppendBatch(entries); err != nil {
+		return 0, err
+	}
+	st.lastSeq += uint64(len(ops))
+	st.walRecords += len(ops)
+	return first, nil
+}
+
+// CommittedBatch implements core.BatchCommitLog: the batch published as
+// one epoch; rotation accounting advances by the number of ops, so
+// checkpoint cadence tracks mutations, not barriers. Rotation only ever
+// runs between batches (still under the core commit lock), so a
+// checkpoint boundary never splits a batch.
+func (st *Store) CommittedBatch(firstSeq uint64, n int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sinceCheckpoint += uint64(n)
+	if st.sinceCheckpoint < st.opts.CheckpointEvery {
+		return
+	}
+	if err := st.checkpointLocked(); err != nil {
+		st.opts.Obs.Add("checkpoint.errors", 1)
+		st.sinceCheckpoint = 0
+	}
+}
+
 // Abort implements core.CommitLog: the logged op failed to apply, so a
 // compensating record makes replay skip it.
 func (st *Store) Abort(seq uint64) error {

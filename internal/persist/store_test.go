@@ -33,6 +33,21 @@ func tinySetup(t testing.TB) (*datagen.Corpus, func() (*core.System, error)) {
 	}
 }
 
+// tinySetupCfg is tinySetup with an explicit core config (legacy-path
+// and batching-knob variants).
+func tinySetupCfg(t testing.TB, cfg core.Config) (*datagen.Corpus, func() (*core.System, error)) {
+	t.Helper()
+	spec := datagen.People(41)
+	spec.NumSources = 6
+	spec.MinRows = 2
+	spec.MaxRows = 4
+	spec.Entities = 15
+	c := datagen.MustGenerate(spec)
+	return c, func() (*core.System, error) {
+		return core.Setup(c.Corpus, cfg)
+	}
+}
+
 // noSetup fails the test if OpenStore falls back to building a fresh
 // system instead of restoring the persisted one.
 func noSetup(t testing.TB) func() (*core.System, error) {
@@ -248,11 +263,16 @@ func TestKillAtEveryWALOffset(t *testing.T) {
 
 // TestFailedCommitReplay (write-ahead ordering): a commit that logs its
 // op but fails to apply writes a compensating abort record, so replay
-// reproduces exactly the pre-failure committed state.
+// reproduces exactly the pre-failure committed state. Group commit is
+// disabled here deliberately: the batched path rejects a failing op
+// before it is logged (no abort records by construction — see
+// TestGroupCommitRejectsWithoutLogging), so the legacy one-commit path
+// is the only writer of abort records left to cover.
 func TestFailedCommitReplay(t *testing.T) {
 	dir := t.TempDir()
-	c, setup := tinySetup(t)
-	sys, st, err := OpenStore(dir, core.Config{}, StoreOptions{}, setup)
+	cfg := core.Config{DisableGroupCommit: true}
+	c, setup := tinySetupCfg(t, cfg)
+	sys, st, err := OpenStore(dir, cfg, StoreOptions{}, setup)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +296,7 @@ func TestFailedCommitReplay(t *testing.T) {
 	}
 	st.Close()
 
-	sys2, st2, err := OpenStore(dir, core.Config{}, StoreOptions{}, noSetup(t))
+	sys2, st2, err := OpenStore(dir, cfg, StoreOptions{}, noSetup(t))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -84,10 +84,18 @@ type System struct {
 	shards []*core.System
 	stores []*persist.Store // nil entries: in-memory, or shard empty
 
-	mu       sync.Mutex
-	mutating atomic.Bool
-	meta     atomic.Pointer[servingMeta]
-	sources  map[string]*schema.Source
+	// mu is held exclusively by structural mutations (add/remove source,
+	// checkpoint, close) and shared by feedback submissions: feedback
+	// routes to exactly one shard's own single-writer commit path, so
+	// concurrent submissions to the same shard reach its group-commit
+	// queue together and batch under one fsync instead of serializing on
+	// the coordinator. fbInFlight counts submissions between RLock and
+	// the shard commit so Committing stays conservative in that window.
+	mu         sync.RWMutex
+	mutating   atomic.Bool
+	fbInFlight atomic.Int64
+	meta       atomic.Pointer[servingMeta]
+	sources    map[string]*schema.Source
 
 	// crashAt, when set by a test, simulates a crash at a named commit
 	// stage: a non-nil return aborts the mutation mid-protocol, leaving
@@ -195,7 +203,7 @@ func (s *System) Obs() *obs.Registry {
 // Committing reports whether any mutation is in flight — on the
 // coordinator or inside any shard's commit path.
 func (s *System) Committing() bool {
-	if s.mutating.Load() {
+	if s.mutating.Load() || s.fbInFlight.Load() > 0 {
 		return true
 	}
 	for _, sh := range s.shards {
@@ -416,11 +424,17 @@ func (s *System) Candidates(v *View, limit int) []feedback.Candidate {
 // publishes the shard's next epoch; no other shard is touched. Feedback
 // conditions only the source's p-mappings, never the global mediation,
 // so shard-local application is value-identical to the single-core path.
+//
+// Only a read lock is taken: concurrent submissions proceed in parallel
+// to their owning shards, where each shard's group-commit queue batches
+// same-shard items under one WAL fsync and one epoch (see
+// core.SubmitFeedback). Structural mutations still exclude feedback via
+// the write lock, so a source can never be re-homed mid-submission.
 func (s *System) SubmitFeedback(fb core.Feedback) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.mutating.Store(true)
-	defer s.mutating.Store(false)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.fbInFlight.Add(1)
+	defer s.fbInFlight.Add(-1)
 	return s.shards[ShardOf(fb.Source, len(s.shards))].SubmitFeedback(fb)
 }
 
