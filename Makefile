@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build test race race-setup race-serve race-shard race-feedback api-compat crash-recovery no-skip vet bench bench-setup bench-shard bench-feedback fuzz experiments
+.PHONY: check build test race race-setup race-serve race-shard race-feedback api-compat crash-recovery differential-blocked no-skip vet bench bench-setup bench-setup-scale bench-shard bench-feedback fuzz experiments
 
-check: vet build race race-setup race-serve race-shard race-feedback api-compat crash-recovery no-skip fuzz
+check: vet build race race-setup race-serve race-shard race-feedback api-compat crash-recovery differential-blocked no-skip fuzz
 
 vet:
 	$(GO) vet ./...
@@ -43,6 +43,14 @@ race-serve:
 race-shard:
 	$(GO) test -race -count=2 -run 'TestScatterGatherSoak' ./internal/shard
 	$(GO) test -race -short -run 'TestDifferentialScatterGather|TestCrashRecovery' ./internal/shard
+
+# Blocked-vs-dense gate: the LSH-banded sparse similarity matrix must be
+# bit-identical to the exhaustive dense fill on the randomized corpus
+# battery (reduced count; the full 100-corpus run is in `make test`),
+# plus the batch-vs-sequential AddSources differential and the
+# zero-fallback counter checks on the evaluation domains.
+differential-blocked:
+	$(GO) test -short -count=1 -run 'TestSetupDifferentialBlockedVsDense|TestAddSourcesMatchesSequential|TestSetupBlockedCountersOnPaperCorpora|TestAddSourcesBatchOneAppend' ./internal/core ./internal/persist
 
 # Every tier-1 test must actually run: a skipped test (t.Skip smuggled in
 # by an environment probe or a flaky guard) fails the gate.
@@ -90,6 +98,23 @@ bench-setup:
 	      printf "}" \
 	    } \
 	    END { print "\n]" }' > BENCH_setup.json
+
+# Setup scaling sweep (1k/5k/10k synthetic scale sources, blocked
+# LSH-banded sparse similarity matrix vs the dense O(V²) baseline);
+# snapshots the raw lines as JSON into BENCH_setup_scale.json. One
+# iteration per case — the 10k dense fill alone runs minutes.
+bench-setup-scale:
+	$(GO) test -run '^$$' -bench 'BenchmarkSetupScale' -benchmem -benchtime=1x -timeout 60m . \
+	  | tee /dev/stderr \
+	  | awk 'BEGIN { print "[" } \
+	    /^BenchmarkSetupScale/ { \
+	      printf "%s", comma; comma=",\n"; \
+	      n=split($$1, a, "/"); \
+	      printf "  {\"case\": \"%s\", \"iters\": %s", a[n], $$2; \
+	      for (i = 3; i < NF; i += 2) { printf ", \"%s\": %s", $$(i+1), $$i } \
+	      printf "}" \
+	    } \
+	    END { print "\n]" }' > BENCH_setup_scale.json
 
 # Scatter-gather benchmark (1 vs 4 vs 8 shards over the Figure 7
 # synthetic corpus); snapshots the raw lines as JSON into BENCH_shard.json.

@@ -7,6 +7,7 @@
 package udi_test
 
 import (
+	"fmt"
 	"testing"
 
 	"udi/internal/core"
@@ -414,5 +415,44 @@ func BenchmarkByTupleRanking(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rs.ByTupleRanking()
+	}
+}
+
+// BenchmarkSetupScale is the sub-quadratic-setup acceptance sweep: full
+// automatic setup over synthetic scale corpora of 1k/5k/10k sources
+// (vocabulary growing near-linearly with the source count), blocked
+// (default LSH-banded sparse similarity matrix) versus dense (exhaustive
+// O(V²) fill). The bars: blocked wall-clock grows near-linearly across
+// the sweep, and at 10k sources blocked beats dense by ≥5x.
+// BENCH_setup_scale.json snapshots the numbers (make bench-setup-scale).
+func BenchmarkSetupScale(b *testing.B) {
+	for _, n := range []int{1000, 5000, 10000} {
+		corpus := datagen.ScaleCorpus(n, 17)
+		for _, mode := range []struct {
+			name string
+			cfg  core.Config
+		}{
+			{"blocked", core.Config{}},
+			{"dense", core.Config{DenseSimMatrix: true}},
+		} {
+			b.Run(fmt.Sprintf("%s-%d", mode.name, n), func(b *testing.B) {
+				var last *core.System
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sys, err := core.Setup(corpus, mode.cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = sys
+				}
+				b.StopTimer()
+				if tr := last.Trace.Export(); tr != nil {
+					for _, child := range tr.Children {
+						b.ReportMetric(child.DurationMS, child.Name+"-ms")
+					}
+				}
+			})
+		}
 	}
 }

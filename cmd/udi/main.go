@@ -23,12 +23,14 @@ import (
 	"udi/internal/feedback"
 	"udi/internal/persist"
 	"udi/internal/report"
+	"udi/internal/schema"
 	"udi/internal/sqlparse"
 )
 
 func main() {
 	domain := flag.String("domain", "People", "domain to load (Movie|Car|People|Course|Bib)")
 	data := flag.String("data", "", "integrate a directory of CSV files (one table per file) instead of a synthetic domain")
+	importBatch := flag.Int("import-batch", 0, "stream the -data directory into the system in group-committed batches of N sources (flat memory) instead of loading it whole")
 	sources := flag.Int("sources", 0, "limit the number of sources (0 = full domain)")
 	query := flag.String("query", "", "query to answer (SELECT ... FROM ... [WHERE ...])")
 	approach := flag.String("approach", "UDI", "answering approach (UDI|UDI-Consolidated|Source|TopMapping|KeywordNaive|KeywordStruct|KeywordStrict)")
@@ -43,13 +45,13 @@ func main() {
 	reportPath := flag.String("report", "", "write a markdown health report of the configured system to this file")
 	flag.Parse()
 
-	if err := run(*domain, *data, *sources, *query, *approach, *top, *showSchema, *save, *load, *explain, *dot, *repl, *questions, *reportPath); err != nil {
+	if err := run(*domain, *data, *importBatch, *sources, *query, *approach, *top, *showSchema, *save, *load, *explain, *dot, *repl, *questions, *reportPath); err != nil {
 		fmt.Fprintln(os.Stderr, "udi:", err)
 		os.Exit(1)
 	}
 }
 
-func run(domain, data string, sources int, query, approach string, top int, showSchema bool, save, load string, explain bool, dot string, repl bool, questions int, reportPath string) error {
+func run(domain, data string, importBatch, sources int, query, approach string, top int, showSchema bool, save, load string, explain bool, dot string, repl bool, questions int, reportPath string) error {
 	var sys *core.System
 	switch {
 	case load != "":
@@ -62,6 +64,36 @@ func run(domain, data string, sources int, query, approach string, top int, show
 			return err
 		}
 		sys = restored
+	case data != "" && importBatch > 0:
+		fmt.Fprintf(os.Stderr, "streaming CSV tables from %s in batches of %d...\n", data, importBatch)
+		total := 0
+		err := csvio.StreamCorpus(data, importBatch, func(batch []*schema.Source) error {
+			if sources > 0 && total+len(batch) > sources {
+				batch = batch[:sources-total]
+			}
+			if len(batch) == 0 {
+				return nil
+			}
+			total += len(batch)
+			// The first batch bootstraps the system; every later batch rides
+			// the group-committed bulk add (one epoch per batch).
+			if sys == nil {
+				corpus, err := schema.NewCorpus(domain, batch)
+				if err != nil {
+					return err
+				}
+				var serr error
+				sys, serr = core.Setup(corpus, core.Config{})
+				return serr
+			}
+			_, err := sys.AddSources(batch)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "integrated %d tables\n", total)
+		printTimings(sys)
 	case data != "":
 		fmt.Fprintf(os.Stderr, "loading CSV tables from %s...\n", data)
 		corpus, err := csvio.LoadCorpus(domain, data)

@@ -10,26 +10,26 @@ import (
 )
 
 func TestRunUnknownDomain(t *testing.T) {
-	if err := run("Nope", "", 0, "", "UDI", 5, false, "", "", false, "", false, 0, ""); err == nil {
+	if err := run("Nope", "", 0, 0, "", "UDI", 5, false, "", "", false, "", false, 0, ""); err == nil {
 		t.Error("unknown domain accepted")
 	}
 }
 
 func TestRunQueryAndSchema(t *testing.T) {
-	err := run("People", "", 12, "SELECT name FROM People", "UDI", 3, true, "", "", true, "", false, 2, "")
+	err := run("People", "", 0, 12, "SELECT name FROM People", "UDI", 3, true, "", "", true, "", false, 2, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadQuery(t *testing.T) {
-	if err := run("People", "", 12, "garbage", "UDI", 3, false, "", "", false, "", false, 0, ""); err == nil {
+	if err := run("People", "", 0, 12, "garbage", "UDI", 3, false, "", "", false, "", false, 0, ""); err == nil {
 		t.Error("bad query accepted")
 	}
 }
 
 func TestRunBadApproach(t *testing.T) {
-	if err := run("People", "", 12, "SELECT name FROM t", "Bogus", 3, false, "", "", false, "", false, 0, ""); err == nil {
+	if err := run("People", "", 0, 12, "SELECT name FROM t", "Bogus", 3, false, "", "", false, "", false, 0, ""); err == nil {
 		t.Error("bad approach accepted")
 	}
 }
@@ -37,13 +37,13 @@ func TestRunBadApproach(t *testing.T) {
 func TestRunSaveLoadRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	snap := filepath.Join(dir, "sys.udi.gz")
-	if err := run("People", "", 12, "", "UDI", 3, false, snap, "", false, "", false, 0, ""); err != nil {
+	if err := run("People", "", 0, 12, "", "UDI", 3, false, snap, "", false, "", false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "", 0, "SELECT name FROM People", "UDI", 3, false, "", snap, false, "", false, 0, ""); err != nil {
+	if err := run("", "", 0, 0, "SELECT name FROM People", "UDI", 3, false, "", snap, false, "", false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "", 0, "", "UDI", 3, false, "", filepath.Join(dir, "missing.gz"), false, "", false, 0, ""); err == nil {
+	if err := run("", "", 0, 0, "", "UDI", 3, false, "", filepath.Join(dir, "missing.gz"), false, "", false, 0, ""); err == nil {
 		t.Error("missing snapshot accepted")
 	}
 }
@@ -56,17 +56,17 @@ func TestRunCSVData(t *testing.T) {
 	if err := csvio.WriteCorpus(c.Corpus, dir); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("csv", dir, 0, "SELECT name FROM t", "UDI", 3, false, "", "", false, "", false, 0, ""); err != nil {
+	if err := run("csv", dir, 0, 0, "SELECT name FROM t", "UDI", 3, false, "", "", false, "", false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("csv", filepath.Join(dir, "nope"), 0, "", "UDI", 3, false, "", "", false, "", false, 0, ""); err == nil {
+	if err := run("csv", filepath.Join(dir, "nope"), 0, 0, "", "UDI", 3, false, "", "", false, "", false, 0, ""); err == nil {
 		t.Error("missing CSV directory accepted")
 	}
 }
 
 func TestRunDOTExport(t *testing.T) {
 	dot := filepath.Join(t.TempDir(), "graph.dot")
-	if err := run("People", "", 12, "", "UDI", 3, false, "", "", false, dot, false, 0, ""); err != nil {
+	if err := run("People", "", 0, 12, "", "UDI", 3, false, "", "", false, dot, false, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(dot)
@@ -80,7 +80,7 @@ func TestRunDOTExport(t *testing.T) {
 
 func TestRunReport(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "report.md")
-	if err := run("People", "", 12, "", "UDI", 3, false, "", "", false, "", false, 0, path); err != nil {
+	if err := run("People", "", 0, 12, "", "UDI", 3, false, "", "", false, "", false, 0, path); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -89,5 +89,30 @@ func TestRunReport(t *testing.T) {
 	}
 	if len(data) == 0 {
 		t.Error("empty report")
+	}
+}
+
+func TestRunCSVStreamingImport(t *testing.T) {
+	dir := t.TempDir()
+	spec := datagen.People(109)
+	spec.NumSources = 10
+	c := datagen.MustGenerate(spec)
+	if err := csvio.WriteCorpus(c.Corpus, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Batched streaming import must serve queries like the whole-directory load.
+	if err := run("csv", dir, 3, 0, "SELECT name FROM t", "UDI", 3, false, "", "", false, "", false, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	// A batch larger than the corpus degenerates to one Setup.
+	if err := run("csv", dir, 100, 0, "SELECT name FROM t", "UDI", 3, false, "", "", false, "", false, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	// The -sources cap still applies to the streamed total.
+	if err := run("csv", dir, 4, 6, "SELECT name FROM t", "UDI", 3, false, "", "", false, "", false, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("csv", filepath.Join(dir, "nope"), 3, 0, "", "UDI", 3, false, "", "", false, "", false, 0, ""); err == nil {
+		t.Error("missing CSV directory accepted")
 	}
 }

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"udi/internal/datagen"
+	"udi/internal/obs"
+	"udi/internal/sqlparse"
+)
+
+// scaleQuery picks a frequent attribute the SQL parser accepts (no
+// spaces) and builds a SELECT over it.
+func scaleQuery(t *testing.T, c interface{ FrequentAttrs(float64) []string }) *sqlparse.Query {
+	t.Helper()
+	for _, a := range c.FrequentAttrs(0.10) {
+		if !strings.Contains(a, " ") {
+			return sqlparse.MustParse("SELECT " + a + " FROM t")
+		}
+	}
+	t.Fatal("no parseable frequent attribute")
+	return nil
+}
+
+// TestAddSourcesMatchesSequential: growing a system with one AddSources
+// batch must land on the same mediated schema, per-source p-mappings and
+// consolidated target as growing it with the equivalent sequence of
+// single AddSource calls, and both must answer like a naive one-shot
+// setup over the final corpus. The scale corpus keeps the mediated
+// schema stable, so every add — batched or not — rides the fast path.
+// (Consolidated p-mappings are excluded: sequential adds consolidate
+// each source under the probabilities of its moment, the batch under the
+// final ones — the documented AddSource approximation.)
+func TestAddSourcesMatchesSequential(t *testing.T) {
+	corpus := datagen.ScaleCorpus(120, 5)
+	split := 80
+	initial := mustCorpus(t, corpus.Domain, corpus.Sources[:split])
+	rest := corpus.Sources[split:]
+
+	batchSys, err := Setup(initial, Config{Parallelism: 4, Obs: obs.Disabled})
+	if err != nil {
+		t.Fatalf("batch setup: %v", err)
+	}
+	seqSys, err := Setup(initial, Config{Parallelism: 4, Obs: obs.Disabled})
+	if err != nil {
+		t.Fatalf("seq setup: %v", err)
+	}
+
+	fast, err := batchSys.AddSources(rest)
+	if err != nil {
+		t.Fatalf("AddSources: %v", err)
+	}
+	if !fast {
+		t.Fatal("batch add rebuilt; scale corpus should keep the schema set stable")
+	}
+	for _, src := range rest {
+		fast, err := seqSys.AddSource(src)
+		if err != nil {
+			t.Fatalf("AddSource(%s): %v", src.Name, err)
+		}
+		if !fast {
+			t.Fatalf("AddSource(%s) rebuilt; scale corpus should stay fast", src.Name)
+		}
+	}
+
+	if !reflect.DeepEqual(seqSys.Med.PMed, batchSys.Med.PMed) {
+		t.Fatal("p-med-schemas differ between batch and sequential adds")
+	}
+	if !reflect.DeepEqual(seqSys.Maps, batchSys.Maps) {
+		t.Fatal("p-mappings differ between batch and sequential adds")
+	}
+	if !reflect.DeepEqual(seqSys.Target, batchSys.Target) {
+		t.Fatal("consolidated schemas differ between batch and sequential adds")
+	}
+	if got, want := len(batchSys.Corpus.Sources), len(corpus.Sources); got != want {
+		t.Fatalf("batch system serves %d sources, want %d", got, want)
+	}
+
+	// Both grown systems must agree with a from-scratch naive setup over
+	// the final corpus on query probabilities.
+	naive, err := Setup(corpus, naiveConfig())
+	if err != nil {
+		t.Fatalf("naive setup: %v", err)
+	}
+	q := scaleQuery(t, corpus)
+	na, err := naive.QueryParsed(q)
+	if err != nil {
+		t.Fatalf("naive query: %v", err)
+	}
+	probs := make(map[string]float64, len(na.Ranked))
+	for _, a := range na.Ranked {
+		probs[strings.Join(a.Values, "\x1f")] = a.Prob
+	}
+	for name, sys := range map[string]*System{"batch": batchSys, "sequential": seqSys} {
+		res, err := sys.QueryParsed(q)
+		if err != nil {
+			t.Fatalf("%s query: %v", name, err)
+		}
+		if len(res.Ranked) != len(na.Ranked) {
+			t.Fatalf("%s: %d answers, naive %d", name, len(res.Ranked), len(na.Ranked))
+		}
+		for _, a := range res.Ranked {
+			p, ok := probs[strings.Join(a.Values, "\x1f")]
+			if !ok {
+				t.Fatalf("%s-only answer %v", name, a.Values)
+			}
+			if math.Abs(p-a.Prob) > 1e-12 {
+				t.Fatalf("%s: answer %v prob %g, naive %g", name, a.Values, a.Prob, p)
+			}
+		}
+	}
+}
+
+// TestAddSourcesAllOrNothing: one bad source rejects the whole batch
+// before anything is applied or logged — the corpus, schema state and a
+// later clean batch are untouched by the failure.
+func TestAddSourcesAllOrNothing(t *testing.T) {
+	corpus := datagen.ScaleCorpus(40, 9)
+	initial := mustCorpus(t, corpus.Domain, corpus.Sources[:30])
+	sys, err := Setup(initial, Config{Obs: obs.Disabled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	medBefore := sys.Med
+
+	// Duplicate against the corpus, buried mid-batch.
+	bad := append(corpus.Sources[30:34:34], corpus.Sources[0])
+	if _, err := sys.AddSources(bad); err == nil {
+		t.Fatal("batch with an already-integrated source accepted")
+	}
+	// Duplicate inside the batch itself.
+	bad = append(corpus.Sources[30:34:34], corpus.Sources[33])
+	if _, err := sys.AddSources(bad); err == nil {
+		t.Fatal("batch with an internal duplicate accepted")
+	}
+	if got := len(sys.Corpus.Sources); got != 30 {
+		t.Fatalf("failed batches changed the corpus: %d sources, want 30", got)
+	}
+	if sys.Med != medBefore {
+		t.Fatal("failed batch swapped the mediation result")
+	}
+
+	// Degenerate batches delegate cleanly.
+	if fast, err := sys.AddSources(nil); err != nil || !fast {
+		t.Fatalf("empty batch: fast=%v err=%v", fast, err)
+	}
+	// The clean remainder still integrates.
+	if _, err := sys.AddSources(corpus.Sources[30:]); err != nil {
+		t.Fatalf("clean batch after failures: %v", err)
+	}
+	if got := len(sys.Corpus.Sources); got != 40 {
+		t.Fatalf("corpus has %d sources, want 40", got)
+	}
+}
+
+// TestSetupBlockedCountersOnPaperCorpora is the fallback-rarity check:
+// on every evaluation domain the blocked matrix must do its work through
+// bands and hub rows — the exact-fallback memo is a correctness net, not
+// a load-bearing path, so setup must record zero fallback lookups.
+func TestSetupBlockedCountersOnPaperCorpora(t *testing.T) {
+	for _, d := range datagen.AllDomains() {
+		t.Run(d.Name, func(t *testing.T) {
+			c := datagen.MustGenerate(d)
+			reg := obs.NewRegistry()
+			if _, err := Setup(c.Corpus, Config{Obs: reg}); err != nil {
+				t.Fatal(err)
+			}
+			if got := reg.Counter("setup.lsh.bands").Value(); got == 0 {
+				t.Error("setup.lsh.bands = 0; blocked matrix not in play")
+			}
+			if got := reg.Counter("setup.lsh.candidate_pairs").Value(); got == 0 {
+				t.Error("setup.lsh.candidate_pairs = 0; no band collisions on a real corpus")
+			}
+			if got := reg.Counter("setup.lsh.fallback_lookups").Value(); got != 0 {
+				t.Errorf("setup.lsh.fallback_lookups = %d, want 0 (every pipeline read hub-covered)", got)
+			}
+		})
+	}
+}
+
+// TestAddSourcesBatchCounters: one batch advances the batch counters
+// exactly once, every source rides the fast path, and bulk growth keeps
+// the zero-fallback invariant (hub rows are refreshed before mediation
+// reads the enlarged vocabulary).
+func TestAddSourcesBatchCounters(t *testing.T) {
+	corpus := datagen.ScaleCorpus(150, 11)
+	initial := mustCorpus(t, corpus.Domain, corpus.Sources[:100])
+	reg := obs.NewRegistry()
+	sys, err := Setup(initial, Config{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := sys.AddSources(corpus.Sources[100:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast {
+		t.Fatal("scale batch rebuilt")
+	}
+	for name, want := range map[string]int64{
+		"setup.addsource.batches":   1,
+		"setup.addsource.batch_ops": 50,
+		"add_source.fast":           50,
+		"add_source.rebuild":        0,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Counter("setup.lsh.fallback_lookups").Value(); got != 0 {
+		t.Errorf("setup.lsh.fallback_lookups = %d after batch add, want 0", got)
+	}
+	if got := fmt.Sprint(len(sys.Corpus.Sources)); got != "150" {
+		t.Fatalf("corpus has %s sources, want 150", got)
+	}
+}

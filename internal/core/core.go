@@ -60,6 +60,14 @@ type Config struct {
 	DisableSimMatrix bool
 	DisablePMapDedup bool
 
+	// DenseSimMatrix fills the similarity matrix exhaustively (the O(V²)
+	// triangular precompute) instead of the default LSH-blocked sparse
+	// build. Lookups are bit-identical either way — the sparse matrix
+	// falls back to the exact base function for non-candidate pairs — so
+	// this exists as the baseline for the blocked-vs-dense differential
+	// tests and the setup-scaling benchmark.
+	DenseSimMatrix bool
+
 	// DisableGroupCommit routes every feedback submission through the
 	// legacy one-commit-per-op path: its own WAL fsync, its own epoch,
 	// wholesale cache invalidation. The fsync-per-commit baseline for

@@ -101,12 +101,27 @@ func (s *System) initCaches() {
 	s.caches = &setupCaches{}
 }
 
+// simTheta mirrors mediate's frequency threshold default: the hub rows
+// of the blocked matrix must cover exactly the attributes mediation will
+// treat as frequent.
+func (s *System) simTheta() float64 {
+	if t := s.Cfg.Mediate.Theta; t != 0 {
+		return t
+	}
+	return mediate.DefaultTheta
+}
+
 // ensureSims resolves the similarity functions once per System. On the
-// fast path it interns the corpus-wide attribute vocabulary and fills
-// one triangular matrix per role (mediate and pmapping may be configured
-// with different base matchers) in a single parallel pass; every
-// subsequent Sim call across mediate, pmapping and incremental re-runs
-// is a lookup. The vocabulary is frozen here; AddSource extends it.
+// fast path it interns the corpus-wide attribute vocabulary and
+// precomputes base values so every subsequent Sim call across mediate,
+// pmapping and incremental re-runs is a lookup. By default the matrix is
+// LSH-blocked sparse: full rows for the frequent attributes (the one
+// side every mediate/pmapping read touches) plus band candidate pairs,
+// with an exact memoized fallback — bit-identical to the dense build at
+// O(hubs·V + candidates) instead of O(V²) cost. Config.DenseSimMatrix
+// restores the exhaustive triangular fill (the baseline the
+// blocked-vs-dense differential and the scaling bench compare against).
+// The vocabulary is frozen here; AddSource/AddSources extend it.
 func (s *System) ensureSims() {
 	cs := s.caches
 	cs.simOnce.Do(func() {
@@ -124,13 +139,39 @@ func (s *System) ensureSims() {
 		}
 		t0 := time.Now()
 		names := s.Corpus.AllAttrs()
-		cs.matMed = intern.BuildMatrix(names, baseMed, s.Cfg.Parallelism)
-		cs.matPMap = intern.BuildMatrix(names, basePMap, s.Cfg.Parallelism)
+		if s.Cfg.DenseSimMatrix {
+			cs.matMed = intern.BuildMatrix(names, baseMed, s.Cfg.Parallelism)
+			cs.matPMap = intern.BuildMatrix(names, basePMap, s.Cfg.Parallelism)
+		} else {
+			opt := intern.SparseOptions{
+				Hubs:    s.Corpus.FrequentAttrs(s.simTheta()),
+				Workers: s.Cfg.Parallelism,
+				Obs:     s.Cfg.Obs,
+			}
+			cs.matMed = intern.BuildSparse(names, baseMed, opt)
+			if s.Cfg.Mediate.Sim == nil && s.Cfg.PMap.Sim == nil {
+				// Both roles use the default matcher: one blocked matrix
+				// (and one fallback memo) serves both.
+				cs.matPMap = cs.matMed
+			} else {
+				cs.matPMap = intern.BuildSparse(names, basePMap, opt)
+			}
+		}
 		cs.simMed = cs.matMed.Sim
 		cs.simPMap = cs.matPMap.Sim
 		if r := s.Cfg.Obs; r.Enabled() {
 			r.Add("setup.sim_matrix.builds", 1)
 			r.Add("setup.sim_matrix.names", int64(len(names)))
+			if st := cs.matMed.Stats(); !st.Dense {
+				bands, cand := int64(st.Bands), int64(st.CandidatePairs)
+				if cs.matPMap != cs.matMed {
+					st2 := cs.matPMap.Stats()
+					bands += int64(st2.Bands)
+					cand += int64(st2.CandidatePairs)
+				}
+				r.Add("setup.lsh.bands", bands)
+				r.Add("setup.lsh.candidate_pairs", cand)
+			}
 			r.Observe("setup.sim_matrix.build_seconds", time.Since(t0).Seconds())
 		}
 	})
@@ -147,10 +188,30 @@ func (s *System) extendSims(names []string) {
 		return // interning disabled
 	}
 	added := cs.matMed.Extend(names, s.Cfg.Parallelism)
-	cs.matPMap.Extend(names, s.Cfg.Parallelism)
+	if cs.matPMap != cs.matMed {
+		cs.matPMap.Extend(names, s.Cfg.Parallelism)
+	}
 	if added > 0 && s.Cfg.Obs.Enabled() {
 		s.Cfg.Obs.Add("setup.sim_matrix.extends", 1)
 		s.Cfg.Obs.Add("setup.sim_matrix.names", int64(added))
+	}
+}
+
+// refreshSimHubs promotes any attributes of c that are (now) frequent to
+// fully precomputed hub rows in the blocked matrices, so incremental
+// growth keeps the invariant that every pair the pipeline reads has a
+// precomputed side. Values already known are reused, never recomputed.
+// Called by the add paths with the corpus about to be installed; no-op
+// for dense or disabled matrices.
+func (s *System) refreshSimHubs(c *schema.Corpus) {
+	cs := s.caches
+	if cs == nil || cs.matMed == nil {
+		return
+	}
+	hubs := c.FrequentAttrs(s.simTheta())
+	cs.matMed.EnsureHubs(hubs, s.Cfg.Parallelism)
+	if cs.matPMap != cs.matMed {
+		cs.matPMap.EnsureHubs(hubs, s.Cfg.Parallelism)
 	}
 }
 

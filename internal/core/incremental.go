@@ -50,8 +50,11 @@ func (s *System) addSourceLocked(src *schema.Source) (bool, error) {
 	trace := obs.StartSpan("add_source")
 	trace.SetAttr("source", src.Name)
 	// Grow the interned vocabulary with any attribute names the new source
-	// introduces so the matrix-backed similarity stays a pure lookup.
+	// introduces so the matrix-backed similarity stays a pure lookup, and
+	// promote any newly frequent attributes to precomputed hub rows so
+	// the blocked matrix keeps covering mediation's reads.
 	s.extendSims(src.Attrs)
+	s.refreshSimHubs(corpus)
 	sp := trace.Child("mediate")
 	med, err := mediate.Generate(corpus, s.medConfig())
 	if err != nil {

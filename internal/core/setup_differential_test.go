@@ -96,6 +96,76 @@ func TestSetupDifferentialFastVsNaive(t *testing.T) {
 	}
 }
 
+// TestSetupDifferentialBlockedVsDense pins the LSH-blocked sparse
+// similarity matrix (the default) to the exhaustive dense fill over the
+// same randomized battery: banding may only change which values are
+// precomputed versus memoized on demand, never a value the pipeline
+// reads. Every setup artifact must be deeply identical and every query
+// probability must agree within 1e-12.
+func TestSetupDifferentialBlockedVsDense(t *testing.T) {
+	nCorpora := 100
+	if testing.Short() {
+		nCorpora = 20
+	}
+	for seed := 0; seed < nCorpora; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		corpus := randomCorpus(rng)
+
+		dense, err := Setup(corpus, Config{Parallelism: 4, DenseSimMatrix: true, Obs: obs.Disabled})
+		if err != nil {
+			t.Fatalf("seed %d: dense setup: %v", seed, err)
+		}
+		blocked, err := Setup(corpus, Config{Parallelism: 4, Obs: obs.Disabled})
+		if err != nil {
+			t.Fatalf("seed %d: blocked setup: %v", seed, err)
+		}
+
+		if !reflect.DeepEqual(dense.Med.PMed, blocked.Med.PMed) {
+			t.Fatalf("seed %d: p-med-schemas differ", seed)
+		}
+		if !reflect.DeepEqual(dense.Maps, blocked.Maps) {
+			t.Fatalf("seed %d: p-mappings differ", seed)
+		}
+		if !reflect.DeepEqual(dense.Target, blocked.Target) {
+			t.Fatalf("seed %d: consolidated schemas differ", seed)
+		}
+		if !reflect.DeepEqual(dense.ConsMaps, blocked.ConsMaps) {
+			t.Fatalf("seed %d: consolidated p-mappings differ", seed)
+		}
+
+		attrs := corpus.FrequentAttrs(0.10)
+		if len(attrs) == 0 {
+			continue
+		}
+		sel := attrs[rng.Intn(len(attrs))]
+		q := sqlparse.MustParse("SELECT " + sel + " FROM t")
+		da, err := dense.QueryParsed(q)
+		if err != nil {
+			t.Fatalf("seed %d: dense query: %v", seed, err)
+		}
+		ba, err := blocked.QueryParsed(q)
+		if err != nil {
+			t.Fatalf("seed %d: blocked query: %v", seed, err)
+		}
+		if len(da.Ranked) != len(ba.Ranked) {
+			t.Fatalf("seed %d: %d vs %d answers", seed, len(da.Ranked), len(ba.Ranked))
+		}
+		probs := make(map[string]float64, len(da.Ranked))
+		for _, a := range da.Ranked {
+			probs[strings.Join(a.Values, "\x1f")] = a.Prob
+		}
+		for _, a := range ba.Ranked {
+			p, ok := probs[strings.Join(a.Values, "\x1f")]
+			if !ok {
+				t.Fatalf("seed %d: blocked-only answer %v", seed, a.Values)
+			}
+			if math.Abs(p-a.Prob) > 1e-12 {
+				t.Fatalf("seed %d: answer %v prob %g vs %g", seed, a.Values, p, a.Prob)
+			}
+		}
+	}
+}
+
 // TestSetupDifferentialAfterIncrementalAdd extends the differential
 // check through the incremental path: a system grown with AddSource
 // (matrix Extend + dedup reuse + cons-cache invalidation) must answer

@@ -16,8 +16,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"udi/internal/answer"
+	"udi/internal/consolidate"
 	"udi/internal/keyword"
 	"udi/internal/mediate"
 	"udi/internal/pmapping"
@@ -101,6 +103,104 @@ func (s *System) shardAdoptLocked(src *schema.Source, med *mediate.Result) error
 	}
 	s.ConsMaps = cons
 	s.Cfg.Obs.Add("shard.adopt", 1)
+	return nil
+}
+
+// ShardAdoptSources commits a coordinator-directed batch adoption: the
+// shard gains every source in srcs under one commit and one published
+// epoch, with the per-batch stages (corpus rebuild, vocabulary extension,
+// engine and keyword-index rebuild) amortized across the batch and the
+// per-source stages (p-mappings, consolidation) run in parallel — the
+// shard-side analogue of AddSources. The batch is all-or-nothing: one
+// failed source restores the writer state and the commit aborts.
+func (s *System) ShardAdoptSources(srcs []*schema.Source, med *mediate.Result) error {
+	if len(srcs) == 0 {
+		return nil
+	}
+	if len(srcs) == 1 {
+		return s.ShardAdoptSource(srcs[0], med)
+	}
+	return s.commit("shard_adopt", nil, func() error { return s.shardAdoptBatchLocked(srcs, med) })
+}
+
+func (s *System) shardAdoptBatchLocked(srcs []*schema.Source, med *mediate.Result) error {
+	if med == nil || med.PMed == nil {
+		return fmt.Errorf("core: shard adopt needs a p-med-schema")
+	}
+	newSources := make([]*schema.Source, 0, len(s.Corpus.Sources)+len(srcs))
+	newSources = append(newSources, s.Corpus.Sources...)
+	newSources = append(newSources, srcs...)
+	corpus, err := schema.NewCorpus(s.Corpus.Domain, newSources)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	var attrs []string
+	for _, src := range srcs {
+		attrs = append(attrs, src.Attrs...)
+	}
+	s.extendSims(attrs)
+	s.refreshSimHubs(corpus)
+
+	// Same discipline as shardAdoptLocked: install the new mediation, build
+	// every new source's p-mappings before touching any other writer field,
+	// and restore the old mediation if any fails.
+	oldMed := s.Med
+	s.Med = med
+	s.caches.cons.invalidate()
+	pms := make([][]*pmapping.PMapping, len(srcs))
+	errs := make([]error, len(srcs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.Cfg.Parallelism)
+	for i := range srcs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pms[i], errs[i] = s.buildSourceMappings(srcs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			s.Med = oldMed
+			return err
+		}
+	}
+
+	s.Corpus = corpus
+	s.engine = answer.NewEngine(corpus)
+	s.engine.Parallelism = s.Cfg.Parallelism
+	s.engine.SetObs(s.Cfg.Obs)
+	s.kwIndex = storage.BuildKeywordIndexP(corpus, s.Cfg.Parallelism)
+	s.kw = keyword.NewEngine(s.kwIndex)
+
+	maps := clonedMaps(s.Maps)
+	for i, src := range srcs {
+		maps[src.Name] = pms[i]
+	}
+	s.Maps = maps
+
+	cons := clonedMaps(s.ConsMaps)
+	co := s.newConsolidator()
+	cpms := make([]*consolidate.PMapping, len(srcs))
+	for i := range srcs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cpms[i], _ = s.consolidateSource(co, srcs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, src := range srcs {
+		if cpms[i] != nil {
+			cons[src.Name] = cpms[i]
+		}
+	}
+	s.ConsMaps = cons
+	s.Cfg.Obs.Add("shard.adopt", int64(len(srcs)))
 	return nil
 }
 

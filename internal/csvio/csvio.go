@@ -47,6 +47,52 @@ func LoadCorpus(domain, dir string) (*schema.Corpus, error) {
 	return schema.NewCorpus(domain, sources)
 }
 
+// StreamCorpus reads every *.csv file in dir (sorted, the LoadCorpus
+// order) and hands the sources to fn in batches of at most batch
+// (batch <= 0 means one batch of everything). Only one batch of parsed
+// sources is held in memory at a time, so an arbitrarily large directory
+// imports with flat memory when fn forwards each batch into the system
+// (e.g. core.AddSources) instead of accumulating it. fn errors abort the
+// walk unchanged.
+func StreamCorpus(dir string, batch int, fn func([]*schema.Source) error) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("csvio: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(strings.ToLower(e.Name()), ".csv") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("csvio: no .csv files in %s", dir)
+	}
+	sort.Strings(names)
+	if batch <= 0 {
+		batch = len(names)
+	}
+	pending := make([]*schema.Source, 0, batch)
+	for _, name := range names {
+		src, err := LoadSource(strings.TrimSuffix(name, filepath.Ext(name)), filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		pending = append(pending, src)
+		if len(pending) == batch {
+			if err := fn(pending); err != nil {
+				return err
+			}
+			pending = make([]*schema.Source, 0, batch)
+		}
+	}
+	if len(pending) > 0 {
+		return fn(pending)
+	}
+	return nil
+}
+
 // LoadSource reads one CSV file as a source.
 func LoadSource(name, path string) (*schema.Source, error) {
 	f, err := os.Open(path)

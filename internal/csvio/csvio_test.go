@@ -102,3 +102,77 @@ func TestWriteSourceError(t *testing.T) {
 		t.Error("unwritable path accepted")
 	}
 }
+
+// TestStreamCorpus: streaming a directory in batches must visit exactly
+// the sources LoadCorpus loads, in the same sorted order, cut at the
+// requested batch size with one final partial batch; batch<=0 means one
+// batch; a callback error aborts the walk.
+func TestStreamCorpus(t *testing.T) {
+	spec := datagen.People(107)
+	spec.NumSources = 7
+	c := datagen.MustGenerate(spec)
+	dir := t.TempDir()
+	if err := WriteCorpus(c.Corpus, dir); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := LoadCorpus("People", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, batch := range []int{0, 1, 3, 7, 100} {
+		var got []*schema.Source
+		var sizes []int
+		err := StreamCorpus(dir, batch, func(srcs []*schema.Source) error {
+			got = append(got, srcs...)
+			sizes = append(sizes, len(srcs))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if len(got) != len(whole.Sources) {
+			t.Fatalf("batch=%d: streamed %d sources, want %d", batch, len(got), len(whole.Sources))
+		}
+		for i := range got {
+			if got[i].Name != whole.Sources[i].Name {
+				t.Fatalf("batch=%d: source %d is %q, LoadCorpus order says %q",
+					batch, i, got[i].Name, whole.Sources[i].Name)
+			}
+			if !reflect.DeepEqual(got[i].Rows, whole.Sources[i].Rows) {
+				t.Fatalf("batch=%d: source %q rows differ from LoadCorpus", batch, got[i].Name)
+			}
+		}
+		want := batch
+		if batch <= 0 || batch > 7 {
+			want = 7
+		}
+		for i, n := range sizes {
+			full := want
+			if i == len(sizes)-1 && 7%want != 0 {
+				full = 7 % want
+			}
+			if n != full {
+				t.Fatalf("batch=%d: batch %d has %d sources, want %d (sizes %v)", batch, i, n, full, sizes)
+			}
+		}
+	}
+
+	// Callback errors abort the stream.
+	calls := 0
+	sentinel := os.ErrClosed
+	if err := StreamCorpus(dir, 2, func([]*schema.Source) error {
+		calls++
+		return sentinel
+	}); err != sentinel {
+		t.Fatalf("stream error = %v, want sentinel", err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times after erroring, want 1", calls)
+	}
+
+	// An empty directory is an error, like LoadCorpus.
+	if err := StreamCorpus(t.TempDir(), 2, func([]*schema.Source) error { return nil }); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package datagen
+
+import (
+	"reflect"
+	"testing"
+
+	"udi/internal/strutil"
+)
+
+func TestScaleCorpusDeterministic(t *testing.T) {
+	a := ScaleCorpus(300, 7)
+	b := ScaleCorpus(300, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (numSources, seed) produced different corpora")
+	}
+	c := ScaleCorpus(300, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+// The head variants must sit in the similarity bands the generator
+// promises: in-concept pairs above τ+ε (certain edges, so each concept is
+// one cluster with no uncertain-edge enumeration), cross-concept pairs
+// below τ−ε (no spurious merges). The mediated schema's stability across
+// corpus growth — what the AddSources fast path and the scaling benchmark
+// rely on — follows from these bands.
+func TestScaleHeadSimilarityBands(t *testing.T) {
+	for ci, c := range scaleHead {
+		for i := 0; i < len(c.variants); i++ {
+			for j := i + 1; j < len(c.variants); j++ {
+				s := strutil.AttrSim(c.variants[i], c.variants[j])
+				if s <= 0.87 {
+					t.Errorf("concept %d: AttrSim(%q, %q) = %.3f, want > 0.87",
+						ci, c.variants[i], c.variants[j], s)
+				}
+			}
+		}
+		for cj := ci + 1; cj < len(scaleHead); cj++ {
+			for _, a := range c.variants {
+				for _, b := range scaleHead[cj].variants {
+					if s := strutil.AttrSim(a, b); s >= 0.83 {
+						t.Errorf("concepts %d/%d: AttrSim(%q, %q) = %.3f, want < 0.83", ci, cj, a, b, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Only head variants may be frequent: the tail must stay under θ so the
+// frequent-attribute set (and with it the mediated schema) does not churn
+// as the corpus grows.
+func TestScaleFrequentAttrsAreHeadOnly(t *testing.T) {
+	head := make(map[string]bool)
+	for _, c := range scaleHead {
+		for _, v := range c.variants {
+			head[v] = true
+		}
+	}
+	for _, n := range []int{200, 1000} {
+		c := ScaleCorpus(n, 42)
+		if len(c.Sources) != n {
+			t.Fatalf("ScaleCorpus(%d) produced %d sources", n, len(c.Sources))
+		}
+		freq := c.FrequentAttrs(0.10)
+		if len(freq) == 0 {
+			t.Fatalf("n=%d: no frequent attributes", n)
+		}
+		for _, a := range freq {
+			if !head[a] {
+				t.Errorf("n=%d: tail attribute %q is frequent", n, a)
+			}
+		}
+	}
+}
+
+// The distinct vocabulary must grow with the source count — that growth
+// is what separates the dense O(V²) matrix fill from the blocked one in
+// the scaling benchmark.
+func TestScaleVocabularyGrows(t *testing.T) {
+	vocab := func(n int) int {
+		c := ScaleCorpus(n, 42)
+		seen := make(map[string]bool)
+		for _, s := range c.Sources {
+			for _, a := range s.Attrs {
+				seen[a] = true
+			}
+		}
+		return len(seen)
+	}
+	small, large := vocab(200), vocab(1000)
+	if large < 2*small {
+		t.Errorf("vocabulary barely grows: %d names at 200 sources, %d at 1000", small, large)
+	}
+}

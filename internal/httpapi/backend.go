@@ -22,6 +22,9 @@ type backend interface {
 	view() serveView
 	committing() bool
 	submitFeedback(core.Feedback) error
+	// addSources grows the system with a batch of sources under one
+	// group commit; reports whether the fast path applied.
+	addSources([]*schema.Source) (bool, error)
 	// shards reports the partition count; 0 means unsharded (the
 	// /v1/schema response then omits the shard fields).
 	shards() int
@@ -51,6 +54,10 @@ func (b coreBackend) view() serveView                       { return coreView{sn
 func (b coreBackend) committing() bool                      { return b.sys.Committing() }
 func (b coreBackend) submitFeedback(fb core.Feedback) error { return b.sys.SubmitFeedback(fb) }
 func (b coreBackend) shards() int                           { return 0 }
+
+func (b coreBackend) addSources(srcs []*schema.Source) (bool, error) {
+	return b.sys.AddSources(srcs)
+}
 
 type coreView struct {
 	sn  *core.Snapshot
@@ -84,6 +91,10 @@ func (b shardBackend) view() serveView                       { return shardView{
 func (b shardBackend) committing() bool                      { return b.sh.Committing() }
 func (b shardBackend) submitFeedback(fb core.Feedback) error { return b.sh.SubmitFeedback(fb) }
 func (b shardBackend) shards() int                           { return b.sh.NumShards() }
+
+func (b shardBackend) addSources(srcs []*schema.Source) (bool, error) {
+	return b.sh.AddSources(srcs)
+}
 
 type shardView struct {
 	v  *shard.View

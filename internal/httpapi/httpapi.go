@@ -40,6 +40,7 @@ import (
 	"udi/internal/answer"
 	"udi/internal/core"
 	"udi/internal/obs"
+	"udi/internal/schema"
 	"udi/internal/sqlparse"
 )
 
@@ -151,6 +152,7 @@ func (s *Server) Handler() http.Handler {
 		{"POST", "/query", s.admitted(s.handleQuery)},
 		{"POST", "/explain", s.admitted(s.handleExplain)},
 		{"POST", "/feedback", s.handleFeedback},
+		{"POST", "/sources", s.handleAddSources},
 		{"GET", "/candidates", s.admitted(s.handleCandidates)},
 		{"GET", "/metrics", s.handleMetrics},
 	}
@@ -237,7 +239,7 @@ func routeLabel(path string) string {
 	}
 	p := strings.TrimPrefix(path, "/v1")
 	switch p {
-	case "/healthz", "/schema", "/query", "/explain", "/feedback", "/candidates", "/metrics", "/debug/vars":
+	case "/healthz", "/schema", "/query", "/explain", "/feedback", "/sources", "/candidates", "/metrics", "/debug/vars":
 		return p
 	}
 	return "other"
@@ -602,4 +604,49 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "applied", "epoch": s.be.view().epoch()})
+}
+
+// addSourcesRequest is the POST /v1/sources body: a batch of sources to
+// add under one group commit (one fsync, one published epoch).
+type addSourcesRequest struct {
+	Sources []sourcePayload `json:"sources"`
+}
+
+type sourcePayload struct {
+	Name  string     `json:"name"`
+	Attrs []string   `json:"attrs"`
+	Rows  [][]string `json:"rows"`
+}
+
+func (s *Server) handleAddSources(w http.ResponseWriter, r *http.Request) {
+	var req addSourcesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadQuery, fmt.Sprintf("bad request body: %v", err), nil)
+		return
+	}
+	if len(req.Sources) == 0 {
+		writeError(w, http.StatusBadRequest, codeBadQuery, "sources must be non-empty", nil)
+		return
+	}
+	srcs := make([]*schema.Source, len(req.Sources))
+	for i, p := range req.Sources {
+		src, err := schema.NewSource(p.Name, p.Attrs, p.Rows)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeBadQuery,
+				fmt.Sprintf("source %d: %v", i, err), nil)
+			return
+		}
+		srcs[i] = src
+	}
+	fast, err := s.be.addSources(srcs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadQuery, err.Error(), nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "added",
+		"sources": len(srcs),
+		"fast":    fast,
+		"epoch":   s.be.view().epoch(),
+	})
 }

@@ -1,31 +1,47 @@
 // Package intern assigns dense integer IDs to the corpus-wide attribute
-// vocabulary and precomputes the pairwise attribute-similarity matrix over
-// it. The vocabulary is small — dozens of distinct names versus hundreds
-// of sources — so one triangular pass replaces the millions of repeated
-// string-similarity calls the setup pipeline otherwise makes (every
-// source × mediated-cluster pair re-evaluates the same name pairs), and
-// removes the shared-mutex memoization that serialized parallel setup
-// workers on the hottest function.
+// vocabulary and precomputes pairwise attribute-similarity values over
+// it, replacing the millions of repeated string-similarity calls the
+// setup pipeline otherwise makes (every source × mediated-cluster pair
+// re-evaluates the same name pairs).
 //
-// Invariants (see DESIGN.md "Setup fast path"):
+// Two storage modes share the Matrix API:
 //
-//   - Matrix entries are the base function's values, computed once; a
-//     lookup is bit-identical to calling the base function directly, so
-//     the interned pipeline is differentially indistinguishable from the
-//     naive one.
+//   - BuildMatrix fills the dense upper triangle — O(V²) base calls.
+//     This is the exhaustive baseline; it stays exact for any lookup.
+//   - BuildSparse precomputes only a candidate-blocked subset: the full
+//     rows of designated hub names (in the pipeline, the frequent
+//     attributes — the one side every mediate/pmapping read touches)
+//     plus LSH band candidate pairs among the rest (see lsh.go). Any
+//     other interned pair falls back to the exact base function on
+//     first read and is memoized, so sparse lookups are bit-identical
+//     to dense ones everywhere, at O(hubs·V + candidates) build cost.
+//
+// Invariants (see DESIGN.md "Setup fast path" and "Sub-quadratic
+// matching"):
+//
+//   - Every value returned by Sim — precomputed, memoized, or fallback —
+//     is the base function's value for that pair, so the interned
+//     pipeline is differentially indistinguishable from the naive one.
 //   - The base similarity is assumed symmetric (the same assumption
 //     wgraph.Build already makes); the matrix stores unordered pairs.
 //   - The vocabulary is frozen per corpus build. Incremental source adds
 //     with unseen names go through Extend, which publishes a new
-//     (vocabulary, matrix) snapshot atomically: concurrent readers are
-//     lock-free and always see a consistent pair.
-//   - Names outside the vocabulary fall back to the base function.
+//     (vocabulary, values) snapshot atomically: concurrent readers are
+//     lock-free and always see a consistent pair. IDs are append-only
+//     stable, so the fallback memo survives extension.
+//   - Extend and EnsureHubs reuse every previously computed value
+//     (copied, never recomputed): the base function is called at most
+//     once per unordered pair over the matrix's whole lifetime.
+//   - Names outside the vocabulary fall back to the base function
+//     directly (no stable ID to memoize under).
 package intern
 
 import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"udi/internal/obs"
 )
 
 // Vocab maps attribute names to dense IDs. It is immutable after
@@ -64,12 +80,29 @@ func (v *Vocab) Len() int { return len(v.names) }
 // modify the returned slice.
 func (v *Vocab) Names() []string { return v.names }
 
-// matrixState is one immutable (vocabulary, values) snapshot. vals is the
-// upper triangle including the diagonal: for i ≤ j,
-// idx = i*n − i*(i−1)/2 + (j−i).
+// matrixState is one immutable snapshot of (vocabulary, values). Dense
+// snapshots store the upper triangle including the diagonal: for i ≤ j,
+// idx = i*n − i*(i−1)/2 + (j−i). Sparse snapshots store full rows for
+// hub IDs plus a candidate-pair map for the rest.
 type matrixState struct {
 	vocab *Vocab
+
+	// Dense mode.
+	dense bool
 	vals  []float64
+
+	// Sparse mode. hubIdx[id] is the row index into hubRows, or -1;
+	// hubRows[k][j] is the full precomputed row for hub hubIDs[k]. extra
+	// holds LSH candidate pairs (and non-hub diagonal cells) keyed by
+	// pairKey. buckets maps LSH band keys to member IDs — read only
+	// under extendMu, shared across snapshots.
+	hubIdx     []int32
+	hubIDs     []int32
+	hubRows    [][]float64
+	extra      map[uint64]float64
+	buckets    map[uint64][]int32
+	bands      int
+	candidates int // precomputed entries: hub-row cells + len(extra)
 }
 
 func (st *matrixState) idx(i, j int) int {
@@ -80,25 +113,41 @@ func (st *matrixState) idx(i, j int) int {
 	return i*n - i*(i-1)/2 + (j - i)
 }
 
+// pairKey packs an unordered interned ID pair into a map key. IDs are
+// append-only stable across Extend, so keys stay valid for the matrix's
+// lifetime.
+func pairKey(i, j int) uint64 {
+	if i > j {
+		i, j = j, i
+	}
+	return uint64(i)<<32 | uint64(j)
+}
+
 // Matrix is a precomputed symmetric similarity matrix over an interned
-// vocabulary. Sim is safe for concurrent use without locks; Extend may
-// run concurrently with readers (it swaps in a new snapshot) but callers
-// must serialize Extend against other Extends, which the Matrix does
-// internally.
+// vocabulary. Sim is safe for concurrent use without locks; Extend and
+// EnsureHubs may run concurrently with readers (they swap in a new
+// snapshot) but are serialized against each other internally.
 type Matrix struct {
 	base  func(a, b string) float64
 	state atomic.Pointer[matrixState]
 
 	extendMu sync.Mutex
+
+	// memo holds exact-fallback values for interned pairs the sparse
+	// candidate set missed, keyed by pairKey. A racing double-compute
+	// stores the same pure value twice, which is benign.
+	memo      sync.Map
+	fallbacks atomic.Int64
+	reg       *obs.Registry
 }
 
 // BuildMatrix interns names (duplicates dropped, order preserved) and
-// fills the triangular matrix with base values using up to workers
+// fills the dense triangular matrix with base values using up to workers
 // goroutines. base must be symmetric and pure.
 func BuildMatrix(names []string, base func(a, b string) float64, workers int) *Matrix {
 	m := &Matrix{base: base}
 	vocab := NewVocab(names)
-	st := &matrixState{vocab: vocab, vals: make([]float64, triSize(vocab.Len()))}
+	st := &matrixState{vocab: vocab, dense: true, vals: make([]float64, triSize(vocab.Len()))}
 	fillRows(st, base, 0, workers)
 	m.state.Store(st)
 	return m
@@ -106,9 +155,9 @@ func BuildMatrix(names []string, base func(a, b string) float64, workers int) *M
 
 func triSize(n int) int { return n * (n + 1) / 2 }
 
-// fillRows computes every entry (i, j) with i ≥ from, j ≥ i, splitting
-// rows across workers. Cells are independent, so any schedule produces
-// the same matrix.
+// fillRows computes every dense entry (i, j) with i ≥ from, j ≥ i,
+// splitting rows across workers. Cells are independent, so any schedule
+// produces the same matrix.
 func fillRows(st *matrixState, base func(a, b string) float64, from, workers int) {
 	n := st.vocab.Len()
 	rows := n - from
@@ -134,6 +183,18 @@ func fillRows(st *matrixState, base func(a, b string) float64, from, workers int
 		}
 		return
 	}
+	runParallel(workers, n, fill)
+}
+
+// runParallel runs fn(0..n-1) across up to workers goroutines using an
+// atomic work counter. fn calls must be independent.
+func runParallel(workers, n int, fn func(int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
 	var wg sync.WaitGroup
 	var counter atomic.Int64
 	counter.Store(-1)
@@ -146,41 +207,104 @@ func fillRows(st *matrixState, base func(a, b string) float64, from, workers int
 				if i >= n {
 					return
 				}
-				fill(i)
+				fn(i)
 			}
 		}()
 	}
 	wg.Wait()
 }
 
-// Sim returns the precomputed similarity when both names are interned and
-// falls back to the base function otherwise. It is the drop-in
-// replacement for the base in mediate/pmapping configs.
+// Sim returns the similarity of a and b: the precomputed value when
+// available, the memoized exact fallback for interned pairs the sparse
+// candidate set missed, and the base function directly for names outside
+// the vocabulary. Every path returns exactly base(a, b). It is the
+// drop-in replacement for the base in mediate/pmapping configs.
 func (m *Matrix) Sim(a, b string) float64 {
 	st := m.state.Load()
 	i, ok := st.vocab.ID(a)
 	if ok {
 		if j, ok2 := st.vocab.ID(b); ok2 {
-			return st.vals[st.idx(i, j)]
+			if st.dense {
+				return st.vals[st.idx(i, j)]
+			}
+			if hi := st.hubIdx[i]; hi >= 0 {
+				return st.hubRows[hi][j]
+			}
+			if hj := st.hubIdx[j]; hj >= 0 {
+				return st.hubRows[hj][i]
+			}
+			k := pairKey(i, j)
+			if v, ok := st.extra[k]; ok {
+				return v
+			}
+			return m.fallbackSim(k, a, b)
 		}
 	}
 	return m.base(a, b)
 }
 
+// fallbackSim computes an interned pair the candidate set missed and
+// memoizes it under the stable ID-pair key.
+func (m *Matrix) fallbackSim(key uint64, a, b string) float64 {
+	if v, ok := m.memo.Load(key); ok {
+		return v.(float64)
+	}
+	v := m.base(a, b)
+	m.memo.Store(key, v)
+	m.fallbacks.Add(1)
+	if m.reg != nil && m.reg.Enabled() {
+		m.reg.Add("setup.lsh.fallback_lookups", 1)
+	}
+	return v
+}
+
 // Len returns the current vocabulary size.
 func (m *Matrix) Len() int { return m.state.Load().vocab.Len() }
 
-// Pairs returns the number of stored entries (including the diagonal).
-func (m *Matrix) Pairs() int { return len(m.state.Load().vals) }
+// Pairs returns the number of precomputed entries: the full triangle
+// (including the diagonal) in dense mode, hub-row cells plus candidate
+// pairs in sparse mode.
+func (m *Matrix) Pairs() int {
+	st := m.state.Load()
+	if st.dense {
+		return len(st.vals)
+	}
+	return st.candidates
+}
 
 // Vocab returns the current vocabulary snapshot.
 func (m *Matrix) Vocab() *Vocab { return m.state.Load().vocab }
 
+// Stats describes the current snapshot's blocking structure.
+type Stats struct {
+	Dense           bool
+	Bands           int   // distinct LSH band buckets
+	Hubs            int   // names with fully precomputed rows
+	CandidatePairs  int   // precomputed entries (hub cells + candidates)
+	FallbackLookups int64 // exact-fallback computations since construction
+}
+
+// Stats returns the blocking structure of the current snapshot.
+func (m *Matrix) Stats() Stats {
+	st := m.state.Load()
+	s := Stats{Dense: st.dense, FallbackLookups: m.fallbacks.Load()}
+	if st.dense {
+		s.CandidatePairs = len(st.vals)
+		return s
+	}
+	s.Bands = st.bands
+	s.Hubs = len(st.hubIDs)
+	s.CandidatePairs = st.candidates
+	return s
+}
+
 // Extend interns any names not yet in the vocabulary (sorted for
-// deterministic IDs), computes the new rows/columns with up to workers
+// deterministic IDs), computes the new entries with up to workers
 // goroutines, and atomically publishes the enlarged snapshot. It returns
-// the number of names added. Existing entries are copied, not
-// recomputed, so old and new snapshots agree bit-for-bit on old pairs.
+// the number of names added. Existing values are carried over — copied
+// from the previous snapshot or the fallback memo, never recomputed — so
+// old and new snapshots agree bit-for-bit on old pairs and the base
+// function runs at most once per pair across any Build/Extend sequence.
 func (m *Matrix) Extend(names []string, workers int) int {
 	m.extendMu.Lock()
 	defer m.extendMu.Unlock()
@@ -199,14 +323,19 @@ func (m *Matrix) Extend(names []string, workers int) int {
 	}
 	sort.Strings(fresh)
 	vocab := NewVocab(append(append([]string{}, old.vocab.names...), fresh...))
-	st := &matrixState{vocab: vocab, vals: make([]float64, triSize(vocab.Len()))}
-	oldN := old.vocab.Len()
-	for i := 0; i < oldN; i++ {
-		for j := i; j < oldN; j++ {
-			st.vals[st.idx(i, j)] = old.vals[old.idx(i, j)]
+	var st *matrixState
+	if old.dense {
+		st = &matrixState{vocab: vocab, dense: true, vals: make([]float64, triSize(vocab.Len()))}
+		oldN := old.vocab.Len()
+		for i := 0; i < oldN; i++ {
+			for j := i; j < oldN; j++ {
+				st.vals[st.idx(i, j)] = old.vals[old.idx(i, j)]
+			}
 		}
+		fillRows(st, m.base, oldN, workers)
+	} else {
+		st = extendSparse(old, vocab, m.base, &m.memo, workers)
 	}
-	fillRows(st, m.base, oldN, workers)
 	m.state.Store(st)
 	return len(fresh)
 }

@@ -14,6 +14,11 @@ import (
 	"udi/internal/wgraph"
 )
 
+// DefaultTheta is the attribute frequency threshold of §7.1. Exported so
+// the setup fast path can precompute similarity rows for exactly the
+// attributes Generate will treat as frequent.
+const DefaultTheta = 0.10
+
 // Config carries the thresholds of §7.1.
 type Config struct {
 	// Theta is the attribute frequency threshold (default 0.10): attributes
@@ -34,7 +39,7 @@ type Config struct {
 // withDefaults fills zero fields with the paper's §7.1 values.
 func (c Config) withDefaults() Config {
 	if c.Theta == 0 {
-		c.Theta = 0.10
+		c.Theta = DefaultTheta
 	}
 	if c.Tau == 0 {
 		c.Tau = 0.85

@@ -1,0 +1,125 @@
+package persist
+
+import (
+	"testing"
+
+	"udi/internal/core"
+	"udi/internal/datagen"
+	"udi/internal/obs"
+	"udi/internal/schema"
+)
+
+// TestAddSourcesBatchOneAppend: a durable AddSources batch reaches the
+// WAL as one AppendBatch — one write, one fsync barrier — carrying one
+// record per source, and a cold restart replays every record back to the
+// acknowledged state. This is the bulk-import half of the group-commit
+// contract; feedback batching is covered in groupcommit_test.go.
+func TestAddSourcesBatchOneAppend(t *testing.T) {
+	spec := datagen.People(41)
+	spec.NumSources = 9
+	spec.MinRows = 2
+	spec.MaxRows = 4
+	spec.Entities = 15
+	c := datagen.MustGenerate(spec)
+	initial, err := schema.NewCorpus(c.Corpus.Domain, c.Corpus.Sources[:6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest := c.Corpus.Sources[6:]
+
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	cfg := core.Config{Obs: reg}
+	sys, st, err := OpenStore(dir, cfg, StoreOptions{Obs: reg}, func() (*core.System, error) {
+		return core.Setup(initial, cfg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.AddSources(rest); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter("wal.append.batches").Value(); got != 1 {
+		t.Errorf("wal.append.batches = %d, want 1 (one fsync barrier per batch)", got)
+	}
+	if got := reg.Counter("wal.append.records").Value(); got != int64(len(rest)) {
+		t.Errorf("wal.append.records = %d, want %d", got, len(rest))
+	}
+	if got := reg.Counter("setup.addsource.batches").Value(); got != 1 {
+		t.Errorf("setup.addsource.batches = %d, want 1", got)
+	}
+	if got := st.Status().WALRecords; got != len(rest) {
+		t.Errorf("WAL holds %d records, want %d (one per source)", got, len(rest))
+	}
+	queries := c.Domain.Queries[:2]
+	want := stateSig(t, sys, queries)
+	st.Close()
+
+	sys2, st2, err := OpenStore(dir, core.Config{}, StoreOptions{}, noSetup(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Status().Replayed; got != len(rest) {
+		t.Errorf("replayed %d mutations, want %d", got, len(rest))
+	}
+	if got := len(sys2.Corpus.Sources); got != 9 {
+		t.Errorf("recovered corpus has %d sources, want 9", got)
+	}
+	if !sameSig(want, stateSig(t, sys2, queries)) {
+		t.Error("recovered state differs from the acknowledged batch state")
+	}
+}
+
+// TestAddSourcesLegacyLogDegrades: against a plain non-batch CommitLog
+// the batch entry point still commits every source — as individual
+// appends, the degradation AddSources documents.
+func TestAddSourcesLegacyLogDegrades(t *testing.T) {
+	spec := datagen.People(43)
+	spec.NumSources = 8
+	spec.MinRows = 2
+	spec.MaxRows = 4
+	spec.Entities = 15
+	c := datagen.MustGenerate(spec)
+	initial, err := schema.NewCorpus(c.Corpus.Domain, c.Corpus.Sources[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.Setup(initial, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := &legacyLog{}
+	sys.SetCommitLog(lg)
+	if _, err := sys.AddSources(c.Corpus.Sources[5:]); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(lg.ops); got != 3 {
+		t.Fatalf("legacy log saw %d ops, want 3", got)
+	}
+	if got := len(lg.committed); got != 3 {
+		t.Fatalf("legacy log saw %d commits, want 3", got)
+	}
+	for _, op := range lg.ops {
+		if op.Kind != core.OpAddSource {
+			t.Fatalf("legacy log recorded op kind %q", op.Kind)
+		}
+	}
+}
+
+// legacyLog is a minimal non-batch core.CommitLog: it records what the
+// commit path hands it and nothing more.
+type legacyLog struct {
+	ops       []core.Op
+	committed []uint64
+}
+
+func (l *legacyLog) Begin(op core.Op) (uint64, error) {
+	l.ops = append(l.ops, op)
+	return uint64(len(l.ops)), nil
+}
+
+func (l *legacyLog) Abort(seq uint64) error { return nil }
+
+func (l *legacyLog) Committed(seq uint64) { l.committed = append(l.committed, seq) }

@@ -1,0 +1,156 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"udi/internal/core"
+	"udi/internal/schema"
+)
+
+// batchOf builds n fresh sources over the shared vocabulary, named so
+// they land on different shards.
+func batchOf(rng *rand.Rand, n int, tag string) []*schema.Source {
+	bases := []string{"alpha", "bravo", "carrot", "delta", "echo", "forest"}
+	srcs := make([]*schema.Source, n)
+	for i := range srcs {
+		srcs[i] = randomSource(rng, fmt.Sprintf("%s%02d", tag, i), bases)
+	}
+	return srcs
+}
+
+// TestAddSourcesBatchDifferential: a sharded batch add — fast-path owner
+// adoption or coordinated rebuild, at every shard count — must leave the
+// system answering bit-identically to the single-core oracle growing
+// through core.AddSources (itself pinned to sequential adds and naive
+// one-shot setup in the core battery).
+func TestAddSourcesBatchDifferential(t *testing.T) {
+	trials := 24
+	if testing.Short() {
+		trials = 8
+	}
+	counts := []int{1, 2, 4, 8}
+	for trial := 0; trial < trials; trial++ {
+		shards := counts[trial%len(counts)]
+		t.Run(fmt.Sprintf("trial%02d_shards%d", trial, shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(trial)*6271 + 5))
+			corpus := randomShardCorpus(rng)
+			oracle, err := core.Setup(corpus, core.Config{})
+			if err != nil {
+				t.Fatalf("oracle setup: %v", err)
+			}
+			sh, err := New(corpus, core.Config{}, Options{Shards: shards})
+			if err != nil {
+				t.Fatalf("sharded setup: %v", err)
+			}
+			batch := batchOf(rng, 2+rng.Intn(4), "xb")
+			ofast, oerr := oracle.AddSources(batch)
+			sfast, serr := sh.AddSources(batch)
+			if oerr != nil || serr != nil {
+				t.Fatalf("batch add: oracle %v, sharded %v", oerr, serr)
+			}
+			if ofast != sfast {
+				t.Fatalf("fast-path decisions diverge: oracle %v, sharded %v", ofast, sfast)
+			}
+			compareSystems(t, "after batch add", oracle, sh, trialQueries(rng, oracle.Corpus))
+
+			// A poisoned batch (duplicate of an integrated source) is
+			// all-or-nothing: rejected with the serving state untouched.
+			poison := append(batchOf(rng, 2, "xp"), corpus.Sources[0])
+			if _, err := sh.AddSources(poison); err == nil {
+				t.Fatal("batch with an integrated duplicate accepted")
+			}
+			compareSystems(t, "after rejected batch", oracle, sh, trialQueries(rng, oracle.Corpus))
+		})
+	}
+}
+
+// TestCrashRecoveryBatchAdd extends the crash matrix to the batched add:
+// a crash at every stage of the coordinator protocol — after the single
+// journal record carrying the whole batch, after the shard mutations,
+// after the checkpoints, and after the manifest — must recover to the
+// full batch applied, matching an oracle that committed it. The journal
+// makes the batch atomic: recovery never surfaces a prefix.
+func TestCrashRecoveryBatchAdd(t *testing.T) {
+	for _, stage := range []string{"journal", "applied", "checkpointed", "manifest"} {
+		t.Run(stage, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(47))
+			corpus := randomShardCorpus(rng)
+			dir := t.TempDir()
+			const shards = 4
+
+			oracle, err := core.Setup(corpus, core.Config{})
+			if err != nil {
+				t.Fatalf("oracle setup: %v", err)
+			}
+			sh, err := New(corpus, core.Config{}, Options{Shards: shards, DataDir: dir, NoSync: true})
+			if err != nil {
+				t.Fatalf("sharded setup: %v", err)
+			}
+			// Shard-local feedback first, so recovery also replays per-shard
+			// WALs under the redone batch.
+			nextID := 0
+			for i := 0; i < 2; i++ {
+				mutRNG := rand.New(rand.NewSource(int64(i)))
+				mutateBoth(t, mutRNG, oracle, sh, &nextID)
+			}
+
+			sh.crashAt = func(s string) error {
+				if s == stage {
+					return errInjected
+				}
+				return nil
+			}
+			batch := batchOf(rng, 4, "xc")
+			if _, err := oracle.AddSources(batch); err != nil {
+				t.Fatalf("oracle batch: %v", err)
+			}
+			_, serr := sh.AddSources(batch)
+			if !errors.Is(serr, errInjected) {
+				t.Fatalf("sharded batch error = %v, want injected crash", serr)
+			}
+			if err := sh.Close(); err != nil {
+				t.Fatalf("close crashed system: %v", err)
+			}
+
+			rec := openForTest(t, dir, shards)
+			defer rec.Close()
+			qrng := rand.New(rand.NewSource(99))
+			compareSystems(t, "recovered batch/"+stage, oracle, rec,
+				trialQueries(qrng, oracle.Corpus))
+		})
+	}
+}
+
+// TestDurableBatchRoundTrip is the no-crash durable baseline for the
+// batch path: batch-add, close cleanly, reopen, still oracle-identical.
+func TestDurableBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	corpus := randomShardCorpus(rng)
+	dir := t.TempDir()
+	const shards = 3
+
+	oracle, err := core.Setup(corpus, core.Config{})
+	if err != nil {
+		t.Fatalf("oracle setup: %v", err)
+	}
+	sh, err := New(corpus, core.Config{}, Options{Shards: shards, DataDir: dir, NoSync: true})
+	if err != nil {
+		t.Fatalf("sharded setup: %v", err)
+	}
+	batch := batchOf(rng, 5, "xd")
+	if _, err := oracle.AddSources(batch); err != nil {
+		t.Fatalf("oracle batch: %v", err)
+	}
+	if _, err := sh.AddSources(batch); err != nil {
+		t.Fatalf("sharded batch: %v", err)
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	rec := openForTest(t, dir, shards)
+	defer rec.Close()
+	compareSystems(t, "batch round trip", oracle, rec, trialQueries(rng, oracle.Corpus))
+}

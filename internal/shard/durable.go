@@ -60,9 +60,13 @@ type manifest struct {
 // journalRecord captures everything a redo needs to replay one
 // multi-shard op deterministically: the op itself plus the pre-op global
 // order and p-med-schema (schema sequence and probabilities — the
-// sequence matters because shard Maps are indexed by it).
+// sequence matters because shard Maps are indexed by it). A batched
+// AddSources journals every op in Ops under one record (and therefore one
+// atomic journal write); Op is then unused. Journals written by older
+// builds carry only Op and replay unchanged.
 type journalRecord struct {
 	Op      core.Op      `json:"op"`
+	Ops     []core.Op    `json:"ops,omitempty"`
 	Order   []string     `json:"order"`
 	Schemas [][][]string `json:"schemas"`
 	Probs   []float64    `json:"probs"`
@@ -132,10 +136,22 @@ func (s *System) dropStore(i int) error {
 // journalBegin makes the op durable before any shard changes. In-memory
 // systems skip it.
 func (s *System) journalBegin(op *core.Op, meta *servingMeta) error {
+	return s.journalWrite(journalRecord{Op: *op}, meta)
+}
+
+// journalBeginOps journals a whole AddSources batch as one record — one
+// atomic write covers the batch, the coordinator analogue of the WAL's
+// AppendBatch group commit.
+func (s *System) journalBeginOps(ops []core.Op, meta *servingMeta) error {
+	return s.journalWrite(journalRecord{Ops: ops}, meta)
+}
+
+func (s *System) journalWrite(rec journalRecord, meta *servingMeta) error {
 	if !s.durable() {
 		return nil
 	}
-	rec := journalRecord{Op: *op, Order: meta.order, Probs: meta.med.PMed.Probs}
+	rec.Order = meta.order
+	rec.Probs = meta.med.PMed.Probs
 	for _, m := range meta.med.PMed.Schemas {
 		clusters := make([][]string, len(m.Attrs))
 		for i, a := range m.Attrs {
@@ -420,6 +436,9 @@ func (s *System) redo(jr *journalRecord) ([]string, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shard: %w: journal p-med-schema: %v", persist.ErrCorrupt, err)
 	}
+	if len(jr.Ops) > 0 {
+		return s.redoBatch(jr, preSchemas, prePMed)
+	}
 
 	// The post-op order and corpus. Pre-op sources come from the loaded
 	// shards (which hold them at every crash stage); an added source
@@ -553,8 +572,13 @@ func (s *System) redo(jr *journalRecord) ([]string, error) {
 		s.publishMeta(newOrder, blue.Med, blue.Target)
 	}
 
-	// Re-persist everything the op touched and commit the journal away.
-	for i := 0; i < n; i++ {
+	return s.redoFinish(newOrder)
+}
+
+// redoFinish re-persists every shard and commits the journal away — the
+// shared tail of the single-op and batch redo paths.
+func (s *System) redoFinish(newOrder []string) ([]string, error) {
+	for i := 0; i < len(s.shards); i++ {
 		if len(s.shards[i].Corpus.Sources) == 0 {
 			if err := s.dropStore(i); err != nil {
 				return nil, err
@@ -571,6 +595,143 @@ func (s *System) redo(jr *journalRecord) ([]string, error) {
 	s.journalDrop()
 	s.Obs().Add("shard.redo", 1)
 	return newOrder, nil
+}
+
+// redoBatch rolls a journaled AddSources batch forward. Like the
+// single-op redo it recomputes the fast/rebuild decision from the
+// journaled pre-op mediation and applies it idempotently: sources an
+// owner shard already holds (the crash hit after that owner applied) are
+// skipped, the rest are adopted in bulk. A deterministic apply failure
+// rolls the whole batch back — any already-adopted batch source is
+// dropped and the pre-op state reconciled — mirroring the live path's
+// all-or-nothing contract.
+func (s *System) redoBatch(jr *journalRecord, preSchemas []*schema.MediatedSchema, prePMed *schema.PMedSchema) ([]string, error) {
+	n := len(s.shards)
+	added := make([]*schema.Source, 0, len(jr.Ops))
+	addedBy := make(map[string]*schema.Source, len(jr.Ops))
+	for i := range jr.Ops {
+		op := &jr.Ops[i]
+		if op.Kind != core.OpAddSource || op.Add == nil {
+			return nil, fmt.Errorf("shard: %w: batch journal op %d kind %q", persist.ErrCorrupt, i, op.Kind)
+		}
+		src, err := schema.NewSource(op.Add.Name, op.Add.Attrs, op.Add.Rows)
+		if err != nil {
+			return nil, fmt.Errorf("shard: %w: journal source %q: %v", persist.ErrCorrupt, op.Add.Name, err)
+		}
+		added = append(added, src)
+		addedBy[src.Name] = src
+	}
+	newOrder := make([]string, 0, len(jr.Order)+len(added))
+	newOrder = append(newOrder, jr.Order...)
+	for _, src := range added {
+		newOrder = append(newOrder, src.Name)
+	}
+	srcs := make([]*schema.Source, 0, len(newOrder))
+	for _, name := range newOrder {
+		if src, ok := addedBy[name]; ok {
+			srcs = append(srcs, src)
+			continue
+		}
+		found := findSource(s.shards[ShardOf(name, n)], name)
+		if found == nil {
+			return nil, fmt.Errorf("shard: %w: source %q missing during redo", persist.ErrCorrupt, name)
+		}
+		srcs = append(srcs, found)
+	}
+	corpus, err := schema.NewCorpus(s.domain, srcs)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w: %v", persist.ErrCorrupt, err)
+	}
+
+	gen, err := mediate.Generate(corpus, s.cfg.Mediate)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w: redo mediation: %v", persist.ErrCorrupt, err)
+	}
+	fast := core.SameSchemaSet(prePMed, gen.PMed)
+	var med *mediate.Result
+	if fast {
+		probs := mediate.AssignProbabilities(preSchemas, corpus)
+		pmed, err := schema.NewPMedSchema(preSchemas, probs)
+		if err != nil {
+			fast = false
+		} else {
+			med = &mediate.Result{PMed: pmed, Graph: gen.Graph, FrequentAttrs: gen.FrequentAttrs}
+		}
+	}
+
+	if !fast {
+		blue, err := core.Setup(corpus, s.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("shard: %w: redo rebuild: %v", persist.ErrCorrupt, err)
+		}
+		for i := 0; i < n; i++ {
+			proj, err := projectShard(s.domain, s.cfg, blue, shardSources(corpus.Sources, i, n))
+			if err != nil {
+				return nil, err
+			}
+			if err := s.shards[i].ShardReplaceState(proj); err != nil {
+				return nil, err
+			}
+		}
+		s.sources = make(map[string]*schema.Source, len(srcs))
+		for _, src := range srcs {
+			s.sources[src.Name] = src
+		}
+		s.publishMeta(newOrder, blue.Med, blue.Target)
+		return s.redoFinish(newOrder)
+	}
+
+	byOwner := make(map[int][]*schema.Source)
+	for _, src := range added {
+		o := ShardOf(src.Name, n)
+		byOwner[o] = append(byOwner[o], src)
+	}
+	adopted := make(map[int]bool, len(byOwner))
+	for o, batch := range byOwner {
+		pending := batch[:0:0]
+		for _, src := range batch {
+			if findSource(s.shards[o], src.Name) == nil {
+				pending = append(pending, src)
+			}
+		}
+		if len(pending) == 0 {
+			continue
+		}
+		if err := s.shards[o].ShardAdoptSources(pending, med); err != nil {
+			// The batch was journaled but fails to apply, exactly as it
+			// would have pre-crash: roll the whole batch back (dropping any
+			// source an earlier stage already adopted) and clear the
+			// journal.
+			for _, src := range added {
+				so := ShardOf(src.Name, n)
+				if findSource(s.shards[so], src.Name) != nil {
+					if derr := s.shards[so].ShardDropSource(src.Name, med); derr != nil {
+						return nil, derr
+					}
+				}
+			}
+			s.journalDrop()
+			if rerr := s.reconcile(jr.Order); rerr != nil {
+				return nil, rerr
+			}
+			return jr.Order, nil
+		}
+		adopted[o] = true
+	}
+	for i, sh := range s.shards {
+		if adopted[i] {
+			continue
+		}
+		if err := sh.ShardSetMediation(med); err != nil {
+			return nil, err
+		}
+	}
+	s.sources = make(map[string]*schema.Source, len(srcs))
+	for _, src := range srcs {
+		s.sources[src.Name] = src
+	}
+	s.publishMeta(newOrder, med, s.shards[ShardOf(added[0].Name, n)].Target)
+	return s.redoFinish(newOrder)
 }
 
 func srcName(jr *journalRecord) string {

@@ -516,6 +516,128 @@ func (s *System) AddSource(src *schema.Source) (bool, error) {
 	return true, s.finishDurable([]int{owner}, newOrder)
 }
 
+// AddSources grows the sharded system with a whole batch of sources
+// under one coordination round, mirroring core.AddSources: one global
+// mediation pass, one journal record (one atomic journal write for the
+// batch), one bulk adoption per owner shard, one published meta and one
+// finishDurable checkpoint pass. Returns true when the fast path applied
+// for the whole batch.
+//
+// The batch is all-or-nothing. On the fast path a failed owner adoption
+// rolls back any owner that already adopted (dropping its batch sources)
+// and clears the journal, so memory and disk both return to the pre-op
+// state; a crash mid-batch recovers through the journaled batch redo,
+// which lands on fully-applied or fully-absent exactly like the
+// single-source protocol.
+func (s *System) AddSources(srcs []*schema.Source) (bool, error) {
+	if len(srcs) == 0 {
+		return true, nil
+	}
+	if len(srcs) == 1 {
+		return s.AddSource(srcs[0])
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mutating.Store(true)
+	defer s.mutating.Store(false)
+	meta := s.meta.Load()
+
+	seen := make(map[string]bool, len(srcs))
+	for _, src := range srcs {
+		if seen[src.Name] {
+			return false, fmt.Errorf("shard: duplicate source %q in batch", src.Name)
+		}
+		seen[src.Name] = true
+		if _, ok := s.sources[src.Name]; ok {
+			return false, fmt.Errorf("shard: source %q already in corpus", src.Name)
+		}
+	}
+
+	all := append(s.orderedSources(meta.order), srcs...)
+	corpus, err := schema.NewCorpus(s.domain, all)
+	if err != nil {
+		return false, fmt.Errorf("shard: %w", err)
+	}
+	gen, err := mediate.Generate(corpus, s.cfg.Mediate)
+	if err != nil {
+		return false, fmt.Errorf("shard: %w", err)
+	}
+	newOrder := make([]string, 0, len(meta.order)+len(srcs))
+	newOrder = append(newOrder, meta.order...)
+	ops := make([]core.Op, len(srcs))
+	for i, src := range srcs {
+		newOrder = append(newOrder, src.Name)
+		ops[i] = core.Op{Kind: core.OpAddSource, Add: &core.SourceData{Name: src.Name, Attrs: src.Attrs, Rows: src.Rows}}
+	}
+
+	if !core.SameSchemaSet(meta.med.PMed, gen.PMed) {
+		return false, s.rebuildBatchLocked(corpus, newOrder, ops, meta)
+	}
+	probs := mediate.AssignProbabilities(meta.med.PMed.Schemas, corpus)
+	pmed, err := schema.NewPMedSchema(meta.med.PMed.Schemas, probs)
+	if err != nil {
+		return false, s.rebuildBatchLocked(corpus, newOrder, ops, meta)
+	}
+	med := &mediate.Result{PMed: pmed, Graph: gen.Graph, FrequentAttrs: gen.FrequentAttrs}
+
+	if err := s.journalBeginOps(ops, meta); err != nil {
+		return false, err
+	}
+	if err := s.crash("journal"); err != nil {
+		return false, err
+	}
+	n := len(s.shards)
+	byOwner := make(map[int][]*schema.Source)
+	for _, src := range srcs {
+		o := ShardOf(src.Name, n)
+		byOwner[o] = append(byOwner[o], src)
+	}
+	owners := make([]int, 0, len(byOwner))
+	for o := range byOwner {
+		owners = append(owners, o)
+	}
+	sort.Ints(owners)
+	touched := make([]int, 0, len(owners))
+	for _, o := range owners {
+		if err := s.shards[o].ShardAdoptSources(byOwner[o], med); err != nil {
+			// Roll earlier owners back so the journaled batch fails
+			// all-or-nothing, exactly as its redo would after a crash here.
+			for _, t := range touched {
+				for _, src := range byOwner[t] {
+					if derr := s.shards[t].ShardDropSource(src.Name, meta.med); derr != nil {
+						return false, derr
+					}
+				}
+			}
+			s.journalDrop()
+			return false, err
+		}
+		touched = append(touched, o)
+	}
+	if err := s.crash("applied"); err != nil {
+		return false, err
+	}
+	isOwner := make(map[int]bool, len(owners))
+	for _, o := range owners {
+		isOwner[o] = true
+	}
+	for i, sh := range s.shards {
+		if isOwner[i] {
+			continue
+		}
+		if err := sh.ShardSetMediation(med); err != nil {
+			return false, err
+		}
+	}
+	for _, src := range srcs {
+		s.sources[src.Name] = src
+	}
+	s.publishMeta(newOrder, med, meta.target)
+	s.Obs().Add("shard.add_sources", 1)
+	s.Obs().Add("shard.add_sources.ops", int64(len(srcs)))
+	return true, s.finishDurable(touched, newOrder)
+}
+
 // RemoveSource drops a source, mirroring the single-core decision:
 // unknown sources and the last source are refused, a mediation failure
 // on the shrunken corpus aborts with no change, and the fast/rebuild
@@ -596,11 +718,22 @@ func (s *System) RemoveSource(name string) (bool, error) {
 // shard). Setup runs before the journal is written, so a Setup failure
 // leaves both memory and disk untouched.
 func (s *System) rebuildLocked(corpus *schema.Corpus, newOrder []string, op *core.Op, meta *servingMeta) error {
+	return s.rebuildJournaled(corpus, newOrder, func() error { return s.journalBegin(op, meta) })
+}
+
+// rebuildBatchLocked is rebuildLocked for an AddSources batch: the whole
+// batch is journaled as one record, so recovery redoes (or rolls back)
+// all of it together.
+func (s *System) rebuildBatchLocked(corpus *schema.Corpus, newOrder []string, ops []core.Op, meta *servingMeta) error {
+	return s.rebuildJournaled(corpus, newOrder, func() error { return s.journalBeginOps(ops, meta) })
+}
+
+func (s *System) rebuildJournaled(corpus *schema.Corpus, newOrder []string, journal func() error) error {
 	blue, err := core.Setup(corpus, s.cfg)
 	if err != nil {
 		return err
 	}
-	if err := s.journalBegin(op, meta); err != nil {
+	if err := journal(); err != nil {
 		return err
 	}
 	if err := s.crash("journal"); err != nil {
