@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build test race race-setup race-serve race-shard race-feedback api-compat crash-recovery differential-blocked no-skip vet bench bench-setup bench-setup-scale bench-shard bench-feedback fuzz experiments
+.PHONY: check build test race race-setup race-serve race-shard race-rpc race-feedback api-compat crash-recovery differential-blocked no-skip vet bench bench-setup bench-setup-scale bench-shard bench-rpc bench-feedback fuzz experiments
 
-check: vet build race race-setup race-serve race-shard race-feedback api-compat crash-recovery differential-blocked no-skip fuzz
+check: vet build race race-setup race-serve race-shard race-rpc race-feedback api-compat crash-recovery differential-blocked no-skip fuzz
 
 vet:
 	$(GO) vet ./...
@@ -43,6 +43,16 @@ race-serve:
 race-shard:
 	$(GO) test -race -count=2 -run 'TestScatterGatherSoak' ./internal/shard
 	$(GO) test -race -short -run 'TestDifferentialScatterGather|TestCrashRecovery' ./internal/shard
+
+# Networked scatter-gather gate: the over-the-wire differential battery
+# (coordinator → HTTP shard hosts, compared bit-for-bit against the
+# single-core oracle), the fault-injection matrix (drops, truncated
+# bodies, slow hosts, lost responses), and the WAL-shipping replica
+# suite, all under the race detector.
+race-rpc:
+	$(GO) test -race -short -run 'TestNetworkedDifferential|TestCoordinatorConformance' ./internal/shardrpc
+	$(GO) test -race -run 'TestQuery|TestFeedbackNeverRetried|TestStructuralRetryDoesNotDoubleApply|TestProtocolMismatchRefused|TestWALEndpointErrorPaths' ./internal/shardrpc
+	$(GO) test -race ./internal/replica ./internal/client
 
 # Blocked-vs-dense gate: the LSH-banded sparse similarity matrix must be
 # bit-identical to the exhaustive dense fill on the randomized corpus
@@ -130,6 +140,22 @@ bench-shard:
 	      printf "}" \
 	    } \
 	    END { print "\n]" }' > BENCH_shard.json
+
+# Networked vs in-process scatter-gather (coordinator → loopback HTTP
+# shard hosts against the in-process fan-out, shards 2/4/8); snapshots
+# the raw lines as JSON into BENCH_rpc.json.
+bench-rpc:
+	$(GO) test -run '^$$' -bench 'BenchmarkScatterGatherRPC' -benchmem -benchtime=20x ./internal/shardrpc \
+	  | tee /dev/stderr \
+	  | awk 'BEGIN { print "[" } \
+	    /^BenchmarkScatterGatherRPC/ { \
+	      printf "%s", comma; comma=",\n"; \
+	      n=split($$1, a, "/"); \
+	      printf "  {\"case\": \"%s/%s\", \"iters\": %s", a[n-1], a[n], $$2; \
+	      for (i = 3; i < NF; i += 2) { printf ", \"%s\": %s", $$(i+1), $$i } \
+	      printf "}" \
+	    } \
+	    END { print "\n]" }' > BENCH_rpc.json
 
 # Feedback commit throughput (group commit across writer counts, with
 # concurrent readers, and the fsync-per-commit baseline); snapshots the

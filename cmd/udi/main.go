@@ -7,16 +7,26 @@
 //	udi -domain Car -query "SELECT make, model FROM Car WHERE price < 15000"
 //	udi -domain People -query "SELECT name, phone FROM People" -approach Source
 //	udi -domain Bib -sources 100 -query "SELECT author, title FROM Bib" -top 5
+//
+// With -remote the command is a thin client of a running udiserver (any
+// role that serves /v1 — single core, sharded, coordinator, or replica)
+// instead of setting up locally:
+//
+//	udi -remote http://127.0.0.1:8080 -query "SELECT name FROM People"
+//	udi -remote http://127.0.0.1:8080 -show-schema
+//	udi -remote http://127.0.0.1:8080 -repl
 package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"udi/internal/client"
 	"udi/internal/core"
 	"udi/internal/csvio"
 	"udi/internal/datagen"
@@ -43,12 +53,130 @@ func main() {
 	repl := flag.Bool("repl", false, "after setup, read queries from stdin interactively")
 	questions := flag.Int("questions", 0, "print the N correspondences the system most wants feedback on")
 	reportPath := flag.String("report", "", "write a markdown health report of the configured system to this file")
+	remote := flag.String("remote", "", "query a running udiserver at this address instead of setting up locally")
 	flag.Parse()
 
-	if err := run(*domain, *data, *importBatch, *sources, *query, *approach, *top, *showSchema, *save, *load, *explain, *dot, *repl, *questions, *reportPath); err != nil {
+	var err error
+	if *remote != "" {
+		err = runRemote(*remote, *query, *approach, *top, *showSchema, *explain, *repl, *questions)
+	} else {
+		err = run(*domain, *data, *importBatch, *sources, *query, *approach, *top, *showSchema, *save, *load, *explain, *dot, *repl, *questions, *reportPath)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "udi:", err)
 		os.Exit(1)
 	}
+}
+
+// runRemote drives a running udiserver through the typed /v1 client —
+// the same client the networked coordinator and replicas use, so error
+// envelopes and retry behavior match exactly.
+func runRemote(remote, query, approach string, top int, showSchema, explain, repl bool, questions int) error {
+	c := client.New(remote, client.Options{})
+	ctx := context.Background()
+	if showSchema {
+		sc, err := c.Schema(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("probabilistic mediated schema (%d possible schemas, epoch %d):\n", len(sc.Schemas), sc.Epoch)
+		for _, e := range sc.Schemas {
+			fmt.Printf("  p=%.4f %v\n", e.Prob, e.Clusters)
+		}
+		fmt.Printf("consolidated mediated schema:\n  %v\n", sc.Target)
+		if sc.Replication != nil {
+			fmt.Printf("replica of %s: applied seq %d / primary seq %d\n",
+				sc.Replication.Primary, sc.Replication.AppliedSeq, sc.Replication.PrimaryCommittedSeq)
+		}
+	}
+	if questions > 0 {
+		resp, err := c.Candidates(ctx, questions)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("the system most wants feedback on these %d correspondences:\n", len(resp.Candidates))
+		for i, cd := range resp.Candidates {
+			fmt.Printf("%2d. %s: does column %q correspond to %v?  (belief %.2f, gain %.3f)\n",
+				i+1, cd.Source, cd.SrcAttr, cd.Cluster, cd.Marginal, cd.Uncertainty)
+		}
+	}
+	if repl {
+		return runRemoteREPL(c, approach, top)
+	}
+	if query == "" {
+		if !showSchema && questions == 0 {
+			fmt.Fprintln(os.Stderr, "nothing to do: pass -query, -show-schema, -questions or -repl")
+		}
+		return nil
+	}
+	return remoteQuery(ctx, c, query, approach, top, explain)
+}
+
+func remoteQuery(ctx context.Context, c *client.Client, query, approach string, top int, explain bool) error {
+	resp, err := c.Query(ctx, client.QueryRequest{Query: query, Approach: approach, Top: top})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d distinct answers (%d occurrences) via %s at epoch %d\n",
+		resp.Distinct, resp.Occurrences, approach, resp.Epoch)
+	for i, a := range resp.Answers {
+		fmt.Printf("%2d. p=%.4f  %v\n", i+1, a.Prob, a.Values)
+	}
+	if explain && len(resp.Answers) > 0 {
+		ex, err := c.Explain(ctx, query, resp.Answers[0].Values)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nprovenance of the top answer %v:\n", resp.Answers[0].Values)
+		for i, contrib := range ex.Contributions {
+			if i >= 8 {
+				fmt.Printf("... %d more paths\n", len(ex.Contributions)-8)
+				break
+			}
+			fmt.Printf("   %s via schema %d (mass %.4f, %d rows)\n",
+				contrib.Source, contrib.SchemaIdx, contrib.Mass, len(contrib.Rows))
+		}
+	}
+	return nil
+}
+
+// runRemoteREPL is the interactive loop against a remote server.
+func runRemoteREPL(c *client.Client, approach string, top int) error {
+	ctx := context.Background()
+	fmt.Fprintln(os.Stderr, "enter SELECT queries, one per line (.schema to inspect, ctrl-D to exit)")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<16), 1<<20)
+	for {
+		fmt.Fprint(os.Stderr, "udi> ")
+		if !scanner.Scan() {
+			break
+		}
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+			continue
+		case line == ".schema":
+			sc, err := c.Schema(ctx)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				continue
+			}
+			for _, e := range sc.Schemas {
+				fmt.Printf("  p=%.4f %v\n", e.Prob, e.Clusters)
+			}
+			fmt.Printf("consolidated: %v\n", sc.Target)
+			continue
+		}
+		explain := false
+		if strings.HasPrefix(line, ".explain ") {
+			explain = true
+			line = strings.TrimPrefix(line, ".explain ")
+		}
+		if err := remoteQuery(ctx, c, line, approach, top, explain); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+	return scanner.Err()
 }
 
 func run(domain, data string, importBatch, sources int, query, approach string, top int, showSchema bool, save, load string, explain bool, dot string, repl bool, questions int, reportPath string) error {

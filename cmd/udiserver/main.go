@@ -8,6 +8,24 @@
 //	udiserver -domain Car -data-dir /var/lib/udi/car
 //	udiserver -domain Car -shards 4 -data-dir /var/lib/udi/car
 //
+// Networked topology (-role):
+//
+//	udiserver -role shard -addr :9001 -data-dir /var/lib/udi/shard-0
+//	udiserver -role coordinator -domain Car -shard-addrs http://h1:9001,http://h2:9001
+//	udiserver -role replica -follow http://h1:9001 -poll 500ms
+//
+// A shard host (-role shard) starts empty and serves the versioned shard
+// RPC protocol (/v1/shard/*, /v1/wal); a coordinator pushes it state.
+// With -data-dir the host checkpoints structural pushes and
+// write-ahead-logs feedback, and ships its committed WAL tail to
+// replicas. The coordinator (-role coordinator) runs the global setup
+// over -domain/-data and serves the public /v1 API by scatter-gather
+// over the shard hosts — answers are bit-identical to -shards N
+// in-process serving and to a single core. A replica (-role replica)
+// bootstraps from -follow's snapshot, tails its WAL every -poll, and
+// serves read-only /v1 (mutations answer 403 read_only); /v1/schema
+// reports the replication position and staleness.
+//
 // With -data-dir the server is durable: every committed mutation
 // (feedback, source add/remove) is write-ahead-logged and fsynced before
 // it is acknowledged, and every -checkpoint-every commits the system is
@@ -41,8 +59,10 @@
 //
 // Errors use one JSON envelope: {"error": {"code", "message", "details"}}
 // with codes bad_query, unknown_source, timeout, canceled, overloaded,
-// internal. Overload answers 429 + Retry-After; an expired -query-timeout
-// answers 504.
+// internal, shard_unavailable, read_only, not_ready. Overload answers
+// 429 + Retry-After; an expired -query-timeout answers 504. The
+// pre-/v1 unversioned aliases are retired; -legacy-api restores them
+// (with Deprecation headers) for old clients.
 //
 // Observability:
 //
@@ -60,6 +80,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,9 +89,27 @@ import (
 	"udi/internal/datagen"
 	"udi/internal/httpapi"
 	"udi/internal/persist"
+	"udi/internal/replica"
 	"udi/internal/schema"
 	"udi/internal/shard"
+	"udi/internal/shardrpc"
 )
+
+// serveConfig carries the parsed topology flags into run.
+type serveConfig struct {
+	role            string
+	follow          string
+	shardAddrs      string
+	poll            time.Duration
+	domain          string
+	data            string
+	load            string
+	sources         int
+	shards          int
+	addr            string
+	dataDir         string
+	checkpointEvery uint64
+}
 
 func main() {
 	domain := flag.String("domain", "People", "synthetic domain to serve (Movie|Car|People|Course|Bib)")
@@ -78,6 +117,10 @@ func main() {
 	load := flag.String("load", "", "serve a system snapshot instead of setting up")
 	sources := flag.Int("sources", 0, "limit the number of sources (0 = full domain)")
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	role := flag.String("role", "serve", "process role: serve (in-process system), shard (RPC shard host), coordinator (scatter-gather over -shard-addrs), replica (WAL follower of -follow)")
+	follow := flag.String("follow", "", "replica mode: primary address to bootstrap from and tail (e.g. http://host:9001)")
+	shardAddrs := flag.String("shard-addrs", "", "coordinator mode: comma-separated shard host addresses, one per shard")
+	poll := flag.Duration("poll", 500*time.Millisecond, "replica mode: WAL polling interval")
 	dataDir := flag.String("data-dir", "", "durable mode: WAL + checkpoints in this directory; restarts recover the last committed state")
 	shards := flag.Int("shards", 1, "partition the sources across this many in-process shards and answer by scatter-gather")
 	checkpointEvery := flag.Uint64("checkpoint-every", persist.DefaultCheckpointEvery, "commits between checkpoint rotations in -data-dir mode")
@@ -86,6 +129,7 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 0, "per-request deadline for query-path requests; expiry gets 504 (0 = none)")
 	feedbackBatch := flag.Int("feedback-batch", 0, "max feedback submissions committed under one WAL fsync (0 = default 64)")
 	noGroupCommit := flag.Bool("no-group-commit", false, "commit every feedback submission with its own fsync and snapshot publish")
+	legacyAPI := flag.Bool("legacy-api", false, "re-enable the deprecated unversioned aliases of the /v1 endpoints")
 	verbose := flag.Bool("verbose", false, "log one line per request")
 	flag.Parse()
 
@@ -93,6 +137,7 @@ func main() {
 		DefaultTop:   *top,
 		MaxInFlight:  *maxInflight,
 		QueryTimeout: *queryTimeout,
+		LegacyAPI:    *legacyAPI,
 	}
 	if *verbose {
 		opts.Logf = log.Printf
@@ -101,13 +146,93 @@ func main() {
 		FeedbackBatch:      *feedbackBatch,
 		DisableGroupCommit: *noGroupCommit,
 	}
-	if err := run(*domain, *data, *load, *sources, *shards, *addr, *dataDir, *checkpointEvery, cfg, opts); err != nil {
+	sc := serveConfig{
+		role: *role, follow: *follow, shardAddrs: *shardAddrs, poll: *poll,
+		domain: *domain, data: *data, load: *load, sources: *sources,
+		shards: *shards, addr: *addr, dataDir: *dataDir, checkpointEvery: *checkpointEvery,
+	}
+	if err := run(sc, cfg, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "udiserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(domain, data, load string, sources, shards int, addr, dataDir string, checkpointEvery uint64, cfg core.Config, opts httpapi.Options) error {
+func run(sc serveConfig, cfg core.Config, opts httpapi.Options) error {
+	switch sc.role {
+	case "serve":
+		return runServe(sc, cfg, opts)
+	case "shard":
+		return runShardHost(sc, cfg)
+	case "coordinator":
+		return runCoordinator(sc, cfg, opts)
+	case "replica":
+		return runReplica(sc, cfg, opts)
+	default:
+		return fmt.Errorf("unknown -role %q (serve|shard|coordinator|replica)", sc.role)
+	}
+}
+
+// runShardHost serves one shard's state over the shard RPC protocol. The
+// host starts empty (a coordinator pushes state) unless -data-dir holds
+// a previous state to warm-restart from.
+func runShardHost(sc serveConfig, cfg core.Config) error {
+	host, err := shardrpc.NewHost(cfg, shardrpc.HostOptions{
+		DataDir: sc.dataDir,
+		Store:   persist.StoreOptions{CheckpointEvery: sc.checkpointEvery},
+	})
+	if err != nil {
+		return err
+	}
+	return serveHTTP(sc.addr, host.Handler(), "shard host", host.Close)
+}
+
+// runCoordinator sets up the corpus globally and serves /v1 by
+// scatter-gather over the remote shard hosts.
+func runCoordinator(sc serveConfig, cfg core.Config, opts httpapi.Options) error {
+	if sc.shardAddrs == "" {
+		return fmt.Errorf("-role coordinator requires -shard-addrs")
+	}
+	addrs := strings.Split(sc.shardAddrs, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	corpus, err := buildCorpus(sc.domain, sc.data, sc.sources)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pushing %d sources across %d shard hosts...\n", len(corpus.Sources), len(addrs))
+	co, err := shardrpc.NewCoordinator(corpus, cfg, addrs, shardrpc.CoordinatorOptions{})
+	if err != nil {
+		return err
+	}
+	api := httpapi.NewBackendServer(co, nil, opts)
+	return serveHTTP(sc.addr, api.Handler(),
+		fmt.Sprintf("coordinator (%d sources, %d shards)", len(corpus.Sources), len(addrs)), nil)
+}
+
+// runReplica bootstraps from the primary, keeps tailing its WAL, and
+// serves the read-only /v1 surface.
+func runReplica(sc serveConfig, cfg core.Config, opts httpapi.Options) error {
+	if sc.follow == "" {
+		return fmt.Errorf("-role replica requires -follow")
+	}
+	f := replica.New(sc.follow, cfg, replica.Options{PollInterval: sc.poll})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := f.Sync(ctx); err != nil {
+		// Not fatal: the primary may still be coming up; Run keeps trying
+		// and the API answers not_ready until the first sync lands.
+		fmt.Fprintln(os.Stderr, "initial sync:", err)
+	}
+	go f.Run(ctx)
+	api := httpapi.NewBackendServer(f.Backend(), nil, opts)
+	return serveHTTP(sc.addr, api.Handler(), "replica of "+sc.follow, nil)
+}
+
+func runServe(sc serveConfig, cfg core.Config, opts httpapi.Options) error {
+	domain, data, load := sc.domain, sc.data, sc.load
+	sources, shards := sc.sources, sc.shards
+	addr, dataDir, checkpointEvery := sc.addr, sc.dataDir, sc.checkpointEvery
 	var api *httpapi.Server
 	var numSources int
 	// finish runs after the listener drains: fold state into a final
@@ -161,19 +286,24 @@ func run(domain, data, load string, sources, shards int, addr, dataDir string, c
 		api = httpapi.NewServer(sys, opts)
 		numSources = len(sys.Corpus.Sources)
 	}
+	return serveHTTP(addr, api.Handler(), fmt.Sprintf("%d sources", numSources), finish)
+}
+
+// serveHTTP runs the listener until SIGINT/SIGTERM, then drains
+// in-flight requests before exiting so clients never see a connection
+// reset on deploys. finish (may be nil) runs after the drain: fold state
+// into a final checkpoint and release the WAL(s).
+func serveHTTP(addr string, handler http.Handler, what string, finish func() error) error {
 	server := &http.Server{
 		Addr:              addr,
-		Handler:           api.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-
-	// Serve until SIGINT/SIGTERM, then drain in-flight requests before
-	// exiting so clients never see a connection reset on deploys.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "serving %d sources on http://%s\n", numSources, addr)
+		fmt.Fprintf(os.Stderr, "serving %s on http://%s\n", what, addr)
 		errc <- server.ListenAndServe()
 	}()
 	select {
@@ -190,7 +320,10 @@ func run(domain, data, load string, sources, shards int, addr, dataDir string, c
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
-		return finish()
+		if finish != nil {
+			return finish()
+		}
+		return nil
 	}
 }
 

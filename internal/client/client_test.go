@@ -1,0 +1,215 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"udi/internal/httpapi"
+)
+
+// countingServer answers with a scripted sequence of handlers, one per
+// request, repeating the last one once the script runs out.
+func countingServer(t *testing.T, script ...http.HandlerFunc) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var n atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := int(n.Add(1)) - 1
+		if i >= len(script) {
+			i = len(script) - 1
+		}
+		script[i](w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &n
+}
+
+func ok(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte(`{"ok":true}`))
+}
+
+func envelope(status int, code, msg string) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		httpapi.WriteError(w, status, code, msg, map[string]any{"k": "v"})
+	}
+}
+
+// TestEnvelopeDecodesToStatusError: a server error envelope round-trips
+// into the same *httpapi.StatusError the handler rendered — code,
+// message, details and HTTP status all intact.
+func TestEnvelopeDecodesToStatusError(t *testing.T) {
+	srv, _ := countingServer(t, envelope(http.StatusNotFound, httpapi.CodeUnknownSource, "no such source"))
+	c := New(srv.URL, Options{Retries: -1})
+	err := c.Do(context.Background(), http.MethodGet, "/v1/x", nil, nil, true)
+	var se *httpapi.StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v (%T) is not a StatusError", err, err)
+	}
+	if se.Status != http.StatusNotFound || se.Code != httpapi.CodeUnknownSource ||
+		se.Message != "no such source" || se.Details["k"] != "v" {
+		t.Fatalf("decoded envelope = %+v", se)
+	}
+}
+
+// TestBareErrorBodyStillTyped: a non-envelope error body (a proxy's
+// bare 502) still yields a StatusError built from the status line.
+func TestBareErrorBodyStillTyped(t *testing.T) {
+	srv, _ := countingServer(t, func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "bad gateway", http.StatusBadGateway)
+	})
+	c := New(srv.URL, Options{Retries: -1})
+	err := c.Do(context.Background(), http.MethodGet, "/v1/x", nil, nil, true)
+	var se *httpapi.StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a StatusError", err)
+	}
+	if se.Status != http.StatusBadGateway || se.Code != httpapi.CodeInternal {
+		t.Fatalf("bare-body error = %+v, want 502 %s", se, httpapi.CodeInternal)
+	}
+}
+
+// TestIdempotentRetriesServerErrors: 5xx answers on an idempotent
+// request are retried up to the budget, and a success mid-budget wins.
+func TestIdempotentRetriesServerErrors(t *testing.T) {
+	srv, n := countingServer(t,
+		envelope(http.StatusServiceUnavailable, httpapi.CodeNotReady, "warming up"),
+		envelope(http.StatusServiceUnavailable, httpapi.CodeNotReady, "warming up"),
+		ok,
+	)
+	c := New(srv.URL, Options{Retries: 2, RetryBackoff: time.Millisecond})
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := c.Do(context.Background(), http.MethodGet, "/v1/x", nil, &out, true); err != nil {
+		t.Fatalf("expected success on third attempt: %v", err)
+	}
+	if !out.OK || n.Load() != 3 {
+		t.Fatalf("out=%+v attempts=%d, want ok after 3", out, n.Load())
+	}
+}
+
+// TestClientErrorsNeverRetried: a 4xx (other than 429) is the server's
+// final word — exactly one attempt even on an idempotent request.
+func TestClientErrorsNeverRetried(t *testing.T) {
+	srv, n := countingServer(t, envelope(http.StatusBadRequest, httpapi.CodeBadQuery, "no"))
+	c := New(srv.URL, Options{Retries: 3, RetryBackoff: time.Millisecond})
+	err := c.Do(context.Background(), http.MethodGet, "/v1/x", nil, nil, true)
+	if err == nil || n.Load() != 1 {
+		t.Fatalf("err=%v attempts=%d, want one failed attempt", err, n.Load())
+	}
+}
+
+// TestNonIdempotentNeverRetried: a mutation gets exactly one attempt
+// even against a 5xx — a lost response must not double-apply.
+func TestNonIdempotentNeverRetried(t *testing.T) {
+	srv, n := countingServer(t, envelope(http.StatusServiceUnavailable, httpapi.CodeNotReady, "down"))
+	c := New(srv.URL, Options{Retries: 3, RetryBackoff: time.Millisecond})
+	err := c.Do(context.Background(), http.MethodPost, "/v1/x", map[string]int{"a": 1}, nil, false)
+	if err == nil || n.Load() != 1 {
+		t.Fatalf("err=%v attempts=%d, want exactly one attempt", err, n.Load())
+	}
+}
+
+// TestRetryAfterHonored: a 429 carrying Retry-After delays the retry by
+// at least that long instead of the default backoff.
+func TestRetryAfterHonored(t *testing.T) {
+	srv, n := countingServer(t,
+		func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Retry-After", "1")
+			httpapi.WriteError(w, http.StatusTooManyRequests, "busy", "try later", nil)
+		},
+		ok,
+	)
+	c := New(srv.URL, Options{Retries: 1, RetryBackoff: time.Millisecond})
+	start := time.Now()
+	if err := c.Do(context.Background(), http.MethodGet, "/v1/x", nil, nil, true); err != nil {
+		t.Fatalf("expected success after Retry-After pause: %v", err)
+	}
+	if d := time.Since(start); d < time.Second {
+		t.Fatalf("retried after %v, want >= 1s (Retry-After)", d)
+	}
+	if n.Load() != 2 {
+		t.Fatalf("attempts = %d, want 2", n.Load())
+	}
+}
+
+// TestTransportFailureWrapsErrTransport: a refused connection is an
+// ErrTransport, never a StatusError.
+func TestTransportFailureWrapsErrTransport(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(ok))
+	srv.Close() // now nothing listens there
+	c := New(srv.URL, Options{Retries: -1})
+	err := c.Do(context.Background(), http.MethodGet, "/v1/x", nil, nil, true)
+	if !errors.Is(err, ErrTransport) {
+		t.Fatalf("err = %v, want ErrTransport", err)
+	}
+	var se *httpapi.StatusError
+	if errors.As(err, &se) {
+		t.Fatalf("transport failure decoded as StatusError %+v", se)
+	}
+}
+
+// TestPerAttemptTimeoutIsRetryableTransport: the per-attempt Timeout
+// expiring is a slow-server fault (retryable ErrTransport), not the
+// caller's own deadline — a later fast answer succeeds.
+func TestPerAttemptTimeoutIsRetryableTransport(t *testing.T) {
+	srv, n := countingServer(t,
+		func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(300 * time.Millisecond)
+			ok(w, r)
+		},
+		ok,
+	)
+	c := New(srv.URL, Options{Timeout: 50 * time.Millisecond, Retries: 1, RetryBackoff: time.Millisecond})
+	if err := c.Do(context.Background(), http.MethodGet, "/v1/x", nil, nil, true); err != nil {
+		t.Fatalf("expected retry to beat the slow first attempt: %v", err)
+	}
+	if n.Load() != 2 {
+		t.Fatalf("attempts = %d, want 2", n.Load())
+	}
+}
+
+// TestCallerContextExpiryPassesThrough: the caller's own context
+// expiring surfaces unchanged (so handlers map it to timeout, not 503)
+// and is never retried.
+func TestCallerContextExpiryPassesThrough(t *testing.T) {
+	srv, n := countingServer(t, func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(300 * time.Millisecond)
+		ok(w, r)
+	})
+	c := New(srv.URL, Options{Retries: 3, RetryBackoff: time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := c.Do(ctx, http.MethodGet, "/v1/x", nil, nil, true)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if errors.Is(err, ErrTransport) {
+		t.Fatal("caller deadline reported as transport failure")
+	}
+	if n.Load() != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retry after caller deadline)", n.Load())
+	}
+}
+
+// TestUndecodableSuccessBodyIsTransport: a 2xx whose body does not
+// decode is a transport-class failure (truncated write), not a silent
+// zero value.
+func TestUndecodableSuccessBodyIsTransport(t *testing.T) {
+	srv, _ := countingServer(t, func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte(`{"ok":tru`))
+	})
+	c := New(srv.URL, Options{Retries: -1})
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	err := c.Do(context.Background(), http.MethodGet, "/v1/x", nil, &out, true)
+	if !errors.Is(err, ErrTransport) {
+		t.Fatalf("err = %v, want ErrTransport", err)
+	}
+}

@@ -176,3 +176,53 @@ func TestStreamCorpus(t *testing.T) {
 		t.Fatal("empty directory accepted")
 	}
 }
+
+// TestStreamCorpusCRLFQuotedNewline: CRLF line endings and quoted
+// fields containing newlines — the two CSV shapes whose record
+// boundaries do not coincide with raw '\n' positions — must parse
+// identically through StreamCorpus and LoadCorpus: CRLF terminators are
+// stripped, while a newline inside a quoted field survives as field
+// content and never splits the row.
+func TestStreamCorpusCRLFQuotedNewline(t *testing.T) {
+	dir := t.TempDir()
+	// CRLF-terminated file, including a trailing CRLF on the last row.
+	crlf := "name,phone\r\nann,555\r\nbob,\"55\n6\"\r\n"
+	if err := os.WriteFile(filepath.Join(dir, "a_crlf.csv"), []byte(crlf), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Quoted newline in the very last field with no trailing terminator.
+	edge := "name,phone\ncia,\"line1\nline2\""
+	if err := os.WriteFile(filepath.Join(dir, "b_edge.csv"), []byte(edge), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []*schema.Source
+	if err := StreamCorpus(dir, 1, func(srcs []*schema.Source) error {
+		got = append(got, srcs...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("streamed %d sources, want 2", len(got))
+	}
+	wantRows := map[string][][]string{
+		"a_crlf": {{"ann", "555"}, {"bob", "55\n6"}},
+		"b_edge": {{"cia", "line1\nline2"}},
+	}
+	for _, src := range got {
+		if !reflect.DeepEqual(src.Rows, wantRows[src.Name]) {
+			t.Errorf("%s rows = %q, want %q", src.Name, src.Rows, wantRows[src.Name])
+		}
+	}
+
+	whole, err := LoadCorpus("edge", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, src := range whole.Sources {
+		if !reflect.DeepEqual(src.Rows, got[i].Rows) {
+			t.Errorf("LoadCorpus %s rows differ from StreamCorpus", src.Name)
+		}
+	}
+}

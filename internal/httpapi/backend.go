@@ -13,50 +13,127 @@ import (
 	"udi/internal/sqlparse"
 )
 
-// backend abstracts what the handlers need from the serving engine, so
-// one Server implementation fronts both a single core.System and a
-// sharded scatter-gather shard.System. Reads go through a view — one
-// consistent capture of the serving state — and writes route through the
-// backend itself.
-type backend interface {
-	view() serveView
-	committing() bool
-	submitFeedback(core.Feedback) error
-	// addSources grows the system with a batch of sources under one
-	// group commit; reports whether the fast path applied.
-	addSources([]*schema.Source) (bool, error)
-	// shards reports the partition count; 0 means unsharded (the
+// Backend is the one serving contract every deployment topology
+// implements: the single-process core.System, the in-process sharded
+// shard.System, the networked scatter-gather coordinator
+// (internal/shardrpc), and WAL-following read replicas
+// (internal/replica). The HTTP layer is written against this interface
+// alone, so each topology serves the identical /v1 surface with the
+// identical error envelope.
+//
+// Reads go through a View — one epoch-consistent capture of the serving
+// state — and writes route through the Backend itself. Contract:
+//
+//   - View returns a consistent read view or a typed error. A backend
+//     that cannot serve (replica not yet bootstrapped, coordinator with
+//     an unreachable shard) returns a *StatusError (CodeNotReady,
+//     CodeShardUnavailable) rather than a partial view.
+//   - Mutations (SubmitFeedback, AddSources, RemoveSource) are atomic:
+//     they either commit a new epoch or leave state unchanged. Read-only
+//     backends (replicas) reject them with CodeReadOnly.
+//   - Epochs are monotone: a successful mutation makes a later View
+//     observe a strictly larger Epoch.
+//   - Durability and Replication report topology-specific state for
+//     /v1/schema; nil means "not applicable" and the field is omitted.
+//
+// The conformance suite (internal/httpapi/conformance) checks these
+// invariants against every implementation.
+type Backend interface {
+	// View captures one epoch-consistent read view.
+	View() (View, error)
+	// Committing reports whether a mutation is currently building a newer
+	// epoch (answers keep coming from the current one).
+	Committing() bool
+	// SubmitFeedback applies one confirm/reject correspondence decision.
+	SubmitFeedback(core.Feedback) error
+	// AddSources grows the system with a batch of sources under one group
+	// commit; reports whether the incremental fast path applied.
+	AddSources([]*schema.Source) (bool, error)
+	// RemoveSource drops a source by name; reports whether the
+	// incremental fast path applied. Unknown names return an error
+	// wrapping core.ErrUnknownSource.
+	RemoveSource(name string) (bool, error)
+	// Shards reports the partition count; 0 means unsharded (the
 	// /v1/schema response then omits the shard fields).
-	shards() int
+	Shards() int
+	// Durability reports the persistence layer's state, or nil for
+	// in-memory serving. (Options.Durability, when set, overrides this
+	// for process-level wiring.)
+	Durability() *DurabilityStatus
+	// Replication reports WAL-follower state (primary address, applied
+	// sequence, staleness), or nil when this backend is a primary.
+	Replication() *ReplicationStatus
 }
 
-// serveView is one epoch-consistent read view: a core.Snapshot for the
-// single system, a cross-shard View for the sharded one.
-type serveView interface {
-	epoch() uint64
-	// epochVector is the per-shard commit counter vector; nil when
+// View is one epoch-consistent read view: a core.Snapshot for the single
+// system, a cross-shard View for the sharded one, a pinned remote epoch
+// vector for the networked coordinator.
+type View interface {
+	// Epoch identifies the serving state; it increases with every
+	// committed mutation. Sharded backends report the vector sum.
+	Epoch() uint64
+	// EpochVector is the per-shard commit counter vector; nil when
 	// unsharded.
-	epochVector() []uint64
-	createdAt() time.Time
-	numSources() int
-	pmed() *schema.PMedSchema
-	target() *schema.MediatedSchema
-	runCtx(ctx context.Context, a core.Approach, q *sqlparse.Query) (*answer.ResultSet, error)
-	explainCtx(ctx context.Context, q *sqlparse.Query, values []string) ([]answer.Contribution, error)
-	candidates(limit int) []feedback.Candidate
+	EpochVector() []uint64
+	// CreatedAt is when this epoch was published.
+	CreatedAt() time.Time
+	// NumSources is the corpus size visible to this view.
+	NumSources() int
+	// PMed is the probabilistic mediated schema answering runs against.
+	PMed() *schema.PMedSchema
+	// Target is the consolidated mediated schema (may be nil before
+	// consolidation).
+	Target() *schema.MediatedSchema
+	// RunCtx answers a query under this view's epoch.
+	RunCtx(ctx context.Context, a core.Approach, q *sqlparse.Query) (*answer.ResultSet, error)
+	// ExplainCtx reports the per-source contributions behind one answer.
+	ExplainCtx(ctx context.Context, q *sqlparse.Query, values []string) ([]answer.Contribution, error)
+	// Candidates ranks the correspondences most worth human confirmation.
+	Candidates(limit int) ([]feedback.Candidate, error)
+}
+
+// ReplicationStatus describes a WAL-following read replica for
+// /v1/schema: how far behind its primary it is and by what measure.
+type ReplicationStatus struct {
+	// Primary is the address this replica follows.
+	Primary string `json:"primary"`
+	// AppliedSeq is the last WAL sequence replayed into the serving state.
+	AppliedSeq uint64 `json:"applied_seq"`
+	// PrimaryCommittedSeq is the primary's committed watermark at the last
+	// successful poll; AppliedSeq lags it by the shipping delay.
+	PrimaryCommittedSeq uint64 `json:"primary_committed_seq"`
+	// PrimaryEpoch is the primary's serving epoch at the last poll.
+	PrimaryEpoch uint64 `json:"primary_epoch"`
+	// LastSyncAt is when the last successful poll completed.
+	LastSyncAt time.Time `json:"last_sync_at"`
+	// SyncedOnce reports whether the replica has bootstrapped at all.
+	SyncedOnce bool `json:"synced_once"`
 }
 
 // --- single-core adapter ----------------------------------------------
 
+// CoreBackend adapts a single-process core.System to the Backend
+// contract: views are epoch snapshots (atomic pointer loads), mutations
+// go through the system's single-writer commit path.
+func CoreBackend(sys *core.System) Backend { return coreBackend{sys: sys} }
+
 type coreBackend struct{ sys *core.System }
 
-func (b coreBackend) view() serveView                       { return coreView{sn: b.sys.Snapshot(), sys: b.sys} }
-func (b coreBackend) committing() bool                      { return b.sys.Committing() }
-func (b coreBackend) submitFeedback(fb core.Feedback) error { return b.sys.SubmitFeedback(fb) }
-func (b coreBackend) shards() int                           { return 0 }
+func (b coreBackend) View() (View, error) {
+	return coreView{sn: b.sys.Snapshot(), sys: b.sys}, nil
+}
+func (b coreBackend) Committing() bool                      { return b.sys.Committing() }
+func (b coreBackend) SubmitFeedback(fb core.Feedback) error { return b.sys.SubmitFeedback(fb) }
+func (b coreBackend) Shards() int                           { return 0 }
+func (b coreBackend) Durability() *DurabilityStatus         { return nil }
+func (b coreBackend) Replication() *ReplicationStatus       { return nil }
 
-func (b coreBackend) addSources(srcs []*schema.Source) (bool, error) {
+func (b coreBackend) AddSources(srcs []*schema.Source) (bool, error) {
 	return b.sys.AddSources(srcs)
+}
+
+func (b coreBackend) RemoveSource(name string) (bool, error) {
+	return b.sys.RemoveSource(name)
 }
 
 type coreView struct {
@@ -64,36 +141,49 @@ type coreView struct {
 	sys *core.System
 }
 
-func (v coreView) epoch() uint64                  { return v.sn.Epoch }
-func (v coreView) epochVector() []uint64          { return nil }
-func (v coreView) createdAt() time.Time           { return v.sn.CreatedAt }
-func (v coreView) numSources() int                { return len(v.sn.Corpus.Sources) }
-func (v coreView) pmed() *schema.PMedSchema       { return v.sn.Med.PMed }
-func (v coreView) target() *schema.MediatedSchema { return v.sn.Target }
+func (v coreView) Epoch() uint64                  { return v.sn.Epoch }
+func (v coreView) EpochVector() []uint64          { return nil }
+func (v coreView) CreatedAt() time.Time           { return v.sn.CreatedAt }
+func (v coreView) NumSources() int                { return len(v.sn.Corpus.Sources) }
+func (v coreView) PMed() *schema.PMedSchema       { return v.sn.Med.PMed }
+func (v coreView) Target() *schema.MediatedSchema { return v.sn.Target }
 
-func (v coreView) runCtx(ctx context.Context, a core.Approach, q *sqlparse.Query) (*answer.ResultSet, error) {
+func (v coreView) RunCtx(ctx context.Context, a core.Approach, q *sqlparse.Query) (*answer.ResultSet, error) {
 	return v.sn.RunCtx(ctx, a, q)
 }
 
-func (v coreView) explainCtx(ctx context.Context, q *sqlparse.Query, values []string) ([]answer.Contribution, error) {
+func (v coreView) ExplainCtx(ctx context.Context, q *sqlparse.Query, values []string) ([]answer.Contribution, error) {
 	return v.sn.ExplainCtx(ctx, q, values)
 }
 
-func (v coreView) candidates(limit int) []feedback.Candidate {
-	return feedback.NewSession(v.sys, nil).CandidatesIn(v.sn, limit)
+func (v coreView) Candidates(limit int) ([]feedback.Candidate, error) {
+	return feedback.NewSession(v.sys, nil).CandidatesIn(v.sn, limit), nil
 }
 
 // --- sharded adapter --------------------------------------------------
 
+// ShardBackend adapts an in-process sharded shard.System to the Backend
+// contract: views pin a per-shard epoch vector, queries fan out and
+// merge bit-identically, feedback routes to the owning shard.
+func ShardBackend(sh *shard.System) Backend { return shardBackend{sh: sh} }
+
 type shardBackend struct{ sh *shard.System }
 
-func (b shardBackend) view() serveView                       { return shardView{v: b.sh.View(), sh: b.sh} }
-func (b shardBackend) committing() bool                      { return b.sh.Committing() }
-func (b shardBackend) submitFeedback(fb core.Feedback) error { return b.sh.SubmitFeedback(fb) }
-func (b shardBackend) shards() int                           { return b.sh.NumShards() }
+func (b shardBackend) View() (View, error) {
+	return shardView{v: b.sh.View(), sh: b.sh}, nil
+}
+func (b shardBackend) Committing() bool                      { return b.sh.Committing() }
+func (b shardBackend) SubmitFeedback(fb core.Feedback) error { return b.sh.SubmitFeedback(fb) }
+func (b shardBackend) Shards() int                           { return b.sh.NumShards() }
+func (b shardBackend) Durability() *DurabilityStatus         { return nil }
+func (b shardBackend) Replication() *ReplicationStatus       { return nil }
 
-func (b shardBackend) addSources(srcs []*schema.Source) (bool, error) {
+func (b shardBackend) AddSources(srcs []*schema.Source) (bool, error) {
 	return b.sh.AddSources(srcs)
+}
+
+func (b shardBackend) RemoveSource(name string) (bool, error) {
+	return b.sh.RemoveSource(name)
 }
 
 type shardView struct {
@@ -101,23 +191,23 @@ type shardView struct {
 	sh *shard.System
 }
 
-func (v shardView) epoch() uint64                  { return v.v.Epoch() }
-func (v shardView) epochVector() []uint64          { return v.v.Epochs() }
-func (v shardView) createdAt() time.Time           { return v.v.CreatedAt() }
-func (v shardView) numSources() int                { return v.v.NumSources() }
-func (v shardView) pmed() *schema.PMedSchema       { return v.v.PMed() }
-func (v shardView) target() *schema.MediatedSchema { return v.v.Target() }
+func (v shardView) Epoch() uint64                  { return v.v.Epoch() }
+func (v shardView) EpochVector() []uint64          { return v.v.Epochs() }
+func (v shardView) CreatedAt() time.Time           { return v.v.CreatedAt() }
+func (v shardView) NumSources() int                { return v.v.NumSources() }
+func (v shardView) PMed() *schema.PMedSchema       { return v.v.PMed() }
+func (v shardView) Target() *schema.MediatedSchema { return v.v.Target() }
 
-func (v shardView) runCtx(ctx context.Context, a core.Approach, q *sqlparse.Query) (*answer.ResultSet, error) {
+func (v shardView) RunCtx(ctx context.Context, a core.Approach, q *sqlparse.Query) (*answer.ResultSet, error) {
 	return v.v.RunCtx(ctx, a, q)
 }
 
-func (v shardView) explainCtx(ctx context.Context, q *sqlparse.Query, values []string) ([]answer.Contribution, error) {
+func (v shardView) ExplainCtx(ctx context.Context, q *sqlparse.Query, values []string) ([]answer.Contribution, error) {
 	return v.v.ExplainCtx(ctx, q, values)
 }
 
-func (v shardView) candidates(limit int) []feedback.Candidate {
-	return v.sh.Candidates(v.v, limit)
+func (v shardView) Candidates(limit int) ([]feedback.Candidate, error) {
+	return v.sh.Candidates(v.v, limit), nil
 }
 
 // NewShardedServer wraps a sharded scatter-gather system with the same
@@ -126,11 +216,17 @@ func (v shardView) candidates(limit int) []feedback.Candidate {
 // epoch vector alongside the scalar epoch. Request metrics go to the
 // sharded system's registry.
 func NewShardedServer(sh *shard.System, opts Options) *Server {
-	reg := sh.Obs()
+	return NewBackendServer(ShardBackend(sh), sh.Obs(), opts)
+}
+
+// NewBackendServer wraps any Backend implementation with the /v1 HTTP
+// surface — the constructor the networked coordinator and read replicas
+// use. Request metrics go to reg (nil = obs.Default).
+func NewBackendServer(be Backend, reg *obs.Registry, opts Options) *Server {
 	if reg == nil {
 		reg = obs.Default
 	}
-	s := &Server{be: shardBackend{sh: sh}, reg: reg, opts: opts, Logf: opts.Logf}
+	s := &Server{be: be, reg: reg, opts: opts, Logf: opts.Logf}
 	if opts.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, opts.MaxInFlight)
 	}

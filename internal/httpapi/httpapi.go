@@ -44,19 +44,81 @@ import (
 	"udi/internal/sqlparse"
 )
 
-// Error codes returned in the envelope's "code" field.
+// Error codes returned in the envelope's "code" field. Exported so the
+// shard RPC layer, replicas, and the typed Go client speak the same
+// vocabulary — the envelope is byte-identical across every topology.
 const (
-	codeBadQuery      = "bad_query"
-	codeUnknownSource = "unknown_source"
-	codeTimeout       = "timeout"
-	codeCanceled      = "canceled"
-	codeOverloaded    = "overloaded"
-	codeInternal      = "internal"
+	CodeBadQuery      = "bad_query"
+	CodeUnknownSource = "unknown_source"
+	CodeTimeout       = "timeout"
+	CodeCanceled      = "canceled"
+	CodeOverloaded    = "overloaded"
+	CodeInternal      = "internal"
+	// CodeShardUnavailable (503): the coordinator could not reach every
+	// shard it needed; partial merges are never served silently.
+	CodeShardUnavailable = "shard_unavailable"
+	// CodeReadOnly (403): a mutation was sent to a read replica.
+	CodeReadOnly = "read_only"
+	// CodeNotReady (503): the backend has no serving state yet (a shard
+	// host awaiting its coordinator push, a replica before bootstrap).
+	CodeNotReady = "not_ready"
+	// CodeWALTruncated (410): the requested WAL tail was folded into a
+	// checkpoint; the follower must re-bootstrap from a snapshot.
+	CodeWALTruncated = "wal_truncated"
+	// CodeWALBeyondTail (416): the requested WAL tail starts past the
+	// primary's last sequence — a desynchronized follower, not lag.
+	CodeWALBeyondTail = "wal_beyond_tail"
 )
 
 // statusClientClosedRequest is the de-facto status for "the client went
 // away before we finished" (nginx's 499); Go has no name for it.
 const statusClientClosedRequest = 499
+
+// StatusError is an error that already knows its HTTP rendering. The
+// networked backends (shardrpc, replica) return it from Backend methods
+// so every topology serves the identical envelope: handlers check for it
+// first and write Status/Code/Message verbatim instead of guessing a
+// mapping. It also round-trips through the typed client: a coordinator
+// stub decoding a shard's envelope rebuilds the same StatusError, so a
+// proxied error reaches the end client byte-identical.
+type StatusError struct {
+	// Status is the HTTP status to answer with.
+	Status int
+	// Code is the envelope error code (one of the Code* constants).
+	Code string
+	// Message is the envelope message.
+	Message string
+	// Details carries optional structured context (e.g. which shards
+	// were unreachable).
+	Details map[string]any
+	// RetryAfterSec, when positive, sets a Retry-After header.
+	RetryAfterSec int
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("%s (%d): %s", e.Code, e.Status, e.Message)
+}
+
+// WriteError writes the standard envelope — exported so sibling HTTP
+// surfaces (the shard RPC host, the WAL endpoint) answer byte-identically
+// to the public API.
+func WriteError(w http.ResponseWriter, status int, code, message string, details map[string]any) {
+	writeError(w, status, code, message, details)
+}
+
+// WriteStatusError renders err: a *StatusError verbatim (including
+// Retry-After), anything else as 500/internal with no leaked message.
+func WriteStatusError(w http.ResponseWriter, err error) {
+	var se *StatusError
+	if errors.As(err, &se) {
+		if se.RetryAfterSec > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(se.RetryAfterSec))
+		}
+		writeError(w, se.Status, se.Code, se.Message, se.Details)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, CodeInternal, "internal error", nil)
+}
 
 // Options configures a Server. The zero value serves with no answer
 // limit, no admission control, and no deadline.
@@ -80,9 +142,14 @@ type Options struct {
 	// and one line per internal error. Nil disables logging.
 	Logf func(format string, args ...any)
 	// Durability, when set, reports the persistence layer's state; it is
-	// included in /v1/schema responses. Nil means the server is
-	// in-memory only and the field is omitted.
+	// included in /v1/schema responses. Nil falls back to the backend's
+	// own Durability method (and omits the field when that is nil too).
 	Durability func() DurabilityStatus
+	// LegacyAPI re-enables the deprecated pre-/v1 route aliases (with
+	// Deprecation headers). Off by default since the /v1 surface became
+	// the only supported contract; operators still migrating opt in with
+	// `udiserver -legacy-api`.
+	LegacyAPI bool
 }
 
 // DurabilityStatus mirrors the persistence layer's recovery state for
@@ -106,7 +173,7 @@ type DurabilityStatus struct {
 // serve an immutable core.Snapshot and writes go through the system's
 // commit path.
 type Server struct {
-	be   backend
+	be   Backend
 	reg  *obs.Registry
 	opts Options
 
@@ -122,24 +189,16 @@ type Server struct {
 // NewServer wraps a configured system. Request metrics go to the system's
 // observability registry (core.Config.Obs).
 func NewServer(sys *core.System, opts Options) *Server {
-	reg := sys.Cfg.Obs
-	if reg == nil {
-		reg = obs.Default
-	}
-	s := &Server{be: coreBackend{sys: sys}, reg: reg, opts: opts, Logf: opts.Logf}
-	if opts.MaxInFlight > 0 {
-		s.sem = make(chan struct{}, opts.MaxInFlight)
-	}
-	return s
+	return NewBackendServer(CoreBackend(sys), sys.Cfg.Obs, opts)
 }
 
-// Handler returns the routed HTTP handler. Every endpoint is registered
-// twice — under /v1 and at its original unversioned path, the latter
-// marked deprecated — and wrapped in the metrics/logging middleware.
-// /v1/metrics serves the registry snapshot, /debug/vars is
-// expvar-compatible, and /debug/pprof/* exposes the standard profiling
-// handlers (debug routes are unversioned on purpose: they are
-// operator-facing, not part of the API contract).
+// Handler returns the routed HTTP handler. Every endpoint lives under
+// /v1; the original unversioned paths are retired and only register when
+// Options.LegacyAPI opts back in (serving identically but with a
+// Deprecation header). /v1/metrics serves the registry snapshot,
+// /debug/vars is expvar-compatible, and /debug/pprof/* exposes the
+// standard profiling handlers (debug routes are unversioned on purpose:
+// they are operator-facing, not part of the API contract).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	routes := []struct {
@@ -158,8 +217,13 @@ func (s *Server) Handler() http.Handler {
 	}
 	for _, rt := range routes {
 		mux.HandleFunc(rt.method+" /v1"+rt.path, rt.h)
-		mux.HandleFunc(rt.method+" "+rt.path, s.deprecated("/v1"+rt.path, rt.h))
+		if s.opts.LegacyAPI {
+			mux.HandleFunc(rt.method+" "+rt.path, s.deprecated("/v1"+rt.path, rt.h))
+		}
 	}
+	// Path-parameter routes have no legacy alias: they postdate the
+	// unversioned API.
+	mux.HandleFunc("DELETE /v1/sources/{name}", s.handleRemoveSource)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -203,7 +267,7 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 				if s.reg.Enabled() {
 					s.reg.Add("http.overloaded", 1)
 				}
-				writeError(w, http.StatusTooManyRequests, codeOverloaded,
+				writeError(w, http.StatusTooManyRequests, CodeOverloaded,
 					fmt.Sprintf("server at capacity (%d requests in flight)", s.opts.MaxInFlight), nil)
 				return
 			}
@@ -238,8 +302,14 @@ func routeLabel(path string) string {
 		return "/debug/pprof"
 	}
 	p := strings.TrimPrefix(path, "/v1")
+	if strings.HasPrefix(p, "/sources/") {
+		return "/sources"
+	}
+	if strings.HasPrefix(p, "/shard/") {
+		return "/shard"
+	}
 	switch p {
-	case "/healthz", "/schema", "/query", "/explain", "/feedback", "/sources", "/candidates", "/metrics", "/debug/vars":
+	case "/healthz", "/schema", "/query", "/explain", "/feedback", "/sources", "/candidates", "/metrics", "/wal", "/debug/vars":
 		return p
 	}
 	return "other"
@@ -284,25 +354,68 @@ func writeError(w http.ResponseWriter, status int, code, message string, details
 	writeJSON(w, status, errorResponse{Error: errorBody{Code: code, Message: message, Details: details}})
 }
 
-// writeQueryError maps a query-path error onto the envelope: deadline
-// expiry is 504/timeout, client disconnect is 499/canceled, an unknown
-// source is 404/unknown_source, and everything else is a 400/bad_query
-// (query-path errors are user-input-shaped: unparsable SQL, unknown
-// approach, missing consolidated mappings).
+// writeQueryError maps a query-path error onto the envelope: an error
+// that already knows its rendering (*StatusError, from the networked
+// backends) is written verbatim, deadline expiry is 504/timeout, client
+// disconnect is 499/canceled, an unknown source is 404/unknown_source,
+// and everything else is a 400/bad_query (query-path errors are
+// user-input-shaped: unparsable SQL, unknown approach, missing
+// consolidated mappings).
 func (s *Server) writeQueryError(w http.ResponseWriter, r *http.Request, err error) {
+	var se *StatusError
 	switch {
+	case errors.As(err, &se):
+		if s.reg.Enabled() && se.Code == CodeShardUnavailable {
+			s.reg.Add("http.shard_unavailable", 1)
+		}
+		WriteStatusError(w, err)
 	case errors.Is(err, context.DeadlineExceeded):
 		if s.reg.Enabled() {
 			s.reg.Add("http.timeouts", 1)
 		}
-		writeError(w, http.StatusGatewayTimeout, codeTimeout, "query deadline exceeded", nil)
+		writeError(w, http.StatusGatewayTimeout, CodeTimeout, "query deadline exceeded", nil)
 	case errors.Is(err, context.Canceled):
-		writeError(w, statusClientClosedRequest, codeCanceled, "request canceled by client", nil)
+		writeError(w, statusClientClosedRequest, CodeCanceled, "request canceled by client", nil)
 	case errors.Is(err, core.ErrUnknownSource):
-		writeError(w, http.StatusNotFound, codeUnknownSource, err.Error(), nil)
+		writeError(w, http.StatusNotFound, CodeUnknownSource, err.Error(), nil)
 	default:
-		writeError(w, http.StatusBadRequest, codeBadQuery, err.Error(), nil)
+		writeError(w, http.StatusBadRequest, CodeBadQuery, err.Error(), nil)
 	}
+}
+
+// writeMutationError maps a write-path error: typed networked errors
+// verbatim, unknown source 404, everything else 400/bad_query.
+func (s *Server) writeMutationError(w http.ResponseWriter, err error) {
+	var se *StatusError
+	switch {
+	case errors.As(err, &se):
+		WriteStatusError(w, err)
+	case errors.Is(err, core.ErrUnknownSource):
+		writeError(w, http.StatusNotFound, CodeUnknownSource, err.Error(), nil)
+	default:
+		writeError(w, http.StatusBadRequest, CodeBadQuery, err.Error(), nil)
+	}
+}
+
+// viewOrError captures a read view; on failure it writes the typed error
+// (a replica before bootstrap, a coordinator with unreachable shards)
+// and returns nil.
+func (s *Server) viewOrError(w http.ResponseWriter, r *http.Request) View {
+	v, err := s.be.View()
+	if err != nil {
+		s.writeQueryError(w, r, err)
+		return nil
+	}
+	return v
+}
+
+// epochNow best-effort reads the current epoch for mutation responses;
+// a backend that cannot produce a view right now reports 0.
+func (s *Server) epochNow() uint64 {
+	if v, err := s.be.View(); err == nil {
+		return v.Epoch()
+	}
+	return 0
 }
 
 // internalError answers 500 without leaking the error: the message goes
@@ -311,7 +424,7 @@ func (s *Server) internalError(w http.ResponseWriter, r *http.Request, err error
 	if s.Logf != nil {
 		s.Logf("internal error: %s %s: %v", r.Method, r.URL.Path, err)
 	}
-	writeError(w, http.StatusInternalServerError, codeInternal, "internal error", nil)
+	writeError(w, http.StatusInternalServerError, CodeInternal, "internal error", nil)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -356,12 +469,15 @@ func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
 
 // --- serving endpoints ------------------------------------------------
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	v := s.be.view()
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	v := s.viewOrError(w, r)
+	if v == nil {
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
-		"sources": v.numSources(),
-		"epoch":   v.epoch(),
+		"sources": v.NumSources(),
+		"epoch":   v.Epoch(),
 	})
 }
 
@@ -387,6 +503,10 @@ type schemaResponse struct {
 	// Durability is present when the server persists mutations (the
 	// udiserver -data-dir mode); omitted for in-memory serving.
 	Durability *DurabilityStatus `json:"durability,omitempty"`
+	// Replication is present when the server is a WAL-following read
+	// replica: which primary it follows, the last applied sequence, and
+	// how stale it is; omitted on primaries.
+	Replication *ReplicationStatus `json:"replication,omitempty"`
 }
 
 type schemaJSON struct {
@@ -394,21 +514,27 @@ type schemaJSON struct {
 	Clusters [][]string `json:"clusters"`
 }
 
-func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
-	v := s.be.view()
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	v := s.viewOrError(w, r)
+	if v == nil {
+		return
+	}
 	resp := schemaResponse{
-		Epoch:            v.epoch(),
-		Epochs:           v.epochVector(),
-		Shards:           s.be.shards(),
-		CreatedAt:        v.createdAt(),
-		StalenessSeconds: time.Since(v.createdAt()).Seconds(),
-		Committing:       s.be.committing(),
+		Epoch:            v.Epoch(),
+		Epochs:           v.EpochVector(),
+		Shards:           s.be.Shards(),
+		CreatedAt:        v.CreatedAt(),
+		StalenessSeconds: time.Since(v.CreatedAt()).Seconds(),
+		Committing:       s.be.Committing(),
+		Replication:      s.be.Replication(),
 	}
 	if s.opts.Durability != nil {
 		d := s.opts.Durability()
 		resp.Durability = &d
+	} else {
+		resp.Durability = s.be.Durability()
 	}
-	pmed := v.pmed()
+	pmed := v.PMed()
 	for i, m := range pmed.Schemas {
 		sj := schemaJSON{Prob: pmed.Probs[i]}
 		for _, a := range m.Attrs {
@@ -416,7 +542,7 @@ func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
 		}
 		resp.Schemas = append(resp.Schemas, sj)
 	}
-	if target := v.target(); target != nil {
+	if target := v.Target(); target != nil {
 		for _, a := range target.Attrs {
 			resp.Target = append(resp.Target, []string(a))
 		}
@@ -451,12 +577,12 @@ type queryResponse struct {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadQuery, fmt.Sprintf("bad request body: %v", err), nil)
+		writeError(w, http.StatusBadRequest, CodeBadQuery, fmt.Sprintf("bad request body: %v", err), nil)
 		return
 	}
 	q, err := sqlparse.Parse(req.Query)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadQuery, err.Error(), nil)
+		writeError(w, http.StatusBadRequest, CodeBadQuery, err.Error(), nil)
 		return
 	}
 	approach := core.Approach(req.Approach)
@@ -467,11 +593,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	switch req.Semantics {
 	case "", "by-table", "by-tuple":
 	default:
-		writeError(w, http.StatusBadRequest, codeBadQuery, "semantics must be by-table or by-tuple", nil)
+		writeError(w, http.StatusBadRequest, CodeBadQuery, "semantics must be by-table or by-tuple", nil)
 		return
 	}
-	v := s.be.view()
-	rs, err := v.runCtx(r.Context(), approach, q)
+	v := s.viewOrError(w, r)
+	if v == nil {
+		return
+	}
+	rs, err := v.RunCtx(r.Context(), approach, q)
 	if err != nil {
 		s.writeQueryError(w, r, err)
 		return
@@ -487,7 +616,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// Distinct counts every distinct answer tuple, not just the top-k
 	// returned ones (the tuple sets coincide under both semantics).
-	resp := queryResponse{Distinct: len(rs.Ranked), Occurrences: len(rs.Instances), Epoch: v.epoch()}
+	resp := queryResponse{Distinct: len(rs.Ranked), Occurrences: len(rs.Instances), Epoch: v.Epoch()}
 	for _, a := range ranked {
 		resp.Answers = append(resp.Answers, answerJSON{Values: a.Values, Prob: a.Prob})
 	}
@@ -510,16 +639,19 @@ type contributionJSON struct {
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var req explainRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadQuery, fmt.Sprintf("bad request body: %v", err), nil)
+		writeError(w, http.StatusBadRequest, CodeBadQuery, fmt.Sprintf("bad request body: %v", err), nil)
 		return
 	}
 	q, err := sqlparse.Parse(req.Query)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadQuery, err.Error(), nil)
+		writeError(w, http.StatusBadRequest, CodeBadQuery, err.Error(), nil)
 		return
 	}
-	v := s.be.view()
-	contribs, err := v.explainCtx(r.Context(), q, req.Values)
+	v := s.viewOrError(w, r)
+	if v == nil {
+		return
+	}
+	contribs, err := v.ExplainCtx(r.Context(), q, req.Values)
 	if err != nil {
 		s.writeQueryError(w, r, err)
 		return
@@ -528,7 +660,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	for _, c := range contribs {
 		out = append(out, contributionJSON(c))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"contributions": out, "epoch": v.epoch()})
+	writeJSON(w, http.StatusOK, map[string]any{"contributions": out, "epoch": v.Epoch()})
 }
 
 type candidateJSON struct {
@@ -548,16 +680,23 @@ func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
 	limit := 10
 	if v := r.URL.Query().Get("limit"); v != "" {
 		if _, err := fmt.Sscanf(v, "%d", &limit); err != nil || limit <= 0 {
-			writeError(w, http.StatusBadRequest, codeBadQuery, "limit must be a positive integer", nil)
+			writeError(w, http.StatusBadRequest, CodeBadQuery, "limit must be a positive integer", nil)
 			return
 		}
 	}
 	// One view for both the ranking and the cluster lookups, so the
 	// candidate indices resolve against the schemas that produced them.
-	v := s.be.view()
-	cands := v.candidates(limit)
+	v := s.viewOrError(w, r)
+	if v == nil {
+		return
+	}
+	cands, err := v.Candidates(limit)
+	if err != nil {
+		s.writeQueryError(w, r, err)
+		return
+	}
 	out := make([]candidateJSON, 0, len(cands))
-	pmed := v.pmed()
+	pmed := v.PMed()
 	for _, c := range cands {
 		cluster := pmed.Schemas[c.SchemaIdx].Attrs[c.MedIdx]
 		out = append(out, candidateJSON{
@@ -569,7 +708,7 @@ func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
 			Uncertainty: c.Uncertainty,
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"candidates": out, "epoch": v.epoch()})
+	writeJSON(w, http.StatusOK, map[string]any{"candidates": out, "epoch": v.Epoch()})
 }
 
 type feedbackRequest struct {
@@ -582,28 +721,24 @@ type feedbackRequest struct {
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	var req feedbackRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadQuery, fmt.Sprintf("bad request body: %v", err), nil)
+		writeError(w, http.StatusBadRequest, CodeBadQuery, fmt.Sprintf("bad request body: %v", err), nil)
 		return
 	}
 	if req.MedName == "" {
-		writeError(w, http.StatusBadRequest, codeBadQuery, "med_name is required", nil)
+		writeError(w, http.StatusBadRequest, CodeBadQuery, "med_name is required", nil)
 		return
 	}
-	err := s.be.submitFeedback(core.Feedback{
+	err := s.be.SubmitFeedback(core.Feedback{
 		Source:    req.Source,
 		SrcAttr:   req.SrcAttr,
 		MedName:   req.MedName,
 		Confirmed: req.Confirmed,
 	})
 	if err != nil {
-		if errors.Is(err, core.ErrUnknownSource) {
-			writeError(w, http.StatusNotFound, codeUnknownSource, err.Error(), nil)
-			return
-		}
-		writeError(w, http.StatusBadRequest, codeBadQuery, err.Error(), nil)
+		s.writeMutationError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "applied", "epoch": s.be.view().epoch()})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "applied", "epoch": s.epochNow()})
 }
 
 // addSourcesRequest is the POST /v1/sources body: a batch of sources to
@@ -621,32 +756,54 @@ type sourcePayload struct {
 func (s *Server) handleAddSources(w http.ResponseWriter, r *http.Request) {
 	var req addSourcesRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadQuery, fmt.Sprintf("bad request body: %v", err), nil)
+		writeError(w, http.StatusBadRequest, CodeBadQuery, fmt.Sprintf("bad request body: %v", err), nil)
 		return
 	}
 	if len(req.Sources) == 0 {
-		writeError(w, http.StatusBadRequest, codeBadQuery, "sources must be non-empty", nil)
+		writeError(w, http.StatusBadRequest, CodeBadQuery, "sources must be non-empty", nil)
 		return
 	}
 	srcs := make([]*schema.Source, len(req.Sources))
 	for i, p := range req.Sources {
 		src, err := schema.NewSource(p.Name, p.Attrs, p.Rows)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, codeBadQuery,
+			writeError(w, http.StatusBadRequest, CodeBadQuery,
 				fmt.Sprintf("source %d: %v", i, err), nil)
 			return
 		}
 		srcs[i] = src
 	}
-	fast, err := s.be.addSources(srcs)
+	fast, err := s.be.AddSources(srcs)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadQuery, err.Error(), nil)
+		s.writeMutationError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "added",
 		"sources": len(srcs),
 		"fast":    fast,
-		"epoch":   s.be.view().epoch(),
+		"epoch":   s.epochNow(),
+	})
+}
+
+// handleRemoveSource serves DELETE /v1/sources/{name}: drop one source,
+// shrinking the corpus under a committed epoch. Unknown names are
+// 404/unknown_source; replicas answer 403/read_only.
+func (s *Server) handleRemoveSource(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, CodeBadQuery, "source name is required", nil)
+		return
+	}
+	fast, err := s.be.RemoveSource(name)
+	if err != nil {
+		s.writeMutationError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "removed",
+		"source": name,
+		"fast":   fast,
+		"epoch":  s.epochNow(),
 	})
 }

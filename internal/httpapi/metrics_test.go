@@ -201,7 +201,7 @@ func TestRequestLogging(t *testing.T) {
 	}
 	srv := httptest.NewServer(api.Handler())
 	defer srv.Close()
-	resp, err := http.Get(srv.URL + "/healthz")
+	resp, err := http.Get(srv.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +209,7 @@ func TestRequestLogging(t *testing.T) {
 	if len(lines) != 1 {
 		t.Fatalf("%d log lines, want 1: %v", len(lines), lines)
 	}
-	if !strings.Contains(lines[0], "GET /healthz 200") {
+	if !strings.Contains(lines[0], "GET /v1/healthz 200") {
 		t.Errorf("log line = %q, want method/path/status", lines[0])
 	}
 }

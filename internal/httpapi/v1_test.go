@@ -29,11 +29,12 @@ func optionsServer(t *testing.T, opts Options) (*Server, *httptest.Server, *obs.
 	return api, srv, reg
 }
 
-// TestLegacyAliases checks every unversioned route still serves — the
-// compatibility contract — while advertising its /v1 successor via the
-// Deprecation and Link headers, and that /v1 routes carry no such marker.
+// TestLegacyAliases checks the unversioned routes still serve when an
+// operator opts back in with Options.LegacyAPI — advertising the /v1
+// successor via the Deprecation and Link headers — and that /v1 routes
+// carry no such marker.
 func TestLegacyAliases(t *testing.T) {
-	_, srv, reg := optionsServer(t, Options{})
+	_, srv, reg := optionsServer(t, Options{LegacyAPI: true})
 	legacy := []struct{ method, path, body string }{
 		{http.MethodGet, "/healthz", ""},
 		{http.MethodGet, "/schema", ""},
@@ -73,6 +74,31 @@ func TestLegacyAliases(t *testing.T) {
 	resp.Body.Close()
 	if resp.Header.Get("Deprecation") != "" {
 		t.Error("/v1 route carries a Deprecation header")
+	}
+}
+
+// TestLegacyAliasesRetiredByDefault checks the pre-/v1 aliases are gone
+// unless Options.LegacyAPI opts back in: unversioned paths 404 while the
+// /v1 successors keep serving.
+func TestLegacyAliasesRetiredByDefault(t *testing.T) {
+	_, srv, _ := optionsServer(t, Options{})
+	for _, path := range []string{"/healthz", "/schema", "/candidates", "/metrics"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404 (legacy aliases retired)", path, resp.StatusCode)
+		}
+		resp, err = http.Get(srv.URL + "/v1" + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET /v1%s = %d, want 200", path, resp.StatusCode)
+		}
 	}
 }
 

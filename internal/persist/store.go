@@ -2,6 +2,7 @@ package persist
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -67,6 +68,22 @@ const DefaultCheckpointEvery = 64
 // must skip it. It is a wal-level kind, never a core.Op kind.
 const opAbort = "abort"
 
+// AbortKind is the WAL record kind of a compensation record, exported so
+// WAL-shipping consumers (read replicas) apply the same two-phase skip
+// the store's own recovery applies: collect aborted sequences first,
+// then replay only uncompensated ops.
+const AbortKind = opAbort
+
+// ErrTruncated reports a WAL tail request from a sequence the log no
+// longer holds: a checkpoint rotation folded it into the snapshot. The
+// follower must re-bootstrap from a fresh snapshot instead of replaying.
+var ErrTruncated = errors.New("persist: wal tail truncated by checkpoint")
+
+// ErrBeyondTail reports a WAL tail request from a sequence the log has
+// not reached yet — the follower asked for the future, which signals a
+// desynchronized or corrupt follower state rather than normal lag.
+var ErrBeyondTail = errors.New("persist: wal tail request beyond last sequence")
+
 // StoreOptions configures a durable Store.
 type StoreOptions struct {
 	// CheckpointEvery is the number of committed mutations after which
@@ -113,6 +130,7 @@ type Store struct {
 	mu              sync.Mutex
 	w               *wal.WAL
 	lastSeq         uint64
+	committedSeq    uint64
 	checkpointSeq   uint64
 	checkpointAt    time.Time
 	walRecords      int
@@ -223,11 +241,15 @@ func openStoreOnce(dir string, cfg core.Config, opts StoreOptions, setup func() 
 	}
 
 	st := &Store{
-		dir:           dir,
-		opts:          opts,
-		sys:           sys,
-		w:             w,
+		dir:  dir,
+		opts: opts,
+		sys:  sys,
+		w:    w,
+		// Everything in the log at open time is settled (applied, aborted,
+		// or dropped as a torn tail), so the committed watermark starts at
+		// the last sequence — the WAL tail is immediately shippable.
 		lastSeq:       lastSeq,
+		committedSeq:  lastSeq,
 		checkpointSeq: baseSeq,
 		walRecords:    len(recs),
 		replayed:      replayed,
@@ -247,6 +269,12 @@ func openStoreOnce(dir string, cfg core.Config, opts StoreOptions, setup func() 
 	sys.SetCommitLog(st)
 	return sys, st, nil
 }
+
+// Apply replays one logged mutation through the system's public mutation
+// API — the exact path store recovery uses, exported so a WAL-shipped
+// read replica replays its primary's records through identical code. The
+// target system must not have a CommitLog attached (nothing re-logs).
+func Apply(sys *core.System, op core.Op) error { return applyOp(sys, op) }
 
 // applyOp replays one logged mutation through the system's public
 // mutation API. The caller has not yet attached the store as the
@@ -330,6 +358,9 @@ func (st *Store) BeginBatch(ops []core.Op) (uint64, error) {
 func (st *Store) CommittedBatch(firstSeq uint64, n int) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if end := firstSeq + uint64(n) - 1; end > st.committedSeq {
+		st.committedSeq = end
+	}
 	st.sinceCheckpoint += uint64(n)
 	if st.sinceCheckpoint < st.opts.CheckpointEvery {
 		return
@@ -349,6 +380,12 @@ func (st *Store) Abort(seq uint64) error {
 		return err
 	}
 	st.walRecords++
+	// The op is settled (compensated), so the watermark may advance past
+	// it: a shipped tail then carries both the op and its abort record,
+	// and the follower's two-phase replay skips the pair.
+	if seq > st.committedSeq {
+		st.committedSeq = seq
+	}
 	return nil
 }
 
@@ -358,6 +395,9 @@ func (st *Store) Abort(seq uint64) error {
 func (st *Store) Committed(seq uint64) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if seq > st.committedSeq {
+		st.committedSeq = seq
+	}
 	st.sinceCheckpoint++
 	if st.sinceCheckpoint < st.opts.CheckpointEvery {
 		return
@@ -415,6 +455,103 @@ func (st *Store) Checkpoint() error {
 		err = st.checkpointLocked()
 	})
 	return err
+}
+
+// LastCommittedSeq returns the newest WAL sequence whose mutation is
+// settled (applied and published, or compensated by an abort record) —
+// the watermark up to which the log may be shipped to followers.
+func (st *Store) LastCommittedSeq() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.committedSeq
+}
+
+// Tail is the metadata accompanying a shipped WAL tail.
+type Tail struct {
+	// From is the sequence the request asked to resume after.
+	From uint64 `json:"from"`
+	// Committed is the primary's settled watermark at serve time; the
+	// shipped frames cover (From, Committed].
+	Committed uint64 `json:"committed"`
+	// CheckpointSeq is the sequence the primary's snapshot covers; a
+	// follower behind it cannot catch up from the log alone.
+	CheckpointSeq uint64 `json:"checkpoint_seq"`
+	// Records is the number of frames shipped.
+	Records int `json:"records"`
+}
+
+// TailSince returns the CRC-framed WAL records with sequence in
+// (from, committed], re-encoded in the exact on-disk frame layout, for
+// shipping to a read replica. maxBytes bounds the response (0 = no
+// bound; at least one record is always shipped when any qualifies).
+//
+// A from below the checkpoint sequence returns ErrTruncated — those
+// records were folded into the snapshot and the follower must
+// re-bootstrap. A from beyond the last sequence returns ErrBeyondTail —
+// the follower is ahead of the primary, which no amount of replay fixes.
+// Runs under the store lock, so appends and checkpoint rotations never
+// interleave with the file scan.
+func (st *Store) TailSince(from uint64, maxBytes int64) ([]byte, Tail, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	info := Tail{From: from, Committed: st.committedSeq, CheckpointSeq: st.checkpointSeq}
+	if from < st.checkpointSeq {
+		return nil, info, fmt.Errorf("%w: from %d, checkpoint covers %d", ErrTruncated, from, st.checkpointSeq)
+	}
+	if from > st.lastSeq {
+		return nil, info, fmt.Errorf("%w: from %d, last sequence %d", ErrBeyondTail, from, st.lastSeq)
+	}
+	if from >= st.committedSeq {
+		return nil, info, nil
+	}
+	data, err := os.ReadFile(filepath.Join(st.dir, walFile))
+	if err != nil {
+		return nil, info, fmt.Errorf("persist: %w", err)
+	}
+	// The live log is clean up to the WAL's valid-size watermark (a torn
+	// tail only exists after a crash, and Open already dropped it).
+	if int64(len(data)) > st.w.Size() {
+		data = data[:st.w.Size()]
+	}
+	recs, err := wal.ReadFrames(data)
+	if err != nil {
+		return nil, info, err
+	}
+	var out []byte
+	for _, r := range recs {
+		if r.Seq <= from || r.Seq > st.committedSeq {
+			continue
+		}
+		if maxBytes > 0 && len(out) > 0 && int64(len(out)) >= maxBytes {
+			break
+		}
+		out = wal.EncodeFrame(out, r.Seq, r.Kind, r.Data)
+		info.Records++
+	}
+	return out, info, nil
+}
+
+// SaveSnapshotAt writes a snapshot of the store's system carrying the
+// current committed WAL sequence, under a commit barrier so the state is
+// a published epoch — the bootstrap payload a read replica loads before
+// tailing the log from the returned sequence.
+func (st *Store) SaveSnapshotAt(w io.Writer) (uint64, error) {
+	var seq uint64
+	var err error
+	st.sys.Barrier(func() {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		seq = st.committedSeq
+		err = saveSnapshot(w, st.sys, seq)
+	})
+	return seq, err
+}
+
+// LoadWithSeq restores a system from a snapshot stream and returns the
+// WAL sequence the snapshot covers — the point a follower resumes
+// tailing from.
+func LoadWithSeq(r io.Reader, cfg core.Config) (*core.System, uint64, error) {
+	return load(r, cfg)
 }
 
 // Status reports the store's durability state.

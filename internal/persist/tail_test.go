@@ -1,0 +1,117 @@
+package persist
+
+import (
+	"errors"
+	"testing"
+
+	"udi/internal/core"
+	"udi/internal/wal"
+)
+
+// TestTailSince covers the WAL-shipping read path a replica drives:
+// empty tails at the watermark, full tails from zero, byte-bounded
+// fetches that still make progress, and the two typed refusals
+// (truncated by checkpoint, beyond the tail).
+func TestTailSince(t *testing.T) {
+	dir := t.TempDir()
+	_, setup := tinySetup(t)
+	sys, st, err := OpenStore(dir, core.Config{}, StoreOptions{CheckpointEvery: 1000, NoSync: true}, setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	ops := feedbackOps(sys, 4)
+	if len(ops) < 2 {
+		t.Fatalf("corpus yielded only %d feedback ops", len(ops))
+	}
+	for _, fb := range ops {
+		if err := sys.SubmitFeedback(fb); err != nil {
+			t.Fatalf("feedback: %v", err)
+		}
+	}
+	committed := st.LastCommittedSeq()
+	if committed != uint64(len(ops)) {
+		t.Fatalf("committed seq %d, want %d", committed, len(ops))
+	}
+
+	// At the watermark: an empty, error-free tail.
+	frames, tail, err := st.TailSince(committed, 0)
+	if err != nil || len(frames) != 0 || tail.Records != 0 {
+		t.Fatalf("tail at watermark: frames=%d records=%d err=%v", len(frames), tail.Records, err)
+	}
+	if tail.Committed != committed {
+		t.Fatalf("tail reports committed %d, want %d", tail.Committed, committed)
+	}
+
+	// From zero: every committed record, in valid CRC frames, ascending.
+	frames, tail, err = st.TailSince(0, 0)
+	if err != nil {
+		t.Fatalf("full tail: %v", err)
+	}
+	recs, err := wal.ReadFrames(frames)
+	if err != nil {
+		t.Fatalf("shipped frames do not validate: %v", err)
+	}
+	if len(recs) != int(committed) || tail.Records != int(committed) {
+		t.Fatalf("shipped %d records (header says %d), want %d", len(recs), tail.Records, committed)
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d, want %d", i, r.Seq, i+1)
+		}
+	}
+
+	// A 1-byte budget still ships at least one whole record — a follower
+	// with a tiny fetch window always makes progress.
+	clipped, ctail, err := st.TailSince(0, 1)
+	if err != nil {
+		t.Fatalf("clipped tail: %v", err)
+	}
+	crecs, err := wal.ReadFrames(clipped)
+	if err != nil {
+		t.Fatalf("clipped frames do not validate: %v", err)
+	}
+	if len(crecs) < 1 || len(crecs) >= int(committed) {
+		t.Fatalf("1-byte budget shipped %d records, want at least 1 and fewer than %d", len(crecs), committed)
+	}
+	if ctail.Records != len(crecs) {
+		t.Fatalf("clipped header says %d records, body has %d", ctail.Records, len(crecs))
+	}
+
+	// Resuming past the clip reaches the watermark.
+	rest, _, err := st.TailSince(crecs[len(crecs)-1].Seq, 0)
+	if err != nil {
+		t.Fatalf("resume after clip: %v", err)
+	}
+	rrecs, err := wal.ReadFrames(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crecs)+len(rrecs) != int(committed) {
+		t.Fatalf("clip (%d) + resume (%d) != committed (%d)", len(crecs), len(rrecs), committed)
+	}
+
+	// Beyond the tail: typed refusal, replay cannot help.
+	if _, _, err := st.TailSince(committed+5, 0); !errors.Is(err, ErrBeyondTail) {
+		t.Fatalf("beyond-tail error = %v, want ErrBeyondTail", err)
+	}
+
+	// After a checkpoint the old resume points are folded away: typed
+	// truncation carrying the checkpoint sequence, and the new checkpoint
+	// sequence itself is a valid (empty) resume point.
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	_, tail, err = st.TailSince(0, 0)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("post-checkpoint error = %v, want ErrTruncated", err)
+	}
+	if tail.CheckpointSeq != committed {
+		t.Fatalf("truncation reports checkpoint seq %d, want %d", tail.CheckpointSeq, committed)
+	}
+	frames, _, err = st.TailSince(committed, 0)
+	if err != nil || len(frames) != 0 {
+		t.Fatalf("resume at checkpoint seq: frames=%d err=%v", len(frames), err)
+	}
+}

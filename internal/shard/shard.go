@@ -176,6 +176,20 @@ func projectShard(domain string, cfg core.Config, blue *core.System, subs []*sch
 	return core.Restore(subCorpus, cfg, blue.Med, maps, blue.Target, cons)
 }
 
+// SourcesFor filters the global source list down to shard i of n in
+// global order — the subset ShardOf assigns there. Exported for the
+// networked coordinator, which projects state before shipping it to
+// remote shard hosts.
+func SourcesFor(sources []*schema.Source, i, n int) []*schema.Source {
+	return shardSources(sources, i, n)
+}
+
+// Project builds one shard's core from a globally set-up blueprint (see
+// projectShard). Exported for the networked coordinator.
+func Project(domain string, cfg core.Config, blue *core.System, subs []*schema.Source) (*core.System, error) {
+	return projectShard(domain, cfg, blue, subs)
+}
+
 func (s *System) publishMeta(order []string, med *mediate.Result, target *schema.MediatedSchema) {
 	s.meta.Store(&servingMeta{order: order, med: med, target: target})
 }

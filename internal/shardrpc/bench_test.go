@@ -1,0 +1,80 @@
+package shardrpc_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"udi/internal/core"
+	"udi/internal/datagen"
+	"udi/internal/obs"
+	"udi/internal/shard"
+	"udi/internal/shardrpc"
+	"udi/internal/sqlparse"
+)
+
+// BenchmarkScatterGatherRPC measures query latency over the Figure 7
+// synthetic Car corpus at 2, 4, and 8 shards, networked (coordinator →
+// loopback HTTP shard hosts) against the in-process scatter-gather on
+// the same corpus and shard counts — the wire overhead headline.
+// `make bench-rpc` snapshots the numbers into BENCH_rpc.json.
+func BenchmarkScatterGatherRPC(b *testing.B) {
+	spec := datagen.Car(102)
+	spec.NumSources = 120
+	corpus, err := datagen.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]*sqlparse.Query, len(spec.Queries))
+	for i, qs := range spec.Queries {
+		queries[i] = sqlparse.MustParse(qs)
+	}
+	ctx := context.Background()
+	cfg := core.Config{Obs: obs.NewRegistry()}
+
+	for _, shards := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("inprocess/shards=%d", shards), func(b *testing.B) {
+			sh, err := shard.New(corpus.Corpus, cfg, shard.Options{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			v := sh.View()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := v.RunCtx(ctx, core.UDI, queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("networked/shards=%d", shards), func(b *testing.B) {
+			addrs := make([]string, shards)
+			for i := 0; i < shards; i++ {
+				h, err := shardrpc.NewHost(cfg, shardrpc.HostOptions{Obs: obs.NewRegistry()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				srv := httptest.NewServer(h.Handler())
+				defer srv.Close()
+				addrs[i] = srv.URL
+			}
+			co, err := shardrpc.NewCoordinator(corpus.Corpus, cfg, addrs,
+				shardrpc.CoordinatorOptions{Obs: obs.NewRegistry()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			v, err := co.View()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := v.RunCtx(ctx, core.UDI, queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,646 @@
+package shardrpc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"udi/internal/answer"
+	"udi/internal/client"
+	"udi/internal/core"
+	"udi/internal/feedback"
+	"udi/internal/httpapi"
+	"udi/internal/mediate"
+	"udi/internal/obs"
+	"udi/internal/persist"
+	"udi/internal/schema"
+	"udi/internal/shard"
+	"udi/internal/sqlparse"
+)
+
+// CoordinatorOptions configures a networked coordinator.
+type CoordinatorOptions struct {
+	// Client configures every shard stub (timeouts, retry budget).
+	Client client.Options
+	// Obs receives coordinator metrics; nil uses obs.Default.
+	Obs *obs.Registry
+}
+
+// stub is one shard host as the coordinator sees it: a typed client plus
+// the shard's last-observed epoch, refreshed by every RPC response so
+// the coordinator can report a cross-shard epoch vector without an extra
+// status round per read.
+type stub struct {
+	addr  string
+	c     *client.Client
+	epoch atomic.Uint64
+}
+
+// coordMeta is the coordinator's published serving metadata — the exact
+// analogue of the in-process shard.System's servingMeta, plus the source
+// tables themselves (the coordinator re-projects them on rebuilds).
+type coordMeta struct {
+	order     []string
+	sources   map[string]*schema.Source
+	med       *mediate.Result
+	target    *schema.MediatedSchema
+	createdAt time.Time
+}
+
+// Coordinator drives remote shard hosts over the shard RPC protocol and
+// implements httpapi.Backend: queries fan out to every host and merge
+// bit-identically to the in-process scatter-gather, feedback routes to
+// the owning host, and structural mutations reproduce the single-core
+// fast/rebuild decision before shipping the outcome to each host.
+//
+// The coordinator itself is in-memory: durability lives on the shard
+// hosts (each checkpoints structural state and write-ahead-logs
+// feedback) and in the in-process durable coordinator this mirrors. A
+// coordinator restart re-runs setup and pushes fresh state; the RPC
+// mutations are idempotent, so a re-push over surviving hosts converges.
+//
+// Partial failure is never silent: if any shard cannot answer, the read
+// fails with a typed shard_unavailable error instead of merging an
+// incomplete result set.
+type Coordinator struct {
+	cfg    core.Config
+	domain string
+	reg    *obs.Registry
+	stubs  []*stub
+
+	// mu serializes structural mutations, mirroring the in-process
+	// coordinator's write lock. Reads never take it.
+	mu       sync.Mutex
+	meta     atomic.Pointer[coordMeta]
+	mutating atomic.Bool
+}
+
+// NewCoordinator sets up a networked sharded system over the corpus: one
+// global core.Setup computes the mediation and per-source artifacts
+// locally, and each shard host receives the projection covering its
+// sources via a replace push. One address per shard; the shard index is
+// the position in addrs, and source→shard routing is shard.ShardOf.
+func NewCoordinator(c *schema.Corpus, cfg core.Config, addrs []string, opts CoordinatorOptions) (*Coordinator, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("shardrpc: coordinator needs at least one shard address")
+	}
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.Default
+	}
+	co := &Coordinator{cfg: cfg, domain: c.Domain, reg: reg}
+	for _, addr := range addrs {
+		co.stubs = append(co.stubs, &stub{addr: addr, c: client.New(addr, opts.Client)})
+	}
+	ctx := context.Background()
+	if err := co.checkProtocol(ctx); err != nil {
+		return nil, err
+	}
+
+	blue, err := core.Setup(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := len(co.stubs)
+	for i := 0; i < n; i++ {
+		proj, err := shard.Project(c.Domain, cfg, blue, shard.SourcesFor(c.Sources, i, n))
+		if err != nil {
+			return nil, err
+		}
+		if err := co.pushReplace(ctx, i, proj, blue.Med, blue.Target); err != nil {
+			return nil, err
+		}
+	}
+	order := make([]string, len(c.Sources))
+	sources := make(map[string]*schema.Source, len(c.Sources))
+	for i, src := range c.Sources {
+		order[i] = src.Name
+		sources[src.Name] = src
+	}
+	co.publish(order, sources, blue.Med, blue.Target)
+	reg.Add("shardrpc.coord.setups", 1)
+	return co, nil
+}
+
+// checkProtocol performs the health/version exchange with every host: a
+// host speaking a different protocol version is refused up front rather
+// than corrupting merges later.
+func (co *Coordinator) checkProtocol(ctx context.Context) error {
+	for i, st := range co.stubs {
+		var status StatusResponse
+		if err := st.c.Get(ctx, "/v1/shard/status", &status); err != nil {
+			return co.rpcError(i, err)
+		}
+		if status.Proto != Version {
+			return fmt.Errorf("shardrpc: shard %d (%s) speaks protocol %d, coordinator speaks %d",
+				i, st.addr, status.Proto, Version)
+		}
+		if status.Ready {
+			st.epoch.Store(status.Epoch)
+		}
+	}
+	return nil
+}
+
+// publish installs the next serving metadata.
+func (co *Coordinator) publish(order []string, sources map[string]*schema.Source, med *mediate.Result, target *schema.MediatedSchema) {
+	co.meta.Store(&coordMeta{order: order, sources: sources, med: med, target: target, createdAt: time.Now()})
+}
+
+// pushReplace ships one shard's full projection: persist snapshot bytes
+// for a non-empty projection, the JSON empty form otherwise. Replace is
+// idempotent, so transport retries are safe.
+func (co *Coordinator) pushReplace(ctx context.Context, i int, proj *core.System, med *mediate.Result, target *schema.MediatedSchema) error {
+	st := co.stubs[i]
+	var out MutationResponse
+	if len(proj.Snapshot().Corpus.Sources) == 0 {
+		req := ReplaceEmptyRequest{Proto: Version, Empty: true, Domain: co.domain, Med: EncodeMed(med), Target: EncodeTarget(target)}
+		if err := st.c.Do(ctx, http.MethodPost, "/v1/shard/replace", req, &out, true); err != nil {
+			return co.rpcError(i, err)
+		}
+	} else {
+		var buf bytes.Buffer
+		if err := persist.Save(&buf, proj); err != nil {
+			return err
+		}
+		hdr := map[string]string{"X-UDI-Proto": fmt.Sprintf("%d", Version)}
+		if err := st.c.DoRaw(ctx, http.MethodPost, "/v1/shard/replace", "application/octet-stream", buf.Bytes(), hdr, &out, true); err != nil {
+			return co.rpcError(i, err)
+		}
+	}
+	st.epoch.Store(out.Epoch)
+	return nil
+}
+
+// rpcError maps one stub failure onto the Backend error contract:
+// server-reported client errors (4xx) pass through byte-identical — the
+// shard host renders the same envelope the coordinator would — while
+// transport failures and 5xx states become a typed shard_unavailable.
+// Caller-context expiry is returned unchanged so the HTTP layer maps it
+// to timeout/canceled rather than 503.
+func (co *Coordinator) rpcError(i int, err error) error {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return err
+	}
+	var se *httpapi.StatusError
+	if errors.As(err, &se) && se.Status < 500 {
+		return se
+	}
+	co.reg.Add("shardrpc.coord.shard_unavailable", 1)
+	return &httpapi.StatusError{
+		Status:  http.StatusServiceUnavailable,
+		Code:    httpapi.CodeShardUnavailable,
+		Message: fmt.Sprintf("shard %d (%s) unavailable", i, co.stubs[i].addr),
+		Details: map[string]any{"shard": i, "addr": co.stubs[i].addr, "cause": err.Error()},
+	}
+}
+
+// notReady is the error every entry point returns before setup publishes.
+func notReady() error {
+	return &httpapi.StatusError{Status: http.StatusServiceUnavailable, Code: httpapi.CodeNotReady,
+		Message: "coordinator has not completed setup"}
+}
+
+// --- Backend: reads ---------------------------------------------------
+
+// View captures the published metadata plus each shard's last-observed
+// epoch. Unlike the in-process view, it does not pin remote snapshots —
+// each fanned-out read runs against whatever epoch the host serves, and
+// the response epochs refresh the vector.
+func (co *Coordinator) View() (httpapi.View, error) {
+	meta := co.meta.Load()
+	if meta == nil {
+		return nil, notReady()
+	}
+	epochs := make([]uint64, len(co.stubs))
+	for i, st := range co.stubs {
+		epochs[i] = st.epoch.Load()
+	}
+	return &coordView{co: co, meta: meta, epochs: epochs}, nil
+}
+
+// Committing reports an in-flight structural mutation.
+func (co *Coordinator) Committing() bool { return co.mutating.Load() }
+
+// Shards returns the shard host count.
+func (co *Coordinator) Shards() int { return len(co.stubs) }
+
+// Durability is nil: the coordinator is in-memory; each shard host owns
+// its own durability and reports it on its own /v1/schema.
+func (co *Coordinator) Durability() *httpapi.DurabilityStatus { return nil }
+
+// Replication is nil: a coordinator is not a replica.
+func (co *Coordinator) Replication() *httpapi.ReplicationStatus { return nil }
+
+type coordView struct {
+	co     *Coordinator
+	meta   *coordMeta
+	epochs []uint64
+}
+
+func (v *coordView) Epoch() uint64 {
+	var sum uint64
+	for _, e := range v.epochs {
+		sum += e
+	}
+	return sum
+}
+func (v *coordView) EpochVector() []uint64          { return v.epochs }
+func (v *coordView) CreatedAt() time.Time           { return v.meta.createdAt }
+func (v *coordView) NumSources() int                { return len(v.meta.order) }
+func (v *coordView) PMed() *schema.PMedSchema       { return v.meta.med.PMed }
+func (v *coordView) Target() *schema.MediatedSchema { return v.meta.target }
+
+// fanout runs fn once per shard concurrently, cancelling the rest on the
+// first failure, and surfaces the first non-cancellation error in shard
+// order (deterministic given deterministic per-shard outcomes).
+func (v *coordView) fanout(ctx context.Context, fn func(ctx context.Context, i int, st *stub) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(v.co.stubs))
+	var wg sync.WaitGroup
+	for i, st := range v.co.stubs {
+		wg.Add(1)
+		go func(i int, st *stub) {
+			defer wg.Done()
+			if err := fn(ctx, i, st); err != nil {
+				errs[i] = v.co.rpcError(i, err)
+				cancel()
+			}
+		}(i, st)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunCtx fans the query out to every shard host and merges the partial
+// results in global source order — answer.MergeResultSets recomputes the
+// IEEE disjunction over bit-exact wire probabilities, so the merged
+// ranking is `==`-identical to the in-process sharded system and to a
+// single engine over the whole corpus. Any shard failure fails the whole
+// read with a typed error; an incomplete merge is never served.
+func (v *coordView) RunCtx(ctx context.Context, a core.Approach, q *sqlparse.Query) (*answer.ResultSet, error) {
+	req := QueryRequest{Proto: Version, Query: q.String(), Approach: string(a)}
+	parts := make([]*answer.ResultSet, len(v.co.stubs))
+	err := v.fanout(ctx, func(ctx context.Context, i int, st *stub) error {
+		var resp QueryResponse
+		if err := st.c.Do(ctx, http.MethodPost, "/v1/shard/query", req, &resp, true); err != nil {
+			return err
+		}
+		st.epoch.Store(resp.Epoch)
+		v.epochs[i] = resp.Epoch
+		parts[i] = DecodePart(resp.Part)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	v.co.reg.Add("shardrpc.coord.queries", 1)
+	return answer.MergeResultSets(v.meta.order, parts), nil
+}
+
+// ExplainCtx fans out and merges provenance, sorted exactly as the
+// in-process sharded system sorts (mass desc, source, schema index).
+func (v *coordView) ExplainCtx(ctx context.Context, q *sqlparse.Query, values []string) ([]answer.Contribution, error) {
+	req := ExplainRequest{Proto: Version, Query: q.String(), Values: values}
+	parts := make([][]answer.Contribution, len(v.co.stubs))
+	err := v.fanout(ctx, func(ctx context.Context, i int, st *stub) error {
+		var resp ExplainResponse
+		if err := st.c.Do(ctx, http.MethodPost, "/v1/shard/explain", req, &resp, true); err != nil {
+			return err
+		}
+		st.epoch.Store(resp.Epoch)
+		parts[i] = resp.Contributions
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []answer.Contribution
+	for _, cs := range parts {
+		out = append(out, cs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mass != out[j].Mass {
+			return out[i].Mass > out[j].Mass
+		}
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
+		return out[i].SchemaIdx < out[j].SchemaIdx
+	})
+	return out, nil
+}
+
+// Candidates fans out and merges the per-shard feedback queues with the
+// in-process sharded ordering (uncertainty desc, source, attr, index).
+func (v *coordView) Candidates(limit int) ([]feedback.Candidate, error) {
+	req := CandidatesRequest{Proto: Version, Limit: 0}
+	parts := make([][]feedback.Candidate, len(v.co.stubs))
+	err := v.fanout(context.Background(), func(ctx context.Context, i int, st *stub) error {
+		var resp CandidatesResponse
+		if err := st.c.Do(ctx, http.MethodPost, "/v1/shard/candidates", req, &resp, true); err != nil {
+			return err
+		}
+		st.epoch.Store(resp.Epoch)
+		parts[i] = DecodeCandidates(resp.Candidates)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var all []feedback.Candidate
+	for _, cs := range parts {
+		all = append(all, cs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Uncertainty != all[j].Uncertainty {
+			return all[i].Uncertainty > all[j].Uncertainty
+		}
+		if all[i].Source != all[j].Source {
+			return all[i].Source < all[j].Source
+		}
+		if all[i].SrcAttr != all[j].SrcAttr {
+			return all[i].SrcAttr < all[j].SrcAttr
+		}
+		return all[i].MedIdx < all[j].MedIdx
+	})
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	return all, nil
+}
+
+// --- Backend: mutations -----------------------------------------------
+
+// SubmitFeedback routes one feedback item to the host owning the source.
+// Feedback is the one non-idempotent RPC: it is sent exactly once, and
+// an ambiguous transport failure surfaces as shard_unavailable rather
+// than being retried into a possible double-apply.
+func (co *Coordinator) SubmitFeedback(fb core.Feedback) error {
+	meta := co.meta.Load()
+	if meta == nil {
+		return notReady()
+	}
+	if _, ok := meta.sources[fb.Source]; !ok {
+		return fmt.Errorf("shardrpc: %w %q", core.ErrUnknownSource, fb.Source)
+	}
+	owner := shard.ShardOf(fb.Source, len(co.stubs))
+	st := co.stubs[owner]
+	var out FeedbackResponse
+	if err := st.c.Do(context.Background(), http.MethodPost, "/v1/shard/feedback",
+		FeedbackRequest{Proto: Version, Feedback: fb}, &out, false); err != nil {
+		return co.rpcError(owner, err)
+	}
+	st.epoch.Store(out.Epoch)
+	co.reg.Add("shardrpc.coord.feedback", 1)
+	return nil
+}
+
+// AddSources grows the networked system, reproducing the in-process
+// coordinator's decision exactly: regenerate the global mediation; if
+// the clustering set is unchanged, refresh probabilities and push adopt
+// to each owner host and the refreshed mediation to the rest (the fast
+// path); otherwise rebuild globally and re-push every projection.
+// Returns true when the fast path applied.
+//
+// On the fast path a failed owner adoption rolls back owners that
+// already adopted (dropping their batch sources under the previous
+// mediation), so the batch is all-or-nothing across hosts. The adopt,
+// drop, mediation, and replace RPCs are idempotent server-side, so
+// transport-level retries cannot double-apply.
+func (co *Coordinator) AddSources(srcs []*schema.Source) (bool, error) {
+	if len(srcs) == 0 {
+		return true, nil
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.mutating.Store(true)
+	defer co.mutating.Store(false)
+	meta := co.meta.Load()
+	if meta == nil {
+		return false, notReady()
+	}
+	seen := make(map[string]bool, len(srcs))
+	for _, src := range srcs {
+		if seen[src.Name] {
+			return false, fmt.Errorf("shardrpc: duplicate source %q in batch", src.Name)
+		}
+		seen[src.Name] = true
+		if _, ok := meta.sources[src.Name]; ok {
+			return false, fmt.Errorf("shardrpc: source %q already in corpus", src.Name)
+		}
+	}
+
+	all := make([]*schema.Source, 0, len(meta.order)+len(srcs))
+	for _, name := range meta.order {
+		all = append(all, meta.sources[name])
+	}
+	all = append(all, srcs...)
+	corpus, err := schema.NewCorpus(co.domain, all)
+	if err != nil {
+		return false, fmt.Errorf("shardrpc: %w", err)
+	}
+	gen, err := mediate.Generate(corpus, co.cfg.Mediate)
+	if err != nil {
+		return false, fmt.Errorf("shardrpc: %w", err)
+	}
+	newOrder := make([]string, 0, len(meta.order)+len(srcs))
+	newOrder = append(newOrder, meta.order...)
+	for _, src := range srcs {
+		newOrder = append(newOrder, src.Name)
+	}
+
+	if !core.SameSchemaSet(meta.med.PMed, gen.PMed) {
+		return false, co.rebuildLocked(corpus, newOrder)
+	}
+	probs := mediate.AssignProbabilities(meta.med.PMed.Schemas, corpus)
+	pmed, err := schema.NewPMedSchema(meta.med.PMed.Schemas, probs)
+	if err != nil {
+		return false, co.rebuildLocked(corpus, newOrder)
+	}
+	med := &mediate.Result{PMed: pmed, Graph: gen.Graph, FrequentAttrs: gen.FrequentAttrs}
+	wmed := EncodeMed(med)
+
+	ctx := context.Background()
+	n := len(co.stubs)
+	byOwner := make(map[int][]*schema.Source)
+	for _, src := range srcs {
+		o := shard.ShardOf(src.Name, n)
+		byOwner[o] = append(byOwner[o], src)
+	}
+	owners := make([]int, 0, len(byOwner))
+	for o := range byOwner {
+		owners = append(owners, o)
+	}
+	sort.Ints(owners)
+	touched := make([]int, 0, len(owners))
+	for _, o := range owners {
+		var out MutationResponse
+		req := AdoptRequest{Proto: Version, Sources: EncodeSources(byOwner[o]), Med: wmed}
+		if err := co.stubs[o].c.Do(ctx, http.MethodPost, "/v1/shard/adopt", req, &out, true); err != nil {
+			// Roll earlier owners back under the previous mediation so the
+			// batch fails all-or-nothing across hosts.
+			oldMed := EncodeMed(meta.med)
+			for _, t := range touched {
+				for _, src := range byOwner[t] {
+					var dres MutationResponse
+					dreq := DropRequest{Proto: Version, Name: src.Name, Med: oldMed}
+					if derr := co.stubs[t].c.Do(ctx, http.MethodPost, "/v1/shard/drop", dreq, &dres, true); derr != nil {
+						return false, co.rpcError(t, derr)
+					}
+					co.stubs[t].epoch.Store(dres.Epoch)
+				}
+			}
+			return false, co.rpcError(o, err)
+		}
+		co.stubs[o].epoch.Store(out.Epoch)
+		touched = append(touched, o)
+	}
+	isOwner := make(map[int]bool, len(owners))
+	for _, o := range owners {
+		isOwner[o] = true
+	}
+	if err := co.pushMediation(ctx, wmed, isOwner); err != nil {
+		return false, err
+	}
+	sources := make(map[string]*schema.Source, len(meta.sources)+len(srcs))
+	for k, v := range meta.sources {
+		sources[k] = v
+	}
+	for _, src := range srcs {
+		sources[src.Name] = src
+	}
+	co.publish(newOrder, sources, med, meta.target)
+	co.reg.Add("shardrpc.coord.add_sources", 1)
+	return true, nil
+}
+
+// RemoveSource drops a source, mirroring the in-process decision:
+// unknown names and the last source are refused, and the fast/rebuild
+// split follows the regenerated clustering.
+func (co *Coordinator) RemoveSource(name string) (bool, error) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.mutating.Store(true)
+	defer co.mutating.Store(false)
+	meta := co.meta.Load()
+	if meta == nil {
+		return false, notReady()
+	}
+	if _, ok := meta.sources[name]; !ok {
+		return false, fmt.Errorf("shardrpc: %w %q", core.ErrUnknownSource, name)
+	}
+	if len(meta.order) == 1 {
+		return false, fmt.Errorf("shardrpc: cannot remove the last source")
+	}
+	newOrder := make([]string, 0, len(meta.order)-1)
+	for _, n := range meta.order {
+		if n != name {
+			newOrder = append(newOrder, n)
+		}
+	}
+	rest := make([]*schema.Source, 0, len(newOrder))
+	for _, n := range newOrder {
+		rest = append(rest, meta.sources[n])
+	}
+	corpus, err := schema.NewCorpus(co.domain, rest)
+	if err != nil {
+		return false, fmt.Errorf("shardrpc: %w", err)
+	}
+	gen, err := mediate.Generate(corpus, co.cfg.Mediate)
+	if err != nil {
+		return false, fmt.Errorf("shardrpc: %w", err)
+	}
+	if !core.SameSchemaSet(meta.med.PMed, gen.PMed) {
+		return false, co.rebuildLocked(corpus, newOrder)
+	}
+	probs := mediate.AssignProbabilities(meta.med.PMed.Schemas, corpus)
+	pmed, err := schema.NewPMedSchema(meta.med.PMed.Schemas, probs)
+	if err != nil {
+		return false, co.rebuildLocked(corpus, newOrder)
+	}
+	med := &mediate.Result{PMed: pmed, Graph: gen.Graph, FrequentAttrs: gen.FrequentAttrs}
+	wmed := EncodeMed(med)
+
+	ctx := context.Background()
+	owner := shard.ShardOf(name, len(co.stubs))
+	var out MutationResponse
+	req := DropRequest{Proto: Version, Name: name, Med: wmed}
+	if err := co.stubs[owner].c.Do(ctx, http.MethodPost, "/v1/shard/drop", req, &out, true); err != nil {
+		return false, co.rpcError(owner, err)
+	}
+	co.stubs[owner].epoch.Store(out.Epoch)
+	if err := co.pushMediation(ctx, wmed, map[int]bool{owner: true}); err != nil {
+		return false, err
+	}
+	sources := make(map[string]*schema.Source, len(meta.sources)-1)
+	for k, v := range meta.sources {
+		if k != name {
+			sources[k] = v
+		}
+	}
+	co.publish(newOrder, sources, med, meta.target)
+	co.reg.Add("shardrpc.coord.remove_source", 1)
+	return true, nil
+}
+
+// pushMediation installs the refreshed mediation on every non-owner host.
+func (co *Coordinator) pushMediation(ctx context.Context, wmed WireMed, skip map[int]bool) error {
+	for i, st := range co.stubs {
+		if skip[i] {
+			continue
+		}
+		var out MutationResponse
+		req := MediationRequest{Proto: Version, Med: wmed}
+		if err := st.c.Do(ctx, http.MethodPost, "/v1/shard/mediation", req, &out, true); err != nil {
+			return co.rpcError(i, err)
+		}
+		st.epoch.Store(out.Epoch)
+	}
+	return nil
+}
+
+// rebuildLocked is the slow path: one global core.Setup over the new
+// corpus, re-projected and pushed wholesale to every host. Setup runs
+// before any push, so a setup failure leaves every host untouched.
+func (co *Coordinator) rebuildLocked(corpus *schema.Corpus, newOrder []string) error {
+	blue, err := core.Setup(corpus, co.cfg)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	n := len(co.stubs)
+	for i := 0; i < n; i++ {
+		proj, err := shard.Project(co.domain, co.cfg, blue, shard.SourcesFor(corpus.Sources, i, n))
+		if err != nil {
+			return err
+		}
+		if err := co.pushReplace(ctx, i, proj, blue.Med, blue.Target); err != nil {
+			return err
+		}
+	}
+	sources := make(map[string]*schema.Source, len(corpus.Sources))
+	for _, src := range corpus.Sources {
+		sources[src.Name] = src
+	}
+	co.publish(newOrder, sources, blue.Med, blue.Target)
+	co.reg.Add("shardrpc.coord.rebuilds", 1)
+	return nil
+}

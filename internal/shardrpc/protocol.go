@@ -1,0 +1,390 @@
+// Package shardrpc lifts the PR-6 shard boundary onto the network: a
+// Host serves one shard's core.System over a versioned HTTP protocol,
+// and a Coordinator implements the httpapi.Backend contract by fanning
+// queries out to shard hosts and merging the partial results
+// bit-identically to the in-process scatter-gather (and to a single
+// engine over the whole corpus).
+//
+// Protocol surface (all under the shard host's listener):
+//
+//	GET  /v1/shard/status     health, protocol version, epoch, state gen
+//	POST /v1/shard/query      one shard's partial result for a query
+//	POST /v1/shard/explain    one shard's provenance contributions
+//	POST /v1/shard/candidates one shard's feedback question queue
+//	POST /v1/shard/feedback   apply feedback owned by this shard (NOT idempotent)
+//	POST /v1/shard/adopt      adopt sources + refreshed mediation (idempotent)
+//	POST /v1/shard/drop       drop a source + refreshed mediation (idempotent)
+//	POST /v1/shard/mediation  swap mediation only (idempotent)
+//	POST /v1/shard/replace    wholesale state replacement (idempotent)
+//	GET  /v1/shard/state      bootstrap snapshot for replicas
+//	GET  /v1/wal?from=N       committed WAL tail frames for replicas
+//
+// Mutating endpoints are idempotent on the server side (presence checks
+// mirror the durable coordinator's crash redo), so the coordinator may
+// retry them after an ambiguous failure — except feedback, which
+// conditions probabilities multiplicatively and is therefore never
+// retried: a lost response leaves it unknown whether the mutation
+// landed, and re-sending could double-apply.
+//
+// Probabilities cross the wire as IEEE-754 bit patterns
+// (math.Float64bits), so merged answers are `==`-identical to the
+// in-process merge no matter what intermediaries re-encode the JSON.
+package shardrpc
+
+import (
+	"fmt"
+	"math"
+
+	"udi/internal/answer"
+	"udi/internal/core"
+	"udi/internal/feedback"
+	"udi/internal/mediate"
+	"udi/internal/schema"
+)
+
+// Version is the shard RPC protocol version. A coordinator refuses to
+// drive a host reporting a different version: the wire DTOs below are
+// the compatibility contract, and silently mixing them would corrupt
+// merges rather than fail typed.
+const Version = 1
+
+// StatusResponse is the GET /v1/shard/status body.
+type StatusResponse struct {
+	Proto int  `json:"proto"`
+	Ready bool `json:"ready"`
+	// Epoch is the shard core's commit counter; StateGen counts
+	// structural (non-WAL-logged) state changes — adopt, drop, mediation
+	// swap, replace — so WAL followers know when replay alone cannot
+	// catch them up.
+	Epoch      uint64 `json:"epoch"`
+	StateGen   uint64 `json:"state_gen"`
+	NumSources int    `json:"num_sources"`
+	// Durable reports an attached persist.Store; CommittedSeq is its
+	// shippable WAL watermark (0 when not durable).
+	Durable      bool   `json:"durable"`
+	CommittedSeq uint64 `json:"committed_seq"`
+}
+
+// QueryRequest is the POST /v1/shard/query body. The query travels as
+// SQL text and is parsed host-side: the parse is deterministic, and
+// shipping text keeps the protocol independent of parser internals.
+type QueryRequest struct {
+	Proto    int    `json:"proto"`
+	Query    string `json:"query"`
+	Approach string `json:"approach,omitempty"`
+}
+
+// QueryResponse carries one shard's partial result.
+type QueryResponse struct {
+	Epoch    uint64   `json:"epoch"`
+	StateGen uint64   `json:"state_gen"`
+	Part     WirePart `json:"part"`
+}
+
+// ExplainRequest is the POST /v1/shard/explain body.
+type ExplainRequest struct {
+	Proto  int      `json:"proto"`
+	Query  string   `json:"query"`
+	Values []string `json:"values"`
+}
+
+// ExplainResponse carries one shard's provenance contributions.
+// Contribution masses are display values, not merge inputs, so they
+// travel as plain JSON floats.
+type ExplainResponse struct {
+	Epoch         uint64                `json:"epoch"`
+	Contributions []answer.Contribution `json:"contributions"`
+}
+
+// CandidatesRequest is the POST /v1/shard/candidates body. Limit 0
+// means all (the coordinator merges and truncates globally).
+type CandidatesRequest struct {
+	Proto int `json:"proto"`
+	Limit int `json:"limit"`
+}
+
+// CandidatesResponse carries one shard's feedback question queue.
+type CandidatesResponse struct {
+	Epoch      uint64          `json:"epoch"`
+	Candidates []WireCandidate `json:"candidates"`
+}
+
+// FeedbackRequest is the POST /v1/shard/feedback body.
+type FeedbackRequest struct {
+	Proto    int           `json:"proto"`
+	Feedback core.Feedback `json:"feedback"`
+}
+
+// FeedbackResponse acknowledges an applied feedback mutation.
+type FeedbackResponse struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// AdoptRequest is the POST /v1/shard/adopt body: the sources this shard
+// owns out of one coordinator mutation, plus the globally refreshed
+// mediation. Idempotent: sources already present are skipped and the
+// mediation is (re)installed regardless, mirroring the durable
+// coordinator's redo.
+type AdoptRequest struct {
+	Proto   int          `json:"proto"`
+	Sources []WireSource `json:"sources"`
+	Med     WireMed      `json:"med"`
+}
+
+// DropRequest is the POST /v1/shard/drop body. Idempotent: an absent
+// name still installs the mediation.
+type DropRequest struct {
+	Proto int     `json:"proto"`
+	Name  string  `json:"name"`
+	Med   WireMed `json:"med"`
+}
+
+// MediationRequest is the POST /v1/shard/mediation body.
+type MediationRequest struct {
+	Proto int     `json:"proto"`
+	Med   WireMed `json:"med"`
+}
+
+// ReplaceEmptyRequest is the JSON POST /v1/shard/replace body for the
+// zero-source projection (an empty corpus cannot be snapshotted). A
+// non-empty replacement ships the persist snapshot bytes instead, with
+// Content-Type application/octet-stream.
+type ReplaceEmptyRequest struct {
+	Proto  int        `json:"proto"`
+	Empty  bool       `json:"empty"`
+	Domain string     `json:"domain"`
+	Med    WireMed    `json:"med"`
+	Target [][]string `json:"target"`
+}
+
+// MutationResponse acknowledges an applied structural mutation.
+type MutationResponse struct {
+	Epoch    uint64 `json:"epoch"`
+	StateGen uint64 `json:"state_gen"`
+}
+
+// --- wire value types -------------------------------------------------
+
+// WireSource is one source table on the wire.
+type WireSource struct {
+	Name  string     `json:"name"`
+	Attrs []string   `json:"attrs"`
+	Rows  [][]string `json:"rows"`
+}
+
+// WireMed is a p-med-schema on the wire: clusterings as string arrays
+// (the journal format the durable coordinator already proves out) and
+// probabilities as IEEE-754 bit patterns for exactness.
+type WireMed struct {
+	Schemas  [][][]string `json:"schemas"`
+	ProbBits []uint64     `json:"prob_bits"`
+}
+
+// WireInstance is one answer instance with its probability bits.
+type WireInstance struct {
+	Source   string   `json:"source"`
+	Row      int      `json:"row"`
+	Values   []string `json:"values"`
+	ProbBits uint64   `json:"prob_bits"`
+}
+
+// WireSourceProbs is one source's tuple-probability map with bit-exact
+// values, keyed by the engine's tuple key.
+type WireSourceProbs struct {
+	Source   string            `json:"source"`
+	ProbBits map[string]uint64 `json:"prob_bits"`
+}
+
+// WirePart is one shard's partial ResultSet: instances plus the
+// per-source tuple probabilities the cross-source merge needs. Ranked
+// answers are NOT shipped — the coordinator recomputes them through
+// answer.MergeResultSets, which visits sources in global corpus order
+// so the IEEE disjunction is bit-identical to the single engine.
+type WirePart struct {
+	Instances []WireInstance    `json:"instances"`
+	PerSource []WireSourceProbs `json:"per_source"`
+}
+
+// WireCandidate is one feedback candidate with bit-exact scores.
+type WireCandidate struct {
+	Source          string `json:"source"`
+	SchemaIdx       int    `json:"schema_idx"`
+	SrcAttr         string `json:"src_attr"`
+	MedIdx          int    `json:"med_idx"`
+	MarginalBits    uint64 `json:"marginal_bits"`
+	UncertaintyBits uint64 `json:"uncertainty_bits"`
+}
+
+// --- encode/decode ----------------------------------------------------
+
+// EncodeMed flattens a mediation result to the wire. Only the PMed
+// travels: shard-host primitives build everything else locally, and the
+// reconciliation path in internal/shard already proves a PMed-only
+// mediate.Result drives them correctly.
+func EncodeMed(med *mediate.Result) WireMed {
+	w := WireMed{ProbBits: make([]uint64, len(med.PMed.Probs))}
+	for i, p := range med.PMed.Probs {
+		w.ProbBits[i] = math.Float64bits(p)
+	}
+	for _, m := range med.PMed.Schemas {
+		clusters := make([][]string, len(m.Attrs))
+		for i, a := range m.Attrs {
+			clusters[i] = []string(a)
+		}
+		w.Schemas = append(w.Schemas, clusters)
+	}
+	return w
+}
+
+// DecodeMed rebuilds the mediation result.
+func DecodeMed(w WireMed) (*mediate.Result, error) {
+	if len(w.Schemas) != len(w.ProbBits) {
+		return nil, fmt.Errorf("shardrpc: mediation wire mismatch: %d schemas, %d probs", len(w.Schemas), len(w.ProbBits))
+	}
+	schemas := make([]*schema.MediatedSchema, len(w.Schemas))
+	for i, clusters := range w.Schemas {
+		attrs := make([]schema.MediatedAttr, len(clusters))
+		for j, c := range clusters {
+			attrs[j] = schema.NewMediatedAttr(c...)
+		}
+		m, err := schema.NewMediatedSchema(attrs)
+		if err != nil {
+			return nil, fmt.Errorf("shardrpc: wire schema %d: %w", i, err)
+		}
+		schemas[i] = m
+	}
+	probs := make([]float64, len(w.ProbBits))
+	for i, b := range w.ProbBits {
+		probs[i] = math.Float64frombits(b)
+	}
+	pmed, err := schema.NewPMedSchema(schemas, probs)
+	if err != nil {
+		return nil, fmt.Errorf("shardrpc: wire p-med-schema: %w", err)
+	}
+	return &mediate.Result{PMed: pmed}, nil
+}
+
+// EncodeTarget flattens a consolidated mediated schema (nil → nil).
+func EncodeTarget(t *schema.MediatedSchema) [][]string {
+	if t == nil {
+		return nil
+	}
+	out := make([][]string, len(t.Attrs))
+	for i, a := range t.Attrs {
+		out[i] = []string(a)
+	}
+	return out
+}
+
+// DecodeTarget rebuilds a consolidated mediated schema (nil → nil).
+func DecodeTarget(clusters [][]string) (*schema.MediatedSchema, error) {
+	if clusters == nil {
+		return nil, nil
+	}
+	attrs := make([]schema.MediatedAttr, len(clusters))
+	for i, c := range clusters {
+		attrs[i] = schema.NewMediatedAttr(c...)
+	}
+	m, err := schema.NewMediatedSchema(attrs)
+	if err != nil {
+		return nil, fmt.Errorf("shardrpc: wire target: %w", err)
+	}
+	return m, nil
+}
+
+// EncodeSources flattens source tables.
+func EncodeSources(srcs []*schema.Source) []WireSource {
+	out := make([]WireSource, len(srcs))
+	for i, s := range srcs {
+		out[i] = WireSource{Name: s.Name, Attrs: s.Attrs, Rows: s.Rows}
+	}
+	return out
+}
+
+// DecodeSources rebuilds source tables (validating shape).
+func DecodeSources(ws []WireSource) ([]*schema.Source, error) {
+	out := make([]*schema.Source, len(ws))
+	for i, w := range ws {
+		s, err := schema.NewSource(w.Name, w.Attrs, w.Rows)
+		if err != nil {
+			return nil, fmt.Errorf("shardrpc: wire source %d: %w", i, err)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// EncodePart flattens one shard's partial result with bit-exact
+// probabilities.
+func EncodePart(rs *answer.ResultSet) WirePart {
+	p := WirePart{}
+	for _, in := range rs.Instances {
+		p.Instances = append(p.Instances, WireInstance{
+			Source:   in.Source,
+			Row:      in.Row,
+			Values:   in.Values,
+			ProbBits: math.Float64bits(in.Prob),
+		})
+	}
+	for _, sp := range rs.PerSource {
+		wp := WireSourceProbs{Source: sp.Source, ProbBits: make(map[string]uint64, len(sp.Probs))}
+		for k, v := range sp.Probs {
+			wp.ProbBits[k] = math.Float64bits(v)
+		}
+		p.PerSource = append(p.PerSource, wp)
+	}
+	return p
+}
+
+// DecodePart rebuilds the partial result for answer.MergeResultSets.
+func DecodePart(p WirePart) *answer.ResultSet {
+	rs := &answer.ResultSet{}
+	for _, in := range p.Instances {
+		rs.Instances = append(rs.Instances, answer.Instance{
+			Source: in.Source,
+			Row:    in.Row,
+			Values: in.Values,
+			Prob:   math.Float64frombits(in.ProbBits),
+		})
+	}
+	for _, wp := range p.PerSource {
+		sp := answer.SourceTupleProbs{Source: wp.Source, Probs: make(map[string]float64, len(wp.ProbBits))}
+		for k, v := range wp.ProbBits {
+			sp.Probs[k] = math.Float64frombits(v)
+		}
+		rs.PerSource = append(rs.PerSource, sp)
+	}
+	return rs
+}
+
+// EncodeCandidates flattens feedback candidates with bit-exact scores.
+func EncodeCandidates(cands []feedback.Candidate) []WireCandidate {
+	out := make([]WireCandidate, len(cands))
+	for i, c := range cands {
+		out[i] = WireCandidate{
+			Source:          c.Source,
+			SchemaIdx:       c.SchemaIdx,
+			SrcAttr:         c.SrcAttr,
+			MedIdx:          c.MedIdx,
+			MarginalBits:    math.Float64bits(c.Marginal),
+			UncertaintyBits: math.Float64bits(c.Uncertainty),
+		}
+	}
+	return out
+}
+
+// DecodeCandidates rebuilds feedback candidates.
+func DecodeCandidates(ws []WireCandidate) []feedback.Candidate {
+	out := make([]feedback.Candidate, len(ws))
+	for i, w := range ws {
+		out[i] = feedback.Candidate{
+			Source:      w.Source,
+			SchemaIdx:   w.SchemaIdx,
+			SrcAttr:     w.SrcAttr,
+			MedIdx:      w.MedIdx,
+			Marginal:    math.Float64frombits(w.MarginalBits),
+			Uncertainty: math.Float64frombits(w.UncertaintyBits),
+		}
+	}
+	return out
+}

@@ -195,6 +195,51 @@ func decodePayload(p []byte) (Record, error) {
 	}, nil
 }
 
+// EncodeFrame appends one record to buf in the on-disk frame layout —
+// the exact bytes Append would write. It is the wire format of the WAL
+// shipping endpoint (/v1/wal): replicas receive frames bit-identical to
+// the primary's log and validate them with the same CRC.
+func EncodeFrame(buf []byte, seq uint64, kind string, data []byte) []byte {
+	return appendFrame(buf, seq, kind, data)
+}
+
+// ReadFrames decodes a stream of frames (the /v1/wal response body) into
+// records. Unlike Open it tolerates no damage at all: a shipped tail is
+// complete by construction, so a partial trailing frame or a checksum
+// failure anywhere means the transport mangled the stream and the whole
+// batch is rejected with ErrCorrupt — a replica must never apply a
+// prefix of a fetch it cannot fully validate.
+func ReadFrames(data []byte) ([]Record, error) {
+	var recs []Record
+	var off int64
+	size := int64(len(data))
+	for off < size {
+		if size-off < headerSize {
+			return nil, fmt.Errorf("wal: truncated frame header at offset %d: %w", off, ErrCorrupt)
+		}
+		length := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if int64(length) > MaxRecord {
+			return nil, fmt.Errorf("wal: frame at offset %d declares %d bytes: %w", off, length, ErrCorrupt)
+		}
+		if size-off-headerSize < int64(length) {
+			return nil, fmt.Errorf("wal: truncated frame payload at offset %d: %w", off, ErrCorrupt)
+		}
+		payload := data[off+headerSize : off+headerSize+int64(length)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil, fmt.Errorf("wal: checksum mismatch at offset %d: %w", off, ErrCorrupt)
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return nil, fmt.Errorf("wal: frame at offset %d: %v: %w", off, err, ErrCorrupt)
+		}
+		rec.Off = off
+		recs = append(recs, rec)
+		off += headerSize + int64(length)
+	}
+	return recs, nil
+}
+
 // appendFrame encodes one record as a length-prefixed CRC32 frame onto
 // buf and returns the extended slice.
 func appendFrame(buf []byte, seq uint64, kind string, data []byte) []byte {
