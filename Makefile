@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build test race race-setup race-serve race-shard race-rpc race-feedback api-compat crash-recovery differential-blocked no-skip vet bench bench-setup bench-setup-scale bench-shard bench-rpc bench-feedback fuzz experiments
+.PHONY: check build test race race-setup race-serve race-shard race-rpc race-route race-feedback api-compat crash-recovery differential-blocked no-skip vet bench bench-setup bench-setup-scale bench-shard bench-rpc bench-route bench-feedback fuzz experiments
 
-check: vet build race race-setup race-serve race-shard race-rpc race-feedback api-compat crash-recovery differential-blocked no-skip fuzz
+check: vet build race race-setup race-serve race-shard race-rpc race-route race-feedback api-compat crash-recovery differential-blocked no-skip fuzz
 
 vet:
 	$(GO) vet ./...
@@ -53,6 +53,15 @@ race-rpc:
 	$(GO) test -race -short -run 'TestNetworkedDifferential|TestCoordinatorConformance' ./internal/shardrpc
 	$(GO) test -race -run 'TestQuery|TestFeedbackNeverRetried|TestStructuralRetryDoesNotDoubleApply|TestProtocolMismatchRefused|TestWALEndpointErrorPaths' ./internal/shardrpc
 	$(GO) test -race ./internal/replica ./internal/client
+
+# Replica read-routing gate: failover bit-identity, staleness refusal,
+# balanced reads within the bound, the routed bound-0 differential, the
+# per-shard candidates-limit merge, and the op-timeout contract — then
+# the mixed readers/writer/prober/fault-toggler soak under the race
+# detector, rerun so a lucky scheduling interleave can't hide a race.
+race-route:
+	$(GO) test -race -run 'TestReplicaFailoverServesReads|TestLaggingReplicaRefused|TestBalancedReplicaReadsWithinBound|TestRoutedDifferentialBoundZero|TestCandidatesPerShardLimitMerge|TestMutationOpTimeout' ./internal/shardrpc
+	$(GO) test -race -count=2 -run 'TestRouteSoak' ./internal/shardrpc
 
 # Blocked-vs-dense gate: the LSH-banded sparse similarity matrix must be
 # bit-identical to the exhaustive dense fill on the randomized corpus
@@ -156,6 +165,22 @@ bench-rpc:
 	      printf "}" \
 	    } \
 	    END { print "\n]" }' > BENCH_rpc.json
+
+# Routed read throughput on one shard plus one replica (primary-only at
+# bound 0 vs replica-balanced under a generous bound, parallel readers);
+# snapshots the raw lines as JSON into BENCH_route.json.
+bench-route:
+	$(GO) test -run '^$$' -bench 'BenchmarkRouteReplicaReads' -benchmem -benchtime=20x ./internal/shardrpc \
+	  | tee /dev/stderr \
+	  | awk 'BEGIN { print "[" } \
+	    /^BenchmarkRouteReplicaReads/ { \
+	      printf "%s", comma; comma=",\n"; \
+	      n=split($$1, a, "/"); \
+	      printf "  {\"case\": \"%s/%s\", \"iters\": %s", a[n-1], a[n], $$2; \
+	      for (i = 3; i < NF; i += 2) { printf ", \"%s\": %s", $$(i+1), $$i } \
+	      printf "}" \
+	    } \
+	    END { print "\n]" }' > BENCH_route.json
 
 # Feedback commit throughput (group commit across writer counts, with
 # concurrent readers, and the fsync-per-commit baseline); snapshots the

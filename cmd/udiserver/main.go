@@ -23,8 +23,28 @@
 // over the shard hosts — answers are bit-identical to -shards N
 // in-process serving and to a single core. A replica (-role replica)
 // bootstraps from -follow's snapshot, tails its WAL every -poll, and
-// serves read-only /v1 (mutations answer 403 read_only); /v1/schema
-// reports the replication position and staleness.
+// serves read-only /v1 (mutations answer 403 read_only) plus the
+// read-only shard RPC surface, so a coordinator can route reads to it;
+// /v1/schema reports the replication position and staleness.
+//
+// Replica read routing: each -shard-addrs entry may append that shard's
+// replicas after the primary, semicolon-separated —
+//
+//	udiserver -role coordinator -domain Car \
+//	  -shard-addrs 'http://h1:9001;http://r1:9003,http://h2:9001' \
+//	  -max-staleness 2s -op-timeout 10s
+//
+// The coordinator probes every member's /v1/shard/status and routes each
+// query's fan-out legs to the least-loaded member whose replication
+// state is synced and whose probe is fresher than -max-staleness. The
+// default -max-staleness 0 keeps reads primary-only; with any bound, a
+// failed primary fails reads over to a synced replica (bit-identical
+// answers — a dead primary commits nothing) while writes answer a typed
+// 503 shard_unavailable. /v1/schema's "routing" object reports which
+// member served each shard's last read leg and the
+// replica-read/failover/stale-refused counters. -op-timeout bounds every
+// coordinator mutation RPC so a hung host fails typed instead of
+// blocking forever.
 //
 // With -data-dir the server is durable: every committed mutation
 // (feedback, source add/remove) is write-ahead-logged and fsynced before
@@ -101,6 +121,8 @@ type serveConfig struct {
 	follow          string
 	shardAddrs      string
 	poll            time.Duration
+	maxStaleness    time.Duration
+	opTimeout       time.Duration
 	domain          string
 	data            string
 	load            string
@@ -119,8 +141,10 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	role := flag.String("role", "serve", "process role: serve (in-process system), shard (RPC shard host), coordinator (scatter-gather over -shard-addrs), replica (WAL follower of -follow)")
 	follow := flag.String("follow", "", "replica mode: primary address to bootstrap from and tail (e.g. http://host:9001)")
-	shardAddrs := flag.String("shard-addrs", "", "coordinator mode: comma-separated shard host addresses, one per shard")
+	shardAddrs := flag.String("shard-addrs", "", "coordinator mode: comma-separated shard entries, one per shard; an entry may append semicolon-separated replica addresses after the primary (primary;replica1;replica2)")
 	poll := flag.Duration("poll", 500*time.Millisecond, "replica mode: WAL polling interval")
+	maxStaleness := flag.Duration("max-staleness", 0, "coordinator mode: route read legs to replicas probed synced within this bound; 0 = primary-only reads (replicas serve only on primary failover)")
+	opTimeout := flag.Duration("op-timeout", 0, "coordinator mode: per-RPC timeout for mutations (feedback, source changes); a hung shard host fails typed instead of blocking (0 = no bound)")
 	dataDir := flag.String("data-dir", "", "durable mode: WAL + checkpoints in this directory; restarts recover the last committed state")
 	shards := flag.Int("shards", 1, "partition the sources across this many in-process shards and answer by scatter-gather")
 	checkpointEvery := flag.Uint64("checkpoint-every", persist.DefaultCheckpointEvery, "commits between checkpoint rotations in -data-dir mode")
@@ -148,6 +172,7 @@ func main() {
 	}
 	sc := serveConfig{
 		role: *role, follow: *follow, shardAddrs: *shardAddrs, poll: *poll,
+		maxStaleness: *maxStaleness, opTimeout: *opTimeout,
 		domain: *domain, data: *data, load: *load, sources: *sources,
 		shards: *shards, addr: *addr, dataDir: *dataDir, checkpointEvery: *checkpointEvery,
 	}
@@ -201,13 +226,18 @@ func runCoordinator(sc serveConfig, cfg core.Config, opts httpapi.Options) error
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "pushing %d sources across %d shard hosts...\n", len(corpus.Sources), len(addrs))
-	co, err := shardrpc.NewCoordinator(corpus, cfg, addrs, shardrpc.CoordinatorOptions{})
+	co, err := shardrpc.NewCoordinator(corpus, cfg, addrs, shardrpc.CoordinatorOptions{
+		MaxStaleness: sc.maxStaleness,
+		OpTimeout:    sc.opTimeout,
+	})
 	if err != nil {
 		return err
 	}
+	stopProber := co.StartProber()
 	api := httpapi.NewBackendServer(co, nil, opts)
 	return serveHTTP(sc.addr, api.Handler(),
-		fmt.Sprintf("coordinator (%d sources, %d shards)", len(corpus.Sources), len(addrs)), nil)
+		fmt.Sprintf("coordinator (%d sources, %d shards)", len(corpus.Sources), len(addrs)),
+		func() error { stopProber(); return nil })
 }
 
 // runReplica bootstraps from the primary, keeps tailing its WAL, and
@@ -226,7 +256,12 @@ func runReplica(sc serveConfig, cfg core.Config, opts httpapi.Options) error {
 	}
 	go f.Run(ctx)
 	api := httpapi.NewBackendServer(f.Backend(), nil, opts)
-	return serveHTTP(sc.addr, api.Handler(), "replica of "+sc.follow, nil)
+	// The read-only shard RPC surface rides beside the public /v1 API so
+	// a routing coordinator can list this replica in a shard's read set.
+	mux := http.NewServeMux()
+	mux.Handle("/v1/shard/", f.ShardHandler())
+	mux.Handle("/", api.Handler())
+	return serveHTTP(sc.addr, mux, "replica of "+sc.follow, nil)
 }
 
 func runServe(sc serveConfig, cfg core.Config, opts httpapi.Options) error {

@@ -315,16 +315,38 @@ func retryable(err error) bool {
 	return false
 }
 
-// pause waits before a retry: the server's Retry-After hint when the
-// last failure carried one, else exponential backoff from the base.
-func (c *Client) pause(ctx context.Context, last error, attempt int) error {
-	d := c.backoff << (attempt - 1)
+// maxRetryPause caps the exponential backoff between attempts. Without
+// a cap the doubling shift overflows time.Duration once attempt counts
+// grow (a negative pause fires immediately, turning backoff into a hot
+// retry loop).
+const maxRetryPause = 30 * time.Second
+
+// retryPause computes the wait before one retry: the server's
+// Retry-After hint when the last failure carried one, else exponential
+// backoff from the base, capped at maxRetryPause.
+func (c *Client) retryPause(last error, attempt int) time.Duration {
 	var se *httpapi.StatusError
 	if errors.As(last, &se) && se.RetryAfterSec > 0 {
-		d = time.Duration(se.RetryAfterSec) * time.Second
+		return time.Duration(se.RetryAfterSec) * time.Second
 	}
+	d := c.backoff
+	for i := 1; i < attempt && d < maxRetryPause; i++ {
+		d <<= 1
+	}
+	if d <= 0 || d > maxRetryPause {
+		return maxRetryPause
+	}
+	return d
+}
+
+// pause waits retryPause before a retry. The timer is stopped when the
+// context wins the select, so an abandoned retry loop does not pin a
+// timer until it fires.
+func (c *Client) pause(ctx context.Context, last error, attempt int) error {
+	t := time.NewTimer(c.retryPause(last, attempt))
+	defer t.Stop()
 	select {
-	case <-time.After(d):
+	case <-t.C:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

@@ -197,6 +197,62 @@ func TestCallerContextExpiryPassesThrough(t *testing.T) {
 	}
 }
 
+// TestRetryPauseCapped: the exponential backoff never overflows into a
+// negative (immediate) pause and never exceeds maxRetryPause, for any
+// attempt count a long retry budget can reach.
+func TestRetryPauseCapped(t *testing.T) {
+	c := New("http://unused", Options{RetryBackoff: 50 * time.Millisecond})
+	if d := c.retryPause(nil, 1); d != 50*time.Millisecond {
+		t.Fatalf("attempt 1 pause = %v, want base 50ms", d)
+	}
+	if d := c.retryPause(nil, 2); d != 100*time.Millisecond {
+		t.Fatalf("attempt 2 pause = %v, want doubled 100ms", d)
+	}
+	for attempt := 1; attempt <= 512; attempt++ {
+		d := c.retryPause(nil, attempt)
+		if d <= 0 {
+			t.Fatalf("attempt %d pause = %v (overflowed)", attempt, d)
+		}
+		if d > maxRetryPause {
+			t.Fatalf("attempt %d pause = %v, want <= %v", attempt, d, maxRetryPause)
+		}
+	}
+	// 64 doublings of 50ms overflow int64 without the cap; the cap wins.
+	if d := c.retryPause(nil, 65); d != maxRetryPause {
+		t.Fatalf("attempt 65 pause = %v, want cap %v", d, maxRetryPause)
+	}
+}
+
+// TestRetryPauseHonorsRetryAfterOverCap: an explicit server hint wins
+// over the computed backoff even at high attempt counts.
+func TestRetryPauseHonorsRetryAfterOverCap(t *testing.T) {
+	c := New("http://unused", Options{RetryBackoff: 50 * time.Millisecond})
+	se := &httpapi.StatusError{Status: http.StatusTooManyRequests, Code: "busy", RetryAfterSec: 3}
+	if d := c.retryPause(se, 100); d != 3*time.Second {
+		t.Fatalf("Retry-After pause = %v, want 3s", d)
+	}
+}
+
+// TestPauseReturnsPromptlyOnCancel: cancelling the context mid-pause
+// returns immediately with the context error (and the stopped timer
+// does not linger until the full backoff elapses).
+func TestPauseReturnsPromptlyOnCancel(t *testing.T) {
+	c := New("http://unused", Options{RetryBackoff: 10 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := c.pause(ctx, nil, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pause err = %v, want Canceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("pause took %v after cancel, want prompt return", d)
+	}
+}
+
 // TestUndecodableSuccessBodyIsTransport: a 2xx whose body does not
 // decode is a transport-class failure (truncated write), not a silent
 // zero value.

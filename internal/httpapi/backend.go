@@ -63,6 +63,10 @@ type Backend interface {
 	// Replication reports WAL-follower state (primary address, applied
 	// sequence, staleness), or nil when this backend is a primary.
 	Replication() *ReplicationStatus
+	// Routing reports replica read-routing state (per-shard read sets,
+	// which member served the last read, failover/staleness counters), or
+	// nil when the backend routes no reads to replicas.
+	Routing() *RoutingStatus
 }
 
 // View is one epoch-consistent read view: a core.Snapshot for the single
@@ -110,6 +114,64 @@ type ReplicationStatus struct {
 	SyncedOnce bool `json:"synced_once"`
 }
 
+// RoutingStatus describes a coordinator's replica read tier for
+// /v1/schema: the staleness bound in force, cumulative routing counters,
+// and each shard's read set with per-member health and sync position.
+// It is the typed degradation report — a client can see exactly which
+// legs are being served by replicas and how far behind they are.
+type RoutingStatus struct {
+	// MaxStalenessMS is the configured bound in milliseconds; 0 means
+	// primary-only load balancing (replicas serve only on failover).
+	MaxStalenessMS int64 `json:"max_staleness_ms"`
+	// ReplicaReads counts fan-out legs served by a replica; Failovers
+	// counts the subset served by a replica because the primary was
+	// failed; StaleRefused counts legs where a failover was needed but a
+	// replica was refused for lagging the primary's committed state.
+	ReplicaReads int64 `json:"replica_reads"`
+	Failovers    int64 `json:"failovers"`
+	StaleRefused int64 `json:"stale_refused"`
+	// Shards is one entry per shard read set.
+	Shards []RouteShardStatus `json:"shards"`
+}
+
+// RouteShardStatus is one shard's read set as the router sees it.
+type RouteShardStatus struct {
+	Shard   int    `json:"shard"`
+	Primary string `json:"primary"`
+	// LastReadBy identifies the member that served this shard's most
+	// recent routed read leg; LastReadStale marks it as a replica serve,
+	// LastReadFailover as a replica serve forced by a failed primary.
+	LastReadBy       string              `json:"last_read_by,omitempty"`
+	LastReadStale    bool                `json:"last_read_stale,omitempty"`
+	LastReadFailover bool                `json:"last_read_failover,omitempty"`
+	ReplicaReads     int64               `json:"replica_reads"`
+	Failovers        int64               `json:"failovers"`
+	StaleRefused     int64               `json:"stale_refused"`
+	Members          []RouteMemberStatus `json:"members"`
+}
+
+// RouteMemberStatus is one read-set member's last-probed state.
+type RouteMemberStatus struct {
+	Addr string `json:"addr"`
+	// Role is "primary" or "replica".
+	Role    string `json:"role"`
+	Healthy bool   `json:"healthy"`
+	// Synced reports whether this member is eligible to serve the shard's
+	// reads: for a replica, applied state covers the primary's last-known
+	// committed state; a primary is always synced to itself.
+	Synced bool `json:"synced"`
+	// Probed reports whether a status probe has succeeded at least once;
+	// the fields below are zero until it has.
+	Probed       bool   `json:"probed"`
+	Ready        bool   `json:"ready,omitempty"`
+	Epoch        uint64 `json:"epoch,omitempty"`
+	StateGen     uint64 `json:"state_gen,omitempty"`
+	CommittedSeq uint64 `json:"committed_seq,omitempty"`
+	AppliedSeq   uint64 `json:"applied_seq,omitempty"`
+	// ProbeAgeMS is how stale the probe observation itself is.
+	ProbeAgeMS int64 `json:"probe_age_ms,omitempty"`
+}
+
 // --- single-core adapter ----------------------------------------------
 
 // CoreBackend adapts a single-process core.System to the Backend
@@ -127,6 +189,7 @@ func (b coreBackend) SubmitFeedback(fb core.Feedback) error { return b.sys.Submi
 func (b coreBackend) Shards() int                           { return 0 }
 func (b coreBackend) Durability() *DurabilityStatus         { return nil }
 func (b coreBackend) Replication() *ReplicationStatus       { return nil }
+func (b coreBackend) Routing() *RoutingStatus               { return nil }
 
 func (b coreBackend) AddSources(srcs []*schema.Source) (bool, error) {
 	return b.sys.AddSources(srcs)
@@ -177,6 +240,7 @@ func (b shardBackend) SubmitFeedback(fb core.Feedback) error { return b.sh.Submi
 func (b shardBackend) Shards() int                           { return b.sh.NumShards() }
 func (b shardBackend) Durability() *DurabilityStatus         { return nil }
 func (b shardBackend) Replication() *ReplicationStatus       { return nil }
+func (b shardBackend) Routing() *RoutingStatus               { return nil }
 
 func (b shardBackend) AddSources(srcs []*schema.Source) (bool, error) {
 	return b.sh.AddSources(srcs)

@@ -507,6 +507,11 @@ type schemaResponse struct {
 	// replica: which primary it follows, the last applied sequence, and
 	// how stale it is; omitted on primaries.
 	Replication *ReplicationStatus `json:"replication,omitempty"`
+	// Routing is present when the server routes reads across replica read
+	// sets (a coordinator with configured replicas): the staleness bound,
+	// which member served each shard's last read leg, and the
+	// failover/staleness counters; omitted otherwise.
+	Routing *RoutingStatus `json:"routing,omitempty"`
 }
 
 type schemaJSON struct {
@@ -527,6 +532,7 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 		StalenessSeconds: time.Since(v.CreatedAt()).Seconds(),
 		Committing:       s.be.Committing(),
 		Replication:      s.be.Replication(),
+		Routing:          s.be.Routing(),
 	}
 	if s.opts.Durability != nil {
 		d := s.opts.Durability()

@@ -315,6 +315,7 @@ func (b replicaBackend) AddSources([]*schema.Source) (bool, error) { return fals
 func (b replicaBackend) RemoveSource(string) (bool, error)         { return false, readOnly() }
 func (b replicaBackend) Shards() int                               { return 0 }
 func (b replicaBackend) Durability() *httpapi.DurabilityStatus     { return nil }
+func (b replicaBackend) Routing() *httpapi.RoutingStatus           { return nil }
 
 func (b replicaBackend) Replication() *httpapi.ReplicationStatus {
 	st := b.f.state.Load()

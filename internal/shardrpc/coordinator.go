@@ -30,16 +30,23 @@ type CoordinatorOptions struct {
 	Client client.Options
 	// Obs receives coordinator metrics; nil uses obs.Default.
 	Obs *obs.Registry
-}
-
-// stub is one shard host as the coordinator sees it: a typed client plus
-// the shard's last-observed epoch, refreshed by every RPC response so
-// the coordinator can report a cross-shard epoch vector without an extra
-// status round per read.
-type stub struct {
-	addr  string
-	c     *client.Client
-	epoch atomic.Uint64
+	// MaxStaleness bounds how old a replica's probed-and-synced
+	// observation may be for it to serve routine (load-balanced) read
+	// legs. 0 — the default — means primary-only reads: replicas serve
+	// only on primary failover, preserving the pre-routing semantics
+	// exactly. Failover eligibility is not age-bounded; it requires the
+	// replica to be synced to the primary's last-known committed state,
+	// which keeps answers bit-identical (see routing.go).
+	MaxStaleness time.Duration
+	// OpTimeout bounds each mutation RPC (feedback, adopt, drop,
+	// mediation, replace). A hung shard host then fails the mutation with
+	// a typed shard_unavailable instead of blocking forever. 0 means no
+	// bound (the previous behavior).
+	OpTimeout time.Duration
+	// ProbeInterval is the background health/staleness probing cadence
+	// when replicas are configured (StartProber). Default: MaxStaleness/2
+	// capped at 1s, or 1s when MaxStaleness is 0.
+	ProbeInterval time.Duration
 }
 
 // coordMeta is the coordinator's published serving metadata — the exact
@@ -74,6 +81,10 @@ type Coordinator struct {
 	reg    *obs.Registry
 	stubs  []*stub
 
+	maxStaleness time.Duration
+	opTimeout    time.Duration
+	probeEvery   time.Duration
+
 	// mu serializes structural mutations, mirroring the in-process
 	// coordinator's write lock. Reads never take it.
 	mu       sync.Mutex
@@ -84,8 +95,12 @@ type Coordinator struct {
 // NewCoordinator sets up a networked sharded system over the corpus: one
 // global core.Setup computes the mediation and per-source artifacts
 // locally, and each shard host receives the projection covering its
-// sources via a replace push. One address per shard; the shard index is
-// the position in addrs, and source→shard routing is shard.ShardOf.
+// sources via a replace push. One address entry per shard; the shard
+// index is the position in addrs, and source→shard routing is
+// shard.ShardOf. An entry may carry a replica read set after the
+// primary, semicolon-separated ("primary;replica1;replica2"): replicas
+// receive no pushes and no writes, but serve read legs under the
+// bounded-staleness routing in routing.go.
 func NewCoordinator(c *schema.Corpus, cfg core.Config, addrs []string, opts CoordinatorOptions) (*Coordinator, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("shardrpc: coordinator needs at least one shard address")
@@ -94,9 +109,24 @@ func NewCoordinator(c *schema.Corpus, cfg core.Config, addrs []string, opts Coor
 	if reg == nil {
 		reg = obs.Default
 	}
-	co := &Coordinator{cfg: cfg, domain: c.Domain, reg: reg}
-	for _, addr := range addrs {
-		co.stubs = append(co.stubs, &stub{addr: addr, c: client.New(addr, opts.Client)})
+	co := &Coordinator{
+		cfg: cfg, domain: c.Domain, reg: reg,
+		maxStaleness: opts.MaxStaleness,
+		opTimeout:    opts.OpTimeout,
+		probeEvery:   opts.ProbeInterval,
+	}
+	if co.probeEvery <= 0 {
+		co.probeEvery = time.Second
+		if half := co.maxStaleness / 2; half > 0 && half < co.probeEvery {
+			co.probeEvery = half
+		}
+	}
+	for i, spec := range addrs {
+		st := newStub(i, spec, opts.Client)
+		if st.primary == nil {
+			return nil, fmt.Errorf("shardrpc: shard %d address spec %q has no primary", i, spec)
+		}
+		co.stubs = append(co.stubs, st)
 	}
 	ctx := context.Background()
 	if err := co.checkProtocol(ctx); err != nil {
@@ -113,7 +143,7 @@ func NewCoordinator(c *schema.Corpus, cfg core.Config, addrs []string, opts Coor
 		if err != nil {
 			return nil, err
 		}
-		if err := co.pushReplace(ctx, i, proj, blue.Med, blue.Target); err != nil {
+		if err := co.pushReplace(i, proj, blue.Med, blue.Target); err != nil {
 			return nil, err
 		}
 	}
@@ -128,24 +158,67 @@ func NewCoordinator(c *schema.Corpus, cfg core.Config, addrs []string, opts Coor
 	return co, nil
 }
 
-// checkProtocol performs the health/version exchange with every host: a
-// host speaking a different protocol version is refused up front rather
-// than corrupting merges later.
+// checkProtocol performs the health/version exchange with every read-set
+// member: a host speaking a different protocol version is refused up
+// front rather than corrupting merges later. An unreachable primary
+// fails setup (the coordinator cannot push state to it); an unreachable
+// replica is only marked unhealthy — replicas may lag the topology, and
+// the prober re-admits them when they appear.
 func (co *Coordinator) checkProtocol(ctx context.Context) error {
 	for i, st := range co.stubs {
-		var status StatusResponse
-		if err := st.c.Get(ctx, "/v1/shard/status", &status); err != nil {
-			return co.rpcError(i, err)
-		}
-		if status.Proto != Version {
-			return fmt.Errorf("shardrpc: shard %d (%s) speaks protocol %d, coordinator speaks %d",
-				i, st.addr, status.Proto, Version)
-		}
-		if status.Ready {
-			st.epoch.Store(status.Epoch)
+		for _, m := range st.members {
+			err := co.probeMember(ctx, st, m)
+			switch {
+			case err == nil:
+			case errors.Is(err, errProtocolMismatch):
+				return err
+			case m.replica:
+				// Unreachable replica: unhealthy until a probe re-admits it.
+			default:
+				return co.rpcError(i, err)
+			}
 		}
 	}
 	return nil
+}
+
+// opCtx bounds one mutation RPC by the configured OpTimeout. Mutations
+// are coordinator-initiated (no caller context), so any deadline expiry
+// under this context is the op timeout and opError maps it to a typed
+// shard_unavailable.
+func (co *Coordinator) opCtx() (context.Context, context.CancelFunc) {
+	if co.opTimeout > 0 {
+		return context.WithTimeout(context.Background(), co.opTimeout)
+	}
+	return context.Background(), func() {}
+}
+
+// opDo runs one idempotent mutation RPC against a shard's primary under
+// its own per-op timeout, mapping failures through opError.
+func (co *Coordinator) opDo(i int, path string, in, out any) error {
+	ctx, cancel := co.opCtx()
+	defer cancel()
+	if err := co.stubs[i].c().Do(ctx, http.MethodPost, path, in, out, true); err != nil {
+		return co.opError(i, err)
+	}
+	return nil
+}
+
+// opError is rpcError for mutation paths: the per-op timeout expiring
+// becomes a typed shard_unavailable (cause op_timeout) instead of a bare
+// context error, so a hung host fails the mutation typed and fast.
+func (co *Coordinator) opError(i int, err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		co.reg.Add("shardrpc.coord.op_timeouts", 1)
+		co.reg.Add("shardrpc.coord.shard_unavailable", 1)
+		return &httpapi.StatusError{
+			Status:  http.StatusServiceUnavailable,
+			Code:    httpapi.CodeShardUnavailable,
+			Message: fmt.Sprintf("shard %d (%s) mutation timed out after %v", i, co.stubs[i].addr(), co.opTimeout),
+			Details: map[string]any{"shard": i, "addr": co.stubs[i].addr(), "cause": "op_timeout"},
+		}
+	}
+	return co.rpcError(i, err)
 }
 
 // publish installs the next serving metadata.
@@ -155,14 +228,18 @@ func (co *Coordinator) publish(order []string, sources map[string]*schema.Source
 
 // pushReplace ships one shard's full projection: persist snapshot bytes
 // for a non-empty projection, the JSON empty form otherwise. Replace is
-// idempotent, so transport retries are safe.
-func (co *Coordinator) pushReplace(ctx context.Context, i int, proj *core.System, med *mediate.Result, target *schema.MediatedSchema) error {
+// idempotent, so transport retries are safe. Always addressed to the
+// primary: replicas pick the new state up by re-bootstrapping when the
+// primary's state generation moves.
+func (co *Coordinator) pushReplace(i int, proj *core.System, med *mediate.Result, target *schema.MediatedSchema) error {
 	st := co.stubs[i]
+	ctx, cancel := co.opCtx()
+	defer cancel()
 	var out MutationResponse
 	if len(proj.Snapshot().Corpus.Sources) == 0 {
 		req := ReplaceEmptyRequest{Proto: Version, Empty: true, Domain: co.domain, Med: EncodeMed(med), Target: EncodeTarget(target)}
-		if err := st.c.Do(ctx, http.MethodPost, "/v1/shard/replace", req, &out, true); err != nil {
-			return co.rpcError(i, err)
+		if err := st.c().Do(ctx, http.MethodPost, "/v1/shard/replace", req, &out, true); err != nil {
+			return co.opError(i, err)
 		}
 	} else {
 		var buf bytes.Buffer
@@ -170,8 +247,8 @@ func (co *Coordinator) pushReplace(ctx context.Context, i int, proj *core.System
 			return err
 		}
 		hdr := map[string]string{"X-UDI-Proto": fmt.Sprintf("%d", Version)}
-		if err := st.c.DoRaw(ctx, http.MethodPost, "/v1/shard/replace", "application/octet-stream", buf.Bytes(), hdr, &out, true); err != nil {
-			return co.rpcError(i, err)
+		if err := st.c().DoRaw(ctx, http.MethodPost, "/v1/shard/replace", "application/octet-stream", buf.Bytes(), hdr, &out, true); err != nil {
+			return co.opError(i, err)
 		}
 	}
 	st.epoch.Store(out.Epoch)
@@ -196,8 +273,8 @@ func (co *Coordinator) rpcError(i int, err error) error {
 	return &httpapi.StatusError{
 		Status:  http.StatusServiceUnavailable,
 		Code:    httpapi.CodeShardUnavailable,
-		Message: fmt.Sprintf("shard %d (%s) unavailable", i, co.stubs[i].addr),
-		Details: map[string]any{"shard": i, "addr": co.stubs[i].addr, "cause": err.Error()},
+		Message: fmt.Sprintf("shard %d (%s) unavailable", i, co.stubs[i].addr()),
+		Details: map[string]any{"shard": i, "addr": co.stubs[i].addr(), "cause": err.Error()},
 	}
 }
 
@@ -289,22 +366,33 @@ func (v *coordView) fanout(ctx context.Context, fn func(ctx context.Context, i i
 	return nil
 }
 
-// RunCtx fans the query out to every shard host and merges the partial
-// results in global source order — answer.MergeResultSets recomputes the
-// IEEE disjunction over bit-exact wire probabilities, so the merged
-// ranking is `==`-identical to the in-process sharded system and to a
-// single engine over the whole corpus. Any shard failure fails the whole
-// read with a typed error; an incomplete merge is never served.
+// RunCtx fans the query out to every shard read set and merges the
+// partial results in global source order — answer.MergeResultSets
+// recomputes the IEEE disjunction over bit-exact wire probabilities, so
+// the merged ranking is `==`-identical to the in-process sharded system
+// and to a single engine over the whole corpus. Each leg routes through
+// readLeg (bounded-staleness load balancing plus failover); epochs feed
+// the vector only when the primary served, so replica-local epochs never
+// pollute it. Any leg exhausting its read set fails the whole read with
+// a typed error; an incomplete merge is never served.
 func (v *coordView) RunCtx(ctx context.Context, a core.Approach, q *sqlparse.Query) (*answer.ResultSet, error) {
 	req := QueryRequest{Proto: Version, Query: q.String(), Approach: string(a)}
 	parts := make([]*answer.ResultSet, len(v.co.stubs))
 	err := v.fanout(ctx, func(ctx context.Context, i int, st *stub) error {
 		var resp QueryResponse
-		if err := st.c.Do(ctx, http.MethodPost, "/v1/shard/query", req, &resp, true); err != nil {
+		served, err := v.co.readLeg(ctx, st, func(m *member) error {
+			resp = QueryResponse{}
+			return m.c.Do(ctx, http.MethodPost, "/v1/shard/query", req, &resp, true)
+		})
+		if err != nil {
 			return err
 		}
-		st.epoch.Store(resp.Epoch)
-		v.epochs[i] = resp.Epoch
+		if served == st.primary {
+			// Refresh the global per-shard epoch; the view's own vector
+			// stays the capture-time snapshot (views are shared across
+			// concurrent readers, so mutating it would race).
+			st.epoch.Store(resp.Epoch)
+		}
 		parts[i] = DecodePart(resp.Part)
 		return nil
 	})
@@ -322,10 +410,16 @@ func (v *coordView) ExplainCtx(ctx context.Context, q *sqlparse.Query, values []
 	parts := make([][]answer.Contribution, len(v.co.stubs))
 	err := v.fanout(ctx, func(ctx context.Context, i int, st *stub) error {
 		var resp ExplainResponse
-		if err := st.c.Do(ctx, http.MethodPost, "/v1/shard/explain", req, &resp, true); err != nil {
+		served, err := v.co.readLeg(ctx, st, func(m *member) error {
+			resp = ExplainResponse{}
+			return m.c.Do(ctx, http.MethodPost, "/v1/shard/explain", req, &resp, true)
+		})
+		if err != nil {
 			return err
 		}
-		st.epoch.Store(resp.Epoch)
+		if served == st.primary {
+			st.epoch.Store(resp.Epoch)
+		}
 		parts[i] = resp.Contributions
 		return nil
 	})
@@ -350,15 +444,26 @@ func (v *coordView) ExplainCtx(ctx context.Context, q *sqlparse.Query, values []
 
 // Candidates fans out and merges the per-shard feedback queues with the
 // in-process sharded ordering (uncertainty desc, source, attr, index).
+// Each shard is asked for only the top `limit` of its own queue: the
+// ordering key is a total order and sources are disjoint across shards,
+// so any candidate beyond a shard's local top-limit can never enter the
+// global top-limit — per-shard truncation is merge-equivalent and stops
+// shipping every queue in full just to throw most of it away.
 func (v *coordView) Candidates(limit int) ([]feedback.Candidate, error) {
-	req := CandidatesRequest{Proto: Version, Limit: 0}
+	req := CandidatesRequest{Proto: Version, Limit: limit}
 	parts := make([][]feedback.Candidate, len(v.co.stubs))
 	err := v.fanout(context.Background(), func(ctx context.Context, i int, st *stub) error {
 		var resp CandidatesResponse
-		if err := st.c.Do(ctx, http.MethodPost, "/v1/shard/candidates", req, &resp, true); err != nil {
+		served, err := v.co.readLeg(ctx, st, func(m *member) error {
+			resp = CandidatesResponse{}
+			return m.c.Do(ctx, http.MethodPost, "/v1/shard/candidates", req, &resp, true)
+		})
+		if err != nil {
 			return err
 		}
-		st.epoch.Store(resp.Epoch)
+		if served == st.primary {
+			st.epoch.Store(resp.Epoch)
+		}
 		parts[i] = DecodeCandidates(resp.Candidates)
 		return nil
 	})
@@ -403,10 +508,12 @@ func (co *Coordinator) SubmitFeedback(fb core.Feedback) error {
 	}
 	owner := shard.ShardOf(fb.Source, len(co.stubs))
 	st := co.stubs[owner]
+	ctx, cancel := co.opCtx()
+	defer cancel()
 	var out FeedbackResponse
-	if err := st.c.Do(context.Background(), http.MethodPost, "/v1/shard/feedback",
+	if err := st.c().Do(ctx, http.MethodPost, "/v1/shard/feedback",
 		FeedbackRequest{Proto: Version, Feedback: fb}, &out, false); err != nil {
-		return co.rpcError(owner, err)
+		return co.opError(owner, err)
 	}
 	st.epoch.Store(out.Epoch)
 	co.reg.Add("shardrpc.coord.feedback", 1)
@@ -478,7 +585,6 @@ func (co *Coordinator) AddSources(srcs []*schema.Source) (bool, error) {
 	med := &mediate.Result{PMed: pmed, Graph: gen.Graph, FrequentAttrs: gen.FrequentAttrs}
 	wmed := EncodeMed(med)
 
-	ctx := context.Background()
 	n := len(co.stubs)
 	byOwner := make(map[int][]*schema.Source)
 	for _, src := range srcs {
@@ -494,21 +600,23 @@ func (co *Coordinator) AddSources(srcs []*schema.Source) (bool, error) {
 	for _, o := range owners {
 		var out MutationResponse
 		req := AdoptRequest{Proto: Version, Sources: EncodeSources(byOwner[o]), Med: wmed}
-		if err := co.stubs[o].c.Do(ctx, http.MethodPost, "/v1/shard/adopt", req, &out, true); err != nil {
+		if err := co.opDo(o, "/v1/shard/adopt", req, &out); err != nil {
 			// Roll earlier owners back under the previous mediation so the
-			// batch fails all-or-nothing across hosts.
+			// batch fails all-or-nothing across hosts. Each rollback drop
+			// gets its own op-timeout budget: a shared expired context would
+			// strand the rollback exactly when it is needed.
 			oldMed := EncodeMed(meta.med)
 			for _, t := range touched {
 				for _, src := range byOwner[t] {
 					var dres MutationResponse
 					dreq := DropRequest{Proto: Version, Name: src.Name, Med: oldMed}
-					if derr := co.stubs[t].c.Do(ctx, http.MethodPost, "/v1/shard/drop", dreq, &dres, true); derr != nil {
-						return false, co.rpcError(t, derr)
+					if derr := co.opDo(t, "/v1/shard/drop", dreq, &dres); derr != nil {
+						return false, derr
 					}
 					co.stubs[t].epoch.Store(dres.Epoch)
 				}
 			}
-			return false, co.rpcError(o, err)
+			return false, err
 		}
 		co.stubs[o].epoch.Store(out.Epoch)
 		touched = append(touched, o)
@@ -517,7 +625,7 @@ func (co *Coordinator) AddSources(srcs []*schema.Source) (bool, error) {
 	for _, o := range owners {
 		isOwner[o] = true
 	}
-	if err := co.pushMediation(ctx, wmed, isOwner); err != nil {
+	if err := co.pushMediation(wmed, isOwner); err != nil {
 		return false, err
 	}
 	sources := make(map[string]*schema.Source, len(meta.sources)+len(srcs))
@@ -579,15 +687,14 @@ func (co *Coordinator) RemoveSource(name string) (bool, error) {
 	med := &mediate.Result{PMed: pmed, Graph: gen.Graph, FrequentAttrs: gen.FrequentAttrs}
 	wmed := EncodeMed(med)
 
-	ctx := context.Background()
 	owner := shard.ShardOf(name, len(co.stubs))
 	var out MutationResponse
 	req := DropRequest{Proto: Version, Name: name, Med: wmed}
-	if err := co.stubs[owner].c.Do(ctx, http.MethodPost, "/v1/shard/drop", req, &out, true); err != nil {
-		return false, co.rpcError(owner, err)
+	if err := co.opDo(owner, "/v1/shard/drop", req, &out); err != nil {
+		return false, err
 	}
 	co.stubs[owner].epoch.Store(out.Epoch)
-	if err := co.pushMediation(ctx, wmed, map[int]bool{owner: true}); err != nil {
+	if err := co.pushMediation(wmed, map[int]bool{owner: true}); err != nil {
 		return false, err
 	}
 	sources := make(map[string]*schema.Source, len(meta.sources)-1)
@@ -602,15 +709,15 @@ func (co *Coordinator) RemoveSource(name string) (bool, error) {
 }
 
 // pushMediation installs the refreshed mediation on every non-owner host.
-func (co *Coordinator) pushMediation(ctx context.Context, wmed WireMed, skip map[int]bool) error {
+func (co *Coordinator) pushMediation(wmed WireMed, skip map[int]bool) error {
 	for i, st := range co.stubs {
 		if skip[i] {
 			continue
 		}
 		var out MutationResponse
 		req := MediationRequest{Proto: Version, Med: wmed}
-		if err := st.c.Do(ctx, http.MethodPost, "/v1/shard/mediation", req, &out, true); err != nil {
-			return co.rpcError(i, err)
+		if err := co.opDo(i, "/v1/shard/mediation", req, &out); err != nil {
+			return err
 		}
 		st.epoch.Store(out.Epoch)
 	}
@@ -625,14 +732,13 @@ func (co *Coordinator) rebuildLocked(corpus *schema.Corpus, newOrder []string) e
 	if err != nil {
 		return err
 	}
-	ctx := context.Background()
 	n := len(co.stubs)
 	for i := 0; i < n; i++ {
 		proj, err := shard.Project(co.domain, co.cfg, blue, shard.SourcesFor(corpus.Sources, i, n))
 		if err != nil {
 			return err
 		}
-		if err := co.pushReplace(ctx, i, proj, blue.Med, blue.Target); err != nil {
+		if err := co.pushReplace(i, proj, blue.Med, blue.Target); err != nil {
 			return err
 		}
 	}

@@ -63,6 +63,19 @@ type StatusResponse struct {
 	// shippable WAL watermark (0 when not durable).
 	Durable      bool   `json:"durable"`
 	CommittedSeq uint64 `json:"committed_seq"`
+	// Replica marks a WAL follower serving the read-only shard surface.
+	// The remaining fields are its replication position, which a routing
+	// coordinator compares against the primary's status to decide
+	// staleness eligibility: AppliedSeq is the last WAL sequence replayed
+	// into serving state, PrimaryCommittedSeq/PrimaryEpoch are the
+	// primary's watermarks at the follower's last successful sync, and
+	// Synced reports whether the follower has bootstrapped at all. All
+	// zero on primaries (additive; the protocol version is unchanged).
+	Replica             bool   `json:"replica,omitempty"`
+	AppliedSeq          uint64 `json:"applied_seq,omitempty"`
+	PrimaryCommittedSeq uint64 `json:"primary_committed_seq,omitempty"`
+	PrimaryEpoch        uint64 `json:"primary_epoch,omitempty"`
+	Synced              bool   `json:"synced,omitempty"`
 }
 
 // QueryRequest is the POST /v1/shard/query body. The query travels as

@@ -1,0 +1,580 @@
+package shardrpc_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"udi/internal/client"
+	"udi/internal/core"
+	"udi/internal/datagen"
+	"udi/internal/httpapi"
+	"udi/internal/obs"
+	"udi/internal/replica"
+	"udi/internal/schema"
+	"udi/internal/shard"
+	"udi/internal/shardrpc"
+	"udi/internal/sqlparse"
+)
+
+// The read-routing battery: a coordinator whose shard read sets carry
+// WAL-following replicas must keep every answer `==`-bit-identical to
+// the primary-only system — balanced reads only within the staleness
+// bound, failover reads only from replicas synced to the primary's
+// last-known committed state, lagging replicas refused rather than
+// served wrong, and writes never touching a replica.
+
+// routedSystem is one shard with a fault proxy in front of the primary
+// (the coordinator's only path to it) and a WAL-following replica that
+// syncs directly against the host — killing the proxy takes the primary
+// away from the coordinator while the replica keeps its state.
+type routedSystem struct {
+	host       *shardrpc.Host
+	hostURL    string
+	proxy      *faultProxy
+	f          *replica.Follower
+	replicaURL string
+	co         *shardrpc.Coordinator
+	corpus     *schema.Corpus
+	cfg        core.Config
+}
+
+func startRoutedSystem(t *testing.T, durable bool, copts shardrpc.CoordinatorOptions) *routedSystem {
+	t.Helper()
+	cfg := core.Config{Obs: obs.NewRegistry()}
+	hopts := shardrpc.HostOptions{Obs: obs.NewRegistry()}
+	if durable {
+		hopts.DataDir = t.TempDir()
+	}
+	h, err := shardrpc.NewHost(cfg, hopts)
+	if err != nil {
+		t.Fatalf("host: %v", err)
+	}
+	hostSrv := httptest.NewServer(h.Handler())
+	t.Cleanup(hostSrv.Close)
+	t.Cleanup(func() { h.Close() })
+	p, proxyURL := newFaultProxy(t, hostSrv.URL)
+
+	f := replica.New(hostSrv.URL, cfg, replica.Options{
+		PollInterval: 50 * time.Millisecond, Obs: obs.NewRegistry(),
+	})
+	replicaSrv := httptest.NewServer(f.ShardHandler())
+	t.Cleanup(replicaSrv.Close)
+
+	corpus := faultCorpus(t)
+	copts.Obs = obs.NewRegistry()
+	co, err := shardrpc.NewCoordinator(corpus, cfg, []string{proxyURL + ";" + replicaSrv.URL}, copts)
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	ctx := context.Background()
+	if err := f.Sync(ctx); err != nil {
+		t.Fatalf("replica sync: %v", err)
+	}
+	co.Probe(ctx)
+	return &routedSystem{host: h, hostURL: hostSrv.URL, proxy: p, f: f,
+		replicaURL: replicaSrv.URL, co: co, corpus: corpus, cfg: cfg}
+}
+
+func routingStatus(t *testing.T, co *shardrpc.Coordinator) *httpapi.RoutingStatus {
+	t.Helper()
+	rs := co.Routing()
+	if rs == nil {
+		t.Fatal("Routing() = nil with replicas configured")
+	}
+	return rs
+}
+
+func firstCandidateFeedback(t *testing.T, v httpapi.View) core.Feedback {
+	t.Helper()
+	cands, err := v.Candidates(1)
+	if err != nil || len(cands) == 0 {
+		t.Fatalf("candidates: %v (%d)", err, len(cands))
+	}
+	return core.Feedback{Source: cands[0].Source, SrcAttr: cands[0].SrcAttr,
+		SchemaIdx: cands[0].SchemaIdx, MedIdx: cands[0].MedIdx, Confirmed: true}
+}
+
+// TestReplicaFailoverServesReads: with the primary dead and a synced
+// replica in the read set, reads keep succeeding with bit-identical
+// answers — even at MaxStaleness 0, since a dead primary commits
+// nothing — while writes fail with the typed shard_unavailable.
+func TestReplicaFailoverServesReads(t *testing.T) {
+	rs := startRoutedSystem(t, true, shardrpc.CoordinatorOptions{})
+	ctx := context.Background()
+	v, q := probeQuery(t, rs.co)
+	before, err := v.RunCtx(ctx, core.UDI, q)
+	if err != nil {
+		t.Fatalf("read with healthy primary: %v", err)
+	}
+	fb := firstCandidateFeedback(t, v)
+
+	// The primary drops off the network; the replica keeps serving the
+	// state it already replayed.
+	rs.proxy.set("refuse", "", -1)
+	rs.co.Probe(ctx)
+
+	after, err := v.RunCtx(ctx, core.UDI, q)
+	if err != nil {
+		t.Fatalf("read with dead primary and synced replica: %v", err)
+	}
+	compareRPCResultSets(t, "failover read", before, after)
+
+	wantShardUnavailable(t, rs.co.SubmitFeedback(fb))
+
+	st := routingStatus(t, rs.co)
+	if st.ReplicaReads == 0 || st.Failovers == 0 {
+		t.Fatalf("replica_reads=%d failovers=%d, want both > 0", st.ReplicaReads, st.Failovers)
+	}
+	sh0 := st.Shards[0]
+	if sh0.LastReadBy != rs.replicaURL || !sh0.LastReadFailover || !sh0.LastReadStale {
+		t.Fatalf("last read record %+v, want failover read served by %s", sh0, rs.replicaURL)
+	}
+}
+
+// TestLaggingReplicaRefused: a replica that has not replayed the
+// primary's committed WAL tail is refused (and counted) when the
+// primary fails — then, once it catches up, the same read fails over
+// and serves the post-feedback bits.
+func TestLaggingReplicaRefused(t *testing.T) {
+	rs := startRoutedSystem(t, true, shardrpc.CoordinatorOptions{})
+	ctx := context.Background()
+	v, q := probeQuery(t, rs.co)
+	fb := firstCandidateFeedback(t, v)
+	if err := rs.co.SubmitFeedback(fb); err != nil {
+		t.Fatalf("feedback: %v", err)
+	}
+
+	// Observe the advanced commit watermark, then lose the primary. The
+	// replica still serves pre-feedback state — serving it would change
+	// answer bits, so the read must fail typed instead.
+	rs.co.Probe(ctx)
+	rs.proxy.set("refuse", "", -1)
+	rs.co.Probe(ctx)
+	_, err := v.RunCtx(ctx, core.UDI, q)
+	wantShardUnavailable(t, err)
+	st := routingStatus(t, rs.co)
+	if st.StaleRefused == 0 {
+		t.Fatal("lagging replica was not counted stale_refused")
+	}
+	if st.ReplicaReads != 0 {
+		t.Fatalf("lagging replica served %d reads", st.ReplicaReads)
+	}
+
+	// The primary comes back, the replica replays the WAL tail, and the
+	// next failover serves the caught-up state.
+	rs.proxy.set("ok", "", 0)
+	rs.co.Probe(ctx)
+	want, err := v.RunCtx(ctx, core.UDI, q)
+	if err != nil {
+		t.Fatalf("read after primary recovery: %v", err)
+	}
+	if err := rs.f.Sync(ctx); err != nil {
+		t.Fatalf("replica catch-up sync: %v", err)
+	}
+	rs.co.Probe(ctx)
+	rs.proxy.set("refuse", "", -1)
+	rs.co.Probe(ctx)
+	got, err := v.RunCtx(ctx, core.UDI, q)
+	if err != nil {
+		t.Fatalf("failover read after catch-up: %v", err)
+	}
+	compareRPCResultSets(t, "failover after catch-up", want, got)
+	if routingStatus(t, rs.co).Failovers == 0 {
+		t.Fatal("caught-up replica served no failover reads")
+	}
+}
+
+// TestBalancedReplicaReadsWithinBound: with a generous staleness bound
+// and a synced replica, routine reads spread across the read set and
+// every routed answer stays bit-identical to the single-core oracle.
+func TestBalancedReplicaReadsWithinBound(t *testing.T) {
+	rs := startRoutedSystem(t, true, shardrpc.CoordinatorOptions{MaxStaleness: time.Minute})
+	ctx := context.Background()
+	oracle, err := core.Setup(rs.corpus, rs.cfg)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	v, q := probeQuery(t, rs.co)
+	sn := oracle.Snapshot()
+	ors, err := sn.RunCtx(ctx, core.UDI, q)
+	if err != nil {
+		t.Fatalf("oracle query: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		crs, err := v.RunCtx(ctx, core.UDI, q)
+		if err != nil {
+			t.Fatalf("routed read %d: %v", i, err)
+		}
+		compareRPCResultSets(t, fmt.Sprintf("balanced read %d", i), ors, crs)
+	}
+	st := routingStatus(t, rs.co)
+	if st.ReplicaReads == 0 {
+		t.Fatal("no read was balanced onto the synced replica")
+	}
+	if st.Failovers != 0 || st.StaleRefused != 0 {
+		t.Fatalf("healthy-primary run recorded failovers=%d stale_refused=%d", st.Failovers, st.StaleRefused)
+	}
+}
+
+// TestRoutedDifferentialBoundZero is the acceptance bar for the default
+// configuration: at shard counts {1,2,4,8} with a replica beside every
+// shard and MaxStaleness 0, the routed coordinator must stay
+// `==`-bit-identical to the single-core oracle and the in-process
+// sharded system through interleaved mutations, and no replica may
+// serve a single routine read.
+func TestRoutedDifferentialBoundZero(t *testing.T) {
+	for ti, shards := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(ti)*7919 + 5))
+			corpus := randomRPCCorpus(rng)
+			cfg := core.Config{Obs: obs.NewRegistry()}
+			oracle, err := core.Setup(corpus, cfg)
+			if err != nil {
+				t.Fatalf("oracle setup: %v", err)
+			}
+			sh, err := shard.New(corpus, cfg, shard.Options{Shards: shards})
+			if err != nil {
+				t.Fatalf("sharded setup: %v", err)
+			}
+			hostURLs := startHosts(t, shards, cfg)
+			specs := make([]string, shards)
+			followers := make([]*replica.Follower, shards)
+			for i, u := range hostURLs {
+				f := replica.New(u, cfg, replica.Options{Obs: obs.NewRegistry()})
+				fsrv := httptest.NewServer(f.ShardHandler())
+				t.Cleanup(fsrv.Close)
+				specs[i] = u + ";" + fsrv.URL
+				followers[i] = f
+			}
+			co, err := shardrpc.NewCoordinator(corpus, cfg, specs, shardrpc.CoordinatorOptions{Obs: obs.NewRegistry()})
+			if err != nil {
+				t.Fatalf("coordinator setup: %v", err)
+			}
+			ctx := context.Background()
+			for i, f := range followers {
+				// An empty shard has no bootstrap state to replicate; its
+				// replica simply stays unsynced (and thus ineligible).
+				if hostStatus(t, hostURLs[i]).NumSources == 0 {
+					continue
+				}
+				if err := f.Sync(ctx); err != nil {
+					t.Fatalf("follower %d sync: %v", i, err)
+				}
+			}
+			co.Probe(ctx)
+
+			nextID := 0
+			compareNetworked(t, "initial", oracle, sh, co, rpcTrialQueries(rng, oracle.Corpus))
+			for m := 0; m < 2; m++ {
+				mutateNetworked(t, rng, oracle, sh, co, &nextID)
+				compareNetworked(t, fmt.Sprintf("after mutation %d", m),
+					oracle, sh, co, rpcTrialQueries(rng, oracle.Corpus))
+			}
+			if st := routingStatus(t, co); st.ReplicaReads != 0 {
+				t.Fatalf("bound-0 healthy-primary run served %d replica reads", st.ReplicaReads)
+			}
+		})
+	}
+}
+
+// TestCandidatesPerShardLimitMerge: the coordinator asks each shard for
+// only its local top-limit, and the merged queue is still exactly the
+// in-process sharded queue — per-shard truncation is merge-equivalent
+// because the ordering key is a total order over disjoint sources.
+func TestCandidatesPerShardLimitMerge(t *testing.T) {
+	spec := datagen.People(211)
+	spec.NumSources = 16
+	c := datagen.MustGenerate(spec)
+	cfg := core.Config{Obs: obs.NewRegistry()}
+	sh, err := shard.New(c.Corpus, cfg, shard.Options{Shards: 4})
+	if err != nil {
+		t.Fatalf("sharded setup: %v", err)
+	}
+
+	// Wrap every host handler to record the limit each candidates
+	// request actually carries on the wire.
+	var mu sync.Mutex
+	var wireLimits []int
+	addrs := make([]string, 4)
+	for i := 0; i < 4; i++ {
+		h, err := shardrpc.NewHost(cfg, shardrpc.HostOptions{Obs: obs.NewRegistry()})
+		if err != nil {
+			t.Fatalf("host %d: %v", i, err)
+		}
+		inner := h.Handler()
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/shard/candidates" {
+				body, _ := io.ReadAll(r.Body)
+				var req shardrpc.CandidatesRequest
+				_ = json.Unmarshal(body, &req)
+				mu.Lock()
+				wireLimits = append(wireLimits, req.Limit)
+				mu.Unlock()
+				r.Body = io.NopCloser(bytes.NewReader(body))
+			}
+			inner.ServeHTTP(w, r)
+		}))
+		t.Cleanup(srv.Close)
+		t.Cleanup(func() { h.Close() })
+		addrs[i] = srv.URL
+	}
+	co, err := shardrpc.NewCoordinator(c.Corpus, cfg, addrs, shardrpc.CoordinatorOptions{Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	v, err := co.View()
+	if err != nil {
+		t.Fatalf("view: %v", err)
+	}
+	sv, err := httpapi.ShardBackend(sh).View()
+	if err != nil {
+		t.Fatalf("sharded view: %v", err)
+	}
+
+	all, err := v.Candidates(0)
+	if err != nil {
+		t.Fatalf("candidates(0): %v", err)
+	}
+	for _, k := range []int{1, 2, 3, 5, 8, 64} {
+		want, werr := sv.Candidates(k)
+		got, gerr := v.Candidates(k)
+		if werr != nil || gerr != nil {
+			t.Fatalf("limit %d: sharded err %v, networked err %v", k, werr, gerr)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("limit %d: %d candidates, sharded %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("limit %d: candidate %d = %+v, sharded %+v", k, i, got[i], want[i])
+			}
+		}
+		// Truncation equivalence: the top-k is a prefix of the full merge.
+		exp := all
+		if k < len(exp) {
+			exp = exp[:k]
+		}
+		if len(got) != len(exp) {
+			t.Fatalf("limit %d: %d candidates, full-merge prefix %d", k, len(got), len(exp))
+		}
+		for i := range exp {
+			if exp[i] != got[i] {
+				t.Fatalf("limit %d: candidate %d = %+v, full-merge prefix %+v", k, i, got[i], exp[i])
+			}
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	asked := map[int]bool{0: true, 1: true, 2: true, 3: true, 5: true, 8: true, 64: true}
+	for _, l := range wireLimits {
+		if !asked[l] {
+			t.Fatalf("a shard was asked for limit %d, which no caller requested (over-fetch)", l)
+		}
+	}
+	if len(wireLimits) == 0 {
+		t.Fatal("no candidates request reached the hosts")
+	}
+}
+
+// TestMutationOpTimeout: a hung shard host fails mutations fast with
+// the typed shard_unavailable (cause op_timeout) instead of blocking
+// the coordinator's write lock indefinitely.
+func TestMutationOpTimeout(t *testing.T) {
+	cfg := core.Config{Obs: obs.NewRegistry()}
+	copts := shardrpc.CoordinatorOptions{
+		OpTimeout: 400 * time.Millisecond,
+		Client:    client.Options{Timeout: 10 * time.Second},
+	}
+	co, p, _ := startFaultedSystem(t, faultCorpus(t), cfg, copts)
+	v, err := co.View()
+	if err != nil {
+		t.Fatalf("view: %v", err)
+	}
+	fb := firstCandidateFeedback(t, v)
+
+	p.mu.Lock()
+	p.delay = 3 * time.Second
+	p.mu.Unlock()
+	p.set("delay", "/v1/shard/feedback", -1)
+	start := time.Now()
+	err = co.SubmitFeedback(fb)
+	elapsed := time.Since(start)
+	se := wantShardUnavailable(t, err)
+	if se.Details["cause"] != "op_timeout" {
+		t.Fatalf("cause = %v, want op_timeout", se.Details["cause"])
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("hung feedback took %v, op timeout did not bound it", elapsed)
+	}
+
+	// Structural mutations get the same bound on every RPC they issue.
+	p.set("delay", "", -1)
+	src := schema.MustNewSource("slow01", []string{"name", "phone"},
+		[][]string{{"ada", "555-0100"}})
+	start = time.Now()
+	_, err = co.AddSources([]*schema.Source{src})
+	elapsed = time.Since(start)
+	se = wantShardUnavailable(t, err)
+	if se.Details["cause"] != "op_timeout" {
+		t.Fatalf("structural cause = %v, want op_timeout", se.Details["cause"])
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("hung add took %v, op timeout did not bound it", elapsed)
+	}
+}
+
+// TestRouteSoak drives concurrent routed readers, a feedback writer,
+// the background prober, the follower's sync loop, and a fault toggler
+// that repeatedly kills and revives the primary — the race-detector
+// soak behind `make race-route`. Reads and writes may fail only with
+// typed errors, and the system must serve again after recovery.
+func TestRouteSoak(t *testing.T) {
+	rs := startRoutedSystem(t, true, shardrpc.CoordinatorOptions{
+		MaxStaleness: 100 * time.Millisecond,
+		OpTimeout:    2 * time.Second,
+	})
+	stopProber := rs.co.StartProber()
+	defer stopProber()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = rs.f.Run(ctx) }()
+
+	v, q := probeQuery(t, rs.co)
+	cands, err := v.Candidates(4)
+	if err != nil || len(cands) == 0 {
+		t.Fatalf("candidates: %v (%d)", err, len(cands))
+	}
+	dur := 600 * time.Millisecond
+	if testing.Short() {
+		dur = 250 * time.Millisecond
+	}
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if _, err := v.RunCtx(ctx, core.UDI, q); err != nil {
+					var se *httpapi.StatusError
+					if !errors.As(err, &se) {
+						t.Errorf("untyped read error: %v", err)
+						return
+					}
+				}
+				_ = rs.co.Routing()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; time.Now().Before(deadline); i++ {
+			c := cands[i%len(cands)]
+			fb := core.Feedback{Source: c.Source, SrcAttr: c.SrcAttr,
+				SchemaIdx: c.SchemaIdx, MedIdx: c.MedIdx, Confirmed: i%2 == 0}
+			if err := rs.co.SubmitFeedback(fb); err != nil {
+				var se *httpapi.StatusError
+				if !errors.As(err, &se) {
+					t.Errorf("untyped write error: %v", err)
+					return
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			rs.proxy.set("refuse", "", -1)
+			time.Sleep(40 * time.Millisecond)
+			rs.proxy.set("ok", "", 0)
+			time.Sleep(80 * time.Millisecond)
+		}
+		rs.proxy.set("ok", "", 0)
+	}()
+	wg.Wait()
+	cancel()
+
+	rs.co.Probe(context.Background())
+	if _, err := v.RunCtx(context.Background(), core.UDI, q); err != nil {
+		t.Fatalf("read after soak recovery: %v", err)
+	}
+}
+
+// BenchmarkRouteReplicaReads measures routed query throughput on one
+// shard with one replica, primary-only (MaxStaleness 0) against
+// replica-balanced (large bound) under parallel readers — the cost and
+// payoff of the routing layer. `make bench-route` snapshots the numbers
+// into BENCH_route.json.
+func BenchmarkRouteReplicaReads(b *testing.B) {
+	spec := datagen.Car(102)
+	spec.NumSources = 120
+	corpus, err := datagen.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]*sqlparse.Query, len(spec.Queries))
+	for i, qs := range spec.Queries {
+		queries[i] = sqlparse.MustParse(qs)
+	}
+	ctx := context.Background()
+	cfg := core.Config{Obs: obs.NewRegistry()}
+
+	for _, mode := range []struct {
+		name  string
+		stale time.Duration
+	}{
+		{"primary-only/bound=0", 0},
+		{"balanced/bound=1m", time.Minute},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			h, err := shardrpc.NewHost(cfg, shardrpc.HostOptions{Obs: obs.NewRegistry()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			hostSrv := httptest.NewServer(h.Handler())
+			defer hostSrv.Close()
+			defer h.Close()
+			f := replica.New(hostSrv.URL, cfg, replica.Options{Obs: obs.NewRegistry()})
+			fsrv := httptest.NewServer(f.ShardHandler())
+			defer fsrv.Close()
+			co, err := shardrpc.NewCoordinator(corpus.Corpus, cfg,
+				[]string{hostSrv.URL + ";" + fsrv.URL},
+				shardrpc.CoordinatorOptions{Obs: obs.NewRegistry(), MaxStaleness: mode.stale})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := f.Sync(ctx); err != nil {
+				b.Fatal(err)
+			}
+			co.Probe(ctx)
+			v, err := co.View()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := v.RunCtx(ctx, core.UDI, queries[i%len(queries)]); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
